@@ -1,0 +1,93 @@
+// Command datagen emits the generated benchmark datasets and their SHACL
+// shapes graphs to files, for inspection or for use with external tools.
+//
+//	datagen -dataset lubm -scale 1 -out lubm.nt -shapes lubm-shapes.ttl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rdfshapes/internal/annotator"
+	"rdfshapes/internal/datagen/lubm"
+	"rdfshapes/internal/datagen/watdiv"
+	"rdfshapes/internal/datagen/yago"
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/shacl"
+	"rdfshapes/internal/store"
+)
+
+func main() {
+	dataset := flag.String("dataset", "lubm", "dataset: lubm, watdiv, or yago")
+	scale := flag.Int("scale", 1, "generator scale (universities / products÷1000 / entities÷1000)")
+	seed := flag.Int64("seed", 7, "generator seed")
+	out := flag.String("out", "", "write N-Triples data to this file (default stdout)")
+	shapesOut := flag.String("shapes", "", "write the annotated shapes graph (Turtle) to this file")
+	flag.Parse()
+
+	if err := run(*dataset, *scale, *seed, *out, *shapesOut); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, scale int, seed int64, out, shapesOut string) error {
+	var g rdf.Graph
+	var shapes *shacl.ShapesGraph
+	var pm *rdf.PrefixMap
+	switch dataset {
+	case "lubm":
+		g = lubm.Generate(lubm.Config{Universities: scale, Seed: seed})
+		shapes, pm = lubm.Shapes(), lubm.Prefixes()
+	case "watdiv":
+		g = watdiv.Generate(watdiv.Config{Products: scale * 1000, Seed: seed})
+		shapes, pm = watdiv.Shapes(), watdiv.Prefixes()
+	case "yago":
+		g = yago.Generate(yago.Config{Entities: scale * 1000, Seed: seed})
+		pm = yago.Prefixes()
+	default:
+		return fmt.Errorf("unknown dataset %q", dataset)
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rdf.WriteNTriples(w, g); err != nil {
+		return err
+	}
+	if out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d triples to %s\n", len(g), out)
+	}
+
+	if shapesOut != "" {
+		st := store.Load(g)
+		if shapes == nil {
+			inferred, err := shacl.InferShapes(st)
+			if err != nil {
+				return err
+			}
+			shapes = inferred
+		}
+		if err := annotator.Annotate(shapes, st); err != nil {
+			return err
+		}
+		f, err := os.Create(shapesOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := shapes.WriteTurtle(f, pm); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d node shapes (%d property shapes) to %s\n",
+			shapes.Len(), shapes.PropertyShapeCount(), shapesOut)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/shacl"
+)
+
+func TestRunWritesDataAndShapes(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "data.nt")
+	shapesOut := filepath.Join(dir, "shapes.ttl")
+	for _, dataset := range []string{"lubm", "watdiv", "yago"} {
+		if err := run(dataset, 1, 7, out, shapesOut); err != nil {
+			t.Fatalf("%s: %v", dataset, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := rdf.ParseNTriples(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: output is not valid N-Triples: %v", dataset, err)
+		}
+		if len(g) == 0 {
+			t.Fatalf("%s: empty output", dataset)
+		}
+		sf, err := os.Open(shapesOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sg, err := shacl.ParseTurtle(sf)
+		sf.Close()
+		if err != nil {
+			t.Fatalf("%s: shapes output is not parseable Turtle: %v", dataset, err)
+		}
+		if sg.Len() == 0 || !sg.Annotated() {
+			t.Fatalf("%s: shapes not annotated (%d shapes)", dataset, sg.Len())
+		}
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run("nosuch", 1, 7, "", ""); err == nil || !strings.Contains(err.Error(), "unknown dataset") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,276 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md's per-experiment index):
+//
+//	T2   Table 2a/2b — GS vs SS join ordering of the example query
+//	T3   Table 3 — dataset characteristics
+//	F4a  Figure 4a — LUBM query runtimes, 6 approaches
+//	F4b  Figure 4b — YAGO-4 query runtimes
+//	F4c  Figure 4c — LUBM q-errors, 5 estimators
+//	F4d  Figure 4d — YAGO-4 q-errors
+//	F4e  Figure 4e — LUBM estimated vs true plan cost (SS, GS)
+//	F4f  Figure 4f — YAGO-4 estimated vs true plan cost
+//	A1   extended-version appendix — WatDiv runtimes and q-errors
+//	P1   preprocessing time and artifact size comparison
+//	P2   query planning latency (the paper's "<20 ms" claim)
+//
+// Usage:
+//
+//	repro [-exp all|T2|T3|F4a|...] [-scale small|medium] [-runs N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rdfshapes/internal/bench"
+	"rdfshapes/internal/datagen/watdiv"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (T2, T3, F4a..F4f, A1, P1, or all)")
+	scaleFlag := flag.String("scale", "small", "dataset scale: small or medium")
+	runs := flag.Int("runs", bench.DefaultRuns, "shuffled executions per query and approach")
+	seed := flag.Int64("seed", 1, "shuffle seed")
+	csvDir := flag.String("csv", "", "also write each experiment's series as CSV into this directory")
+	flag.Parse()
+
+	scale := bench.Small
+	switch *scaleFlag {
+	case "small":
+	case "medium":
+		scale = bench.Medium
+	default:
+		fmt.Fprintf(os.Stderr, "repro: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	cfg := bench.RunConfig{Runs: *runs, Seed: *seed}
+
+	if err := run(strings.ToUpper(*exp), scale, cfg, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale bench.Scale, cfg bench.RunConfig, csvDir string) error {
+	saveCSV := func(name string, write func(io.Writer) error) error {
+		if csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(csvDir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return write(f)
+	}
+	want := func(ids ...string) bool {
+		if exp == "ALL" {
+			return true
+		}
+		for _, id := range ids {
+			if exp == strings.ToUpper(id) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var ds struct {
+		lubm, watdiv, yago *bench.Dataset
+	}
+	need := func(name string) (*bench.Dataset, error) {
+		var err error
+		switch name {
+		case "LUBM":
+			if ds.lubm == nil {
+				ds.lubm, err = bench.LUBMDataset(scale)
+			}
+			return ds.lubm, err
+		case "WatDiv":
+			if ds.watdiv == nil {
+				ds.watdiv, err = bench.WatDivDataset(scale)
+			}
+			return ds.watdiv, err
+		default:
+			if ds.yago == nil {
+				ds.yago, err = bench.YAGODataset(scale)
+			}
+			return ds.yago, err
+		}
+	}
+
+	if want("T2") {
+		d, err := need("LUBM")
+		if err != nil {
+			return err
+		}
+		t2, err := bench.Table2Experiment(d, cfg)
+		if err != nil {
+			return err
+		}
+		section("T2: Table 2 — join ordering of the example query Q (LUBM)")
+		fmt.Print(bench.FormatTable2(t2))
+	}
+	if want("T3") {
+		l, err := need("LUBM")
+		if err != nil {
+			return err
+		}
+		w, err := need("WatDiv")
+		if err != nil {
+			return err
+		}
+		y, err := need("YAGO")
+		if err != nil {
+			return err
+		}
+		// WATDIV-L appears only in Table 3, as in the paper; generate it
+		// at ~4× the WatDiv scale without building planner artifacts.
+		largeProducts := 6000
+		if scale == bench.Medium {
+			largeProducts = 20000
+		}
+		large := bench.Table3Extra("WATDIV-L",
+			watdiv.Generate(watdiv.Config{Products: largeProducts, Seed: 11}))
+		rows := bench.Table3(l, w)
+		rows = append(rows, large, bench.Table3(y)[0])
+		section("T3: Table 3 — dataset characteristics")
+		fmt.Print(bench.FormatTable3(rows))
+		if err := saveCSV("table3.csv", func(w io.Writer) error {
+			return bench.WriteTable3CSV(w, rows)
+		}); err != nil {
+			return err
+		}
+	}
+
+	type figure struct {
+		id, dataset, kind, title string
+	}
+	figures := []figure{
+		{"F4a", "LUBM", "runtime", "Figure 4a — query runtime in LUBM (ms, mean±std over shuffled runs)"},
+		{"F4b", "YAGO", "runtime", "Figure 4b — query runtime in YAGO-4"},
+		{"F4c", "LUBM", "qerror", "Figure 4c — q-error in LUBM"},
+		{"F4d", "YAGO", "qerror", "Figure 4d — q-error in YAGO-4"},
+		{"F4e", "LUBM", "cost", "Figure 4e — estimated vs true plan cost in LUBM"},
+		{"F4f", "YAGO", "cost", "Figure 4f — estimated vs true plan cost in YAGO-4"},
+	}
+	for _, f := range figures {
+		if !want(f.id) {
+			continue
+		}
+		d, err := need(f.dataset)
+		if err != nil {
+			return err
+		}
+		section(f.id + ": " + f.title)
+		switch f.kind {
+		case "runtime":
+			rs, err := bench.RuntimeExperiment(d, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatRuntime(rs))
+			fmt.Println()
+			fmt.Print(bench.FormatWinners(bench.Winners(rs)))
+			if err := saveCSV(f.id+"-runtime.csv", func(w io.Writer) error {
+				return bench.WriteRuntimeCSV(w, rs)
+			}); err != nil {
+				return err
+			}
+		case "qerror":
+			qs, err := bench.QErrorExperiment(d, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatQError(qs))
+			fmt.Println()
+			fmt.Print(bench.FormatQErrorBuckets(bench.QErrorBuckets(qs)))
+			if err := saveCSV(f.id+"-qerror.csv", func(w io.Writer) error {
+				return bench.WriteQErrorCSV(w, qs)
+			}); err != nil {
+				return err
+			}
+		case "cost":
+			cs, err := bench.CostExperiment(d, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.FormatCost(cs))
+			if err := saveCSV(f.id+"-cost.csv", func(w io.Writer) error {
+				return bench.WriteCostCSV(w, cs)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want("A1") {
+		d, err := need("WatDiv")
+		if err != nil {
+			return err
+		}
+		section("A1: appendix — query runtime in WatDiv")
+		rs, err := bench.RuntimeExperiment(d, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatRuntime(rs))
+		fmt.Println()
+		fmt.Print(bench.FormatWinners(bench.Winners(rs)))
+		fmt.Println()
+		qs, err := bench.QErrorExperiment(d, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("A1: appendix — q-error in WatDiv")
+		fmt.Print(bench.FormatQError(qs))
+	}
+	if want("P1") {
+		l, err := need("LUBM")
+		if err != nil {
+			return err
+		}
+		w, err := need("WatDiv")
+		if err != nil {
+			return err
+		}
+		y, err := need("YAGO")
+		if err != nil {
+			return err
+		}
+		section("P1: preprocessing time and artifact sizes")
+		fmt.Print(bench.FormatPrep(l, w, y))
+	}
+	if want("P2") {
+		l, err := need("LUBM")
+		if err != nil {
+			return err
+		}
+		section("P2: query planning latency (paper: always < 20 ms)")
+		rs, err := bench.PlanningTimeExperiment(l, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatPlanningTime(rs))
+		if err := saveCSV("p2-planning.csv", func(w io.Writer) error {
+			return bench.WritePlanningTimeCSV(w, rs)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func section(title string) {
+	fmt.Println()
+	fmt.Println(strings.Repeat("=", len(title)))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", len(title)))
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testQuery = `PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT * WHERE { ?x a ub:FullProfessor . ?x ub:name ?n }`
+
+func TestRunQueryOverGeneratedDataset(t *testing.T) {
+	if err := run("lubm", "", 1, 7, testQuery, "", false, 5, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	if err := run("lubm", "", 1, 7, testQuery, "", true, 5, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidateAndShapesOut(t *testing.T) {
+	dir := t.TempDir()
+	shapesOut := filepath.Join(dir, "shapes.ttl")
+	if err := run("watdiv", "", 1, 7, "", "", false, 0, true, shapesOut); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(shapesOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "sh:count") {
+		t.Error("shapes output missing statistics")
+	}
+}
+
+func TestRunQueryFile(t *testing.T) {
+	dir := t.TempDir()
+	qf := filepath.Join(dir, "q.rq")
+	if err := os.WriteFile(qf, []byte(testQuery), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("lubm", "", 1, 7, "", qf, false, 5, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDataFile(t *testing.T) {
+	dir := t.TempDir()
+	df := filepath.Join(dir, "data.nt")
+	data := `<http://x/a> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://x/T> .
+<http://x/a> <http://x/p> "v" .
+`
+	if err := os.WriteFile(df, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT * WHERE { ?s a <http://x/T> . ?s <http://x/p> ?v }`
+	if err := run("", df, 1, 7, q, "", false, 5, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", 1, 7, "", "", false, 0, false, ""); err == nil {
+		t.Error("missing dataset accepted")
+	}
+	if err := run("nosuch", "", 1, 7, "", "", false, 0, false, ""); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("lubm", "", 1, 7, "not sparql", "", false, 0, false, ""); err == nil {
+		t.Error("bad query accepted")
+	}
+}

@@ -1,0 +1,68 @@
+// University: the paper's running example. Generates a LUBM-style
+// dataset with its shipped SHACL shapes, plans the example query Q of
+// Figure 2 / Table 2 with global statistics and with shape statistics,
+// and executes both plans to compare estimated and true work — the
+// side-by-side the paper's Table 2 makes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rdfshapes"
+	"rdfshapes/internal/datagen/lubm"
+)
+
+const exampleQueryQ = `
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT * WHERE {
+  ?A a ub:FullProfessor .
+  ?A ub:name ?N .
+  ?A ub:teacherOf ?C .
+  ?C a ub:GraduateCourse .
+  ?X ub:advisor ?A .
+  ?X a ub:GraduateStudent .
+  ?X ub:degreeFrom ?U .
+  ?Y ub:takesCourse ?C .
+  ?Y a ub:GraduateStudent .
+}`
+
+func main() {
+	fmt.Println("generating LUBM dataset...")
+	g := lubm.Generate(lubm.Config{Universities: 2, Seed: 7})
+	start := time.Now()
+	db, err := rdfshapes.Load(g, rdfshapes.WithShapesGraph(lubm.Shapes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d triples and annotated %d shapes in %v\n\n",
+		db.NumTriples(), db.Shapes().Len(), time.Since(start).Round(time.Millisecond))
+
+	for _, approach := range []string{"GS", "SS"} {
+		plan, err := db.Explain(exampleQueryQ, approach)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(plan)
+	}
+
+	count, err := db.Count(exampleQueryQ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := db.EstimateCount(exampleQueryQ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("true result cardinality: %d (shape-statistics estimate: %.0f)\n", count, est)
+
+	// Shape statistics shine on class-scoped predicates: ub:name is
+	// carried by every entity, so global statistics see hundreds of
+	// thousands of name triples where the FullProfessor shape sees only
+	// its own.
+	nameStats := db.Shapes().ByClass(lubm.FullProfessor).Property(lubm.Name).Stats
+	globalName := db.Stats().Pred[lubm.Name]
+	fmt.Printf("\nub:name triples — global: %d, scoped to FullProfessor: %d (distinct objects: %d)\n",
+		globalName.Count, nameStats.Count, nameStats.DistinctCount)
+}

@@ -1,0 +1,3 @@
+module rdfshapes
+
+go 1.22

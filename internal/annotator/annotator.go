@@ -1,0 +1,222 @@
+// Package annotator implements the paper's Shapes Annotator (Section 5):
+// it extends a SHACL shapes graph with statistics computed from the data
+// graph — instance counts for node shapes and triple counts, per-instance
+// min/max counts, and distinct object counts for property shapes.
+//
+// Annotate computes all statistics in a single pass over the subject-
+// grouped SPO index. AnnotateWithQueries computes the same statistics by
+// literally executing the analytical basic graph patterns the paper
+// describes (e.g. SELECT * WHERE { ?x rdf:type C . ?x p ?o }) through the
+// query engine; it is orders of magnitude slower and exists as a
+// cross-checking oracle for tests.
+package annotator
+
+import (
+	"fmt"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/shacl"
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+
+	"rdfshapes/internal/engine"
+)
+
+// Annotate fills in statistics for every shape of sg from st. Existing
+// statistics are recomputed. Property shapes whose (class, predicate)
+// pair does not occur in the data receive zero statistics.
+func Annotate(sg *shacl.ShapesGraph, st *store.Store) error {
+	tid := st.TypeID()
+	if tid == 0 && sg.Len() > 0 {
+		return fmt.Errorf("annotator: data graph has no rdf:type triples but shapes graph has %d shapes", sg.Len())
+	}
+
+	// Map class/predicate dictionary IDs to the shapes they annotate.
+	shapeOf := map[store.ID]*shacl.NodeShape{}
+	for _, ns := range sg.Shapes() {
+		if id, ok := st.Dict().Lookup(rdf.NewIRI(ns.TargetClass)); ok {
+			shapeOf[id] = ns
+		}
+		// Classes absent from the data keep zero counts, set below.
+	}
+
+	type propKey struct {
+		class store.ID
+		pred  store.ID
+	}
+	type propAgg struct {
+		count      int64
+		subjects   int64
+		minPerInst int64
+		maxPerInst int64
+		objects    map[store.ID]struct{}
+	}
+	aggs := map[propKey]*propAgg{}
+
+	predID := map[string]store.ID{}
+	for _, ns := range sg.Shapes() {
+		for _, ps := range ns.Properties {
+			if id, ok := st.Dict().Lookup(rdf.NewIRI(ps.Path)); ok {
+				predID[ps.Path] = id
+			}
+		}
+	}
+
+	st.ForEachSubject(func(subject store.ID, triples []store.IDTriple) bool {
+		// Collect the subject's classes that have shapes.
+		var classes []store.ID
+		for _, t := range triples {
+			if t.P == tid {
+				if _, ok := shapeOf[t.O]; ok {
+					classes = append(classes, t.O)
+				}
+			}
+		}
+		if len(classes) == 0 {
+			return true
+		}
+		// triples are sorted by (P,O): walk predicate runs.
+		start := 0
+		for i := 1; i <= len(triples); i++ {
+			if i < len(triples) && triples[i].P == triples[start].P {
+				continue
+			}
+			run := triples[start:i]
+			start = i
+			p := run[0].P
+			if p == tid {
+				continue
+			}
+			for _, cls := range classes {
+				key := propKey{cls, p}
+				n := int64(len(run))
+				agg := aggs[key]
+				if agg == nil {
+					agg = &propAgg{minPerInst: n, maxPerInst: n, objects: map[store.ID]struct{}{}}
+					aggs[key] = agg
+				}
+				agg.count += n
+				agg.subjects++
+				if n < agg.minPerInst {
+					agg.minPerInst = n
+				}
+				if n > agg.maxPerInst {
+					agg.maxPerInst = n
+				}
+				for _, t := range run {
+					agg.objects[t.O] = struct{}{}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, ns := range sg.Shapes() {
+		clsID, inData := st.Dict().Lookup(rdf.NewIRI(ns.TargetClass))
+		if inData {
+			ns.Count = int64(st.Count(store.IDTriple{P: tid, O: clsID}))
+		} else {
+			ns.Count = 0
+		}
+		for _, ps := range ns.Properties {
+			stats := &shacl.PropStats{}
+			if inData {
+				if pid, ok := predID[ps.Path]; ok {
+					if agg := aggs[propKey{clsID, pid}]; agg != nil {
+						stats.Count = agg.count
+						stats.DistinctCount = int64(len(agg.objects))
+						stats.DistinctSubjectCount = agg.subjects
+						stats.MaxCount = agg.maxPerInst
+						// Instances lacking the property pull the
+						// per-instance minimum down to zero.
+						if agg.subjects < ns.Count {
+							stats.MinCount = 0
+						} else {
+							stats.MinCount = agg.minPerInst
+						}
+					}
+				}
+			}
+			ps.Stats = stats
+		}
+	}
+	return nil
+}
+
+// AnnotateWithQueries computes the same statistics as Annotate by
+// executing the paper's analytical queries through the engine. It is the
+// reference implementation used to validate the fast path.
+func AnnotateWithQueries(sg *shacl.ShapesGraph, st *store.Store) error {
+	for _, ns := range sg.Shapes() {
+		// SELECT COUNT(*) WHERE { ?x rdf:type <C> }
+		typeQ := []sparql.TriplePattern{{
+			S: sparql.Variable("x"),
+			P: sparql.Bound(rdf.NewIRI(rdf.RDFType)),
+			O: sparql.Bound(rdf.NewIRI(ns.TargetClass)),
+		}}
+		res, err := engine.Run(st, typeQ, engine.Options{CountOnly: true})
+		if err != nil {
+			return fmt.Errorf("annotator: counting instances of %s: %w", ns.TargetClass, err)
+		}
+		ns.Count = res.Count
+		for _, ps := range ns.Properties {
+			if err := annotatePropertyWithQuery(ns, ps, st); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func annotatePropertyWithQuery(ns *shacl.NodeShape, ps *shacl.PropertyShape, st *store.Store) error {
+	// SELECT ?x ?o WHERE { ?x rdf:type <C> . ?x <p> ?o }
+	q := []sparql.TriplePattern{
+		{
+			S: sparql.Variable("x"),
+			P: sparql.Bound(rdf.NewIRI(rdf.RDFType)),
+			O: sparql.Bound(rdf.NewIRI(ns.TargetClass)),
+		},
+		{
+			S:     sparql.Variable("x"),
+			P:     sparql.Bound(rdf.NewIRI(ps.Path)),
+			O:     sparql.Variable("o"),
+			Index: 1,
+		},
+	}
+	res, err := engine.Run(st, q, engine.Options{})
+	if err != nil {
+		return fmt.Errorf("annotator: analyzing %s/%s: %w", ns.TargetClass, ps.Path, err)
+	}
+	xCol, oCol := -1, -1
+	for i, v := range res.Vars {
+		switch v {
+		case "x":
+			xCol = i
+		case "o":
+			oCol = i
+		}
+	}
+	stats := &shacl.PropStats{}
+	perInstance := map[store.ID]int64{}
+	objects := map[store.ID]struct{}{}
+	for _, row := range res.Rows {
+		stats.Count++
+		perInstance[row[xCol]]++
+		objects[row[oCol]] = struct{}{}
+	}
+	stats.DistinctCount = int64(len(objects))
+	stats.DistinctSubjectCount = int64(len(perInstance))
+	for _, n := range perInstance {
+		if stats.MinCount == 0 || n < stats.MinCount {
+			stats.MinCount = n
+		}
+		if n > stats.MaxCount {
+			stats.MaxCount = n
+		}
+	}
+	if int64(len(perInstance)) < ns.Count {
+		stats.MinCount = 0
+	}
+	ps.Stats = stats
+	return nil
+}

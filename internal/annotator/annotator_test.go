@@ -1,0 +1,169 @@
+package annotator
+
+import (
+	"testing"
+
+	"rdfshapes/internal/datagen/lubm"
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/shacl"
+	"rdfshapes/internal/store"
+)
+
+const ns = "http://x/"
+
+func smallGraph() *store.Store {
+	iri := func(s string) rdf.Term { return rdf.NewIRI(ns + s) }
+	typ := rdf.NewIRI(rdf.RDFType)
+	var g rdf.Graph
+	// three students; two have advisors; one has two courses
+	g.Append(iri("s1"), typ, iri("Student"))
+	g.Append(iri("s2"), typ, iri("Student"))
+	g.Append(iri("s3"), typ, iri("Student"))
+	g.Append(iri("s1"), iri("advisor"), iri("p1"))
+	g.Append(iri("s2"), iri("advisor"), iri("p1"))
+	g.Append(iri("s1"), iri("takes"), iri("c1"))
+	g.Append(iri("s1"), iri("takes"), iri("c2"))
+	g.Append(iri("s2"), iri("takes"), iri("c1"))
+	g.Append(iri("s3"), iri("takes"), iri("c1"))
+	g.Append(iri("p1"), typ, iri("Professor"))
+	g.Append(iri("p1"), iri("takes"), iri("c9")) // professor also "takes" — must not pollute Student stats
+	return store.Load(g)
+}
+
+func studentShapes(t *testing.T) *shacl.ShapesGraph {
+	t.Helper()
+	sg := shacl.NewShapesGraph()
+	nsh := shacl.NewNodeShape("urn:student", ns+"Student")
+	for _, p := range []string{"advisor", "takes", "missing"} {
+		if err := nsh.AddProperty(&shacl.PropertyShape{IRI: "urn:student-" + p, Path: ns + p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sg.Add(nsh); err != nil {
+		t.Fatal(err)
+	}
+	return sg
+}
+
+func TestAnnotateSmallGraph(t *testing.T) {
+	st := smallGraph()
+	sg := studentShapes(t)
+	if err := Annotate(sg, st); err != nil {
+		t.Fatal(err)
+	}
+	student := sg.ByClass(ns + "Student")
+	if student.Count != 3 {
+		t.Errorf("student count = %d, want 3", student.Count)
+	}
+	adv := student.Property(ns + "advisor").Stats
+	if adv.Count != 2 || adv.DistinctCount != 1 || adv.DistinctSubjectCount != 2 {
+		t.Errorf("advisor stats = %+v", adv)
+	}
+	if adv.MinCount != 0 { // s3 has no advisor
+		t.Errorf("advisor MinCount = %d, want 0", adv.MinCount)
+	}
+	if adv.MaxCount != 1 {
+		t.Errorf("advisor MaxCount = %d, want 1", adv.MaxCount)
+	}
+	takes := student.Property(ns + "takes").Stats
+	// professor's "takes" triple must be excluded
+	if takes.Count != 4 || takes.DistinctCount != 2 || takes.DistinctSubjectCount != 3 {
+		t.Errorf("takes stats = %+v", takes)
+	}
+	if takes.MinCount != 1 || takes.MaxCount != 2 {
+		t.Errorf("takes min/max = %d/%d, want 1/2", takes.MinCount, takes.MaxCount)
+	}
+	missing := student.Property(ns + "missing").Stats
+	if missing == nil || missing.Count != 0 || missing.MaxCount != 0 {
+		t.Errorf("missing stats = %+v, want zeros", missing)
+	}
+	if !sg.Annotated() {
+		t.Error("shapes graph not marked annotated")
+	}
+}
+
+func TestAnnotateShapeForAbsentClass(t *testing.T) {
+	st := smallGraph()
+	sg := shacl.NewShapesGraph()
+	nsh := shacl.NewNodeShape("urn:ghost", ns+"Ghost")
+	if err := nsh.AddProperty(&shacl.PropertyShape{IRI: "urn:ghost-p", Path: ns + "advisor"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sg.Add(nsh); err != nil {
+		t.Fatal(err)
+	}
+	if err := Annotate(sg, st); err != nil {
+		t.Fatal(err)
+	}
+	if nsh.Count != 0 {
+		t.Errorf("absent class count = %d, want 0", nsh.Count)
+	}
+	if st := nsh.Property(ns + "advisor").Stats; st == nil || st.Count != 0 {
+		t.Errorf("absent class property stats = %+v", st)
+	}
+}
+
+func TestAnnotateNoTypeTriples(t *testing.T) {
+	var g rdf.Graph
+	g.Append(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewIRI("o"))
+	st := store.Load(g)
+	sg := shacl.NewShapesGraph()
+	if err := sg.Add(shacl.NewNodeShape("urn:x", ns+"T")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Annotate(sg, st); err == nil {
+		t.Error("annotating shapes against type-free data should error")
+	}
+}
+
+func TestAnnotateMatchesQueryOracle(t *testing.T) {
+	// The single-pass annotator must agree exactly with the literal
+	// analytical-query implementation on a realistic dataset.
+	g := lubm.Generate(lubm.Config{Universities: 1, Seed: 7})
+	st := store.Load(g)
+
+	fast := lubm.Shapes()
+	if err := Annotate(fast, st); err != nil {
+		t.Fatal(err)
+	}
+	slow := lubm.Shapes()
+	if err := AnnotateWithQueries(slow, st); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, nsFast := range fast.Shapes() {
+		nsSlow := slow.ByClass(nsFast.TargetClass)
+		if nsSlow == nil {
+			t.Fatalf("class %s missing from oracle", nsFast.TargetClass)
+		}
+		if nsFast.Count != nsSlow.Count {
+			t.Errorf("%s: count %d != oracle %d", nsFast.TargetClass, nsFast.Count, nsSlow.Count)
+		}
+		for _, psFast := range nsFast.Properties {
+			psSlow := nsSlow.Property(psFast.Path)
+			if psFast.Stats == nil || psSlow.Stats == nil {
+				t.Fatalf("%s/%s: missing stats", nsFast.TargetClass, psFast.Path)
+			}
+			if *psFast.Stats != *psSlow.Stats {
+				t.Errorf("%s/%s: stats %+v != oracle %+v",
+					nsFast.TargetClass, psFast.Path, *psFast.Stats, *psSlow.Stats)
+			}
+		}
+	}
+}
+
+func TestAnnotateIdempotent(t *testing.T) {
+	st := smallGraph()
+	sg := studentShapes(t)
+	if err := Annotate(sg, st); err != nil {
+		t.Fatal(err)
+	}
+	first := *sg.ByClass(ns + "Student").Property(ns + "takes").Stats
+	if err := Annotate(sg, st); err != nil {
+		t.Fatal(err)
+	}
+	second := *sg.ByClass(ns + "Student").Property(ns + "takes").Stats
+	if first != second {
+		t.Errorf("re-annotation changed stats: %+v vs %+v", first, second)
+	}
+}

@@ -1,0 +1,370 @@
+// Package charsets implements the Characteristic Sets cardinality
+// estimator of Neumann & Moerkotte (ICDE 2011), the paper's "CS"
+// baseline: for every subject, the set of predicates it emits is its
+// characteristic set; counting subjects and predicate occurrences per set
+// captures predicate co-occurrence exactly, which makes star-query
+// estimates precise. Joins across stars fall back to the independence
+// assumption — the systematic underestimation the paper observes on
+// snowflake queries (following Extended Characteristic Sets, ICDE 2017,
+// stars are estimated as units and only inter-star joins use the generic
+// formulas).
+package charsets
+
+import (
+	"sort"
+	"strings"
+
+	"rdfshapes/internal/cardinality"
+	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+// CharSet is one characteristic set: the subjects sharing exactly this
+// predicate set, with occurrence totals per predicate and per class.
+type CharSet struct {
+	// Preds lists the predicate IRIs of the set, sorted.
+	Preds []string
+	// Count is the number of subjects with exactly this predicate set.
+	Count int64
+	// Occ maps each predicate to its total occurrence count over these
+	// subjects; Occ[p]/Count is the mean multiplicity used in estimates.
+	Occ map[string]int64
+	// ClassCount maps a class IRI to the number of these subjects that
+	// are instances of it (from rdf:type objects).
+	ClassCount map[string]int64
+}
+
+// Estimator is the CS cardinality estimator and planner backend.
+type Estimator struct {
+	sets   []*CharSet
+	byPred map[string][]int
+	global *cardinality.GlobalEstimator
+}
+
+// Build extracts characteristic sets from the store in one pass over the
+// subject-grouped index. The global statistics provide distinct-count
+// fallbacks for quantities characteristic sets do not capture.
+func Build(st *store.Store, g *gstats.Global) *Estimator {
+	e := &Estimator{
+		byPred: map[string][]int{},
+		global: cardinality.NewGlobalEstimator(g),
+	}
+	index := map[string]int{}
+	tid := st.TypeID()
+	st.ForEachSubject(func(subject store.ID, triples []store.IDTriple) bool {
+		var preds []string
+		occ := map[string]int64{}
+		var classes []string
+		for _, t := range triples {
+			p := st.Dict().Term(t.P).Value
+			if occ[p] == 0 {
+				preds = append(preds, p)
+			}
+			occ[p]++
+			if tid != 0 && t.P == tid {
+				classes = append(classes, st.Dict().Term(t.O).Value)
+			}
+		}
+		sort.Strings(preds)
+		key := strings.Join(preds, "\x00")
+		idx, ok := index[key]
+		if !ok {
+			idx = len(e.sets)
+			index[key] = idx
+			cs := &CharSet{Preds: preds, Occ: map[string]int64{}, ClassCount: map[string]int64{}}
+			e.sets = append(e.sets, cs)
+			for _, p := range preds {
+				e.byPred[p] = append(e.byPred[p], idx)
+			}
+		}
+		cs := e.sets[idx]
+		cs.Count++
+		for p, n := range occ {
+			cs.Occ[p] += n
+		}
+		for _, c := range classes {
+			cs.ClassCount[c]++
+		}
+		return true
+	})
+	return e
+}
+
+// NumSets returns the number of distinct characteristic sets, the size
+// driver the paper's preprocessing comparison reports.
+func (e *Estimator) NumSets() int { return len(e.sets) }
+
+// ApproxBytes estimates the in-memory footprint of the extracted sets,
+// used by the preprocessing-overhead experiment.
+func (e *Estimator) ApproxBytes() int64 {
+	var n int64
+	for _, cs := range e.sets {
+		for _, p := range cs.Preds {
+			n += int64(len(p)) + 16 // string + occurrence counter
+		}
+		for c := range cs.ClassCount {
+			n += int64(len(c)) + 8
+		}
+		n += 24 // set header
+	}
+	return n
+}
+
+// Name implements cardinality.Estimator.
+func (*Estimator) Name() string { return "CS" }
+
+// EstimateTP implements cardinality.Estimator. Single patterns carry no
+// co-occurrence information, so most cases coincide with global
+// statistics; characteristic sets still answer "distinct subjects with
+// predicate p" and class instance counts exactly.
+func (e *Estimator) EstimateTP(q *sparql.Query, tp sparql.TriplePattern) cardinality.TPStats {
+	base := e.global.EstimateTP(q, tp)
+	if tp.P.IsVar() || !tp.S.IsVar() {
+		return base
+	}
+	p := tp.P.Term.Value
+	if p == rdf.RDFType || !tp.O.IsVar() {
+		return base
+	}
+	var card, dsc float64
+	for _, idx := range e.byPred[p] {
+		cs := e.sets[idx]
+		card += float64(cs.Occ[p])
+		dsc += float64(cs.Count)
+	}
+	base.Card = card
+	if dsc >= 1 {
+		base.DSC = dsc
+	}
+	return base
+}
+
+// EstimatePair implements cardinality.PairEstimator: subject-subject
+// joins between bound-predicate patterns are estimated exactly from
+// predicate co-occurrence. Other join shapes return ok=false so the
+// planner applies the generic independence formulas.
+func (e *Estimator) EstimatePair(q *sparql.Query, a, b sparql.TriplePattern) (float64, bool) {
+	if !a.S.IsVar() || !b.S.IsVar() || a.S.Var != b.S.Var {
+		return 0, false
+	}
+	if a.P.IsVar() || b.P.IsVar() {
+		return 0, false
+	}
+	// Ensure the *only* shared variable is the subject; correlated
+	// object variables (e.g. <?x p ?o . ?x q ?o>) are beyond CS.
+	for _, j := range sparql.Joins(a, b) {
+		if j.Kind != sparql.JoinSS {
+			return 0, false
+		}
+	}
+	card := e.starCard([]sparql.TriplePattern{a, b}, q)
+	return card, true
+}
+
+// starCard estimates the cardinality of a subject-star of bound-predicate
+// patterns: Σ over characteristic sets containing all predicates of
+// count × Π multiplicities, restricted to a class when the star includes
+// a type pattern, and scaled by 1/DOC for bound objects.
+func (e *Estimator) starCard(star []sparql.TriplePattern, q *sparql.Query) float64 {
+	var preds []string   // non-type predicates that must co-occur
+	var classes []string // required classes from type patterns
+	sel := 1.0           // bound-object selectivity factors
+	for _, tp := range star {
+		p := tp.P.Term.Value
+		if p == rdf.RDFType {
+			if !tp.O.IsVar() {
+				classes = append(classes, tp.O.Term.Value)
+			} else {
+				preds = append(preds, p)
+			}
+			continue
+		}
+		preds = append(preds, p)
+		if !tp.O.IsVar() {
+			gs := e.global.EstimateTP(q, sparql.TriplePattern{
+				S: sparql.Variable("s"), P: tp.P, O: sparql.Variable("o"),
+			})
+			sel /= maxf(1, gs.DOC)
+		}
+	}
+	// Candidate sets: those containing the rarest predicate (or all sets
+	// when the star is type-only).
+	var candidates []int
+	if len(preds) > 0 {
+		rarest := preds[0]
+		for _, p := range preds[1:] {
+			if len(e.byPred[p]) < len(e.byPred[rarest]) {
+				rarest = p
+			}
+		}
+		candidates = e.byPred[rarest]
+	} else if len(classes) > 0 {
+		candidates = e.byPred[rdf.RDFType]
+	}
+	var total float64
+	for _, idx := range candidates {
+		cs := e.sets[idx]
+		contrib := float64(cs.Count)
+		ok := true
+		for _, c := range classes {
+			if cc := cs.ClassCount[c]; cc > 0 {
+				// fraction of this set's subjects in the class
+				contrib *= float64(cc) / float64(cs.Count)
+			} else {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, p := range preds {
+			occ := cs.Occ[p]
+			if occ == 0 {
+				ok = false
+				break
+			}
+			contrib *= float64(occ) / float64(cs.Count)
+		}
+		if ok {
+			total += contrib
+		}
+	}
+	return total * sel
+}
+
+// EstimateBGP estimates the full result cardinality of q's BGP: stars
+// are grouped by subject variable and estimated exactly; inter-star
+// connections and non-star patterns are combined with the generic
+// formulas over the star estimates (the independence assumption).
+func (e *Estimator) EstimateBGP(q *sparql.Query) float64 {
+	type star struct {
+		subject  string
+		patterns []sparql.TriplePattern
+	}
+	var stars []*star
+	bySubject := map[string]*star{}
+	var loose []sparql.TriplePattern
+	for _, tp := range q.Patterns {
+		if tp.S.IsVar() && !tp.P.IsVar() {
+			s := bySubject[tp.S.Var]
+			if s == nil {
+				s = &star{subject: tp.S.Var}
+				bySubject[tp.S.Var] = s
+				stars = append(stars, s)
+			}
+			s.patterns = append(s.patterns, tp)
+			continue
+		}
+		loose = append(loose, tp)
+	}
+
+	// Estimate each star as a unit, tracking its distinct-count stats.
+	type unit struct {
+		card     float64
+		patterns []sparql.TriplePattern
+		vars     map[string]float64 // per-variable distinct estimate
+	}
+	var units []unit
+	for _, s := range stars {
+		card := e.starCard(s.patterns, q)
+		vars := map[string]float64{}
+		dsc := card
+		for _, tp := range s.patterns {
+			ts := e.EstimateTP(q, tp)
+			if ts.DSC < dsc {
+				dsc = ts.DSC
+			}
+			if tp.O.IsVar() {
+				vars[tp.O.Var] = minf(maxf(1, ts.DOC), maxf(1, card))
+			}
+		}
+		vars[s.subject] = minf(maxf(1, dsc), maxf(1, card))
+		units = append(units, unit{card: card, patterns: s.patterns, vars: vars})
+	}
+	for _, tp := range loose {
+		ts := e.global.EstimateTP(q, tp)
+		vars := map[string]float64{}
+		for _, v := range tp.Vars() {
+			vars[v] = minf(maxf(1, varStat(tp, ts, v)), maxf(1, ts.Card))
+		}
+		units = append(units, unit{card: ts.Card, patterns: []sparql.TriplePattern{tp}, vars: vars})
+	}
+	if len(units) == 0 {
+		return 0
+	}
+	// Combine units greedily over shared variables with independence.
+	sort.Slice(units, func(i, j int) bool { return units[i].card < units[j].card })
+	acc := units[0]
+	rest := units[1:]
+	for len(rest) > 0 {
+		// pick a unit sharing a variable if possible
+		pick := -1
+		for i, u := range rest {
+			for v := range u.vars {
+				if _, ok := acc.vars[v]; ok {
+					pick = i
+					break
+				}
+			}
+			if pick >= 0 {
+				break
+			}
+		}
+		if pick < 0 {
+			pick = 0
+		}
+		u := rest[pick]
+		rest = append(rest[:pick], rest[pick+1:]...)
+		denom := 0.0
+		for v, d := range u.vars {
+			if da, ok := acc.vars[v]; ok {
+				if m := maxf(da, d); m > denom {
+					denom = m
+				}
+			}
+		}
+		if denom < 1 {
+			denom = 1 // Cartesian product when no shared variable
+		}
+		acc.card = acc.card * u.card / denom
+		for v, d := range u.vars {
+			if da, ok := acc.vars[v]; !ok || d < da {
+				acc.vars[v] = d
+			}
+		}
+		for v := range acc.vars {
+			if acc.vars[v] > maxf(1, acc.card) {
+				acc.vars[v] = maxf(1, acc.card)
+			}
+		}
+	}
+	return acc.card
+}
+
+func varStat(tp sparql.TriplePattern, ts cardinality.TPStats, v string) float64 {
+	switch {
+	case tp.S.IsVar() && tp.S.Var == v:
+		return ts.DSC
+	case tp.O.IsVar() && tp.O.Var == v:
+		return ts.DOC
+	default:
+		return ts.Card
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+package charsets
+
+import (
+	"testing"
+
+	"rdfshapes/internal/engine"
+	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+const ns = "http://x/"
+
+// correlated builds a graph where predicate co-occurrence defeats
+// independence: every Writer has exactly authored+name, every Reader has
+// exactly reads+name; authored and reads never co-occur.
+func correlated() (*store.Store, *Estimator) {
+	iri := func(s string) rdf.Term { return rdf.NewIRI(ns + s) }
+	typ := rdf.NewIRI(rdf.RDFType)
+	var g rdf.Graph
+	for i := 0; i < 10; i++ {
+		w := iri("w" + string(rune('0'+i)))
+		g.Append(w, typ, iri("Writer"))
+		g.Append(w, iri("name"), rdf.NewLiteral("W"))
+		g.Append(w, iri("authored"), iri("book"+string(rune('0'+i))))
+		g.Append(w, iri("authored"), iri("book"+string(rune('0'+(i+1)%10))))
+	}
+	for i := 0; i < 20; i++ {
+		r := iri("r" + string(rune('a'+i)))
+		g.Append(r, typ, iri("Reader"))
+		g.Append(r, iri("name"), rdf.NewLiteral("R"))
+		g.Append(r, iri("reads"), iri("book"+string(rune('0'+i%10))))
+	}
+	st := store.Load(g)
+	return st, Build(st, gstats.Compute(st))
+}
+
+func TestBuildExtractsSets(t *testing.T) {
+	_, cs := correlated()
+	// two characteristic sets: {type,name,authored} and {type,name,reads}
+	if cs.NumSets() != 2 {
+		t.Fatalf("NumSets = %d, want 2", cs.NumSets())
+	}
+	if cs.ApproxBytes() <= 0 {
+		t.Error("ApproxBytes must be positive")
+	}
+	if cs.Name() != "CS" {
+		t.Errorf("Name = %q", cs.Name())
+	}
+}
+
+func tp(s, p, o string) sparql.TriplePattern {
+	mk := func(x string, pred bool) sparql.PatternTerm {
+		if x[0] == '?' {
+			return sparql.Variable(x[1:])
+		}
+		if x == "a" {
+			return sparql.Bound(rdf.NewIRI(rdf.RDFType))
+		}
+		return sparql.Bound(rdf.NewIRI(ns + x))
+	}
+	return sparql.TriplePattern{S: mk(s, false), P: mk(p, true), O: mk(o, false)}
+}
+
+func TestEstimateTPExactCounts(t *testing.T) {
+	_, cs := correlated()
+	q := &sparql.Query{}
+	if got := cs.EstimateTP(q, tp("?x", "authored", "?b")).Card; got != 20 {
+		t.Errorf("authored card = %v, want 20", got)
+	}
+	ts := cs.EstimateTP(q, tp("?x", "name", "?n"))
+	if ts.Card != 30 {
+		t.Errorf("name card = %v, want 30", ts.Card)
+	}
+	if ts.DSC != 30 {
+		t.Errorf("name DSC = %v, want 30", ts.DSC)
+	}
+}
+
+func TestEstimatePairCorrelation(t *testing.T) {
+	_, cs := correlated()
+	q := &sparql.Query{}
+	// authored ⋈SS name: every writer has both → exactly 20 (2 books × 1 name × 10)
+	got, ok := cs.EstimatePair(q, tp("?x", "authored", "?b"), tp("?x", "name", "?n"))
+	if !ok {
+		t.Fatal("pair not estimated")
+	}
+	if got != 20 {
+		t.Errorf("authored⋈name = %v, want 20", got)
+	}
+	// authored ⋈SS reads: never co-occur → exactly 0
+	got, ok = cs.EstimatePair(q, tp("?x", "authored", "?b"), tp("?x", "reads", "?c"))
+	if !ok {
+		t.Fatal("pair not estimated")
+	}
+	if got != 0 {
+		t.Errorf("authored⋈reads = %v, want 0 (disjoint predicates)", got)
+	}
+}
+
+func TestEstimatePairClassRestriction(t *testing.T) {
+	_, cs := correlated()
+	q := &sparql.Query{}
+	got, ok := cs.EstimatePair(q, tp("?x", "a", "Writer"), tp("?x", "name", "?n"))
+	if !ok {
+		t.Fatal("type pair not estimated")
+	}
+	if got != 10 {
+		t.Errorf("Writer⋈name = %v, want 10", got)
+	}
+}
+
+func TestEstimatePairRejectsNonSSJoins(t *testing.T) {
+	_, cs := correlated()
+	q := &sparql.Query{}
+	cases := [][2]sparql.TriplePattern{
+		{tp("?x", "authored", "?b"), tp("?b", "name", "?n")},  // SO
+		{tp("?x", "authored", "?b"), tp("?y", "reads", "?b")}, // OO
+		{tp("?x", "authored", "?b"), tp("?x", "?p", "?c")},    // var predicate
+		{tp("?x", "authored", "?b"), tp("?x", "reads", "?b")}, // SS+OO mixed
+	}
+	for i, c := range cases {
+		if _, ok := cs.EstimatePair(q, c[0], c[1]); ok {
+			t.Errorf("case %d: pair estimated, want fallback", i)
+		}
+	}
+}
+
+func TestEstimateBGPStarExact(t *testing.T) {
+	st, cs := correlated()
+	q := &sparql.Query{Patterns: []sparql.TriplePattern{
+		tp("?x", "a", "Writer"),
+		tp("?x", "authored", "?b"),
+		tp("?x", "name", "?n"),
+	}}
+	got := cs.EstimateBGP(q)
+	er, err := engine.Run(st, q.Patterns, engine.Options{CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != float64(er.Count) {
+		t.Errorf("star estimate = %v, true = %d (CS must be exact on stars)", got, er.Count)
+	}
+}
+
+func TestEstimateBGPSnowflakeUnderestimates(t *testing.T) {
+	st, cs := correlated()
+	// writer-book-reader snowflake: cross-star join uses independence
+	q := &sparql.Query{Patterns: []sparql.TriplePattern{
+		tp("?x", "authored", "?b"),
+		tp("?y", "reads", "?b"),
+	}}
+	est := cs.EstimateBGP(q)
+	er, err := engine.Run(st, q.Patterns, engine.Options{CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est <= 0 {
+		t.Fatalf("estimate = %v", est)
+	}
+	// must be in the right ballpark but need not be exact
+	ratio := est / float64(er.Count)
+	if ratio > 10 || ratio < 0.1 {
+		t.Errorf("snowflake estimate %v too far from truth %d", est, er.Count)
+	}
+}
+
+func TestEstimateBGPEmpty(t *testing.T) {
+	_, cs := correlated()
+	if got := cs.EstimateBGP(&sparql.Query{}); got != 0 {
+		t.Errorf("empty BGP estimate = %v", got)
+	}
+}
+
+func TestStarCardBoundObject(t *testing.T) {
+	_, cs := correlated()
+	q := &sparql.Query{Patterns: []sparql.TriplePattern{
+		tp("?x", "reads", "book0"),
+	}}
+	est := cs.EstimateBGP(q)
+	// 20 reads-triples over 10 distinct books → 2 expected
+	if est != 2 {
+		t.Errorf("bound object star = %v, want 2", est)
+	}
+}

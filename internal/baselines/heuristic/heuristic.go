@@ -1,0 +1,98 @@
+// Package heuristic mimics Apache Jena ARQ's data-independent query
+// planner: the variable-counting heuristic of Stocker et al. (WWW 2008)
+// as implemented by ARQ's fixed reordering. Patterns are weighted by
+// which positions are bound — treating an already-chosen pattern's
+// variables as bound — and ties break by the textual order of the input,
+// which is exactly why the paper observes non-deterministic, often
+// suboptimal Jena plans under triple-pattern shuffling.
+package heuristic
+
+import (
+	"rdfshapes/internal/core"
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/sparql"
+)
+
+// Planner is the Jena-ARQ-style heuristic planner.
+type Planner struct{}
+
+// New returns the heuristic planner.
+func New() *Planner { return &Planner{} }
+
+// Name implements core.Planner.
+func (*Planner) Name() string { return "Jena" }
+
+// Weights for boundness masks, patterned after ARQ's fixed reorder
+// weights: more bound positions are assumed more selective, a bound
+// object more selective than a bound subject, and rdf:type with a bound
+// object is penalized as notoriously unselective.
+const (
+	weightSPO     = 1
+	weightSP      = 2
+	weightSO      = 3
+	weightPO      = 4
+	weightTypeObj = 1000 // <?x rdf:type Class>
+	weightS       = 5
+	weightO       = 6
+	weightP       = 8
+	weightTypeVar = 2000 // <?x rdf:type ?c>
+	weightNone    = 10000
+)
+
+// weight scores tp treating variables in bound as already bound.
+func weight(tp sparql.TriplePattern, bound map[string]bool) int {
+	isBound := func(pt sparql.PatternTerm) bool {
+		return !pt.IsVar() || bound[pt.Var]
+	}
+	s, p, o := isBound(tp.S), isBound(tp.P), isBound(tp.O)
+	isType := !tp.P.IsVar() && tp.P.Term.Value == rdf.RDFType
+	switch {
+	case s && p && o:
+		return weightSPO
+	case s && p:
+		return weightSP
+	case s && o:
+		return weightSO
+	case p && o:
+		if isType {
+			return weightTypeObj
+		}
+		return weightPO
+	case s:
+		return weightS
+	case o:
+		return weightO
+	case p:
+		if isType {
+			return weightTypeVar
+		}
+		return weightP
+	default:
+		return weightNone
+	}
+}
+
+// Plan implements core.Planner with greedy minimum-weight selection.
+// The first pattern (in input order) achieving the minimum weight wins
+// each round, so the plan depends on the textual pattern order.
+func (pl *Planner) Plan(q *sparql.Query) *core.Plan {
+	plan := &core.Plan{Estimator: pl.Name()}
+	remaining := append([]sparql.TriplePattern(nil), q.Patterns...)
+	bound := map[string]bool{}
+	for len(remaining) > 0 {
+		best := 0
+		bestW := weight(remaining[0], bound)
+		for i := 1; i < len(remaining); i++ {
+			if w := weight(remaining[i], bound); w < bestW {
+				best, bestW = i, w
+			}
+		}
+		tp := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		for _, v := range tp.Vars() {
+			bound[v] = true
+		}
+		plan.Steps = append(plan.Steps, core.Step{Pattern: tp, JoinedWith: -1})
+	}
+	return plan
+}

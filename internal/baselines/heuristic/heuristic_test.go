@@ -1,0 +1,117 @@
+package heuristic
+
+import (
+	"testing"
+
+	"rdfshapes/internal/sparql"
+)
+
+func TestWeightsOrdering(t *testing.T) {
+	q := sparql.MustParse(`
+		PREFIX ex: <http://x/>
+		SELECT * WHERE {
+			?s ex:p ex:o .
+			?s ex:p ?o .
+			ex:s ?p ?o2 .
+			?s a ex:Class .
+			?s2 ?p2 ?o3 .
+		}`)
+	none := map[string]bool{}
+	wPO := weight(q.Patterns[0], none)
+	wP := weight(q.Patterns[1], none)
+	wS := weight(q.Patterns[2], none)
+	wType := weight(q.Patterns[3], none)
+	wNone := weight(q.Patterns[4], none)
+	if !(wPO < wP && wP < wType && wType < wNone) {
+		t.Errorf("weights not ordered: PO=%d P=%d type=%d none=%d", wPO, wP, wType, wNone)
+	}
+	if wS != weightS {
+		t.Errorf("bound-subject-only weight = %d, want %d", wS, weightS)
+	}
+	// binding ?s upgrades boundness
+	bound := map[string]bool{"s": true}
+	if got := weight(q.Patterns[1], bound); got != weightSP {
+		t.Errorf("bound-subject weight = %d, want %d", got, weightSP)
+	}
+	if got := weight(q.Patterns[0], bound); got != weightSPO {
+		t.Errorf("fully bound weight = %d, want %d", got, weightSPO)
+	}
+}
+
+func TestTypePatternPenalty(t *testing.T) {
+	q := sparql.MustParse(`
+		PREFIX ex: <http://x/>
+		SELECT * WHERE {
+			?s a ex:Class .
+			?s ex:p ex:o .
+		}`)
+	p := New()
+	plan := p.Plan(q)
+	// the PO pattern must run before the penalized type pattern
+	if plan.Steps[0].Pattern.IsTypePattern() {
+		t.Error("type pattern scheduled first despite penalty")
+	}
+	if p.Name() != "Jena" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestPlanIsInputOrderSensitive(t *testing.T) {
+	// two patterns with identical weights: the first in input order wins,
+	// which is the non-determinism the paper observes under shuffling.
+	src1 := `PREFIX ex: <http://x/>
+		SELECT * WHERE { ?a ex:p ?b . ?c ex:q ?d . }`
+	src2 := `PREFIX ex: <http://x/>
+		SELECT * WHERE { ?c ex:q ?d . ?a ex:p ?b . }`
+	p := New()
+	plan1 := p.Plan(sparql.MustParse(src1))
+	plan2 := p.Plan(sparql.MustParse(src2))
+	if plan1.Steps[0].Pattern.String() == plan2.Steps[0].Pattern.String() {
+		t.Error("tie-breaking ignored input order")
+	}
+}
+
+func TestPlanCoversAllPatterns(t *testing.T) {
+	q := sparql.MustParse(`
+		PREFIX ex: <http://x/>
+		SELECT * WHERE {
+			?a a ex:T .
+			?a ex:p ?b .
+			?b ex:q ?c .
+			?c ex:r "lit" .
+		}`)
+	plan := New().Plan(q)
+	if len(plan.Steps) != 4 {
+		t.Fatalf("steps = %d", len(plan.Steps))
+	}
+	seen := map[string]bool{}
+	for _, s := range plan.Steps {
+		seen[s.Pattern.String()] = true
+	}
+	if len(seen) != 4 {
+		t.Error("duplicate or missing patterns in plan")
+	}
+}
+
+func TestBoundnessPropagation(t *testing.T) {
+	// after choosing <?c ex:r "lit">, ?c is bound, making <?b ex:q ?c>
+	// a (PO)-shaped pattern that should run before <?a ex:p ?b>.
+	q := sparql.MustParse(`
+		PREFIX ex: <http://x/>
+		SELECT * WHERE {
+			?a ex:p ?b .
+			?b ex:q ?c .
+			?c ex:r "lit" .
+		}`)
+	plan := New().Plan(q)
+	order := make([]string, len(plan.Steps))
+	for i, s := range plan.Steps {
+		order[i] = s.Pattern.String()
+	}
+	if order[0] != q.Patterns[2].String() {
+		t.Fatalf("first = %s, want the most-bound pattern", order[0])
+	}
+	if order[1] != q.Patterns[1].String() {
+		t.Errorf("second = %s, want the newly-bound chain pattern", order[1])
+	}
+}

@@ -1,0 +1,92 @@
+// Package selectivity mimics the class of planner GraphDB's onto:explain
+// output reflects: ordering driven by per-triple-pattern selectivity
+// computed from global per-predicate statistics, preferring connected
+// patterns, but without pairwise join-cardinality estimation.
+//
+// GraphDB itself is closed source; this baseline reproduces its
+// documented behaviour class (collection-size/selectivity statistics per
+// access path) rather than its exact implementation, as recorded in
+// DESIGN.md.
+package selectivity
+
+import (
+	"rdfshapes/internal/cardinality"
+	"rdfshapes/internal/core"
+	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/sparql"
+)
+
+// Planner orders patterns by standalone estimated cardinality with a
+// connectivity-first rule.
+type Planner struct {
+	est *cardinality.GlobalEstimator
+}
+
+// New returns a selectivity planner over global statistics g.
+func New(g *gstats.Global) *Planner {
+	return &Planner{est: cardinality.NewGlobalEstimator(g)}
+}
+
+// Name implements core.Planner.
+func (*Planner) Name() string { return "GDB" }
+
+// Plan implements core.Planner: seed with the smallest estimated pattern,
+// then repeatedly append the smallest-cardinality pattern sharing a
+// variable with the prefix (any pattern when none is connected).
+func (pl *Planner) Plan(q *sparql.Query) *core.Plan {
+	plan := &core.Plan{Estimator: pl.Name()}
+	n := len(q.Patterns)
+	if n == 0 {
+		return plan
+	}
+	stats := make([]cardinality.TPStats, n)
+	for i, tp := range q.Patterns {
+		stats[i] = pl.est.EstimateTP(q, tp)
+	}
+	used := make([]bool, n)
+	bound := map[string]bool{}
+
+	connected := func(tp sparql.TriplePattern) bool {
+		for _, v := range tp.Vars() {
+			if bound[v] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for len(plan.Steps) < n {
+		best := -1
+		bestConnected := false
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			conn := len(plan.Steps) == 0 || connected(q.Patterns[i])
+			switch {
+			case best == -1,
+				conn && !bestConnected,
+				conn == bestConnected && stats[i].Card < stats[best].Card:
+				best = i
+				bestConnected = conn
+			}
+		}
+		used[best] = true
+		for _, v := range q.Patterns[best].Vars() {
+			bound[v] = true
+		}
+		plan.Steps = append(plan.Steps, core.Step{
+			Pattern:      q.Patterns[best],
+			TP:           stats[best],
+			JoinEstimate: stats[best].Card,
+			JoinedWith:   -1,
+			Cartesian:    len(plan.Steps) > 0 && !bestConnected,
+		})
+		plan.Cost += stats[best].Card
+	}
+	return plan
+}
+
+// Estimator exposes the underlying global estimator so the harness can
+// compute this approach's final-cardinality estimates (for q-error).
+func (pl *Planner) Estimator() cardinality.Estimator { return pl.est }

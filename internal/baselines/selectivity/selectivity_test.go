@@ -1,0 +1,88 @@
+package selectivity
+
+import (
+	"testing"
+
+	"rdfshapes/internal/datagen/lubm"
+	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+func setup(t testing.TB) (*store.Store, *Planner) {
+	t.Helper()
+	g := lubm.Generate(lubm.Config{Universities: 1, Seed: 5})
+	st := store.Load(g)
+	return st, New(gstats.Compute(st))
+}
+
+const prefix = "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+
+func TestPlanOrdersBySelectivity(t *testing.T) {
+	_, p := setup(t)
+	q := sparql.MustParse(prefix + `SELECT * WHERE {
+		?x ub:name ?n .
+		?x a ub:FullProfessor .
+	}`)
+	plan := p.Plan(q)
+	if !plan.Steps[0].Pattern.IsTypePattern() {
+		t.Errorf("seed = %v, want the more selective type pattern", plan.Steps[0].Pattern)
+	}
+	if p.Name() != "GDB" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestPlanPrefersConnectedOverCheaper(t *testing.T) {
+	_, p := setup(t)
+	// The tiny Department pattern seeds the plan; after that nothing is
+	// connected to ?d, so the planner pays one marked Cartesian step and
+	// then must pick the connected teacherOf pattern over starting
+	// another component — connectivity beats raw selectivity.
+	q := sparql.MustParse(prefix + `SELECT * WHERE {
+		?x a ub:FullProfessor .
+		?x ub:teacherOf ?c .
+		?d a ub:Department .
+	}`)
+	plan := p.Plan(q)
+	if plan.Steps[0].Pattern.String() != q.Patterns[2].String() {
+		t.Errorf("seed = %v, want the smallest pattern (Department)", plan.Steps[0].Pattern)
+	}
+	if !plan.Steps[1].Cartesian {
+		t.Error("component switch not marked Cartesian")
+	}
+	if plan.Steps[1].Pattern.String() != q.Patterns[0].String() {
+		t.Errorf("second = %v, want the cheaper FullProfessor pattern", plan.Steps[1].Pattern)
+	}
+	if plan.Steps[2].Cartesian {
+		t.Error("connected teacherOf step wrongly marked Cartesian")
+	}
+}
+
+func TestPlanCoversAllAndCostAccumulates(t *testing.T) {
+	_, p := setup(t)
+	q := sparql.MustParse(prefix + `SELECT * WHERE {
+		?x a ub:GraduateStudent .
+		?x ub:advisor ?a .
+		?a ub:teacherOf ?c .
+		?x ub:takesCourse ?c .
+	}`)
+	plan := p.Plan(q)
+	if len(plan.Steps) != 4 {
+		t.Fatalf("steps = %d", len(plan.Steps))
+	}
+	if plan.Cost <= 0 {
+		t.Errorf("cost = %v", plan.Cost)
+	}
+	if p.Estimator() == nil {
+		t.Error("Estimator() returned nil")
+	}
+}
+
+func TestPlanEmptyQuery(t *testing.T) {
+	_, p := setup(t)
+	plan := p.Plan(&sparql.Query{})
+	if len(plan.Steps) != 0 {
+		t.Errorf("steps = %d", len(plan.Steps))
+	}
+}

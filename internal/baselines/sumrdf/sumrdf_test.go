@@ -1,0 +1,235 @@
+package sumrdf
+
+import (
+	"math"
+	"testing"
+
+	"rdfshapes/internal/cardinality"
+	"rdfshapes/internal/datagen/lubm"
+	"rdfshapes/internal/engine"
+	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+const ns = "http://x/"
+
+func tinyGraph() *store.Store {
+	iri := func(s string) rdf.Term { return rdf.NewIRI(ns + s) }
+	typ := rdf.NewIRI(rdf.RDFType)
+	var g rdf.Graph
+	for _, s := range []string{"s1", "s2", "s3"} {
+		g.Append(iri(s), typ, iri("Student"))
+		g.Append(iri(s), iri("enrolled"), iri("uni"))
+	}
+	g.Append(iri("p1"), typ, iri("Prof"))
+	g.Append(iri("p1"), iri("worksAt"), iri("uni"))
+	return store.Load(g)
+}
+
+func tp(s, p, o string) sparql.TriplePattern {
+	mk := func(x string) sparql.PatternTerm {
+		if x[0] == '?' {
+			return sparql.Variable(x[1:])
+		}
+		if x == "a" {
+			return sparql.Bound(rdf.NewIRI(rdf.RDFType))
+		}
+		return sparql.Bound(rdf.NewIRI(ns + x))
+	}
+	return sparql.TriplePattern{S: mk(s), P: mk(p), O: mk(o)}
+}
+
+func TestBuildValidation(t *testing.T) {
+	st := tinyGraph()
+	g := gstats.Compute(st)
+	if _, err := Build(st, g, 0); err == nil {
+		t.Error("target size 0 accepted")
+	}
+	s, err := Build(st, g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumBuckets() == 0 || s.NumEdges() == 0 {
+		t.Errorf("empty summary: %d buckets, %d edges", s.NumBuckets(), s.NumEdges())
+	}
+	if s.ApproxBytes() <= 0 {
+		t.Error("ApproxBytes must be positive")
+	}
+	if s.Name() != "SumRDF" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestExactOnHomogeneousBuckets(t *testing.T) {
+	st := tinyGraph()
+	s, err := Build(st, gstats.Compute(st), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// all students enrolled at the same uni: summary is exact here
+	q := &sparql.Query{Patterns: []sparql.TriplePattern{
+		tp("?x", "a", "Student"),
+		tp("?x", "enrolled", "?u"),
+	}}
+	got := s.EstimateBGP(q)
+	if got != 3 {
+		t.Errorf("estimate = %v, want exactly 3", got)
+	}
+}
+
+func TestConstantAbsentFromData(t *testing.T) {
+	st := tinyGraph()
+	s, err := Build(st, gstats.Compute(st), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &sparql.Query{Patterns: []sparql.TriplePattern{
+		tp("?x", "enrolled", "ghost"),
+	}}
+	if got := s.EstimateBGP(q); got != 0 {
+		t.Errorf("estimate for absent constant = %v, want 0", got)
+	}
+}
+
+func TestSummaryAccuracyOnLUBM(t *testing.T) {
+	g := lubm.Generate(lubm.Config{Universities: 1, Seed: 3})
+	st := store.Load(g)
+	gs := gstats.Compute(st)
+	s, err := Build(st, gs, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+		 SELECT * WHERE { ?x a ub:GraduateStudent . ?x ub:advisor ?y . }`,
+		`PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+		 SELECT * WHERE { ?x a ub:FullProfessor . ?x ub:teacherOf ?c . ?c a ub:GraduateCourse . }`,
+	}
+	for _, src := range queries {
+		q := sparql.MustParse(src)
+		est := s.EstimateBGP(q)
+		er, err := engine.Run(st, q.Patterns, engine.Options{CountOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qe := cardinality.QError(est, float64(er.Count)); qe > 5 {
+			t.Errorf("q-error %v for %q (est %v, true %d)", qe, src, est, er.Count)
+		}
+	}
+}
+
+func TestSmallerSummaryCoarserEstimates(t *testing.T) {
+	g := lubm.Generate(lubm.Config{Universities: 1, Seed: 3})
+	st := store.Load(g)
+	gs := gstats.Compute(st)
+	big, err := Build(st, gs, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Build(st, gs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.NumBuckets() >= big.NumBuckets() {
+		t.Errorf("folding did not reduce buckets: %d vs %d", small.NumBuckets(), big.NumBuckets())
+	}
+	// both must still produce finite estimates
+	q := sparql.MustParse(`PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+		SELECT * WHERE { ?x a ub:GraduateStudent . ?x ub:takesCourse ?c . }`)
+	for _, s := range []*Summary{big, small} {
+		est := s.EstimateBGP(q)
+		if est <= 0 || math.IsInf(est, 0) || math.IsNaN(est) {
+			t.Errorf("bad estimate %v at %d buckets", est, s.NumBuckets())
+		}
+	}
+}
+
+func TestEstimatePairRequiresSharedVarAndBoundPreds(t *testing.T) {
+	st := tinyGraph()
+	s, err := Build(st, gstats.Compute(st), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &sparql.Query{}
+	if _, ok := s.EstimatePair(q, tp("?x", "enrolled", "?u"), tp("?y", "worksAt", "?v")); ok {
+		t.Error("disjoint pair estimated")
+	}
+	if _, ok := s.EstimatePair(q, tp("?x", "?p", "?u"), tp("?x", "worksAt", "?v")); ok {
+		t.Error("variable-predicate pair estimated")
+	}
+	got, ok := s.EstimatePair(q, tp("?x", "enrolled", "?u"), tp("?u", "worksAt", "?v"))
+	if !ok {
+		t.Fatal("valid pair rejected")
+	}
+	if got < 0 {
+		t.Errorf("pair estimate = %v", got)
+	}
+}
+
+func TestEstimateTPClampsDistincts(t *testing.T) {
+	st := tinyGraph()
+	s, err := Build(st, gstats.Compute(st), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := s.EstimateTP(nil, tp("?x", "enrolled", "?u"))
+	if ts.Card != 3 {
+		t.Errorf("enrolled card = %v, want 3", ts.Card)
+	}
+	if ts.DSC > ts.Card || ts.DOC > ts.Card {
+		t.Errorf("distincts exceed card: %+v", ts)
+	}
+}
+
+func TestOpsBudgetCutsOff(t *testing.T) {
+	g := lubm.Generate(lubm.Config{Universities: 1, Seed: 3})
+	st := store.Load(g)
+	s, err := Build(st, gstats.Compute(st), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.OpsBudget = 1
+	q := sparql.MustParse(`PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+		SELECT * WHERE {
+			?x a ub:GraduateStudent . ?x ub:advisor ?y .
+			?y ub:teacherOf ?c . ?x ub:takesCourse ?c .
+		}`)
+	_ = s.EstimateBGP(q)
+	if s.Ops() < 1 {
+		t.Error("ops not counted")
+	}
+	// A tiny budget must not panic and must return promptly; estimates
+	// may be cut off (underestimates), which is the modeled behaviour.
+}
+
+func TestVariablePredicateFallback(t *testing.T) {
+	st := tinyGraph()
+	s, err := Build(st, gstats.Compute(st), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &sparql.Query{Patterns: []sparql.TriplePattern{tp("?x", "?p", "?o")}}
+	got := s.EstimateBGP(q)
+	if got != 8 { // total triples via global fallback
+		t.Errorf("variable-predicate estimate = %v, want 8", got)
+	}
+}
+
+func TestRepeatedVariableWithinPattern(t *testing.T) {
+	iri := func(s string) rdf.Term { return rdf.NewIRI(ns + s) }
+	var g rdf.Graph
+	g.Append(iri("n"), iri("p"), iri("n")) // self loop
+	g.Append(iri("n"), iri("p"), iri("m"))
+	st := store.Load(g)
+	s, err := Build(st, gstats.Compute(st), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &sparql.Query{Patterns: []sparql.TriplePattern{tp("?x", "p", "?x")}}
+	got := s.EstimateBGP(q)
+	if got <= 0 {
+		t.Errorf("self-loop estimate = %v, want positive", got)
+	}
+}

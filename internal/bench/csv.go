@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The CSV writers export experiment series in a column layout ready for
+// plotting tools, so the paper's figures can be redrawn from
+// `cmd/repro -csv <dir>` output.
+
+// WriteRuntimeCSV exports a Figure 4a/4b series.
+func WriteRuntimeCSV(w io.Writer, results []RuntimeResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"query", "approach", "mean_ms", "std_ms", "mean_ops", "timed_out"}); err != nil {
+		return fmt.Errorf("bench: writing csv: %w", err)
+	}
+	for _, r := range results {
+		rec := []string{
+			r.Query, r.Approach,
+			formatFloat(r.MeanMs), formatFloat(r.StdMs),
+			formatFloat(r.MeanOps), strconv.FormatBool(r.TimedOut),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: writing csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteQErrorCSV exports a Figure 4c/4d series.
+func WriteQErrorCSV(w io.Writer, results []QErrorResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"query", "approach", "estimate", "true", "q_error"}); err != nil {
+		return fmt.Errorf("bench: writing csv: %w", err)
+	}
+	for _, r := range results {
+		rec := []string{
+			r.Query, r.Approach,
+			formatFloat(r.Estimate), formatFloat(r.True), formatFloat(r.QError),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: writing csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCostCSV exports a Figure 4e/4f series.
+func WriteCostCSV(w io.Writer, results []CostResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"query", "approach", "estimated_cost", "true_cost", "timed_out"}); err != nil {
+		return fmt.Errorf("bench: writing csv: %w", err)
+	}
+	for _, r := range results {
+		rec := []string{
+			r.Query, r.Approach,
+			formatFloat(r.EstimatedCost), formatFloat(r.TrueCost),
+			strconv.FormatBool(r.TimedOut),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: writing csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable3CSV exports dataset characteristics.
+func WriteTable3CSV(w io.Writer, rows []Table3Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "triples", "distinct_objects", "distinct_subjects", "type_triples", "distinct_type_objects"}); err != nil {
+		return fmt.Errorf("bench: writing csv: %w", err)
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Dataset,
+			strconv.FormatInt(r.Triples, 10),
+			strconv.FormatInt(r.DistinctObjects, 10),
+			strconv.FormatInt(r.DistinctSubjects, 10),
+			strconv.FormatInt(r.TypeTriples, 10),
+			strconv.FormatInt(r.DistinctTypeObjects, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: writing csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePlanningTimeCSV exports the P2 series.
+func WritePlanningTimeCSV(w io.Writer, results []PlanningTimeResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"query", "approach", "mean_us", "max_us"}); err != nil {
+		return fmt.Errorf("bench: writing csv: %w", err)
+	}
+	for _, r := range results {
+		rec := []string{r.Query, r.Approach, formatFloat(r.MeanUs), formatFloat(r.MaxUs)}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("bench: writing csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

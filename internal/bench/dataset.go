@@ -1,0 +1,199 @@
+// Package bench is the experiment harness: it assembles datasets with all
+// statistics artifacts (annotated shapes, global statistics,
+// characteristic sets, SumRDF summaries), runs every planning approach
+// over every workload, and renders the paper's tables and figure series
+// (Tables 2–3, Figures 4a–4f, the WatDiv appendix, and the preprocessing
+// overhead comparison).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rdfshapes/internal/annotator"
+	"rdfshapes/internal/baselines/charsets"
+	"rdfshapes/internal/baselines/heuristic"
+	"rdfshapes/internal/baselines/selectivity"
+	"rdfshapes/internal/baselines/sumrdf"
+	"rdfshapes/internal/cardinality"
+	"rdfshapes/internal/core"
+	"rdfshapes/internal/datagen/lubm"
+	"rdfshapes/internal/datagen/watdiv"
+	"rdfshapes/internal/datagen/yago"
+	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/shacl"
+	"rdfshapes/internal/store"
+	"rdfshapes/internal/workloads"
+)
+
+// PrepStats records preprocessing cost and artifact sizes, the inputs of
+// the paper's overhead comparison (Section 7, "Implementation").
+type PrepStats struct {
+	// GlobalTime is the time to compute extended-VoID statistics.
+	GlobalTime time.Duration
+	// AnnotateTime is the Shapes Annotator runtime (the paper's 16 min
+	// for LUBM at 91 M triples).
+	AnnotateTime time.Duration
+	// CSTime is characteristic-set extraction time (paper: 6.2 h LUBM).
+	CSTime time.Duration
+	// SummaryTime is SumRDF summarization time (paper: 4.5 min LUBM).
+	SummaryTime time.Duration
+	// ShapesPlainBytes and ShapesAnnotatedBytes are the Turtle sizes of
+	// the shapes graph before and after annotation (paper: 45→68 KB).
+	ShapesPlainBytes     int
+	ShapesAnnotatedBytes int
+	// CSBytes/CSSets describe the characteristic-set artifact.
+	CSBytes int64
+	CSSets  int
+	// SummaryBytes/SummaryBuckets/SummaryEdges describe the summary.
+	SummaryBytes   int64
+	SummaryBuckets int
+	SummaryEdges   int
+}
+
+// Dataset bundles a generated dataset with every statistics artifact and
+// its workload.
+type Dataset struct {
+	Name     string
+	Store    *store.Store
+	Global   *gstats.Global
+	Shapes   *shacl.ShapesGraph
+	CS       *charsets.Estimator
+	Summary  *sumrdf.Summary
+	Queries  []workloads.Query
+	Prefixes *rdf.PrefixMap
+	Prep     PrepStats
+}
+
+// Scale selects dataset sizes: Small keeps unit tests fast, Medium is the
+// benchmark default.
+type Scale int
+
+// The supported scales.
+const (
+	Small Scale = iota
+	Medium
+)
+
+// SummaryTargetSize is the default SumRDF bucket budget (the paper uses
+// "tens of thousands" at 100–1000× our data scale; 1024 keeps the same
+// summary-to-data ratio).
+const SummaryTargetSize = 1024
+
+// LUBMDataset builds the LUBM analog with shipped shapes.
+func LUBMDataset(scale Scale) (*Dataset, error) {
+	unis := 1
+	if scale == Medium {
+		unis = 3
+	}
+	g := lubm.Generate(lubm.Config{Universities: unis, Seed: 7})
+	return assemble("LUBM", g, lubm.Shapes(), workloads.LUBM(), lubm.Prefixes())
+}
+
+// WatDivDataset builds the WatDiv analog with shipped shapes.
+func WatDivDataset(scale Scale) (*Dataset, error) {
+	products := 1500
+	if scale == Medium {
+		products = 5000
+	}
+	g := watdiv.Generate(watdiv.Config{Products: products, Seed: 11})
+	return assemble("WatDiv", g, watdiv.Shapes(), workloads.WatDiv(), watdiv.Prefixes())
+}
+
+// YAGODataset builds the YAGO-4 analog; its shapes are inferred from the
+// data (the SHACLGEN analog), as the paper does for YAGO.
+func YAGODataset(scale Scale) (*Dataset, error) {
+	entities := 8000
+	if scale == Medium {
+		entities = 25000
+	}
+	g := yago.Generate(yago.Config{Entities: entities, Seed: 13})
+	st := store.Load(g)
+	shapes, err := shacl.InferShapes(st)
+	if err != nil {
+		return nil, fmt.Errorf("bench: inferring YAGO shapes: %w", err)
+	}
+	return assembleStore("YAGO-4", st, shapes, workloads.YAGO(), yago.Prefixes())
+}
+
+func assemble(name string, g rdf.Graph, shapes *shacl.ShapesGraph, qs []workloads.Query, pm *rdf.PrefixMap) (*Dataset, error) {
+	return assembleStore(name, store.Load(g), shapes, qs, pm)
+}
+
+func assembleStore(name string, st *store.Store, shapes *shacl.ShapesGraph, qs []workloads.Query, pm *rdf.PrefixMap) (*Dataset, error) {
+	d := &Dataset{Name: name, Store: st, Shapes: shapes, Queries: qs, Prefixes: pm}
+
+	start := time.Now()
+	d.Global = gstats.Compute(st)
+	d.Prep.GlobalTime = time.Since(start)
+
+	d.Prep.ShapesPlainBytes = shapes.TurtleSize()
+	start = time.Now()
+	if err := annotator.Annotate(shapes, st); err != nil {
+		return nil, fmt.Errorf("bench: annotating %s shapes: %w", name, err)
+	}
+	d.Prep.AnnotateTime = time.Since(start)
+	d.Prep.ShapesAnnotatedBytes = shapes.TurtleSize()
+
+	start = time.Now()
+	d.CS = charsets.Build(st, d.Global)
+	d.Prep.CSTime = time.Since(start)
+	d.Prep.CSSets = d.CS.NumSets()
+	d.Prep.CSBytes = d.CS.ApproxBytes()
+
+	start = time.Now()
+	summary, err := sumrdf.Build(st, d.Global, SummaryTargetSize)
+	if err != nil {
+		return nil, fmt.Errorf("bench: summarizing %s: %w", name, err)
+	}
+	d.Summary = summary
+	d.Prep.SummaryTime = time.Since(start)
+	d.Prep.SummaryBuckets = summary.NumBuckets()
+	d.Prep.SummaryEdges = summary.NumEdges()
+	d.Prep.SummaryBytes = summary.ApproxBytes()
+	return d, nil
+}
+
+// ApproachNames lists the compared approaches in the paper's order.
+var ApproachNames = []string{"SS", "GS", "Jena", "GDB", "CS", "SumRDF"}
+
+// Planners returns one planner per approach, in ApproachNames order.
+func (d *Dataset) Planners() []core.Planner {
+	ss := cardinality.NewShapeEstimator(d.Shapes, d.Global)
+	return []core.Planner{
+		&core.ShapeFirstPlanner{SS: ss},
+		&core.EstimatorPlanner{Est: cardinality.NewGlobalEstimator(d.Global)},
+		heuristic.New(),
+		selectivity.New(d.Global),
+		&core.EstimatorPlanner{Est: d.CS},
+		&core.EstimatorPlanner{Est: d.Summary},
+	}
+}
+
+// Planner returns the planner for one approach name.
+func (d *Dataset) Planner(name string) (core.Planner, error) {
+	for _, p := range d.Planners() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown approach %q", name)
+}
+
+// Estimator returns the final-cardinality estimator for an approach, or
+// nil for Jena (a pure heuristic with no cardinality model).
+func (d *Dataset) Estimator(name string) cardinality.Estimator {
+	switch name {
+	case "SS":
+		return cardinality.NewShapeEstimator(d.Shapes, d.Global)
+	case "GS", "GDB":
+		return cardinality.NewGlobalEstimator(d.Global)
+	case "CS":
+		return d.CS
+	case "SumRDF":
+		return d.Summary
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,339 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"rdfshapes/internal/cardinality"
+	"rdfshapes/internal/engine"
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/workloads"
+)
+
+// DefaultMaxOps is the per-execution operation budget, the analog of the
+// paper's 10-minute query timeout.
+const DefaultMaxOps = 20 << 20
+
+// DefaultRuns matches the paper: every plan is executed 10× with the BGP
+// shuffled before each optimization.
+const DefaultRuns = 10
+
+// RunConfig tunes experiment execution.
+type RunConfig struct {
+	// Runs is the number of shuffled repetitions per query and approach.
+	Runs int
+	// MaxOps is the per-execution operation budget (0 = DefaultMaxOps).
+	MaxOps int64
+	// Seed drives the shuffles.
+	Seed int64
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Runs <= 0 {
+		c.Runs = DefaultRuns
+	}
+	if c.MaxOps <= 0 {
+		c.MaxOps = DefaultMaxOps
+	}
+	return c
+}
+
+// RuntimeResult is one bar of Figures 4a/4b: a query × approach cell with
+// mean and standard deviation over shuffled runs.
+type RuntimeResult struct {
+	Query    string
+	Approach string
+	// MeanMs and StdMs are wall-clock execution statistics.
+	MeanMs, StdMs float64
+	// MeanOps is the mean deterministic work measure (index rows
+	// visited), robust against machine noise.
+	MeanOps float64
+	// TimedOut is true when any run exceeded the operation budget.
+	TimedOut bool
+}
+
+// RuntimeExperiment reproduces Figures 4a/4b: for every query and every
+// approach, shuffle the BGP, plan, execute, and record runtime statistics.
+func RuntimeExperiment(d *Dataset, cfg RunConfig) ([]RuntimeResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	planners := d.Planners()
+	var out []RuntimeResult
+	for _, wq := range d.Queries {
+		parsed, err := wq.Parse()
+		if err != nil {
+			return nil, fmt.Errorf("bench: parsing %s/%s: %w", d.Name, wq.Name, err)
+		}
+		for _, pl := range planners {
+			res := RuntimeResult{Query: wq.Name, Approach: pl.Name()}
+			var times, ops []float64
+			for run := 0; run < cfg.Runs; run++ {
+				q := parsed.Clone()
+				rng.Shuffle(len(q.Patterns), func(i, j int) {
+					q.Patterns[i], q.Patterns[j] = q.Patterns[j], q.Patterns[i]
+				})
+				plan := pl.Plan(q)
+				start := time.Now()
+				er, err := engine.Run(d.Store, plan.Order(), engine.Options{
+					CountOnly: true,
+					MaxOps:    cfg.MaxOps,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("bench: executing %s/%s with %s: %w", d.Name, wq.Name, pl.Name(), err)
+				}
+				times = append(times, float64(time.Since(start).Microseconds())/1000)
+				ops = append(ops, float64(er.Ops))
+				if er.TimedOut {
+					res.TimedOut = true
+				}
+			}
+			res.MeanMs, res.StdMs = meanStd(times)
+			res.MeanOps, _ = meanStd(ops)
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// QErrorResult is one point of Figures 4c/4d.
+type QErrorResult struct {
+	Query    string
+	Approach string
+	Estimate float64
+	True     float64
+	QError   float64
+}
+
+// QErrorExperiment reproduces Figures 4c/4d: the q-error of every
+// approach's final result cardinality estimate (Jena has no cardinality
+// model and is excluded, as in the paper).
+func QErrorExperiment(d *Dataset, cfg RunConfig) ([]QErrorResult, error) {
+	cfg = cfg.withDefaults()
+	var out []QErrorResult
+	for _, wq := range d.Queries {
+		parsed, err := wq.Parse()
+		if err != nil {
+			return nil, fmt.Errorf("bench: parsing %s/%s: %w", d.Name, wq.Name, err)
+		}
+		truth, err := trueCardinality(d, parsed, cfg.MaxOps)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range ApproachNames {
+			est := d.Estimator(name)
+			if est == nil {
+				continue // Jena
+			}
+			var estimate float64
+			switch e := est.(type) {
+			case interface {
+				EstimateBGP(q *sparql.Query) float64
+			}:
+				// CS and SumRDF estimate whole BGPs natively.
+				estimate = e.EstimateBGP(parsed)
+			default:
+				// GS/SS/GDB: sequence estimation along the approach's
+				// own plan.
+				pl, err := d.Planner(name)
+				if err != nil {
+					return nil, err
+				}
+				plan := pl.Plan(parsed)
+				estimate, _ = cardinality.SequenceEstimate(parsed, plan.Order(), est)
+			}
+			out = append(out, QErrorResult{
+				Query:    wq.Name,
+				Approach: name,
+				Estimate: estimate,
+				True:     truth,
+				QError:   cardinality.QError(estimate, truth),
+			})
+		}
+	}
+	return out, nil
+}
+
+// CostResult is one point of Figures 4e/4f: a plan's estimated cost (sum
+// of estimated intermediate cardinalities, Algorithm 1's bookkeeping)
+// against its true cost (sum of actual intermediate sizes).
+type CostResult struct {
+	Query    string
+	Approach string
+	// EstimatedCost is Plan.Cost.
+	EstimatedCost float64
+	// TrueCost is Σ over steps of the actual intermediate result size
+	// when executing the plan's order.
+	TrueCost float64
+	// TimedOut marks budget-interrupted truth (TrueCost is then a lower
+	// bound).
+	TimedOut bool
+}
+
+// CostExperiment reproduces Figures 4e/4f for the SS and GS approaches.
+func CostExperiment(d *Dataset, cfg RunConfig) ([]CostResult, error) {
+	cfg = cfg.withDefaults()
+	var out []CostResult
+	for _, wq := range d.Queries {
+		parsed, err := wq.Parse()
+		if err != nil {
+			return nil, fmt.Errorf("bench: parsing %s/%s: %w", d.Name, wq.Name, err)
+		}
+		for _, name := range []string{"SS", "GS"} {
+			pl, err := d.Planner(name)
+			if err != nil {
+				return nil, err
+			}
+			plan := pl.Plan(parsed)
+			er, err := engine.Run(d.Store, plan.Order(), engine.Options{
+				CountOnly: true,
+				MaxOps:    cfg.MaxOps,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: executing %s/%s: %w", d.Name, wq.Name, err)
+			}
+			trueCost := 0.0
+			for _, n := range er.Intermediate {
+				trueCost += float64(n)
+			}
+			out = append(out, CostResult{
+				Query:         wq.Name,
+				Approach:      name,
+				EstimatedCost: plan.Cost,
+				TrueCost:      trueCost,
+				TimedOut:      er.TimedOut,
+			})
+		}
+	}
+	return out, nil
+}
+
+// trueCardinality executes the query (under the SS plan, which is
+// typically cheapest) and returns the exact result count.
+func trueCardinality(d *Dataset, q *sparql.Query, maxOps int64) (float64, error) {
+	pl, err := d.Planner("SS")
+	if err != nil {
+		return 0, err
+	}
+	plan := pl.Plan(q)
+	er, err := engine.Run(d.Store, plan.Order(), engine.Options{
+		CountOnly: true,
+		MaxOps:    maxOps * 4, // truth gets a larger budget than runs
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(er.Count), nil
+}
+
+// PlanWinners summarizes a runtime experiment the way the paper's
+// Summary paragraph does: for every query, which approach had the fastest
+// mean runtime, and SS/GS overhead relative to the winner.
+type PlanWinners struct {
+	// Wins counts queries won per approach.
+	Wins map[string]int
+	// SSOverhead and GSOverhead are the mean relative runtime overheads
+	// of SS and GS versus the per-query best plan (1.0 = always best).
+	SSOverhead, GSOverhead float64
+}
+
+// Winners computes the summary statistics from runtime results.
+func Winners(results []RuntimeResult) PlanWinners {
+	byQuery := map[string][]RuntimeResult{}
+	for _, r := range results {
+		byQuery[r.Query] = append(byQuery[r.Query], r)
+	}
+	w := PlanWinners{Wins: map[string]int{}}
+	var ssSum, gsSum float64
+	n := 0
+	for _, rs := range byQuery {
+		best := rs[0]
+		var ss, gs *RuntimeResult
+		for i := range rs {
+			if rs[i].MeanOps < best.MeanOps {
+				best = rs[i]
+			}
+			switch rs[i].Approach {
+			case "SS":
+				ss = &rs[i]
+			case "GS":
+				gs = &rs[i]
+			}
+		}
+		w.Wins[best.Approach]++
+		if ss != nil && gs != nil && best.MeanOps > 0 {
+			ssSum += ss.MeanOps / best.MeanOps
+			gsSum += gs.MeanOps / best.MeanOps
+			n++
+		}
+	}
+	if n > 0 {
+		w.SSOverhead = ssSum / float64(n)
+		w.GSOverhead = gsSum / float64(n)
+	}
+	return w
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// QueryByName finds a workload query in the dataset.
+func (d *Dataset) QueryByName(name string) (workloads.Query, error) {
+	q, ok := workloads.ByName(d.Queries, name)
+	if !ok {
+		return workloads.Query{}, fmt.Errorf("bench: dataset %s has no query %q", d.Name, name)
+	}
+	return q, nil
+}
+
+// PlanningTimeResult records the planning latency of one approach over
+// one query, supporting the paper's claim that "query planning time is
+// always less than 20 milliseconds for all approaches and queries".
+type PlanningTimeResult struct {
+	Query    string
+	Approach string
+	MeanUs   float64 // mean planning time in microseconds
+	MaxUs    float64
+}
+
+// PlanningTimeExperiment measures pure optimization latency (no
+// execution) for every approach and query.
+func PlanningTimeExperiment(d *Dataset, cfg RunConfig) ([]PlanningTimeResult, error) {
+	cfg = cfg.withDefaults()
+	var out []PlanningTimeResult
+	for _, wq := range d.Queries {
+		parsed, err := wq.Parse()
+		if err != nil {
+			return nil, fmt.Errorf("bench: parsing %s/%s: %w", d.Name, wq.Name, err)
+		}
+		for _, pl := range d.Planners() {
+			res := PlanningTimeResult{Query: wq.Name, Approach: pl.Name()}
+			var total float64
+			for i := 0; i < cfg.Runs; i++ {
+				start := time.Now()
+				_ = pl.Plan(parsed)
+				us := float64(time.Since(start).Microseconds())
+				total += us
+				if us > res.MaxUs {
+					res.MaxUs = us
+				}
+			}
+			res.MeanUs = total / float64(cfg.Runs)
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}

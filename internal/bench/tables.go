@@ -1,0 +1,415 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rdfshapes/internal/engine"
+	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/store"
+)
+
+// Table2Row is one row of the paper's Table 2: a triple pattern in plan
+// order with its statistics, estimates, and true join cardinality.
+type Table2Row struct {
+	Pattern      string
+	DSC, DOC     float64
+	ETPCard      float64
+	EJoinCard    float64
+	TrueJoinCard float64
+}
+
+// Table2 is the join ordering of the example query under one approach.
+type Table2 struct {
+	Approach  string
+	Rows      []Table2Row
+	EstTotal  float64 // Σ estimated join cardinalities (plan cost)
+	TrueTotal float64 // Σ true join cardinalities
+}
+
+// Table2Experiment reproduces Tables 2a/2b: the example query C0 planned
+// with global statistics and with shape statistics, with per-step
+// estimated and true join cardinalities.
+func Table2Experiment(d *Dataset, cfg RunConfig) ([]Table2, error) {
+	cfg = cfg.withDefaults()
+	wq, err := d.QueryByName("C0")
+	if err != nil {
+		return nil, err
+	}
+	parsed, err := wq.Parse()
+	if err != nil {
+		return nil, err
+	}
+	var out []Table2
+	for _, name := range []string{"GS", "SS"} {
+		pl, err := d.Planner(name)
+		if err != nil {
+			return nil, err
+		}
+		est := d.Estimator(name)
+		plan := pl.Plan(parsed)
+		er, err := engine.Run(d.Store, plan.Order(), engine.Options{
+			CountOnly: true,
+			MaxOps:    cfg.MaxOps * 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t2 := Table2{Approach: name}
+		for i, s := range plan.Steps {
+			ts := est.EstimateTP(parsed, s.Pattern)
+			row := Table2Row{
+				Pattern:      compactPattern(d, s.Pattern.String()),
+				DSC:          ts.DSC,
+				DOC:          ts.DOC,
+				ETPCard:      ts.Card,
+				EJoinCard:    s.JoinEstimate,
+				TrueJoinCard: float64(er.Intermediate[i]),
+			}
+			if i > 0 { // the paper leaves the seed's join estimate blank
+				t2.EstTotal += s.JoinEstimate
+				t2.TrueTotal += float64(er.Intermediate[i])
+			}
+			t2.Rows = append(t2.Rows, row)
+		}
+		out = append(out, t2)
+	}
+	return out, nil
+}
+
+func compactPattern(d *Dataset, s string) string {
+	// shrink full IRIs using the dataset prefixes for readable tables
+	for strings.Contains(s, "<") {
+		start := strings.IndexByte(s, '<')
+		end := strings.IndexByte(s[start:], '>')
+		if end < 0 {
+			break
+		}
+		iri := s[start+1 : start+end]
+		q, ok := d.Prefixes.Compact(iri)
+		if !ok {
+			q = localOf(iri)
+		}
+		s = s[:start] + q + s[start+end+1:]
+	}
+	return s
+}
+
+func localOf(iri string) string {
+	for i := len(iri) - 1; i >= 0; i-- {
+		if iri[i] == '/' || iri[i] == '#' {
+			return iri[i+1:]
+		}
+	}
+	return iri
+}
+
+// Table3Row is one dataset's characteristics (the paper's Table 3).
+type Table3Row struct {
+	Dataset             string
+	Triples             int64
+	DistinctObjects     int64
+	DistinctSubjects    int64
+	TypeTriples         int64
+	DistinctTypeObjects int64
+}
+
+// Table3 computes dataset characteristics.
+func Table3(ds ...*Dataset) []Table3Row {
+	var out []Table3Row
+	for _, d := range ds {
+		out = append(out, table3Row(d.Name, d.Global))
+	}
+	return out
+}
+
+func table3Row(name string, g *gstats.Global) Table3Row {
+	return Table3Row{
+		Dataset:             name,
+		Triples:             g.Triples,
+		DistinctObjects:     g.DistinctObjects,
+		DistinctSubjects:    g.DistinctSubjects,
+		TypeTriples:         g.TypeStat().Count,
+		DistinctTypeObjects: g.DistinctTypeObjects(),
+	}
+}
+
+// Table3Extra computes one characteristics row directly from a graph,
+// used for the WATDIV-L column: the paper's Table 3 reports the larger
+// WatDiv variant only here, so building the full statistics artifacts
+// for it would be wasted work.
+func Table3Extra(name string, g rdf.Graph) Table3Row {
+	return table3Row(name, gstats.Compute(store.Load(g)))
+}
+
+// ---- text rendering ----
+
+// FormatTable2 renders Tables 2a/2b.
+func FormatTable2(ts []Table2) string {
+	var b strings.Builder
+	for _, t := range ts {
+		fmt.Fprintf(&b, "Join ordering using %s statistics (O_%s)\n", longName(t.Approach), strings.ToLower(t.Approach))
+		fmt.Fprintf(&b, "%3s  %-52s %12s %12s %14s %14s %14s\n",
+			"#", "Triple Pattern", "DSC", "DOC", "E_TP Card", "E⋈ Card", "T⋈ Card")
+		for i, r := range t.Rows {
+			join := fmt.Sprintf("%14.0f", r.EJoinCard)
+			if i == 0 {
+				join = fmt.Sprintf("%14s", "—")
+			}
+			fmt.Fprintf(&b, "%3d. %-52s %12.0f %12.0f %14.0f %s %14.0f\n",
+				i+1, r.Pattern, r.DSC, r.DOC, r.ETPCard, join, r.TrueJoinCard)
+		}
+		fmt.Fprintf(&b, "%86s Σ=%12.0f Σ=%12.0f\n\n", "", t.EstTotal, t.TrueTotal)
+	}
+	return b.String()
+}
+
+func longName(approach string) string {
+	switch approach {
+	case "GS":
+		return "Global"
+	case "SS":
+		return "Shapes"
+	default:
+		return approach
+	}
+}
+
+// FormatTable3 renders Table 3.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s", "")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%12s", r.Dataset)
+	}
+	b.WriteByte('\n')
+	line := func(label string, get func(Table3Row) int64) {
+		fmt.Fprintf(&b, "%-32s", label)
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%12d", get(r))
+		}
+		b.WriteByte('\n')
+	}
+	line("# of triples", func(r Table3Row) int64 { return r.Triples })
+	line("# of distinct objects", func(r Table3Row) int64 { return r.DistinctObjects })
+	line("# of distinct subjects", func(r Table3Row) int64 { return r.DistinctSubjects })
+	line("# of distinct RDF type triples", func(r Table3Row) int64 { return r.TypeTriples })
+	line("# of distinct RDF type objects", func(r Table3Row) int64 { return r.DistinctTypeObjects })
+	return b.String()
+}
+
+// FormatRuntime renders a Figure 4a/4b series as a text matrix
+// (queries × approaches, mean ms ± std, "T/O" for budget hits).
+func FormatRuntime(results []RuntimeResult) string {
+	queries, cell := pivot(results, func(r RuntimeResult) (string, string) { return r.Query, r.Approach })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", "query")
+	for _, a := range ApproachNames {
+		fmt.Fprintf(&b, "%20s", a)
+	}
+	b.WriteByte('\n')
+	for _, q := range queries {
+		fmt.Fprintf(&b, "%-6s", q)
+		for _, a := range ApproachNames {
+			r, ok := cell[q+"\x00"+a]
+			if !ok {
+				fmt.Fprintf(&b, "%20s", "-")
+				continue
+			}
+			s := fmt.Sprintf("%.1f±%.1f", r.MeanMs, r.StdMs)
+			if r.TimedOut {
+				s += " T/O"
+			}
+			fmt.Fprintf(&b, "%20s", s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatQError renders a Figure 4c/4d series.
+func FormatQError(results []QErrorResult) string {
+	approaches := []string{"SS", "GS", "GDB", "CS", "SumRDF"}
+	type key struct{ q, a string }
+	cell := map[key]QErrorResult{}
+	var queries []string
+	seen := map[string]bool{}
+	for _, r := range results {
+		cell[key{r.Query, r.Approach}] = r
+		if !seen[r.Query] {
+			seen[r.Query] = true
+			queries = append(queries, r.Query)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %14s", "query", "true-card")
+	for _, a := range approaches {
+		fmt.Fprintf(&b, "%14s", a)
+	}
+	b.WriteByte('\n')
+	for _, q := range queries {
+		fmt.Fprintf(&b, "%-6s", q)
+		if r, ok := cell[key{q, "SS"}]; ok {
+			fmt.Fprintf(&b, " %14.0f", r.True)
+		} else {
+			fmt.Fprintf(&b, " %14s", "-")
+		}
+		for _, a := range approaches {
+			if r, ok := cell[key{q, a}]; ok {
+				fmt.Fprintf(&b, "%14.2f", r.QError)
+			} else {
+				fmt.Fprintf(&b, "%14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// QErrorBuckets summarizes a q-error series the way the paper's prose
+// does: per approach, how many queries land below 15, below 250, and at
+// or above 250.
+func QErrorBuckets(results []QErrorResult) map[string][3]int {
+	out := map[string][3]int{}
+	for _, r := range results {
+		b := out[r.Approach]
+		switch {
+		case r.QError < 15:
+			b[0]++
+		case r.QError < 250:
+			b[1]++
+		default:
+			b[2]++
+		}
+		out[r.Approach] = b
+	}
+	return out
+}
+
+// FormatQErrorBuckets renders the bucket summary.
+func FormatQErrorBuckets(buckets map[string][3]int) string {
+	var names []string
+	for n := range buckets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %8s %10s %8s\n", "approach", "<15", "15..250", ">=250")
+	for _, n := range names {
+		v := buckets[n]
+		fmt.Fprintf(&b, "%-8s %8d %10d %8d\n", n, v[0], v[1], v[2])
+	}
+	return b.String()
+}
+
+// FormatCost renders a Figure 4e/4f series: per query, the estimated and
+// true plan costs for SS and GS.
+func FormatCost(results []CostResult) string {
+	type key struct{ q, a string }
+	cell := map[key]CostResult{}
+	var queries []string
+	seen := map[string]bool{}
+	for _, r := range results {
+		cell[key{r.Query, r.Approach}] = r
+		if !seen[r.Query] {
+			seen[r.Query] = true
+			queries = append(queries, r.Query)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %16s %16s %16s %16s\n",
+		"query", "SS est-cost", "SS true-cost", "GS est-cost", "GS true-cost")
+	for _, q := range queries {
+		ss := cell[key{q, "SS"}]
+		gs := cell[key{q, "GS"}]
+		fmt.Fprintf(&b, "%-6s %16.0f %16.0f %16.0f %16.0f\n",
+			q, ss.EstimatedCost, ss.TrueCost, gs.EstimatedCost, gs.TrueCost)
+	}
+	return b.String()
+}
+
+// FormatPrep renders the preprocessing-overhead comparison (Section 7's
+// implementation paragraph): times and artifact sizes per approach.
+func FormatPrep(ds ...*Dataset) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %14s %14s %14s %16s %16s %12s %14s\n",
+		"dataset", "annotate", "charsets", "sumrdf", "shapes-plain", "shapes-annot", "cs-sets", "summary-edges")
+	for _, d := range ds {
+		p := d.Prep
+		fmt.Fprintf(&b, "%-10s %14s %14s %14s %15dB %15dB %12d %14d\n",
+			d.Name, p.AnnotateTime.Round(10e3), p.CSTime.Round(10e3), p.SummaryTime.Round(10e3),
+			p.ShapesPlainBytes, p.ShapesAnnotatedBytes, p.CSSets, p.SummaryEdges)
+	}
+	return b.String()
+}
+
+// FormatWinners renders the plan-winner summary.
+func FormatWinners(w PlanWinners) string {
+	var names []string
+	for n := range w.Wins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("best plans per approach: ")
+	for i, n := range names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%d", n, w.Wins[n])
+	}
+	fmt.Fprintf(&b, "\nmean overhead vs best plan: SS=%.2fx GS=%.2fx\n", w.SSOverhead, w.GSOverhead)
+	return b.String()
+}
+
+// pivot indexes results by (query, approach) preserving query order.
+func pivot(results []RuntimeResult, key func(RuntimeResult) (string, string)) ([]string, map[string]RuntimeResult) {
+	cell := map[string]RuntimeResult{}
+	var queries []string
+	seen := map[string]bool{}
+	for _, r := range results {
+		q, a := key(r)
+		cell[q+"\x00"+a] = r
+		if !seen[q] {
+			seen[q] = true
+			queries = append(queries, q)
+		}
+	}
+	return queries, cell
+}
+
+// FormatPlanningTime renders the planning-latency experiment: the
+// per-approach maximum and mean over all queries.
+func FormatPlanningTime(results []PlanningTimeResult) string {
+	type agg struct {
+		sum, max float64
+		n        int
+	}
+	byApproach := map[string]*agg{}
+	for _, r := range results {
+		a := byApproach[r.Approach]
+		if a == nil {
+			a = &agg{}
+			byApproach[r.Approach] = a
+		}
+		a.sum += r.MeanUs
+		a.n++
+		if r.MaxUs > a.max {
+			a.max = r.MaxUs
+		}
+	}
+	var names []string
+	for n := range byApproach {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %14s %14s\n", "approach", "mean-plan-µs", "max-plan-µs")
+	for _, n := range names {
+		a := byApproach[n]
+		fmt.Fprintf(&b, "%-8s %14.1f %14.1f\n", n, a.sum/float64(a.n), a.max)
+	}
+	return b.String()
+}

@@ -1,0 +1,212 @@
+// Package cardinality implements the paper's cardinality model: the
+// Table 1 estimates for single triple patterns over global or shape
+// statistics, the join cardinality formulas of Equations 1–3 (SS, SO/OS,
+// OO joins), sequence estimation for whole BGPs, and the q-error metric.
+package cardinality
+
+import (
+	"math"
+
+	"rdfshapes/internal/sparql"
+)
+
+// TPStats carries the three quantities the join formulas need for one
+// triple pattern: its estimated cardinality and the distinct subject and
+// object counts (DSC, DOC) of its matches.
+type TPStats struct {
+	Card float64
+	DSC  float64
+	DOC  float64
+}
+
+// Estimator estimates triple pattern statistics in the context of a
+// query (the context matters because shape statistics resolve a subject
+// variable's class from the query's rdf:type patterns).
+type Estimator interface {
+	// Name identifies the estimator in reports ("GS", "SS", "CS", ...).
+	Name() string
+	// EstimateTP returns the statistics of tp within query q.
+	EstimateTP(q *sparql.Query, tp sparql.TriplePattern) TPStats
+}
+
+// PairEstimator is an optional refinement: estimators that can estimate
+// the joint cardinality of two specific triple patterns directly (e.g.
+// Characteristic Sets for subject-subject joins) implement it. The
+// planner prefers it over the generic formulas when it returns ok=true.
+type PairEstimator interface {
+	EstimatePair(q *sparql.Query, a, b sparql.TriplePattern) (card float64, ok bool)
+}
+
+// Join computes the estimated join cardinality of two triple patterns
+// from their statistics using Equations 1–3. joins lists the shared
+// variables; an empty list yields the Cartesian product. With several
+// shared variables the most selective (minimum) estimate wins.
+func Join(a, b TPStats, joins []sparql.SharedJoin) float64 {
+	if len(joins) == 0 {
+		return a.Card * b.Card
+	}
+	best := math.Inf(1)
+	for _, j := range joins {
+		var denom float64
+		switch j.Kind {
+		case sparql.JoinSS:
+			denom = math.Max(a.DSC, b.DSC)
+		case sparql.JoinSO:
+			denom = math.Max(a.DSC, b.DOC)
+		case sparql.JoinOS:
+			denom = math.Max(a.DOC, b.DSC)
+		case sparql.JoinOO:
+			denom = math.Max(a.DOC, b.DOC)
+		default:
+			// A shared variable in predicate position: fall back to the
+			// weakest distinct-count bound available on either side.
+			denom = math.Max(math.Min(a.DSC, a.DOC), math.Min(b.DSC, b.DOC))
+		}
+		if denom < 1 {
+			denom = 1
+		}
+		if est := a.Card * b.Card / denom; est < best {
+			best = est
+		}
+	}
+	return best
+}
+
+// QError is the precision metric of Section 7:
+// max( max(1,est)/max(1,true), max(1,true)/max(1,est) ).
+func QError(estimated, actual float64) float64 {
+	e := math.Max(1, estimated)
+	a := math.Max(1, actual)
+	return math.Max(e/a, a/e)
+}
+
+// SequenceEstimate estimates the result cardinality of executing the
+// triple patterns of q in the given order, propagating distinct-count
+// estimates through intermediate results. It returns the final estimate
+// and the per-step intermediate estimates.
+//
+// The intermediate's distinct count for a variable is the minimum of the
+// contributing patterns' counts, capped by the intermediate cardinality —
+// the standard containment assumption.
+func SequenceEstimate(q *sparql.Query, order []sparql.TriplePattern, est Estimator) (final float64, steps []float64) {
+	if len(order) == 0 {
+		return 0, nil
+	}
+	steps = make([]float64, len(order))
+
+	distinct := map[string]float64{}
+	// seed from the first pattern
+	first := est.EstimateTP(q, order[0])
+	card := first.Card
+	bindVarStats(distinct, order[0], first, card)
+	steps[0] = card
+
+	for i := 1; i < len(order); i++ {
+		tp := order[i]
+		ts := est.EstimateTP(q, tp)
+		joins := sharedWithBound(distinct, tp)
+		if len(joins) == 0 {
+			card *= ts.Card
+		} else {
+			best := math.Inf(1)
+			for _, j := range joins {
+				dLeft := distinct[j.varName]
+				dRight := varStat(tp, ts, j.varName)
+				denom := math.Max(dLeft, dRight)
+				if denom < 1 {
+					denom = 1
+				}
+				if e := card * ts.Card / denom; e < best {
+					best = e
+				}
+			}
+			card = best
+		}
+		if card < 0 {
+			card = 0
+		}
+		// refresh distinct estimates
+		for _, j := range joins {
+			dRight := varStat(tp, ts, j.varName)
+			if dRight < distinct[j.varName] {
+				distinct[j.varName] = dRight
+			}
+		}
+		bindVarStats(distinct, tp, ts, card)
+		for v := range distinct {
+			if distinct[v] > card {
+				distinct[v] = card
+			}
+		}
+		steps[i] = card
+	}
+	return card, steps
+}
+
+type boundJoin struct {
+	varName string
+}
+
+// sharedWithBound lists the variables of tp already bound by the prefix.
+func sharedWithBound(distinct map[string]float64, tp sparql.TriplePattern) []boundJoin {
+	var out []boundJoin
+	for _, v := range tp.Vars() {
+		if _, ok := distinct[v]; ok {
+			out = append(out, boundJoin{varName: v})
+		}
+	}
+	return out
+}
+
+// varStat returns the pattern-side distinct count for variable v: DSC for
+// a subject occurrence, DOC for an object occurrence, and the pattern
+// cardinality for a predicate occurrence.
+func varStat(tp sparql.TriplePattern, ts TPStats, v string) float64 {
+	switch {
+	case tp.S.IsVar() && tp.S.Var == v:
+		return ts.DSC
+	case tp.O.IsVar() && tp.O.Var == v:
+		return ts.DOC
+	default:
+		return ts.Card
+	}
+}
+
+// bindVarStats seeds distinct estimates for the variables newly bound by
+// tp, capped at the current intermediate cardinality.
+func bindVarStats(distinct map[string]float64, tp sparql.TriplePattern, ts TPStats, card float64) {
+	for _, v := range tp.Vars() {
+		if _, ok := distinct[v]; ok {
+			continue
+		}
+		d := varStat(tp, ts, v)
+		if d > card {
+			d = card
+		}
+		if d < 1 {
+			d = 1
+		}
+		distinct[v] = d
+	}
+}
+
+// FilterSelectivity returns a heuristic multiplier estimating how much
+// the query's FILTER constraints shrink its result, using the classic
+// System R default selectivities: 1/10 per equality, 9/10 per
+// inequality, and 1/3 per range comparison. The paper's model covers
+// only triple patterns; this extension keeps EstimateCount usable on
+// filtered queries.
+func FilterSelectivity(q *sparql.Query) float64 {
+	sel := 1.0
+	for _, f := range q.Filters {
+		switch f.Op {
+		case sparql.OpEq:
+			sel *= 0.1
+		case sparql.OpNe:
+			sel *= 0.9
+		default:
+			sel *= 1.0 / 3.0
+		}
+	}
+	return sel
+}

@@ -1,0 +1,111 @@
+package cardinality
+
+import (
+	"math"
+
+	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/sparql"
+)
+
+// GlobalEstimator implements the paper's GS approach: the Table 1
+// triple-pattern estimates over extended-VoID global statistics.
+type GlobalEstimator struct {
+	G *gstats.Global
+}
+
+// NewGlobalEstimator returns a GS estimator over g.
+func NewGlobalEstimator(g *gstats.Global) *GlobalEstimator { return &GlobalEstimator{G: g} }
+
+// Name implements Estimator.
+func (e *GlobalEstimator) Name() string { return "GS" }
+
+// EstimateTP implements Estimator with the Table 1 formulas.
+func (e *GlobalEstimator) EstimateTP(_ *sparql.Query, tp sparql.TriplePattern) TPStats {
+	return e.estimate(tp)
+}
+
+func (e *GlobalEstimator) estimate(tp sparql.TriplePattern) TPStats {
+	g := e.G
+	T := float64(g.Triples)
+	sBound := !tp.S.IsVar()
+	pBound := !tp.P.IsVar()
+	oBound := !tp.O.IsVar()
+
+	if !pBound {
+		// Predicate variable: only whole-graph statistics apply.
+		card := T
+		dsc := float64(g.DistinctSubjects)
+		doc := float64(g.DistinctObjects)
+		switch {
+		case sBound && oBound:
+			card = T / math.Max(1, dsc*doc)
+		case sBound:
+			card = T / math.Max(1, dsc)
+		case oBound:
+			card = T / math.Max(1, doc)
+		}
+		return clamp(TPStats{Card: card, DSC: posStat(sBound, dsc, card), DOC: posStat(oBound, doc, card)})
+	}
+
+	pred := tp.P.Term.Value
+	if pred == rdf.RDFType {
+		return e.estimateType(tp, sBound, oBound)
+	}
+	ps := g.Pred[pred]
+	cp := float64(ps.Count)
+	dsc := float64(ps.DSC)
+	doc := float64(ps.DOC)
+	var card float64
+	switch {
+	case !sBound && !oBound:
+		card = cp
+	case sBound && !oBound:
+		card = cp / math.Max(1, dsc)
+	case !sBound && oBound:
+		card = cp / math.Max(1, doc)
+	default:
+		card = math.Min(1, cp/math.Max(1, dsc*doc))
+	}
+	return clamp(TPStats{Card: card, DSC: posStat(sBound, dsc, card), DOC: posStat(oBound, doc, card)})
+}
+
+func (e *GlobalEstimator) estimateType(tp sparql.TriplePattern, sBound, oBound bool) TPStats {
+	g := e.G
+	ts := g.TypeStat()
+	ct := float64(ts.Count)
+	switch {
+	case !sBound && oBound:
+		// <?s rdf:type Class>: the class partition's entity count. Per
+		// the paper's Table 2, DSC and DOC both report the class size.
+		inst := float64(g.ClassInstances[tp.O.Term.Value])
+		return TPStats{Card: inst, DSC: inst, DOC: inst}
+	case !sBound && !oBound:
+		return clamp(TPStats{Card: ct, DSC: float64(ts.DSC), DOC: float64(ts.DOC)})
+	case sBound && !oBound:
+		card := ct / math.Max(1, float64(ts.DSC))
+		return clamp(TPStats{Card: card, DSC: 1, DOC: math.Max(1, card)})
+	default:
+		return TPStats{Card: 1, DSC: 1, DOC: 1}
+	}
+}
+
+// posStat picks the distinct count for a position: 1 when the position is
+// bound, otherwise the statistic capped by the cardinality estimate.
+func posStat(bound bool, stat, card float64) float64 {
+	if bound {
+		return 1
+	}
+	return math.Min(math.Max(1, stat), math.Max(1, card))
+}
+
+// clamp enforces the invariants card ≥ 0 and 1 ≤ DSC, DOC ≤ max(1, card).
+func clamp(s TPStats) TPStats {
+	if s.Card < 0 || math.IsNaN(s.Card) {
+		s.Card = 0
+	}
+	limit := math.Max(1, s.Card)
+	s.DSC = math.Min(math.Max(1, s.DSC), limit)
+	s.DOC = math.Min(math.Max(1, s.DOC), limit)
+	return s
+}

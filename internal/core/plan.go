@@ -1,0 +1,196 @@
+// Package core implements the paper's primary contribution: the greedy
+// join-ordering algorithm (Algorithm 1) that orders the triple patterns
+// of a BGP by estimated join cardinality, over any statistics-backed
+// estimator — global statistics (GS), shape statistics (SS), or one of
+// the baseline estimators.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"rdfshapes/internal/cardinality"
+	"rdfshapes/internal/sparql"
+)
+
+// Step records one position of a join order with its estimates.
+type Step struct {
+	// Pattern is the triple pattern executed at this step.
+	Pattern sparql.TriplePattern
+	// TP is the pattern's standalone estimate (the E_TP column of the
+	// paper's Table 2).
+	TP cardinality.TPStats
+	// JoinEstimate is the estimated cardinality of joining this pattern
+	// with the already-processed prefix (the E⋈ column); for the first
+	// step it equals TP.Card.
+	JoinEstimate float64
+	// JoinedWith is the index (into Plan.Steps) of the processed pattern
+	// the minimum estimate was achieved with; -1 for the first step.
+	JoinedWith int
+	// Cartesian is true when the step shares no variable with any
+	// processed pattern and had to be combined as a Cartesian product.
+	Cartesian bool
+}
+
+// Plan is a complete join order with cost bookkeeping.
+type Plan struct {
+	// Estimator names the statistics source that produced the plan.
+	Estimator string
+	// Steps lists the patterns in execution order.
+	Steps []Step
+	// Cost is the sum of the steps' join estimates, the objective of
+	// Problem 2 (and the Σ row of Table 2).
+	Cost float64
+}
+
+// Order returns the planned triple patterns in execution order.
+func (p *Plan) Order() []sparql.TriplePattern {
+	out := make([]sparql.TriplePattern, len(p.Steps))
+	for i, s := range p.Steps {
+		out[i] = s.Pattern
+	}
+	return out
+}
+
+// String renders the plan for explain output.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan (%s), estimated cost %.0f\n", p.Estimator, p.Cost)
+	for i, s := range p.Steps {
+		marker := ""
+		if s.Cartesian {
+			marker = " [cartesian]"
+		}
+		fmt.Fprintf(&b, "%2d. %-60s card=%.0f join=%.0f%s\n",
+			i+1, s.Pattern.String(), s.TP.Card, s.JoinEstimate, marker)
+	}
+	return b.String()
+}
+
+// Optimize computes a join order for q's BGP with Algorithm 1:
+//
+//  1. estimate every triple pattern's cardinality,
+//  2. start from the cheapest pattern,
+//  3. repeatedly append the remaining pattern with the least estimated
+//     join cardinality against any already-processed pattern, preferring
+//     connected patterns over Cartesian products,
+//
+// accumulating the estimated intermediate sizes as the plan cost.
+// Ties break by pattern cardinality and then original pattern index, so
+// plans are deterministic for a given estimator.
+func Optimize(q *sparql.Query, est cardinality.Estimator) *Plan {
+	n := len(q.Patterns)
+	plan := &Plan{Estimator: est.Name()}
+	if n == 0 {
+		return plan
+	}
+	pair, _ := est.(cardinality.PairEstimator)
+
+	stats := make([]cardinality.TPStats, n)
+	for i, tp := range q.Patterns {
+		stats[i] = est.EstimateTP(q, tp)
+	}
+
+	// Seed: the pattern with the least estimated cardinality.
+	seed := 0
+	for i := 1; i < n; i++ {
+		if less(stats[i].Card, q.Patterns[i].Index, stats[seed].Card, q.Patterns[seed].Index) {
+			seed = i
+		}
+	}
+	used := make([]bool, n)
+	used[seed] = true
+	plan.Steps = append(plan.Steps, Step{
+		Pattern:      q.Patterns[seed],
+		TP:           stats[seed],
+		JoinEstimate: stats[seed].Card,
+		JoinedWith:   -1,
+	})
+	plan.Cost = stats[seed].Card
+
+	for len(plan.Steps) < n {
+		bestIdx := -1
+		bestCost := 0.0
+		bestWith := -1
+		bestCartesian := false
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			cost, with, cartesian := bestJoin(q, plan.Steps, q.Patterns[i], stats[i], pair)
+			// Connected patterns beat Cartesian products regardless of
+			// the numeric estimate; among equals the cheaper wins.
+			better := false
+			switch {
+			case bestIdx == -1:
+				better = true
+			case cartesian != bestCartesian:
+				better = !cartesian
+			default:
+				better = less(cost, q.Patterns[i].Index, bestCost, q.Patterns[bestIdx].Index)
+			}
+			if better {
+				bestIdx, bestCost, bestWith, bestCartesian = i, cost, with, cartesian
+			}
+		}
+		used[bestIdx] = true
+		plan.Steps = append(plan.Steps, Step{
+			Pattern:      q.Patterns[bestIdx],
+			TP:           stats[bestIdx],
+			JoinEstimate: bestCost,
+			JoinedWith:   bestWith,
+			Cartesian:    bestCartesian,
+		})
+		plan.Cost += bestCost
+	}
+	return plan
+}
+
+// bestJoin returns the minimum estimated cardinality of joining candidate
+// with any processed step, the index of that step, and whether the best
+// combination is a Cartesian product (no processed pattern shares a
+// variable).
+func bestJoin(q *sparql.Query, steps []Step, cand sparql.TriplePattern, candStats cardinality.TPStats, pair cardinality.PairEstimator) (cost float64, with int, cartesian bool) {
+	cost = -1
+	with = -1
+	cartesian = true
+	for si, s := range steps {
+		joins := sparql.Joins(s.Pattern, cand)
+		if len(joins) == 0 {
+			if cartesian {
+				c := s.TP.Card * candStats.Card
+				if cost < 0 || c < cost {
+					cost, with = c, si
+				}
+			}
+			continue
+		}
+		var c float64
+		if pair != nil {
+			if pc, ok := pair.EstimatePair(q, s.Pattern, cand); ok {
+				c = pc
+			} else {
+				c = cardinality.Join(s.TP, candStats, joins)
+			}
+		} else {
+			c = cardinality.Join(s.TP, candStats, joins)
+		}
+		if cartesian {
+			// first connected option trumps any Cartesian estimate
+			cost, with, cartesian = c, si, false
+			continue
+		}
+		if c < cost {
+			cost, with = c, si
+		}
+	}
+	return cost, with, cartesian
+}
+
+// less orders (cost, index) pairs for deterministic tie-breaking.
+func less(c1 float64, i1 int, c2 float64, i2 int) bool {
+	if c1 != c2 {
+		return c1 < c2
+	}
+	return i1 < i2
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rdfshapes/internal/annotator"
+	"rdfshapes/internal/cardinality"
+	"rdfshapes/internal/datagen/lubm"
+	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+// env bundles a small LUBM world with both estimators.
+type env struct {
+	st *store.Store
+	gs *cardinality.GlobalEstimator
+	ss *cardinality.ShapeEstimator
+}
+
+func newEnv(t testing.TB) *env {
+	t.Helper()
+	g := lubm.Generate(lubm.Config{Universities: 1, Seed: 42})
+	st := store.Load(g)
+	global := gstats.Compute(st)
+	shapes := lubm.Shapes()
+	if err := annotator.Annotate(shapes, st); err != nil {
+		t.Fatal(err)
+	}
+	return &env{
+		st: st,
+		gs: cardinality.NewGlobalEstimator(global),
+		ss: cardinality.NewShapeEstimator(shapes, global),
+	}
+}
+
+const prefix = "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+
+func TestOptimizeCoversAllPatterns(t *testing.T) {
+	e := newEnv(t)
+	q := sparql.MustParse(prefix + `SELECT * WHERE {
+		?x a ub:GraduateStudent .
+		?x ub:advisor ?y .
+		?y a ub:FullProfessor .
+		?y ub:teacherOf ?c .
+		?x ub:takesCourse ?c .
+	}`)
+	plan := Optimize(q, e.ss)
+	if len(plan.Steps) != len(q.Patterns) {
+		t.Fatalf("plan has %d steps, want %d", len(plan.Steps), len(q.Patterns))
+	}
+	seen := map[int]bool{}
+	for _, s := range plan.Steps {
+		if seen[s.Pattern.Index] {
+			t.Errorf("pattern %d planned twice", s.Pattern.Index)
+		}
+		seen[s.Pattern.Index] = true
+	}
+	if plan.Cost <= 0 {
+		t.Errorf("cost = %v", plan.Cost)
+	}
+	if !strings.Contains(plan.String(), "plan (SS)") {
+		t.Errorf("String() = %q", plan.String())
+	}
+}
+
+func TestOptimizeDeterministicUnderShuffle(t *testing.T) {
+	e := newEnv(t)
+	q := sparql.MustParse(prefix + `SELECT * WHERE {
+		?A a ub:FullProfessor .
+		?A ub:name ?N .
+		?A ub:teacherOf ?C .
+		?C a ub:GraduateCourse .
+		?X ub:advisor ?A .
+		?X a ub:GraduateStudent .
+		?X ub:degreeFrom ?U .
+		?Y ub:takesCourse ?C .
+		?Y a ub:GraduateStudent .
+	}`)
+	base := Optimize(q, e.ss)
+	baseSig := planSignature(base)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		cp := q.Clone()
+		rng.Shuffle(len(cp.Patterns), func(i, j int) {
+			cp.Patterns[i], cp.Patterns[j] = cp.Patterns[j], cp.Patterns[i]
+		})
+		plan := Optimize(cp, e.ss)
+		if got := planSignature(plan); got != baseSig {
+			t.Fatalf("shuffle %d changed the plan:\n got %s\nwant %s", trial, got, baseSig)
+		}
+	}
+}
+
+// planSignature is order-of-original-index, ignoring shuffle positions.
+func planSignature(p *Plan) string {
+	var b strings.Builder
+	for _, s := range p.Steps {
+		b.WriteString(s.Pattern.String())
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+func TestOptimizeSeedsWithCheapestPattern(t *testing.T) {
+	e := newEnv(t)
+	q := sparql.MustParse(prefix + `SELECT * WHERE {
+		?x ub:name ?n .
+		?x a ub:FullProfessor .
+	}`)
+	// Under global statistics the name pattern counts every ub:name
+	// triple in the graph, so the type pattern must seed the plan.
+	plan := Optimize(q, e.gs)
+	if !plan.Steps[0].Pattern.IsTypePattern() {
+		t.Errorf("seed = %v, want the type pattern", plan.Steps[0].Pattern)
+	}
+	if plan.Steps[0].JoinedWith != -1 {
+		t.Error("seed must not have a join partner")
+	}
+}
+
+func TestOptimizeAvoidsCartesianWhenConnected(t *testing.T) {
+	e := newEnv(t)
+	q := sparql.MustParse(prefix + `SELECT * WHERE {
+		?x a ub:FullProfessor .
+		?x ub:teacherOf ?c .
+		?y a ub:GraduateStudent .
+		?y ub:takesCourse ?c .
+	}`)
+	plan := Optimize(q, e.ss)
+	// only the final disconnected component may be Cartesian — here the
+	// query is fully connected, so no step may be.
+	for i, s := range plan.Steps {
+		if s.Cartesian {
+			t.Errorf("step %d is Cartesian in a connected query: %v", i, s.Pattern)
+		}
+	}
+}
+
+func TestOptimizeCartesianWhenForced(t *testing.T) {
+	e := newEnv(t)
+	q := sparql.MustParse(prefix + `SELECT * WHERE {
+		?x a ub:FullProfessor .
+		?y a ub:Department .
+	}`)
+	plan := Optimize(q, e.ss)
+	if !plan.Steps[1].Cartesian {
+		t.Error("disconnected query must mark the Cartesian step")
+	}
+}
+
+func TestOptimizeCostIsSumOfSteps(t *testing.T) {
+	e := newEnv(t)
+	q := sparql.MustParse(prefix + `SELECT * WHERE {
+		?x a ub:GraduateStudent .
+		?x ub:advisor ?y .
+		?x ub:takesCourse ?c .
+	}`)
+	plan := Optimize(q, e.gs)
+	sum := 0.0
+	for _, s := range plan.Steps {
+		sum += s.JoinEstimate
+	}
+	if sum != plan.Cost {
+		t.Errorf("cost %v != Σ steps %v", plan.Cost, sum)
+	}
+}
+
+func TestOptimizeEmptyQuery(t *testing.T) {
+	e := newEnv(t)
+	plan := Optimize(&sparql.Query{}, e.gs)
+	if len(plan.Steps) != 0 || plan.Cost != 0 {
+		t.Errorf("empty plan = %+v", plan)
+	}
+}
+
+func TestShapeVsGlobalOrderingDiffers(t *testing.T) {
+	// The paper's example query Q: shape statistics must pull ?A ub:name
+	// (85k scoped vs millions global) earlier than global statistics do.
+	e := newEnv(t)
+	q := sparql.MustParse(prefix + `SELECT * WHERE {
+		?A a ub:FullProfessor .
+		?A ub:name ?N .
+		?A ub:teacherOf ?C .
+		?C a ub:GraduateCourse .
+		?X ub:advisor ?A .
+		?X a ub:GraduateStudent .
+		?X ub:degreeFrom ?U .
+		?Y ub:takesCourse ?C .
+		?Y a ub:GraduateStudent .
+	}`)
+	gsPlan := Optimize(q, e.gs)
+	ssPlan := Optimize(q, e.ss)
+	pos := func(p *Plan, patternIdx int) int {
+		for i, s := range p.Steps {
+			if s.Pattern.Index == patternIdx {
+				return i
+			}
+		}
+		return -1
+	}
+	// pattern 1 is "?A ub:name ?N"
+	if pos(ssPlan, 1) > pos(gsPlan, 1) {
+		t.Errorf("SS places name pattern at %d, GS at %d; shape stats should not delay it",
+			pos(ssPlan, 1), pos(gsPlan, 1))
+	}
+}
+
+func TestOptimizeExhaustiveNeverWorse(t *testing.T) {
+	e := newEnv(t)
+	queries := []string{
+		prefix + `SELECT * WHERE {
+			?x a ub:GraduateStudent .
+			?x ub:advisor ?y .
+			?y a ub:FullProfessor .
+			?y ub:teacherOf ?c .
+			?x ub:takesCourse ?c .
+		}`,
+		prefix + `SELECT * WHERE {
+			?p a ub:FullProfessor .
+			?p ub:name ?n .
+			?p ub:teacherOf ?c .
+			?c a ub:GraduateCourse .
+		}`,
+	}
+	for _, src := range queries {
+		q := sparql.MustParse(src)
+		greedy := Optimize(q, e.ss)
+		exact := OptimizeExhaustive(q, e.ss)
+		if exact == nil {
+			t.Fatal("exhaustive returned nil for a small query")
+		}
+		if exact.Cost > greedy.Cost {
+			t.Errorf("exhaustive cost %v worse than greedy %v", exact.Cost, greedy.Cost)
+		}
+		if len(exact.Steps) != len(q.Patterns) {
+			t.Errorf("exhaustive plan incomplete")
+		}
+	}
+}
+
+func TestOptimizeExhaustiveRejectsLargeQueries(t *testing.T) {
+	e := newEnv(t)
+	var sb strings.Builder
+	sb.WriteString(prefix + "SELECT * WHERE {\n?x a ub:FullProfessor .\n")
+	for i := 0; i < MaxExhaustivePatterns; i++ {
+		sb.WriteString("?x ub:name ?n" + string(rune('a'+i)) + " .\n")
+	}
+	sb.WriteString("}")
+	q := sparql.MustParse(sb.String())
+	if OptimizeExhaustive(q, e.ss) != nil {
+		t.Error("exhaustive accepted an oversized query")
+	}
+}
+
+func TestPlannersImplementInterface(t *testing.T) {
+	e := newEnv(t)
+	var planners []Planner = []Planner{
+		&EstimatorPlanner{Est: e.gs},
+		&EstimatorPlanner{Est: e.gs, Label: "custom"},
+		&ShapeFirstPlanner{SS: e.ss},
+	}
+	if planners[0].Name() != "GS" || planners[1].Name() != "custom" || planners[2].Name() != "SS" {
+		t.Error("planner names wrong")
+	}
+	q := sparql.MustParse(prefix + `SELECT * WHERE { ?x a ub:FullProfessor . ?x ub:name ?n }`)
+	for _, p := range planners {
+		if plan := p.Plan(q); len(plan.Steps) != 2 {
+			t.Errorf("%s: plan incomplete", p.Name())
+		}
+	}
+}
+
+func TestShapeFirstPlannerFallsBackWithoutTypes(t *testing.T) {
+	e := newEnv(t)
+	p := &ShapeFirstPlanner{SS: e.ss}
+	q := sparql.MustParse(prefix + `SELECT * WHERE {
+		?x ub:advisor ?y .
+		?y ub:teacherOf ?c .
+	}`)
+	plan := p.Plan(q)
+	if plan.Estimator != "SS" {
+		t.Errorf("plan label = %q (fallback must still report SS)", plan.Estimator)
+	}
+	// the fallback must equal the pure-GS plan order
+	gsPlan := Optimize(q, e.gs)
+	if planSignature(plan) != planSignature(gsPlan) {
+		t.Error("fallback plan differs from GS plan")
+	}
+}

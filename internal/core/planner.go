@@ -1,0 +1,56 @@
+package core
+
+import (
+	"rdfshapes/internal/cardinality"
+	"rdfshapes/internal/sparql"
+)
+
+// Planner produces a join order for a query. Implementations include the
+// paper's estimator-driven Algorithm 1 (over GS, SS, CS, or SumRDF
+// statistics) and the heuristic baselines that mimic Jena ARQ and
+// GraphDB.
+type Planner interface {
+	// Name identifies the approach in experiment output ("SS", "GS",
+	// "Jena", "GDB", "CS", "SumRDF").
+	Name() string
+	// Plan orders the query's BGP.
+	Plan(q *sparql.Query) *Plan
+}
+
+// EstimatorPlanner runs Algorithm 1 over a cardinality estimator.
+type EstimatorPlanner struct {
+	Est cardinality.Estimator
+	// Label overrides the estimator's name in reports when non-empty.
+	Label string
+}
+
+// Name implements Planner.
+func (p *EstimatorPlanner) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return p.Est.Name()
+}
+
+// Plan implements Planner.
+func (p *EstimatorPlanner) Plan(q *sparql.Query) *Plan { return Optimize(q, p.Est) }
+
+// ShapeFirstPlanner is the paper's SS approach: Algorithm 1 over shape
+// statistics when the query contains at least one type-defined triple
+// pattern, falling back to global statistics otherwise (Section 6.1).
+type ShapeFirstPlanner struct {
+	SS *cardinality.ShapeEstimator
+}
+
+// Name implements Planner.
+func (p *ShapeFirstPlanner) Name() string { return "SS" }
+
+// Plan implements Planner.
+func (p *ShapeFirstPlanner) Plan(q *sparql.Query) *Plan {
+	if !q.HasTypePattern() {
+		plan := Optimize(q, p.SS.Fallback)
+		plan.Estimator = p.Name() // report under SS even when delegating
+		return plan
+	}
+	return Optimize(q, p.SS)
+}

@@ -1,0 +1,249 @@
+// Package datagen_test exercises the three dataset generators together:
+// determinism, scaling, schema conformance (every generated dataset must
+// validate against its shipped/inferred shapes), and the statistical
+// properties the paper's evaluation relies on.
+package datagen_test
+
+import (
+	"testing"
+
+	"rdfshapes/internal/annotator"
+	"rdfshapes/internal/datagen/lubm"
+	"rdfshapes/internal/datagen/watdiv"
+	"rdfshapes/internal/datagen/yago"
+	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/shacl"
+	"rdfshapes/internal/store"
+)
+
+func TestLUBMDeterminism(t *testing.T) {
+	a := lubm.Generate(lubm.Config{Universities: 1, Seed: 3})
+	b := lubm.Generate(lubm.Config{Universities: 1, Seed: 3})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("triple %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := lubm.Generate(lubm.Config{Universities: 1, Seed: 4})
+	same := len(a) == len(c)
+	for i := 0; same && i < len(a); i++ {
+		same = a[i] == c[i]
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestLUBMScaling(t *testing.T) {
+	small := lubm.Generate(lubm.Config{Universities: 1, Seed: 3})
+	big := lubm.Generate(lubm.Config{Universities: 3, Seed: 3})
+	if len(big) < 2*len(small) {
+		t.Errorf("scaling too weak: %d vs %d triples", len(small), len(big))
+	}
+	// degenerate config is clamped
+	tiny := lubm.Generate(lubm.Config{Universities: 0, Seed: 3})
+	if len(tiny) == 0 {
+		t.Error("zero-university config generated nothing")
+	}
+}
+
+func TestLUBMClassRatios(t *testing.T) {
+	st := store.Load(lubm.Generate(lubm.Config{Universities: 1, Seed: 3}))
+	g := gstats.Compute(st)
+	inst := func(class string) int64 { return g.ClassInstances[class] }
+	if inst(lubm.UndergraduateStudent) <= inst(lubm.GraduateStudent) {
+		t.Error("undergrads must outnumber grads")
+	}
+	if inst(lubm.GraduateStudent) <= inst(lubm.FullProfessor) {
+		t.Error("grads must outnumber full professors")
+	}
+	// ub:name spans many classes: its global count must dwarf any class
+	nameCount := g.Pred[lubm.Name].Count
+	if nameCount <= 3*inst(lubm.FullProfessor) {
+		t.Errorf("name count %d too close to class size %d — the paper's correlation gap needs generic predicates", nameCount, inst(lubm.FullProfessor))
+	}
+}
+
+func TestLUBMValidatesAgainstShippedShapes(t *testing.T) {
+	st := store.Load(lubm.Generate(lubm.Config{Universities: 1, Seed: 3}))
+	sg := lubm.Shapes()
+	if vs := sg.Validate(st, 5); len(vs) != 0 {
+		t.Errorf("generated data violates shipped shapes: %v", vs)
+	}
+}
+
+func TestLUBMShapesCoverData(t *testing.T) {
+	// every (class, predicate) pair in the data must have a property
+	// shape, otherwise the SS estimator would misreport empty patterns
+	st := store.Load(lubm.Generate(lubm.Config{Universities: 1, Seed: 3}))
+	shipped := lubm.Shapes()
+	inferred, err := shacl.InferShapes(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ns := range inferred.Shapes() {
+		shippedNS := shipped.ByClass(ns.TargetClass)
+		if shippedNS == nil {
+			t.Errorf("class %s has no shipped shape", ns.TargetClass)
+			continue
+		}
+		for _, ps := range ns.Properties {
+			if shippedNS.Property(ps.Path) == nil {
+				t.Errorf("shipped shape for %s misses predicate %s", ns.TargetClass, ps.Path)
+			}
+		}
+	}
+}
+
+func TestWatDivDeterminismAndScaling(t *testing.T) {
+	a := watdiv.Generate(watdiv.Config{Products: 200, Seed: 3})
+	b := watdiv.Generate(watdiv.Config{Products: 200, Seed: 3})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("triple %d differs", i)
+		}
+	}
+	big := watdiv.Generate(watdiv.Config{Products: 800, Seed: 3})
+	if len(big) < 2*len(a) {
+		t.Errorf("scaling too weak: %d vs %d", len(a), len(big))
+	}
+	tiny := watdiv.Generate(watdiv.Config{Products: 1, Seed: 3})
+	if len(tiny) == 0 {
+		t.Error("minimum config generated nothing")
+	}
+}
+
+func TestWatDivTypeCorrelatedAttributes(t *testing.T) {
+	st := store.Load(watdiv.Generate(watdiv.Config{Products: 500, Seed: 3}))
+	sg := watdiv.Shapes()
+	if err := annotator.Annotate(sg, st); err != nil {
+		t.Fatal(err)
+	}
+	movie := sg.ByClass(watdiv.Movie)
+	book := sg.ByClass(watdiv.Book)
+	// every movie has a duration; no book does
+	if movie.Property(watdiv.Duration).Stats.MinCount != 1 {
+		t.Error("movies must all have durations")
+	}
+	if ps := book.Property(watdiv.Duration); ps != nil {
+		t.Error("books must not have a duration shape")
+	}
+	if book.Property(watdiv.NumPages).Stats.Count == 0 {
+		t.Error("books must have page counts")
+	}
+}
+
+func TestWatDivValidates(t *testing.T) {
+	st := store.Load(watdiv.Generate(watdiv.Config{Products: 200, Seed: 3}))
+	if vs := watdiv.Shapes().Validate(st, 5); len(vs) != 0 {
+		t.Errorf("generated data violates shipped shapes: %v", vs)
+	}
+}
+
+func TestWatDivSkew(t *testing.T) {
+	st := store.Load(watdiv.Generate(watdiv.Config{Products: 1000, Seed: 3}))
+	g := gstats.Compute(st)
+	likes := g.Pred[watdiv.Likes]
+	if likes.Count == 0 {
+		t.Fatal("no likes generated")
+	}
+	// Zipf skew: distinct objects of likes must be far below product count
+	if likes.DOC*3 > likes.Count {
+		t.Errorf("likes not skewed: %d triples over %d objects", likes.Count, likes.DOC)
+	}
+}
+
+func TestYAGODeterminismAndHeterogeneity(t *testing.T) {
+	a := yago.Generate(yago.Config{Entities: 2000, Seed: 3})
+	b := yago.Generate(yago.Config{Entities: 2000, Seed: 3})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("triple %d differs", i)
+		}
+	}
+	st := store.Load(a)
+	g := gstats.Compute(st)
+	if g.DistinctTypeObjects() < 50 {
+		t.Errorf("only %d classes; YAGO analog needs a long tail", g.DistinctTypeObjects())
+	}
+	// multi-typing: more type triples than typed subjects
+	ts := g.TypeStat()
+	if ts.Count <= ts.DSC {
+		t.Error("no multi-typed entities")
+	}
+}
+
+func TestYAGOInferredShapesAnnotate(t *testing.T) {
+	st := store.Load(yago.Generate(yago.Config{Entities: 2000, Seed: 3}))
+	sg, err := shacl.InferShapes(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.Len() < 50 {
+		t.Errorf("inferred only %d shapes", sg.Len())
+	}
+	if err := annotator.Annotate(sg, st); err != nil {
+		t.Fatal(err)
+	}
+	if !sg.Annotated() {
+		t.Error("annotation incomplete")
+	}
+	// the Person shape must know every person has a birthplace
+	person := sg.ByClass(yago.Person)
+	if person == nil {
+		t.Fatal("no Person shape inferred")
+	}
+	bp := person.Property(yago.BirthPlace)
+	if bp == nil || bp.Stats.MinCount != 1 {
+		t.Errorf("birthPlace stats = %+v, want MinCount 1", bp)
+	}
+}
+
+func TestGeneratorsEmitValidRDF(t *testing.T) {
+	graphs := map[string]rdf.Graph{
+		"lubm":   lubm.Generate(lubm.Config{Universities: 1, Seed: 1}),
+		"watdiv": watdiv.Generate(watdiv.Config{Products: 100, Seed: 1}),
+		"yago":   yago.Generate(yago.Config{Entities: 500, Seed: 1}),
+	}
+	for name, g := range graphs {
+		for i, tr := range g {
+			if !tr.S.IsIRI() && !tr.S.IsBlank() {
+				t.Fatalf("%s triple %d: literal subject %v", name, i, tr.S)
+			}
+			if !tr.P.IsIRI() {
+				t.Fatalf("%s triple %d: non-IRI predicate %v", name, i, tr.P)
+			}
+			if tr.O.IsZero() {
+				t.Fatalf("%s triple %d: zero object", name, i)
+			}
+		}
+	}
+}
+
+func TestPrefixesResolve(t *testing.T) {
+	cases := map[string]struct {
+		pm    *rdf.PrefixMap
+		qname string
+		want  string
+	}{
+		"lubm":   {lubm.Prefixes(), "ub:name", lubm.Name},
+		"watdiv": {watdiv.Prefixes(), "wsdbm:likes", watdiv.Likes},
+		"yago":   {yago.Prefixes(), "schema:birthPlace", yago.BirthPlace},
+	}
+	for name, tc := range cases {
+		got, err := tc.pm.Expand(tc.qname)
+		if err != nil || got != tc.want {
+			t.Errorf("%s: Expand(%s) = %q, %v", name, tc.qname, got, err)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package lubm generates a deterministic analog of the LUBM benchmark
+// dataset (Guo, Pan, Heflin 2005): universities with departments,
+// faculty, students, courses, and publications, reproducing LUBM's
+// correlation structure — e.g. graduate students take graduate courses,
+// advisors of graduate students are professors, and generic predicates
+// such as ub:name span many classes so that class-scoped statistics
+// diverge sharply from global ones.
+//
+// The paper evaluates on LUBM-500 (91 M triples); this generator scales
+// by university count (roughly 55 K triples per university), which
+// preserves all ratios the optimizer cares about while staying
+// laptop-sized, as recorded in DESIGN.md.
+package lubm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/shacl"
+)
+
+// NS is the vocabulary namespace of the generated data.
+const NS = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+
+// Class IRIs.
+const (
+	University           = NS + "University"
+	Department           = NS + "Department"
+	FullProfessor        = NS + "FullProfessor"
+	AssociateProfessor   = NS + "AssociateProfessor"
+	AssistantProfessor   = NS + "AssistantProfessor"
+	Lecturer             = NS + "Lecturer"
+	GraduateStudent      = NS + "GraduateStudent"
+	UndergraduateStudent = NS + "UndergraduateStudent"
+	GraduateCourse       = NS + "GraduateCourse"
+	Course               = NS + "Course"
+	ResearchGroup        = NS + "ResearchGroup"
+	Publication          = NS + "Publication"
+)
+
+// Predicate IRIs.
+const (
+	Name              = NS + "name"
+	TeacherOf         = NS + "teacherOf"
+	Advisor           = NS + "advisor"
+	TakesCourse       = NS + "takesCourse"
+	DegreeFrom        = NS + "degreeFrom"
+	UndergradDegree   = NS + "undergraduateDegreeFrom"
+	MemberOf          = NS + "memberOf"
+	SubOrganizationOf = NS + "subOrganizationOf"
+	WorksFor          = NS + "worksFor"
+	EmailAddress      = NS + "emailAddress"
+	Telephone         = NS + "telephone"
+	ResearchInterest  = NS + "researchInterest"
+	PublicationAuthor = NS + "publicationAuthor"
+	HeadOf            = NS + "headOf"
+)
+
+// Config parameterizes generation.
+type Config struct {
+	// Universities scales the dataset (≈55 K triples each). Values < 1
+	// are treated as 1.
+	Universities int
+	// Seed makes generation deterministic; the same seed yields the
+	// same graph.
+	Seed int64
+}
+
+// Prefixes returns the prefix map for queries over the generated data.
+func Prefixes() *rdf.PrefixMap {
+	pm := rdf.CommonPrefixes()
+	pm.Bind("ub", NS)
+	return pm
+}
+
+// Per-department entity counts; departments per university vary 12–18.
+const (
+	fullProfsPerDept  = 8
+	assocProfsPerDept = 10
+	asstProfsPerDept  = 12
+	lecturersPerDept  = 8
+	gradsPerDept      = 60
+	undergradsPerDept = 150
+	gradCoursesPer    = 24
+	coursesPerDept    = 36
+	groupsPerDept     = 10
+)
+
+// Generate builds the data graph.
+func Generate(cfg Config) rdf.Graph {
+	if cfg.Universities < 1 {
+		cfg.Universities = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &builder{rng: rng}
+
+	interests := make([]rdf.Term, 40)
+	for i := range interests {
+		interests[i] = rdf.NewLiteral(fmt.Sprintf("Research%d", i))
+	}
+
+	universities := make([]rdf.Term, cfg.Universities)
+	for u := range universities {
+		uni := iri("University%d", u)
+		universities[u] = uni
+		g.typed(uni, University)
+		g.add(uni, Name, rdf.NewLiteral(fmt.Sprintf("University%d", u)))
+	}
+
+	for u, uni := range universities {
+		depts := 12 + rng.Intn(7)
+		for d := 0; d < depts; d++ {
+			g.department(u, d, uni, universities, interests)
+		}
+	}
+	return g.graph
+}
+
+type builder struct {
+	rng   *rand.Rand
+	graph rdf.Graph
+}
+
+func iri(format string, args ...any) rdf.Term {
+	return rdf.NewIRI("http://www.lubm.example/" + fmt.Sprintf(format, args...))
+}
+
+func (b *builder) add(s rdf.Term, p string, o rdf.Term) {
+	b.graph.Append(s, rdf.NewIRI(p), o)
+}
+
+func (b *builder) typed(s rdf.Term, class string) {
+	b.graph.Append(s, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(class))
+}
+
+// person emits the attribute triples every person carries.
+func (b *builder) person(s rdf.Term, label string, dept rdf.Term) {
+	b.add(s, Name, rdf.NewLiteral(label))
+	b.add(s, EmailAddress, rdf.NewLiteral(label+"@lubm.example"))
+	b.add(s, MemberOf, dept)
+}
+
+func (b *builder) department(u, d int, uni rdf.Term, universities []rdf.Term, interests []rdf.Term) {
+	rng := b.rng
+	dept := iri("U%d/Dept%d", u, d)
+	b.typed(dept, Department)
+	b.add(dept, Name, rdf.NewLiteral(fmt.Sprintf("Department%d-%d", u, d)))
+	b.add(dept, SubOrganizationOf, uni)
+
+	for i := 0; i < groupsPerDept; i++ {
+		grp := iri("U%d/Dept%d/Group%d", u, d, i)
+		b.typed(grp, ResearchGroup)
+		b.add(grp, SubOrganizationOf, dept)
+	}
+
+	// Courses first so teachers and students can reference them.
+	gradCourses := make([]rdf.Term, gradCoursesPer)
+	for i := range gradCourses {
+		c := iri("U%d/Dept%d/GradCourse%d", u, d, i)
+		gradCourses[i] = c
+		b.typed(c, GraduateCourse)
+		b.add(c, Name, rdf.NewLiteral(fmt.Sprintf("GradCourse%d-%d-%d", u, d, i)))
+	}
+	courses := make([]rdf.Term, coursesPerDept)
+	for i := range courses {
+		c := iri("U%d/Dept%d/Course%d", u, d, i)
+		courses[i] = c
+		b.typed(c, Course)
+		b.add(c, Name, rdf.NewLiteral(fmt.Sprintf("Course%d-%d-%d", u, d, i)))
+	}
+
+	type facultyDef struct {
+		class string
+		count int
+		label string
+	}
+	defs := []facultyDef{
+		{FullProfessor, fullProfsPerDept, "FullProfessor"},
+		{AssociateProfessor, assocProfsPerDept, "AssociateProfessor"},
+		{AssistantProfessor, asstProfsPerDept, "AssistantProfessor"},
+		{Lecturer, lecturersPerDept, "Lecturer"},
+	}
+	var professors []rdf.Term // advisor targets (all but lecturers)
+	var faculty []rdf.Term
+	for _, def := range defs {
+		for i := 0; i < def.count; i++ {
+			f := iri("U%d/Dept%d/%s%d", u, d, def.label, i)
+			b.typed(f, def.class)
+			b.person(f, fmt.Sprintf("%s%d-%d-%d", def.label, u, d, i), dept)
+			b.add(f, WorksFor, dept)
+			b.add(f, Telephone, rdf.NewLiteral(fmt.Sprintf("+45-%d%d%d", u, d, i)))
+			b.add(f, ResearchInterest, interests[rng.Intn(len(interests))])
+			// 1–3 degrees from random universities
+			for n := 1 + rng.Intn(3); n > 0; n-- {
+				b.add(f, DegreeFrom, universities[rng.Intn(len(universities))])
+			}
+			// Full professors teach graduate courses; others mostly
+			// undergraduate courses — the class/predicate correlation
+			// the example query Q exploits.
+			if def.class == FullProfessor {
+				b.add(f, TeacherOf, gradCourses[rng.Intn(len(gradCourses))])
+				if rng.Intn(2) == 0 {
+					b.add(f, TeacherOf, gradCourses[rng.Intn(len(gradCourses))])
+				}
+			} else {
+				b.add(f, TeacherOf, courses[rng.Intn(len(courses))])
+				if def.class == AssociateProfessor && rng.Intn(3) == 0 {
+					b.add(f, TeacherOf, gradCourses[rng.Intn(len(gradCourses))])
+				}
+			}
+			faculty = append(faculty, f)
+			if def.class != Lecturer {
+				professors = append(professors, f)
+			}
+		}
+	}
+	// One full professor heads the department.
+	b.add(faculty[0], HeadOf, dept)
+
+	for i := 0; i < gradsPerDept; i++ {
+		s := iri("U%d/Dept%d/Grad%d", u, d, i)
+		b.typed(s, GraduateStudent)
+		b.person(s, fmt.Sprintf("GradStudent%d-%d-%d", u, d, i), dept)
+		b.add(s, Advisor, professors[rng.Intn(len(professors))])
+		b.add(s, UndergradDegree, universities[rng.Intn(len(universities))])
+		b.add(s, DegreeFrom, universities[rng.Intn(len(universities))])
+		// graduate students take 2–3 graduate courses
+		for n := 2 + rng.Intn(2); n > 0; n-- {
+			b.add(s, TakesCourse, gradCourses[rng.Intn(len(gradCourses))])
+		}
+	}
+	for i := 0; i < undergradsPerDept; i++ {
+		s := iri("U%d/Dept%d/Undergrad%d", u, d, i)
+		b.typed(s, UndergraduateStudent)
+		b.person(s, fmt.Sprintf("Undergrad%d-%d-%d", u, d, i), dept)
+		if rng.Intn(5) == 0 {
+			b.add(s, Advisor, professors[rng.Intn(len(professors))])
+		}
+		for n := 2 + rng.Intn(3); n > 0; n-- {
+			b.add(s, TakesCourse, courses[rng.Intn(len(courses))])
+		}
+	}
+
+	// Publications: each professor authors 3–8, sometimes co-authored
+	// with a graduate student of the department.
+	pubNo := 0
+	for _, f := range professors {
+		for n := 3 + rng.Intn(6); n > 0; n-- {
+			p := iri("U%d/Dept%d/Pub%d", u, d, pubNo)
+			pubNo++
+			b.typed(p, Publication)
+			b.add(p, Name, rdf.NewLiteral(fmt.Sprintf("Publication%d-%d-%d", u, d, pubNo)))
+			b.add(p, PublicationAuthor, f)
+			if rng.Intn(3) == 0 {
+				grad := iri("U%d/Dept%d/Grad%d", u, d, rng.Intn(gradsPerDept))
+				b.add(p, PublicationAuthor, grad)
+			}
+		}
+	}
+}
+
+// Shapes returns the hand-authored (unannotated) SHACL shapes graph that
+// "ships with" the dataset, mirroring how the paper assumes shapes are
+// provided for LUBM. Property shapes cover the predicates each class's
+// instances carry.
+func Shapes() *shacl.ShapesGraph {
+	sg := shacl.NewShapesGraph()
+	add := func(class string, preds ...string) {
+		ns := shacl.NewNodeShape("urn:shapes:lubm:"+local(class), class)
+		for _, p := range preds {
+			kind := "IRI"
+			switch p {
+			case Name, EmailAddress, Telephone, ResearchInterest:
+				kind = "Literal"
+			}
+			ps := &shacl.PropertyShape{
+				IRI:      ns.IRI + "-" + local(p),
+				Path:     p,
+				NodeKind: kind,
+			}
+			if kind == "Literal" {
+				ps.Datatype = rdf.XSDString
+			}
+			if err := ns.AddProperty(ps); err != nil {
+				panic(err) // static construction: duplicates are a bug
+			}
+		}
+		if err := sg.Add(ns); err != nil {
+			panic(err)
+		}
+	}
+	personPreds := []string{Name, EmailAddress, MemberOf}
+	facultyPreds := append([]string{WorksFor, Telephone, ResearchInterest, DegreeFrom, TeacherOf}, personPreds...)
+	add(University, Name)
+	add(Department, Name, SubOrganizationOf)
+	add(ResearchGroup, SubOrganizationOf)
+	add(FullProfessor, append([]string{HeadOf}, facultyPreds...)...)
+	add(AssociateProfessor, facultyPreds...)
+	add(AssistantProfessor, facultyPreds...)
+	add(Lecturer, facultyPreds...)
+	add(GraduateStudent, append([]string{Advisor, UndergradDegree, DegreeFrom, TakesCourse}, personPreds...)...)
+	add(UndergraduateStudent, append([]string{Advisor, TakesCourse}, personPreds...)...)
+	add(GraduateCourse, Name)
+	add(Course, Name)
+	add(Publication, Name, PublicationAuthor)
+	return sg
+}
+
+func local(iri string) string {
+	for i := len(iri) - 1; i >= 0; i-- {
+		if iri[i] == '#' || iri[i] == '/' {
+			return iri[i+1:]
+		}
+	}
+	return iri
+}

@@ -1,0 +1,273 @@
+// Package watdiv generates a deterministic analog of the WatDiv stress
+// testing dataset (Aluç et al., ISWC 2014): an e-commerce graph of users,
+// products, retailers, offers, and reviews. It reproduces the two traits
+// the benchmark was designed around and that break global statistics:
+//
+//   - type-correlated attributes: products split into categories and
+//     several predicates occur only on some categories (e.g. only movies
+//     have wsdbm:duration), so per-class statistics differ wildly from
+//     per-predicate ones;
+//   - heavy skew: purchases, likes, and follows draw from Zipf-like
+//     distributions, so uniformity assumptions misfire.
+//
+// The paper uses WATDIV-S (109 M) and WATDIV-L (1 B triples); this
+// generator scales by a product-count parameter (DESIGN.md records the
+// substitution).
+package watdiv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/shacl"
+)
+
+// NS is the vocabulary namespace of the generated data.
+const NS = "http://db.uwaterloo.ca/~galuc/wsdbm/"
+
+// Class IRIs.
+const (
+	User     = NS + "User"
+	Product  = NS + "Product"
+	Movie    = NS + "Movie"
+	Book     = NS + "Book"
+	Album    = NS + "Album"
+	Retailer = NS + "Retailer"
+	Offer    = NS + "Offer"
+	Review   = NS + "Review"
+	Website  = NS + "Website"
+	Genre    = NS + "Genre"
+	Country  = NS + "Country"
+)
+
+// Predicate IRIs.
+const (
+	Label        = NS + "label"
+	Follows      = NS + "follows"
+	Likes        = NS + "likes"
+	MakesReview  = NS + "makesReview"
+	ReviewFor    = NS + "reviewFor"
+	Rating       = NS + "rating"
+	ReviewText   = NS + "text"
+	OfferFor     = NS + "offerFor"
+	OfferedBy    = NS + "offeredBy"
+	Price        = NS + "price"
+	HasGenre     = NS + "hasGenre"
+	Duration     = NS + "duration"  // movies only
+	NumPages     = NS + "numPages"  // books only
+	Artist       = NS + "artist"    // albums only
+	LocatedIn    = NS + "locatedIn" // users and retailers
+	Homepage     = NS + "homepage"
+	SubscribesTo = NS + "subscribesTo"
+)
+
+// Config parameterizes generation.
+type Config struct {
+	// Products scales the dataset; users = 2×products, reviews ≈
+	// 3×products (≈24 triples per product overall). Values < 10 are
+	// raised to 10.
+	Products int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Prefixes returns the prefix map for queries over the generated data.
+func Prefixes() *rdf.PrefixMap {
+	pm := rdf.CommonPrefixes()
+	pm.Bind("wsdbm", NS)
+	return pm
+}
+
+// Generate builds the data graph.
+func Generate(cfg Config) rdf.Graph {
+	if cfg.Products < 10 {
+		cfg.Products = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var g rdf.Graph
+	typ := rdf.NewIRI(rdf.RDFType)
+	add := func(s rdf.Term, p string, o rdf.Term) { g.Append(s, rdf.NewIRI(p), o) }
+	typed := func(s rdf.Term, class string) { g.Append(s, typ, rdf.NewIRI(class)) }
+	ent := func(format string, args ...any) rdf.Term {
+		return rdf.NewIRI(NS + fmt.Sprintf(format, args...))
+	}
+
+	// zipf draws skewed indexes in [0, n).
+	zipfCache := map[int]*rand.Zipf{}
+	zipf := func(n int) int {
+		z, ok := zipfCache[n]
+		if !ok {
+			z = rand.NewZipf(rng, 1.3, 4, uint64(n-1))
+			zipfCache[n] = z
+		}
+		return int(z.Uint64())
+	}
+
+	nCountries := 20
+	countries := make([]rdf.Term, nCountries)
+	for i := range countries {
+		countries[i] = ent("Country%d", i)
+		typed(countries[i], Country)
+		add(countries[i], Label, rdf.NewLiteral(fmt.Sprintf("Country %d", i)))
+	}
+	nGenres := 15
+	genres := make([]rdf.Term, nGenres)
+	for i := range genres {
+		genres[i] = ent("Genre%d", i)
+		typed(genres[i], Genre)
+		add(genres[i], Label, rdf.NewLiteral(fmt.Sprintf("Genre %d", i)))
+	}
+	nSites := 25
+	sites := make([]rdf.Term, nSites)
+	for i := range sites {
+		sites[i] = ent("Website%d", i)
+		typed(sites[i], Website)
+		add(sites[i], Label, rdf.NewLiteral(fmt.Sprintf("Website %d", i)))
+	}
+
+	// Products: 50% movies, 30% books, 20% albums. Category-specific
+	// predicates create the type correlations.
+	products := make([]rdf.Term, cfg.Products)
+	for i := range products {
+		p := ent("Product%d", i)
+		products[i] = p
+		typed(p, Product)
+		add(p, Label, rdf.NewLiteral(fmt.Sprintf("Product %d", i)))
+		switch {
+		case i%10 < 5:
+			typed(p, Movie)
+			add(p, Duration, rdf.NewInteger(int64(60+rng.Intn(120))))
+			add(p, HasGenre, genres[zipf(nGenres)])
+			if rng.Intn(2) == 0 {
+				add(p, HasGenre, genres[zipf(nGenres)])
+			}
+		case i%10 < 8:
+			typed(p, Book)
+			add(p, NumPages, rdf.NewInteger(int64(80+rng.Intn(900))))
+			if rng.Intn(3) == 0 {
+				add(p, HasGenre, genres[zipf(nGenres)])
+			}
+		default:
+			typed(p, Album)
+			add(p, Artist, rdf.NewLiteral(fmt.Sprintf("Artist %d", zipf(200))))
+			add(p, HasGenre, genres[zipf(nGenres)])
+		}
+	}
+
+	nRetailers := max(3, cfg.Products/100)
+	retailers := make([]rdf.Term, nRetailers)
+	for i := range retailers {
+		r := ent("Retailer%d", i)
+		retailers[i] = r
+		typed(r, Retailer)
+		add(r, Label, rdf.NewLiteral(fmt.Sprintf("Retailer %d", i)))
+		add(r, LocatedIn, countries[zipf(nCountries)])
+		add(r, Homepage, sites[rng.Intn(nSites)])
+	}
+
+	// Offers: each product offered by 1–3 retailers.
+	offerNo := 0
+	for _, p := range products {
+		for n := 1 + rng.Intn(3); n > 0; n-- {
+			o := ent("Offer%d", offerNo)
+			offerNo++
+			typed(o, Offer)
+			add(o, OfferFor, p)
+			add(o, OfferedBy, retailers[zipf(nRetailers)])
+			add(o, Price, rdf.NewInteger(int64(1+rng.Intn(500))))
+		}
+	}
+
+	// Users: skewed social graph and product interactions.
+	nUsers := cfg.Products * 2
+	users := make([]rdf.Term, nUsers)
+	for i := range users {
+		u := ent("User%d", i)
+		users[i] = u
+		typed(u, User)
+		add(u, Label, rdf.NewLiteral(fmt.Sprintf("User %d", i)))
+		add(u, LocatedIn, countries[zipf(nCountries)])
+		if rng.Intn(4) == 0 {
+			add(u, SubscribesTo, sites[zipf(nSites)])
+		}
+	}
+	for i, u := range users {
+		for n := rng.Intn(4); n > 0; n-- {
+			f := zipf(nUsers)
+			if f != i {
+				add(u, Follows, users[f])
+			}
+		}
+		for n := rng.Intn(5); n > 0; n-- {
+			add(u, Likes, products[zipf(cfg.Products)])
+		}
+	}
+
+	// Reviews: ~1.5 per user, skewed toward popular products.
+	reviewNo := 0
+	for _, u := range users {
+		for n := rng.Intn(4); n > 0; n-- {
+			r := ent("Review%d", reviewNo)
+			reviewNo++
+			typed(r, Review)
+			add(u, MakesReview, r)
+			add(r, ReviewFor, products[zipf(cfg.Products)])
+			add(r, Rating, rdf.NewInteger(int64(1+rng.Intn(5))))
+			add(r, ReviewText, rdf.NewLiteral(fmt.Sprintf("review text %d", reviewNo)))
+		}
+	}
+	return g
+}
+
+// Shapes returns the hand-authored (unannotated) shapes graph shipped
+// with the dataset.
+func Shapes() *shacl.ShapesGraph {
+	sg := shacl.NewShapesGraph()
+	add := func(class string, litPreds []string, iriPreds []string) {
+		ns := shacl.NewNodeShape("urn:shapes:wsdbm:"+local(class), class)
+		for _, p := range litPreds {
+			mustAdd(ns, &shacl.PropertyShape{IRI: ns.IRI + "-" + local(p), Path: p, NodeKind: "Literal"})
+		}
+		for _, p := range iriPreds {
+			mustAdd(ns, &shacl.PropertyShape{IRI: ns.IRI + "-" + local(p), Path: p, NodeKind: "IRI"})
+		}
+		if err := sg.Add(ns); err != nil {
+			panic(err)
+		}
+	}
+	add(User, []string{Label}, []string{LocatedIn, SubscribesTo, Follows, Likes, MakesReview})
+	add(Product, []string{Label}, []string{HasGenre})
+	add(Movie, []string{Label, Duration}, []string{HasGenre})
+	add(Book, []string{Label, NumPages}, []string{HasGenre})
+	add(Album, []string{Label, Artist}, []string{HasGenre})
+	add(Retailer, []string{Label}, []string{LocatedIn, Homepage})
+	add(Offer, []string{Price}, []string{OfferFor, OfferedBy})
+	add(Review, []string{Rating, ReviewText}, []string{ReviewFor})
+	add(Website, []string{Label}, nil)
+	add(Genre, []string{Label}, nil)
+	add(Country, []string{Label}, nil)
+	return sg
+}
+
+func mustAdd(ns *shacl.NodeShape, ps *shacl.PropertyShape) {
+	if err := ns.AddProperty(ps); err != nil {
+		panic(err) // static construction: duplicates are a bug
+	}
+}
+
+func local(iri string) string {
+	for i := len(iri) - 1; i >= 0; i-- {
+		if iri[i] == '#' || iri[i] == '/' {
+			return iri[i+1:]
+		}
+	}
+	return iri
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,223 @@
+// Package yago generates a deterministic analog of the YAGO-4
+// English-Wikipedia subset the paper evaluates on: a heterogeneous
+// knowledge graph with a long-tailed class distribution (hundreds of
+// classes instead of YAGO's 8 912, scaled with the data), entities with
+// multiple types, and strongly skewed predicate usage. Its purpose is to
+// exercise the many-shapes code paths: shape inference (the SHACLGEN
+// analog), annotation over thousands of (class, predicate) pairs, and
+// shape lookup during planning.
+package yago
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rdfshapes/internal/rdf"
+)
+
+// NS is the entity/vocabulary namespace of the generated data.
+const NS = "http://yago-knowledge.org/resource/"
+
+// Schema namespace (YAGO-4 uses schema.org types).
+const Schema = "http://schema.org/"
+
+// Prominent class IRIs referenced by the benchmark queries; the long
+// tail of classes is minted as Schema + "Thing<N>".
+const (
+	Person       = Schema + "Person"
+	Actor        = Schema + "Actor"
+	Politician   = Schema + "Politician"
+	Scientist    = Schema + "Scientist"
+	City         = Schema + "City"
+	CountryClass = Schema + "Country"
+	Organization = Schema + "Organization"
+	Movie        = Schema + "Movie"
+	BookClass    = Schema + "Book"
+	University   = Schema + "University"
+)
+
+// Predicate IRIs.
+const (
+	Label       = "http://www.w3.org/2000/01/rdf-schema#label"
+	BirthPlace  = Schema + "birthPlace"
+	BirthDate   = Schema + "birthDate"
+	Nationality = Schema + "nationality"
+	AlumniOf    = Schema + "alumniOf"
+	WorksAt     = Schema + "worksFor"
+	ActedIn     = Schema + "actorIn"
+	Directed    = Schema + "director"
+	AuthorOf    = Schema + "author"
+	LocatedIn   = Schema + "containedInPlace"
+	Population  = Schema + "population"
+	FoundedBy   = Schema + "founder"
+	MemberOf    = Schema + "memberOf"
+	AwardWon    = Schema + "award"
+)
+
+// Config parameterizes generation.
+type Config struct {
+	// Entities scales the dataset (≈8 triples per entity). Values < 100
+	// are raised to 100.
+	Entities int
+	// TailClasses is the number of long-tail classes (default 200).
+	TailClasses int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Prefixes returns the prefix map for queries over the generated data.
+func Prefixes() *rdf.PrefixMap {
+	pm := rdf.CommonPrefixes()
+	pm.Bind("yago", NS)
+	pm.Bind("schema", Schema)
+	return pm
+}
+
+// Generate builds the data graph.
+func Generate(cfg Config) rdf.Graph {
+	if cfg.Entities < 100 {
+		cfg.Entities = 100
+	}
+	if cfg.TailClasses <= 0 {
+		cfg.TailClasses = 200
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var g rdf.Graph
+	typ := rdf.NewIRI(rdf.RDFType)
+	add := func(s rdf.Term, p string, o rdf.Term) { g.Append(s, rdf.NewIRI(p), o) }
+	typed := func(s rdf.Term, class string) { g.Append(s, typ, rdf.NewIRI(class)) }
+	ent := func(format string, args ...any) rdf.Term {
+		return rdf.NewIRI(NS + fmt.Sprintf(format, args...))
+	}
+
+	tail := make([]string, cfg.TailClasses)
+	for i := range tail {
+		tail[i] = fmt.Sprintf("%sThing%d", Schema, i)
+	}
+	tailZipf := rand.NewZipf(rng, 1.4, 2, uint64(cfg.TailClasses-1))
+
+	// Places.
+	nCountries := 30
+	countries := make([]rdf.Term, nCountries)
+	for i := range countries {
+		c := ent("Country%d", i)
+		countries[i] = c
+		typed(c, CountryClass)
+		add(c, Label, rdf.NewLangLiteral(fmt.Sprintf("Country %d", i), "en"))
+	}
+	nCities := cfg.Entities / 20
+	if nCities < 10 {
+		nCities = 10
+	}
+	cities := make([]rdf.Term, nCities)
+	cityZipf := rand.NewZipf(rng, 1.2, 3, uint64(nCities-1))
+	for i := range cities {
+		c := ent("City%d", i)
+		cities[i] = c
+		typed(c, City)
+		add(c, Label, rdf.NewLangLiteral(fmt.Sprintf("City %d", i), "en"))
+		add(c, LocatedIn, countries[rng.Intn(nCountries)])
+		add(c, Population, rdf.NewInteger(int64(1000+rng.Intn(5_000_000))))
+	}
+
+	// Universities and organizations.
+	nUnis := max(5, cfg.Entities/100)
+	unis := make([]rdf.Term, nUnis)
+	for i := range unis {
+		u := ent("University%d", i)
+		unis[i] = u
+		typed(u, University)
+		typed(u, Organization)
+		add(u, Label, rdf.NewLangLiteral(fmt.Sprintf("University %d", i), "en"))
+		add(u, LocatedIn, cities[int(cityZipf.Uint64())])
+	}
+	nOrgs := max(10, cfg.Entities/50)
+	orgs := make([]rdf.Term, nOrgs)
+	for i := range orgs {
+		o := ent("Org%d", i)
+		orgs[i] = o
+		typed(o, Organization)
+		add(o, Label, rdf.NewLangLiteral(fmt.Sprintf("Organization %d", i), "en"))
+		add(o, LocatedIn, cities[int(cityZipf.Uint64())])
+	}
+
+	// People: 60% of entities. Subtype mix with multi-typing: every
+	// actor/politician/scientist is also a Person.
+	nPeople := cfg.Entities * 6 / 10
+	people := make([]rdf.Term, nPeople)
+	for i := range people {
+		p := ent("Person%d", i)
+		people[i] = p
+		typed(p, Person)
+		add(p, Label, rdf.NewLangLiteral(fmt.Sprintf("Person %d", i), "en"))
+		add(p, BirthPlace, cities[int(cityZipf.Uint64())])
+		add(p, BirthDate, rdf.NewTypedLiteral(fmt.Sprintf("%04d-01-01", 1900+rng.Intn(100)), rdf.XSDDate))
+		if rng.Intn(3) != 0 {
+			add(p, Nationality, countries[rng.Intn(nCountries)])
+		}
+		switch rng.Intn(10) {
+		case 0, 1:
+			typed(p, Actor)
+		case 2:
+			typed(p, Politician)
+			add(p, MemberOf, orgs[rng.Intn(nOrgs)])
+		case 3:
+			typed(p, Scientist)
+			add(p, WorksAt, unis[rng.Intn(nUnis)])
+			add(p, AlumniOf, unis[rng.Intn(nUnis)])
+		}
+		if rng.Intn(4) == 0 {
+			add(p, AlumniOf, unis[rng.Intn(nUnis)])
+		}
+		if rng.Intn(8) == 0 {
+			add(p, AwardWon, rdf.NewLiteral(fmt.Sprintf("Award %d", rng.Intn(50))))
+		}
+		// long-tail extra type
+		if rng.Intn(3) == 0 {
+			typed(p, tail[int(tailZipf.Uint64())])
+		}
+	}
+
+	// Works: movies and books.
+	nMovies := cfg.Entities / 8
+	for i := 0; i < nMovies; i++ {
+		m := ent("Movie%d", i)
+		typed(m, Movie)
+		add(m, Label, rdf.NewLangLiteral(fmt.Sprintf("Movie %d", i), "en"))
+		add(m, Directed, people[rng.Intn(nPeople)])
+		for n := 1 + rng.Intn(4); n > 0; n-- {
+			add(people[rng.Intn(nPeople)], ActedIn, m)
+		}
+	}
+	nBooks := cfg.Entities / 10
+	for i := 0; i < nBooks; i++ {
+		b := ent("Book%d", i)
+		typed(b, BookClass)
+		add(b, Label, rdf.NewLangLiteral(fmt.Sprintf("Book %d", i), "en"))
+		add(b, AuthorOf, people[rng.Intn(nPeople)])
+	}
+
+	// Organizations founded by people.
+	for _, o := range orgs {
+		if rng.Intn(2) == 0 {
+			add(o, FoundedBy, people[rng.Intn(nPeople)])
+		}
+	}
+
+	// Long-tail entities: single type from the tail distribution plus a
+	// label, stressing shape-count scalability.
+	nTail := cfg.Entities / 5
+	for i := 0; i < nTail; i++ {
+		t := ent("Thing%d", i)
+		typed(t, tail[int(tailZipf.Uint64())])
+		add(t, Label, rdf.NewLangLiteral(fmt.Sprintf("Thing %d", i), "en"))
+	}
+	return g
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,406 @@
+// Package engine executes basic graph patterns against a store.Store
+// using left-deep index nested-loop joins in a caller-supplied triple
+// pattern order.
+//
+// Because every pattern lookup is served by a sorted-index range scan,
+// total work is essentially the sum of intermediate result sizes — the
+// quantity join ordering minimizes — so plan quality translates directly
+// into measured runtime, mirroring how ordering affects Jena TDB in the
+// paper's evaluation.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+// ErrBudgetExceeded is reported via Result.TimedOut when an operation
+// budget interrupts execution (the analog of the paper's 10-minute query
+// timeout).
+var ErrBudgetExceeded = errors.New("engine: operation budget exceeded")
+
+// Options configures a BGP execution.
+type Options struct {
+	// MaxOps caps the number of index rows visited; 0 means unlimited.
+	// When exceeded, execution stops and Result.TimedOut is set.
+	MaxOps int64
+	// CountOnly suppresses row materialization; only counts are kept.
+	CountOnly bool
+	// Limit stops after this many result rows (0 = unlimited). Ignored
+	// when CountOnly is set, since counts are exact by definition.
+	Limit int
+	// Filters are comparison constraints applied as soon as all their
+	// variables are bound (filter push-down). Filtered-out bindings do
+	// not count toward Intermediate sizes. Filters may only reference
+	// variables of the required patterns.
+	Filters []sparql.Filter
+	// Optionals are OPTIONAL groups evaluated as left outer joins after
+	// the required patterns: each solution is extended by every match of
+	// the group, or kept once with the group's variables unbound (ID 0)
+	// when the group has no match.
+	Optionals [][]sparql.TriplePattern
+}
+
+// Result holds the outcome of executing a BGP.
+type Result struct {
+	// Vars maps row columns to variable names.
+	Vars []string
+	// Rows holds the materialized bindings (nil when CountOnly).
+	Rows [][]store.ID
+	// Count is the number of result rows (exact unless TimedOut).
+	Count int64
+	// Intermediate[i] is the number of partial bindings after joining
+	// patterns 0..i in the executed order — the "true join cardinality"
+	// column of the paper's Table 2.
+	Intermediate []int64
+	// Ops is the number of index rows visited, a deterministic measure
+	// of plan work independent of wall-clock noise.
+	Ops int64
+	// TimedOut is true when MaxOps interrupted the execution.
+	TimedOut bool
+}
+
+// compiledPattern precomputes, for one pattern, the constant IDs and the
+// variable slots of each position. A constant missing from the dictionary
+// makes the whole BGP empty; that is handled at compile time.
+type compiledPattern struct {
+	constS, constP, constO store.ID
+	slotS, slotP, slotO    int // -1 when the position is constant
+}
+
+// Run executes patterns in the given order against st.
+func Run(st *store.Store, patterns []sparql.TriplePattern, opts Options) (*Result, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("engine: empty pattern list")
+	}
+	res := &Result{Intermediate: make([]int64, len(patterns))}
+
+	// Assign slots to variables in first-use order: required patterns
+	// first, then OPTIONAL groups.
+	slots := map[string]int{}
+	assignSlots := func(tps []sparql.TriplePattern) {
+		for _, tp := range tps {
+			for _, v := range tp.Vars() {
+				if _, ok := slots[v]; !ok {
+					slots[v] = len(slots)
+					res.Vars = append(res.Vars, v)
+				}
+			}
+		}
+	}
+	assignSlots(patterns)
+	for _, g := range opts.Optionals {
+		assignSlots(g)
+	}
+
+	filters, err := compileFilters(st, patterns, opts.Filters, slots)
+	if err != nil {
+		return nil, err
+	}
+
+	compiled, empty := compilePatterns(st, patterns, slots)
+	if empty {
+		return res, nil
+	}
+	groups := make([][]compiledPattern, 0, len(opts.Optionals))
+	groupEmpty := make([]bool, 0, len(opts.Optionals))
+	for _, g := range opts.Optionals {
+		cg, gEmpty := compilePatterns(st, g, slots)
+		groups = append(groups, cg)
+		groupEmpty = append(groupEmpty, gEmpty)
+	}
+
+	row := make([]store.ID, len(slots))
+	exec := &executor{
+		st:         st,
+		compiled:   compiled,
+		groups:     groups,
+		groupEmpty: groupEmpty,
+		filters:    filters,
+		row:        row,
+		res:        res,
+		opts:       opts,
+	}
+	exec.level(0)
+	if exec.stopped && exec.budgetHit {
+		res.TimedOut = true
+	}
+	return res, nil
+}
+
+// compilePatterns resolves patterns to slots and constants. empty is
+// true when a constant term does not occur in the data at all, making
+// the pattern list unsatisfiable.
+func compilePatterns(st *store.Store, patterns []sparql.TriplePattern, slots map[string]int) (compiled []compiledPattern, empty bool) {
+	compiled = make([]compiledPattern, len(patterns))
+	for i, tp := range patterns {
+		cp := compiledPattern{slotS: -1, slotP: -1, slotO: -1}
+		bind := func(pt sparql.PatternTerm, slot *int, cst *store.ID) {
+			if pt.IsVar() {
+				*slot = slots[pt.Var]
+				return
+			}
+			id, ok := st.Dict().Lookup(pt.Term)
+			if !ok {
+				empty = true
+				return
+			}
+			*cst = id
+		}
+		bind(tp.S, &cp.slotS, &cp.constS)
+		bind(tp.P, &cp.slotP, &cp.constP)
+		bind(tp.O, &cp.slotO, &cp.constO)
+		compiled[i] = cp
+	}
+	return compiled, empty
+}
+
+type executor struct {
+	st         *store.Store
+	compiled   []compiledPattern
+	groups     [][]compiledPattern // OPTIONAL groups
+	groupEmpty []bool              // group references a term absent from the data
+	filters    [][]compiledFilter  // per required level, applied once bound
+	row        []store.ID
+	res        *Result
+	opts       Options
+	stopped    bool
+	budgetHit  bool
+}
+
+// emit records one complete solution.
+func (e *executor) emit() {
+	e.res.Count++
+	if !e.opts.CountOnly {
+		e.res.Rows = append(e.res.Rows, append([]store.ID(nil), e.row...))
+		if e.opts.Limit > 0 && len(e.res.Rows) >= e.opts.Limit {
+			e.stopped = true
+		}
+	}
+}
+
+// level evaluates required pattern i under the current partial binding.
+func (e *executor) level(i int) {
+	if e.stopped {
+		return
+	}
+	if i == len(e.compiled) {
+		e.optional(0)
+		return
+	}
+	e.scan(e.compiled[i], e.filters[i], func() {
+		e.res.Intermediate[i]++
+		e.level(i + 1)
+	})
+}
+
+// optional left-outer-joins OPTIONAL group g onto the current solution.
+func (e *executor) optional(g int) {
+	if e.stopped {
+		return
+	}
+	if g == len(e.groups) {
+		e.emit()
+		return
+	}
+	matched := false
+	if !e.groupEmpty[g] {
+		e.groupLevel(e.groups[g], 0, func() {
+			matched = true
+			e.optional(g + 1)
+		})
+	}
+	if !matched && !e.stopped {
+		// no match: keep the solution once, group variables unbound
+		e.optional(g + 1)
+	}
+}
+
+// groupLevel evaluates pattern i of an OPTIONAL group, calling cont for
+// every complete group match.
+func (e *executor) groupLevel(group []compiledPattern, i int, cont func()) {
+	if e.stopped {
+		return
+	}
+	if i == len(group) {
+		cont()
+		return
+	}
+	e.scan(group[i], nil, func() {
+		e.groupLevel(group, i+1, cont)
+	})
+}
+
+// scan enumerates the matches of cp under the current binding, applying
+// filters, and calls cont with the extended binding.
+func (e *executor) scan(cp compiledPattern, filters []compiledFilter, cont func()) {
+	pat := store.IDTriple{S: cp.constS, P: cp.constP, O: cp.constO}
+	// Positions whose variable is already bound become constants; the
+	// ones bound by this scan are recorded so they can be unbound again.
+	var newS, newP, newO bool
+	if cp.slotS >= 0 {
+		if v := e.row[cp.slotS]; v != 0 {
+			pat.S = v
+		} else {
+			newS = true
+		}
+	}
+	if cp.slotP >= 0 {
+		if v := e.row[cp.slotP]; v != 0 {
+			pat.P = v
+		} else {
+			newP = true
+		}
+	}
+	if cp.slotO >= 0 {
+		if v := e.row[cp.slotO]; v != 0 {
+			pat.O = v
+		} else {
+			newO = true
+		}
+	}
+	e.st.Scan(pat, func(t store.IDTriple) bool {
+		e.res.Ops++
+		if e.opts.MaxOps > 0 && e.res.Ops > e.opts.MaxOps {
+			e.stopped = true
+			e.budgetHit = true
+			return false
+		}
+		// Bind the new positions, checking intra-pattern repeats such as
+		// <?x p ?x>: the same slot may be "new" in two positions, in
+		// which case the second occurrence must agree with the first.
+		if newS {
+			e.row[cp.slotS] = t.S
+		}
+		if newP {
+			if prev := e.row[cp.slotP]; prev != 0 && prev != t.P {
+				e.unbind(cp, newS, false, false)
+				return true
+			}
+			e.row[cp.slotP] = t.P
+		}
+		if newO {
+			if prev := e.row[cp.slotO]; prev != 0 && prev != t.O {
+				e.unbind(cp, newS, newP, false)
+				return true
+			}
+			e.row[cp.slotO] = t.O
+		}
+		for _, f := range filters {
+			if !f.eval(e.row) {
+				e.unbind(cp, newS, newP, newO)
+				return true
+			}
+		}
+		cont()
+		e.unbind(cp, newS, newP, newO)
+		return !e.stopped
+	})
+}
+
+func (e *executor) unbind(cp compiledPattern, s, p, o bool) {
+	if s {
+		e.row[cp.slotS] = 0
+	}
+	if p {
+		e.row[cp.slotP] = 0
+	}
+	if o {
+		e.row[cp.slotO] = 0
+	}
+}
+
+// Materialize converts result rows back into term bindings, applying the
+// query's solution modifiers in SPARQL order: ORDER BY over the full
+// bindings (sort keys need not be projected), then projection with
+// DISTINCT, then OFFSET and LIMIT.
+func Materialize(st *store.Store, q *sparql.Query, res *Result) ([]map[string]string, error) {
+	if res.Rows == nil && res.Count > 0 {
+		return nil, fmt.Errorf("engine: result was executed with CountOnly")
+	}
+	proj := q.Projection
+	if len(proj) == 0 {
+		proj = res.Vars
+	}
+	col := map[string]int{}
+	for i, v := range res.Vars {
+		col[v] = i
+	}
+
+	rows := res.Rows
+	if len(q.OrderBy) > 0 {
+		keys := make([]int, len(q.OrderBy))
+		for i, k := range q.OrderBy {
+			c, ok := col[k.Var]
+			if !ok {
+				return nil, fmt.Errorf("engine: ORDER BY variable ?%s not bound by the BGP", k.Var)
+			}
+			keys[i] = c
+		}
+		rows = append([][]store.ID(nil), rows...)
+		dict := st.Dict()
+		sort.SliceStable(rows, func(i, j int) bool {
+			for ki, c := range keys {
+				a, b := rows[i][c], rows[j][c]
+				var cmp int
+				switch {
+				case a == b:
+					continue
+				case a == 0: // unbound OPTIONAL values sort first
+					cmp = -1
+				case b == 0:
+					cmp = 1
+				default:
+					cmp = sparql.CompareTermValues(dict.Term(a), dict.Term(b))
+				}
+				if cmp == 0 {
+					continue
+				}
+				if q.OrderBy[ki].Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+	}
+
+	var out []map[string]string
+	seen := map[string]bool{}
+	skipped := 0
+	for _, row := range rows {
+		m := make(map[string]string, len(proj))
+		key := ""
+		for _, v := range proj {
+			c, ok := col[v]
+			if !ok {
+				return nil, fmt.Errorf("engine: projected variable ?%s not bound by the BGP", v)
+			}
+			s := "" // unbound OPTIONAL variable
+			if row[c] != 0 {
+				s = st.Dict().Term(row[c]).String()
+			}
+			m[v] = s
+			key += s + "\x00"
+		}
+		if q.Distinct {
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		if skipped < q.Offset {
+			skipped++
+			continue
+		}
+		out = append(out, m)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"testing"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+// family builds a small social graph with known join cardinalities.
+func family() *store.Store {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+	typ := rdf.NewIRI(rdf.RDFType)
+	var g rdf.Graph
+	people := []string{"ann", "ben", "cat", "dan"}
+	for _, p := range people {
+		g.Append(iri(p), typ, iri("Person"))
+		g.Append(iri(p), iri("name"), rdf.NewLiteral(p))
+	}
+	g.Append(iri("ann"), iri("parentOf"), iri("ben"))
+	g.Append(iri("ann"), iri("parentOf"), iri("cat"))
+	g.Append(iri("ben"), iri("parentOf"), iri("dan"))
+	g.Append(iri("cat"), iri("knows"), iri("dan"))
+	return store.Load(g)
+}
+
+func run(t *testing.T, st *store.Store, src string, opts Options) *Result {
+	t.Helper()
+	q := sparql.MustParse(src)
+	res, err := Run(st, q.Patterns, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunSinglePattern(t *testing.T) {
+	st := family()
+	res := run(t, st, `SELECT * WHERE { ?p <http://x/parentOf> ?c }`, Options{})
+	if res.Count != 3 {
+		t.Errorf("Count = %d, want 3", res.Count)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("Rows = %d", len(res.Rows))
+	}
+}
+
+func TestRunJoin(t *testing.T) {
+	st := family()
+	// grandparents: ann->ben->dan
+	res := run(t, st, `SELECT * WHERE {
+		?g <http://x/parentOf> ?p .
+		?p <http://x/parentOf> ?c .
+	}`, Options{})
+	if res.Count != 1 {
+		t.Fatalf("Count = %d, want 1", res.Count)
+	}
+	if res.Intermediate[0] != 3 || res.Intermediate[1] != 1 {
+		t.Errorf("Intermediate = %v, want [3 1]", res.Intermediate)
+	}
+}
+
+func TestRunOrderIndependentCount(t *testing.T) {
+	st := family()
+	src := `SELECT * WHERE {
+		?x a <http://x/Person> .
+		?x <http://x/parentOf> ?y .
+		?y <http://x/name> ?n .
+	}`
+	q := sparql.MustParse(src)
+	base, err := Run(st, q.Patterns, Options{CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// all 3! orders must yield the same result count
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, perm := range perms {
+		ps := make([]sparql.TriplePattern, 3)
+		for i, j := range perm {
+			ps[i] = q.Patterns[j]
+		}
+		res, err := Run(st, ps, Options{CountOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != base.Count {
+			t.Errorf("order %v: count = %d, want %d", perm, res.Count, base.Count)
+		}
+	}
+	if base.Count != 3 {
+		t.Errorf("count = %d, want 3", base.Count)
+	}
+}
+
+func TestRunConstantMissingFromDict(t *testing.T) {
+	st := family()
+	res := run(t, st, `SELECT * WHERE { ?x <http://x/nosuch> ?y }`, Options{})
+	if res.Count != 0 {
+		t.Errorf("Count = %d, want 0", res.Count)
+	}
+}
+
+func TestRunRepeatedVariableInPattern(t *testing.T) {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+	var g rdf.Graph
+	g.Append(iri("a"), iri("p"), iri("a")) // self loop
+	g.Append(iri("a"), iri("p"), iri("b"))
+	g.Append(iri("b"), iri("p"), iri("c"))
+	st := store.Load(g)
+	res := run(t, st, `SELECT * WHERE { ?x <http://x/p> ?x }`, Options{})
+	if res.Count != 1 {
+		t.Errorf("self-loop count = %d, want 1", res.Count)
+	}
+}
+
+func TestRunCartesian(t *testing.T) {
+	st := family()
+	res := run(t, st, `SELECT * WHERE {
+		?a <http://x/knows> ?b .
+		?c <http://x/parentOf> ?d .
+	}`, Options{})
+	if res.Count != 3 {
+		t.Errorf("cartesian count = %d, want 1*3", res.Count)
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	st := family()
+	res := run(t, st, `SELECT * WHERE { ?s ?p ?o }`, Options{MaxOps: 3, CountOnly: true})
+	if !res.TimedOut {
+		t.Error("budget exceeded but TimedOut not set")
+	}
+	if res.Count > 3 {
+		t.Errorf("counted %d rows past the budget", res.Count)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	st := family()
+	res := run(t, st, `SELECT * WHERE { ?s ?p ?o }`, Options{Limit: 2})
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.TimedOut {
+		t.Error("limit stop must not report TimedOut")
+	}
+}
+
+func TestRunEmptyPatternList(t *testing.T) {
+	st := family()
+	if _, err := Run(st, nil, Options{}); err == nil {
+		t.Error("empty pattern list should error")
+	}
+}
+
+func TestMaterializeProjectionDistinctLimit(t *testing.T) {
+	st := family()
+	q := sparql.MustParse(`SELECT DISTINCT ?p WHERE {
+		?p <http://x/parentOf> ?c .
+	}`)
+	res, err := Run(st, q.Patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Materialize(st, q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // ann, ben (ann deduplicated)
+		t.Fatalf("distinct rows = %d, want 2: %v", len(rows), rows)
+	}
+	q.Limit = 1
+	rows, err = Materialize(st, q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Errorf("limited rows = %d, want 1", len(rows))
+	}
+}
+
+func TestMaterializeUnboundProjection(t *testing.T) {
+	st := family()
+	q := sparql.MustParse(`SELECT ?missing WHERE { ?p <http://x/parentOf> ?c }`)
+	res, err := Run(st, q.Patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Materialize(st, q, res); err == nil {
+		t.Error("projecting an unbound variable should error")
+	}
+}
+
+func TestMaterializeCountOnlyResult(t *testing.T) {
+	st := family()
+	q := sparql.MustParse(`SELECT * WHERE { ?p <http://x/parentOf> ?c }`)
+	res, err := Run(st, q.Patterns, Options{CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Materialize(st, q, res); err == nil {
+		t.Error("materializing a CountOnly result should error")
+	}
+}
+
+func TestIntermediatePrefixSemantics(t *testing.T) {
+	st := family()
+	// order: persons (4), then their children (3), then names (3)
+	q := sparql.MustParse(`SELECT * WHERE {
+		?x a <http://x/Person> .
+		?x <http://x/parentOf> ?y .
+		?y <http://x/name> ?n .
+	}`)
+	res, err := Run(st, q.Patterns, Options{CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{4, 3, 3}
+	for i, w := range want {
+		if res.Intermediate[i] != w {
+			t.Errorf("Intermediate[%d] = %d, want %d", i, res.Intermediate[i], w)
+		}
+	}
+	if res.Ops <= 0 {
+		t.Error("Ops not counted")
+	}
+}

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"fmt"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+// compiledFilter evaluates one FILTER constraint against a binding row.
+type compiledFilter struct {
+	eval func(row []store.ID) bool
+}
+
+// compileFilters resolves each filter's variables to slots and assigns
+// the filter to the earliest pattern level at which all of them are
+// bound (filter push-down). The result is indexed by pattern level.
+func compileFilters(st *store.Store, patterns []sparql.TriplePattern, filters []sparql.Filter, slots map[string]int) ([][]compiledFilter, error) {
+	perLevel := make([][]compiledFilter, len(patterns))
+	if len(filters) == 0 {
+		return perLevel, nil
+	}
+	// firstBound[v] = first pattern index binding variable v
+	firstBound := map[string]int{}
+	for i, tp := range patterns {
+		for _, v := range tp.Vars() {
+			if _, ok := firstBound[v]; !ok {
+				firstBound[v] = i
+			}
+		}
+	}
+	for _, f := range filters {
+		level := 0
+		for _, v := range f.Vars() {
+			lv, ok := firstBound[v]
+			if !ok {
+				return nil, fmt.Errorf("engine: filter %s references variable ?%s not bound by the BGP", f, v)
+			}
+			if lv > level {
+				level = lv
+			}
+		}
+		cf, err := compileFilter(st, f, slots)
+		if err != nil {
+			return nil, err
+		}
+		perLevel[level] = append(perLevel[level], cf)
+	}
+	return perLevel, nil
+}
+
+func compileFilter(st *store.Store, f sparql.Filter, slots map[string]int) (compiledFilter, error) {
+	resolve, err := operandResolver(st, f.Left, slots)
+	if err != nil {
+		return compiledFilter{}, err
+	}
+	resolveR, err := operandResolver(st, f.Right, slots)
+	if err != nil {
+		return compiledFilter{}, err
+	}
+	op := f.Op
+	return compiledFilter{eval: func(row []store.ID) bool {
+		return sparql.EvalCompare(op, resolve(row), resolveR(row))
+	}}, nil
+}
+
+// operandResolver returns a function producing the operand's term under
+// a binding row. Constants resolve once.
+func operandResolver(st *store.Store, pt sparql.PatternTerm, slots map[string]int) (func(row []store.ID) rdf.Term, error) {
+	if !pt.IsVar() {
+		term := pt.Term
+		return func([]store.ID) rdf.Term { return term }, nil
+	}
+	slot, ok := slots[pt.Var]
+	if !ok {
+		return nil, fmt.Errorf("engine: filter variable ?%s not bound by the BGP", pt.Var)
+	}
+	dict := st.Dict()
+	return func(row []store.ID) rdf.Term { return dict.Term(row[slot]) }, nil
+}

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"testing"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+// ages builds people with ages 10, 20, 30, 40.
+func ages() *store.Store {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+	var g rdf.Graph
+	for i, name := range []string{"a", "b", "c", "d"} {
+		g.Append(iri(name), iri("age"), rdf.NewInteger(int64((i+1)*10)))
+		g.Append(iri(name), iri("name"), rdf.NewLiteral(name))
+	}
+	return store.Load(g)
+}
+
+func TestFilterConstant(t *testing.T) {
+	st := ages()
+	q := sparql.MustParse(`SELECT * WHERE {
+		?p <http://x/age> ?a .
+		FILTER(?a >= 30)
+	}`)
+	res, err := Run(st, q.Patterns, Options{Filters: q.Filters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 2 {
+		t.Errorf("Count = %d, want 2 (ages 30, 40)", res.Count)
+	}
+	// push-down: the filter prunes at level 0, so Intermediate reflects it
+	if res.Intermediate[0] != 2 {
+		t.Errorf("Intermediate[0] = %d, want 2", res.Intermediate[0])
+	}
+}
+
+func TestFilterVarVsVar(t *testing.T) {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+	var g rdf.Graph
+	g.Append(iri("p"), iri("low"), rdf.NewInteger(3))
+	g.Append(iri("p"), iri("high"), rdf.NewInteger(7))
+	g.Append(iri("q"), iri("low"), rdf.NewInteger(9))
+	g.Append(iri("q"), iri("high"), rdf.NewInteger(2))
+	st := store.Load(g)
+	q := sparql.MustParse(`SELECT * WHERE {
+		?x <http://x/low> ?l .
+		?x <http://x/high> ?h .
+		FILTER(?l < ?h)
+	}`)
+	res, err := Run(st, q.Patterns, Options{Filters: q.Filters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 {
+		t.Errorf("Count = %d, want 1 (only p has low < high)", res.Count)
+	}
+}
+
+func TestFilterAppliedAtEarliestLevel(t *testing.T) {
+	st := ages()
+	// filter on ?a (bound at level 0) must prune before the name join
+	q := sparql.MustParse(`SELECT * WHERE {
+		?p <http://x/age> ?a .
+		?p <http://x/name> ?n .
+		FILTER(?a = 10)
+	}`)
+	res, err := Run(st, q.Patterns, Options{Filters: q.Filters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 {
+		t.Fatalf("Count = %d", res.Count)
+	}
+	// Ops: 4 age rows scanned + 1 name lookup (not 4)
+	if res.Ops > 6 {
+		t.Errorf("Ops = %d; filter was not pushed down", res.Ops)
+	}
+}
+
+func TestFilterOnIRIEquality(t *testing.T) {
+	st := ages()
+	q := sparql.MustParse(`SELECT * WHERE {
+		?p <http://x/age> ?a .
+		FILTER(?p = <http://x/b>)
+	}`)
+	res, err := Run(st, q.Patterns, Options{Filters: q.Filters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 {
+		t.Errorf("Count = %d, want 1", res.Count)
+	}
+}
+
+func TestFilterUnknownVariableErrors(t *testing.T) {
+	st := ages()
+	q := sparql.MustParse(`SELECT * WHERE { ?p <http://x/age> ?a }`)
+	bad := sparql.Filter{Left: sparql.Variable("ghost"), Op: sparql.OpGt, Right: sparql.Bound(rdf.NewInteger(1))}
+	if _, err := Run(st, q.Patterns, Options{Filters: []sparql.Filter{bad}}); err == nil {
+		t.Error("filter with unknown variable accepted")
+	}
+}
+
+func TestMaterializeOrderBy(t *testing.T) {
+	st := ages()
+	q := sparql.MustParse(`SELECT ?n WHERE {
+		?p <http://x/age> ?a .
+		?p <http://x/name> ?n .
+	} ORDER BY DESC(?a)`)
+	res, err := Run(st, q.Patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Materialize(st, q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{`"d"`, `"c"`, `"b"`, `"a"`}
+	for i, w := range want {
+		if rows[i]["n"] != w {
+			t.Errorf("row %d = %v, want %s", i, rows[i], w)
+		}
+	}
+}
+
+func TestMaterializeOrderByNonProjectedKey(t *testing.T) {
+	st := ages()
+	q := sparql.MustParse(`SELECT ?n WHERE {
+		?p <http://x/age> ?a .
+		?p <http://x/name> ?n .
+	} ORDER BY ?a LIMIT 2 OFFSET 1`)
+	res, err := Run(st, q.Patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Materialize(st, q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0]["n"] != `"b"` || rows[1]["n"] != `"c"` {
+		t.Errorf("rows = %v, want b then c (offset 1, limit 2)", rows)
+	}
+}
+
+func TestMaterializeOrderByTieStability(t *testing.T) {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+	var g rdf.Graph
+	g.Append(iri("a"), iri("score"), rdf.NewInteger(1))
+	g.Append(iri("b"), iri("score"), rdf.NewInteger(1))
+	st := store.Load(g)
+	q := sparql.MustParse(`SELECT ?p WHERE { ?p <http://x/score> ?s } ORDER BY ?s`)
+	res, err := Run(st, q.Patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Materialize(st, q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// stable sort keeps scan order for ties
+	if rows[0]["p"] != "<http://x/a>" {
+		t.Errorf("tie order changed: %v", rows)
+	}
+}
+
+func TestMaterializeOrderByUnboundKeyErrors(t *testing.T) {
+	st := ages()
+	q := sparql.MustParse(`SELECT * WHERE { ?p <http://x/age> ?a }`)
+	q.OrderBy = []sparql.OrderKey{{Var: "ghost"}}
+	res, err := Run(st, q.Patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Materialize(st, q, res); err == nil {
+		t.Error("unbound order key accepted")
+	}
+}

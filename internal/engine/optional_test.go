@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"testing"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+// library: three books, two have authors, one author has an email.
+func library() *store.Store {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+	typ := rdf.NewIRI(rdf.RDFType)
+	var g rdf.Graph
+	for _, b := range []string{"b1", "b2", "b3"} {
+		g.Append(iri(b), typ, iri("Book"))
+		g.Append(iri(b), iri("title"), rdf.NewLiteral("title-"+b))
+	}
+	g.Append(iri("b1"), iri("author"), iri("a1"))
+	g.Append(iri("b2"), iri("author"), iri("a2"))
+	g.Append(iri("b2"), iri("author"), iri("a3")) // two authors
+	g.Append(iri("a1"), iri("email"), rdf.NewLiteral("a1@x"))
+	return store.Load(g)
+}
+
+func runQ(t *testing.T, st *store.Store, src string) (*sparql.Query, *Result) {
+	t.Helper()
+	q := sparql.MustParse(src)
+	res, err := Run(st, q.Patterns, Options{Filters: q.Filters, Optionals: q.Optionals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, res
+}
+
+func TestOptionalKeepsUnmatchedSolutions(t *testing.T) {
+	st := library()
+	q, res := runQ(t, st, `SELECT * WHERE {
+		?b a <http://x/Book> .
+		OPTIONAL { ?b <http://x/author> ?a }
+	}`)
+	// b1: 1 author, b2: 2 authors, b3: none (kept unbound) → 4 rows
+	if res.Count != 4 {
+		t.Fatalf("Count = %d, want 4", res.Count)
+	}
+	rows, err := Materialize(st, q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbound := 0
+	for _, r := range rows {
+		if r["a"] == "" {
+			unbound++
+		}
+	}
+	if unbound != 1 {
+		t.Errorf("unbound author rows = %d, want 1 (b3)", unbound)
+	}
+}
+
+func TestOptionalChainedGroups(t *testing.T) {
+	st := library()
+	_, res := runQ(t, st, `SELECT * WHERE {
+		?b a <http://x/Book> .
+		OPTIONAL { ?b <http://x/author> ?a }
+		OPTIONAL { ?a <http://x/email> ?e }
+	}`)
+	// rows: (b1,a1,a1@x), (b2,a2,-), (b2,a3,-), and — by SPARQL's
+	// compatibility semantics — (b3,a1,a1@x): b3 leaves ?a unbound, and
+	// an unbound variable is compatible with any binding produced by a
+	// later OPTIONAL, so the email group binds both ?a and ?e for it.
+	if res.Count != 4 {
+		t.Fatalf("Count = %d, want 4", res.Count)
+	}
+	q := sparql.MustParse(`SELECT * WHERE {
+		?b a <http://x/Book> .
+		OPTIONAL { ?b <http://x/author> ?a }
+		OPTIONAL { ?a <http://x/email> ?e }
+	}`)
+	rows, err := Materialize(st, q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withEmail := 0
+	for _, r := range rows {
+		if r["e"] != "" {
+			withEmail++
+			if r["a"] != "<http://x/a1>" {
+				t.Errorf("email row has author %s", r["a"])
+			}
+		}
+	}
+	if withEmail != 2 {
+		t.Errorf("rows with email = %d, want 2 (b1 and the unbound-?a b3 row)", withEmail)
+	}
+}
+
+func TestOptionalSecondGroupOverUnboundVar(t *testing.T) {
+	st := library()
+	// for b3, ?a is unbound entering group 2; the email pattern then has
+	// an unbound subject variable and scans all email triples — matching
+	// a1's email and binding ?a through the join on ?a
+	_, res := runQ(t, st, `SELECT * WHERE {
+		?b a <http://x/Book> .
+		OPTIONAL { ?b <http://x/author> ?a . ?a <http://x/email> ?e }
+	}`)
+	// group matches only for b1 (author with email); b2 and b3 unbound
+	if res.Count != 3 {
+		t.Fatalf("Count = %d, want 3", res.Count)
+	}
+}
+
+func TestOptionalGroupWithAbsentTerm(t *testing.T) {
+	st := library()
+	_, res := runQ(t, st, `SELECT * WHERE {
+		?b a <http://x/Book> .
+		OPTIONAL { ?b <http://x/nosuchpredicate> ?x }
+	}`)
+	// group can never match: every book kept once with ?x unbound
+	if res.Count != 3 {
+		t.Fatalf("Count = %d, want 3", res.Count)
+	}
+}
+
+func TestOptionalDoesNotAffectRequiredSemantics(t *testing.T) {
+	st := library()
+	_, plain := runQ(t, st, `SELECT * WHERE { ?b a <http://x/Book> }`)
+	_, withOpt := runQ(t, st, `SELECT * WHERE {
+		?b a <http://x/Book> .
+		OPTIONAL { ?b <http://x/author> ?a }
+	}`)
+	if withOpt.Count < plain.Count {
+		t.Errorf("OPTIONAL reduced solutions: %d < %d", withOpt.Count, plain.Count)
+	}
+}
+
+func TestOptionalWithLimit(t *testing.T) {
+	st := library()
+	q := sparql.MustParse(`SELECT * WHERE {
+		?b a <http://x/Book> .
+		OPTIONAL { ?b <http://x/author> ?a }
+	}`)
+	res, err := Run(st, q.Patterns, Options{Optionals: q.Optionals, Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %d, want 2", len(res.Rows))
+	}
+}
+
+func TestOptionalOrderByOptionalVar(t *testing.T) {
+	st := library()
+	q, res := runQ(t, st, `SELECT ?b ?a WHERE {
+		?b a <http://x/Book> .
+		OPTIONAL { ?b <http://x/author> ?a }
+	} ORDER BY DESC(?a)`)
+	rows, err := Materialize(st, q, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[len(rows)-1]["a"] != "" {
+		t.Errorf("unbound row must sort first ascending / last descending: %v", rows)
+	}
+}

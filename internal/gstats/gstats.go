@@ -1,0 +1,206 @@
+// Package gstats computes the paper's "global statistics": VoID-style
+// dataset statistics extended with the distinct subject count (DSC) and
+// distinct object count (DOC) of every property, plus per-class instance
+// counts (Section 5).
+//
+// These are the statistics available to the GS planner variant and the
+// fallback used by the SS variant for patterns without a type-defined
+// subject.
+package gstats
+
+import (
+	"fmt"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/store"
+)
+
+// PredStat holds the per-predicate statistics of the extended VoID graph.
+type PredStat struct {
+	// Count is the number of triples with this predicate.
+	Count int64
+	// DSC is the number of distinct subjects of this predicate.
+	DSC int64
+	// DOC is the number of distinct objects of this predicate.
+	DOC int64
+}
+
+// Global is the global statistics graph G_gs of the paper.
+type Global struct {
+	// Triples is the total number of triples in the graph.
+	Triples int64
+	// DistinctSubjects and DistinctObjects count distinct terms in
+	// subject and object position over the whole graph.
+	DistinctSubjects int64
+	DistinctObjects  int64
+	// Pred maps each predicate IRI to its statistics.
+	Pred map[string]PredStat
+	// ClassInstances maps each class IRI (an rdf:type object) to its
+	// number of instances.
+	ClassInstances map[string]int64
+}
+
+// Compute derives global statistics from a frozen store.
+func Compute(st *store.Store) *Global {
+	g := &Global{
+		Triples:          int64(st.Len()),
+		DistinctSubjects: int64(st.DistinctSubjects(store.Wildcard)),
+		DistinctObjects:  int64(st.DistinctObjects(store.Wildcard)),
+		Pred:             map[string]PredStat{},
+		ClassInstances:   map[string]int64{},
+	}
+	for _, p := range st.Predicates() {
+		iri := st.Dict().Term(p).Value
+		g.Pred[iri] = PredStat{
+			Count: int64(st.Count(store.IDTriple{P: p})),
+			DSC:   int64(st.DistinctSubjects(p)),
+			DOC:   int64(st.DistinctObjects(p)),
+		}
+	}
+	if tid := st.TypeID(); tid != 0 {
+		for _, c := range st.ObjectsOf(tid) {
+			cls := st.Dict().Term(c).Value
+			g.ClassInstances[cls] = int64(st.Count(store.IDTriple{P: tid, O: c}))
+		}
+	}
+	return g
+}
+
+// TypeStat returns the statistics of rdf:type, which several Table 1
+// formulas need; the zero PredStat is returned when the graph has no type
+// triples.
+func (g *Global) TypeStat() PredStat { return g.Pred[rdf.RDFType] }
+
+// DistinctTypeObjects returns the number of distinct classes (rdf:type
+// objects), one of the dataset characteristics of the paper's Table 3.
+func (g *Global) DistinctTypeObjects() int64 { return int64(len(g.ClassInstances)) }
+
+// statsIRI is the IRI of the dataset node in the serialized form.
+const statsIRI = "urn:rdfshapes:global-statistics"
+
+// ToGraph serializes the statistics as an RDF graph using the VoID
+// vocabulary: the dataset node carries void:triples,
+// void:distinctSubjects, void:distinctObjects, one void:propertyPartition
+// per predicate (with count/DSC/DOC) and one void:classPartition per
+// class (with void:entities).
+func (g *Global) ToGraph() rdf.Graph {
+	var out rdf.Graph
+	ds := rdf.NewIRI(statsIRI)
+	out.Append(ds, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(rdf.VoidDataset))
+	out.Append(ds, rdf.NewIRI(rdf.VoidTriples), rdf.NewInteger(g.Triples))
+	out.Append(ds, rdf.NewIRI(rdf.VoidDistinctSubjects), rdf.NewInteger(g.DistinctSubjects))
+	out.Append(ds, rdf.NewIRI(rdf.VoidDistinctObjects), rdf.NewInteger(g.DistinctObjects))
+	for iri, ps := range g.Pred {
+		part := rdf.NewBlank("pp-" + sanitizeLabel(iri))
+		out.Append(ds, rdf.NewIRI(rdf.VoidPropertyPartition), part)
+		out.Append(part, rdf.NewIRI(rdf.VoidProperty), rdf.NewIRI(iri))
+		out.Append(part, rdf.NewIRI(rdf.VoidTriples), rdf.NewInteger(ps.Count))
+		out.Append(part, rdf.NewIRI(rdf.VoidDistinctSubjects), rdf.NewInteger(ps.DSC))
+		out.Append(part, rdf.NewIRI(rdf.VoidDistinctObjects), rdf.NewInteger(ps.DOC))
+	}
+	for cls, n := range g.ClassInstances {
+		part := rdf.NewBlank("cp-" + sanitizeLabel(cls))
+		out.Append(ds, rdf.NewIRI(rdf.VoidClassPartition), part)
+		out.Append(part, rdf.NewIRI(rdf.VoidClass), rdf.NewIRI(cls))
+		out.Append(part, rdf.NewIRI(rdf.VoidEntities), rdf.NewInteger(n))
+	}
+	return out
+}
+
+// FromGraph reconstructs statistics from a graph produced by ToGraph.
+func FromGraph(g rdf.Graph) (*Global, error) {
+	out := &Global{Pred: map[string]PredStat{}, ClassInstances: map[string]int64{}}
+	// index triples by subject
+	bySubj := map[rdf.Term][]rdf.Triple{}
+	for _, t := range g {
+		bySubj[t.S] = append(bySubj[t.S], t)
+	}
+	ds := rdf.NewIRI(statsIRI)
+	root, ok := bySubj[ds]
+	if !ok {
+		return nil, fmt.Errorf("gstats: graph has no dataset node %s", ds)
+	}
+	intVal := func(t rdf.Triple) (int64, error) {
+		var n int64
+		if !t.O.IsLiteral() {
+			return 0, fmt.Errorf("gstats: %s has non-literal value %s", t.P, t.O)
+		}
+		if _, err := fmt.Sscanf(t.O.Value, "%d", &n); err != nil {
+			return 0, fmt.Errorf("gstats: bad integer %q for %s: %w", t.O.Value, t.P, err)
+		}
+		return n, nil
+	}
+	for _, t := range root {
+		var err error
+		switch t.P.Value {
+		case rdf.VoidTriples:
+			out.Triples, err = intVal(t)
+		case rdf.VoidDistinctSubjects:
+			out.DistinctSubjects, err = intVal(t)
+		case rdf.VoidDistinctObjects:
+			out.DistinctObjects, err = intVal(t)
+		case rdf.VoidPropertyPartition:
+			err = parsePropertyPartition(bySubj[t.O], out)
+		case rdf.VoidClassPartition:
+			err = parseClassPartition(bySubj[t.O], out)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func parsePropertyPartition(ts []rdf.Triple, out *Global) error {
+	var iri string
+	var ps PredStat
+	for _, t := range ts {
+		switch t.P.Value {
+		case rdf.VoidProperty:
+			iri = t.O.Value
+		case rdf.VoidTriples:
+			fmt.Sscanf(t.O.Value, "%d", &ps.Count)
+		case rdf.VoidDistinctSubjects:
+			fmt.Sscanf(t.O.Value, "%d", &ps.DSC)
+		case rdf.VoidDistinctObjects:
+			fmt.Sscanf(t.O.Value, "%d", &ps.DOC)
+		}
+	}
+	if iri == "" {
+		return fmt.Errorf("gstats: property partition without void:property")
+	}
+	out.Pred[iri] = ps
+	return nil
+}
+
+func parseClassPartition(ts []rdf.Triple, out *Global) error {
+	var cls string
+	var n int64
+	for _, t := range ts {
+		switch t.P.Value {
+		case rdf.VoidClass:
+			cls = t.O.Value
+		case rdf.VoidEntities:
+			fmt.Sscanf(t.O.Value, "%d", &n)
+		}
+	}
+	if cls == "" {
+		return fmt.Errorf("gstats: class partition without void:class")
+	}
+	out.ClassInstances[cls] = n
+	return nil
+}
+
+// sanitizeLabel makes an IRI usable as a blank node label.
+func sanitizeLabel(iri string) string {
+	b := make([]byte, 0, len(iri))
+	for i := 0; i < len(iri); i++ {
+		c := iri[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			b = append(b, c)
+		} else {
+			b = append(b, '-')
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,93 @@
+package gstats
+
+import (
+	"reflect"
+	"testing"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/store"
+)
+
+func sample() *store.Store {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+	typ := rdf.NewIRI(rdf.RDFType)
+	var g rdf.Graph
+	g.Append(iri("a"), typ, iri("Person"))
+	g.Append(iri("b"), typ, iri("Person"))
+	g.Append(iri("c"), typ, iri("Dog"))
+	g.Append(iri("a"), iri("knows"), iri("b"))
+	g.Append(iri("a"), iri("knows"), iri("c"))
+	g.Append(iri("b"), iri("knows"), iri("c"))
+	g.Append(iri("a"), iri("name"), rdf.NewLiteral("A"))
+	g.Append(iri("b"), iri("name"), rdf.NewLiteral("A")) // shared literal
+	return store.Load(g)
+}
+
+func TestCompute(t *testing.T) {
+	g := Compute(sample())
+	if g.Triples != 8 {
+		t.Errorf("Triples = %d, want 8", g.Triples)
+	}
+	if g.DistinctSubjects != 3 {
+		t.Errorf("DistinctSubjects = %d, want 3", g.DistinctSubjects)
+	}
+	// objects: Person, Dog, b, c, "A"
+	if g.DistinctObjects != 5 {
+		t.Errorf("DistinctObjects = %d, want 5", g.DistinctObjects)
+	}
+	knows := g.Pred["http://x/knows"]
+	if knows.Count != 3 || knows.DSC != 2 || knows.DOC != 2 {
+		t.Errorf("knows = %+v", knows)
+	}
+	name := g.Pred["http://x/name"]
+	if name.Count != 2 || name.DSC != 2 || name.DOC != 1 {
+		t.Errorf("name = %+v", name)
+	}
+	if g.ClassInstances["http://x/Person"] != 2 || g.ClassInstances["http://x/Dog"] != 1 {
+		t.Errorf("ClassInstances = %v", g.ClassInstances)
+	}
+	if g.DistinctTypeObjects() != 2 {
+		t.Errorf("DistinctTypeObjects = %d", g.DistinctTypeObjects())
+	}
+	ts := g.TypeStat()
+	if ts.Count != 3 || ts.DSC != 3 || ts.DOC != 2 {
+		t.Errorf("TypeStat = %+v", ts)
+	}
+}
+
+func TestComputeNoTypes(t *testing.T) {
+	var gr rdf.Graph
+	gr.Append(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewIRI("o"))
+	g := Compute(store.Load(gr))
+	if len(g.ClassInstances) != 0 {
+		t.Errorf("ClassInstances = %v, want empty", g.ClassInstances)
+	}
+	if g.TypeStat() != (PredStat{}) {
+		t.Errorf("TypeStat = %+v, want zero", g.TypeStat())
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	g := Compute(sample())
+	rt, err := FromGraph(g.ToGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, rt) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", rt, g)
+	}
+}
+
+func TestFromGraphMissingDataset(t *testing.T) {
+	var gr rdf.Graph
+	gr.Append(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewIRI("o"))
+	if _, err := FromGraph(gr); err == nil {
+		t.Error("FromGraph without dataset node should error")
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	if got := sanitizeLabel("http://x/a#b"); got != "http---x-a-b" {
+		t.Errorf("sanitizeLabel = %q", got)
+	}
+}

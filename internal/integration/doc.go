@@ -1,0 +1,5 @@
+// Package integration holds cross-component property-based tests that
+// exercise planners, estimators, and the engine together on randomly
+// generated graphs and queries — chiefly the invariant that every
+// planner's order yields the same result count.
+package integration

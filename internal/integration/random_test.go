@@ -1,0 +1,201 @@
+package integration
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rdfshapes/internal/annotator"
+	"rdfshapes/internal/baselines/charsets"
+	"rdfshapes/internal/baselines/heuristic"
+	"rdfshapes/internal/baselines/selectivity"
+	"rdfshapes/internal/baselines/sumrdf"
+	"rdfshapes/internal/cardinality"
+	"rdfshapes/internal/core"
+	"rdfshapes/internal/engine"
+	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/shacl"
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+// randomWorld builds a random typed graph and a random connected BGP
+// over its vocabulary.
+func randomWorld(r *rand.Rand) (*store.Store, *sparql.Query) {
+	nClasses := 2 + r.Intn(3)
+	nPreds := 2 + r.Intn(4)
+	nNodes := 10 + r.Intn(40)
+	iri := func(kind string, i int) rdf.Term {
+		return rdf.NewIRI(fmt.Sprintf("http://x/%s%d", kind, i))
+	}
+	typ := rdf.NewIRI(rdf.RDFType)
+	var g rdf.Graph
+	for i := 0; i < nNodes; i++ {
+		g.Append(iri("n", i), typ, iri("C", r.Intn(nClasses)))
+		for t := 0; t < 1+r.Intn(3); t++ {
+			g.Append(iri("n", i), iri("p", r.Intn(nPreds)), iri("n", r.Intn(nNodes)))
+		}
+	}
+	st := store.Load(g)
+
+	// random connected query: start with a pattern, then extend reusing
+	// bound variables
+	nPatterns := 2 + r.Intn(4)
+	vars := []string{"v0", "v1"}
+	patterns := []sparql.TriplePattern{{
+		S:     sparql.Variable("v0"),
+		P:     sparql.Bound(iri("p", r.Intn(nPreds))),
+		O:     sparql.Variable("v1"),
+		Index: 0,
+	}}
+	for i := 1; i < nPatterns; i++ {
+		shared := vars[r.Intn(len(vars))]
+		fresh := fmt.Sprintf("v%d", len(vars))
+		vars = append(vars, fresh)
+		var tp sparql.TriplePattern
+		switch r.Intn(4) {
+		case 0: // type pattern on a shared variable
+			tp = sparql.TriplePattern{
+				S: sparql.Variable(shared),
+				P: sparql.Bound(rdf.NewIRI(rdf.RDFType)),
+				O: sparql.Bound(iri("C", r.Intn(nClasses))),
+			}
+		case 1: // shared as subject
+			tp = sparql.TriplePattern{
+				S: sparql.Variable(shared),
+				P: sparql.Bound(iri("p", r.Intn(nPreds))),
+				O: sparql.Variable(fresh),
+			}
+		case 2: // shared as object
+			tp = sparql.TriplePattern{
+				S: sparql.Variable(fresh),
+				P: sparql.Bound(iri("p", r.Intn(nPreds))),
+				O: sparql.Variable(shared),
+			}
+		default: // bound object
+			tp = sparql.TriplePattern{
+				S: sparql.Variable(shared),
+				P: sparql.Bound(iri("p", r.Intn(nPreds))),
+				O: sparql.Bound(iri("n", r.Intn(nNodes))),
+			}
+		}
+		tp.Index = i
+		patterns = append(patterns, tp)
+	}
+	return st, &sparql.Query{Patterns: patterns}
+}
+
+// TestPlannersAgreeOnRandomQueries is the central cross-component
+// property: for random graphs and random queries, every planner produces
+// a complete permutation of the BGP, and executing any of those orders
+// yields the same result count.
+func TestPlannersAgreeOnRandomQueries(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st, q := randomWorld(r)
+		global := gstats.Compute(st)
+		shapes, err := shacl.InferShapes(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := annotator.Annotate(shapes, st); err != nil {
+			t.Fatal(err)
+		}
+		summary, err := sumrdf.Build(st, global, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planners := []core.Planner{
+			&core.ShapeFirstPlanner{SS: cardinality.NewShapeEstimator(shapes, global)},
+			&core.EstimatorPlanner{Est: cardinality.NewGlobalEstimator(global)},
+			heuristic.New(),
+			selectivity.New(global),
+			&core.EstimatorPlanner{Est: charsets.Build(st, global), Label: "CS"},
+			&core.EstimatorPlanner{Est: summary, Label: "SumRDF"},
+		}
+		baseline := int64(-1)
+		for _, pl := range planners {
+			plan := pl.Plan(q)
+			if len(plan.Steps) != len(q.Patterns) {
+				t.Errorf("seed %d: %s plan has %d steps, want %d", seed, pl.Name(), len(plan.Steps), len(q.Patterns))
+				return false
+			}
+			seen := map[int]bool{}
+			for _, s := range plan.Steps {
+				if seen[s.Pattern.Index] {
+					t.Errorf("seed %d: %s plan repeats pattern %d", seed, pl.Name(), s.Pattern.Index)
+					return false
+				}
+				seen[s.Pattern.Index] = true
+			}
+			if plan.Cost < 0 || math.IsNaN(plan.Cost) || math.IsInf(plan.Cost, 0) {
+				t.Errorf("seed %d: %s plan cost = %v", seed, pl.Name(), plan.Cost)
+				return false
+			}
+			er, err := engine.Run(st, plan.Order(), engine.Options{CountOnly: true})
+			if err != nil {
+				t.Errorf("seed %d: %s: %v", seed, pl.Name(), err)
+				return false
+			}
+			if baseline == -1 {
+				baseline = er.Count
+			} else if er.Count != baseline {
+				t.Errorf("seed %d: %s count = %d, others = %d", seed, pl.Name(), er.Count, baseline)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEstimatorsFiniteOnRandomQueries: every estimator must return
+// finite, non-negative statistics for every pattern of random queries.
+func TestEstimatorsFiniteOnRandomQueries(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st, q := randomWorld(r)
+		global := gstats.Compute(st)
+		shapes, err := shacl.InferShapes(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := annotator.Annotate(shapes, st); err != nil {
+			t.Fatal(err)
+		}
+		summary, err := sumrdf.Build(st, global, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests := []cardinality.Estimator{
+			cardinality.NewGlobalEstimator(global),
+			cardinality.NewShapeEstimator(shapes, global),
+			charsets.Build(st, global),
+			summary,
+		}
+		for _, est := range ests {
+			for _, tp := range q.Patterns {
+				ts := est.EstimateTP(q, tp)
+				if ts.Card < 0 || math.IsNaN(ts.Card) || math.IsInf(ts.Card, 0) ||
+					ts.DSC < 0 || ts.DOC < 0 {
+					t.Errorf("seed %d: %s estimate for %v = %+v", seed, est.Name(), tp, ts)
+					return false
+				}
+			}
+			final, steps := cardinality.SequenceEstimate(q, q.Patterns, est)
+			if final < 0 || math.IsNaN(final) || math.IsInf(final, 0) {
+				t.Errorf("seed %d: %s sequence estimate = %v (%v)", seed, est.Name(), final, steps)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseTerm parses a single term in N-Triples syntax (as produced by
+// Term.String): an IRI in angle brackets, a quoted literal with optional
+// @lang or ^^<datatype>, or a _:label blank node.
+func ParseTerm(s string) (Term, error) {
+	p := &termParser{s: s}
+	t, err := p.term()
+	if err != nil {
+		return Term{}, fmt.Errorf("rdf: parsing term %q: %w", s, err)
+	}
+	p.skipSpace()
+	if p.rest() != "" {
+		return Term{}, fmt.Errorf("rdf: trailing input after term %q", s)
+	}
+	return t, nil
+}
+
+// ParseNTriples reads a graph serialized in the N-Triples subset produced
+// by WriteNTriples: one triple per line, '#' comment lines, IRIs in angle
+// brackets, literals in double quotes with optional ^^<datatype> or @lang,
+// blank nodes as _:label.
+func ParseNTriples(r io.Reader) (Graph, error) {
+	var g Graph
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseTripleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+		}
+		g = append(g, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rdf: reading input: %w", err)
+	}
+	return g, nil
+}
+
+func parseTripleLine(line string) (Triple, error) {
+	p := &termParser{s: line}
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	pr, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	if !pr.IsIRI() {
+		return Triple{}, fmt.Errorf("predicate must be an IRI, got %s", pr)
+	}
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.skipSpace()
+	if !strings.HasPrefix(p.rest(), ".") {
+		return Triple{}, fmt.Errorf("missing terminating '.' in %q", line)
+	}
+	return Triple{S: s, P: pr, O: o}, nil
+}
+
+// termParser is a minimal recursive-descent reader over one line.
+type termParser struct {
+	s string
+	i int
+}
+
+func (p *termParser) rest() string { return p.s[p.i:] }
+
+func (p *termParser) skipSpace() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *termParser) term() (Term, error) {
+	p.skipSpace()
+	if p.i >= len(p.s) {
+		return Term{}, fmt.Errorf("unexpected end of line")
+	}
+	switch p.s[p.i] {
+	case '<':
+		end := strings.IndexByte(p.s[p.i:], '>')
+		if end < 0 {
+			return Term{}, fmt.Errorf("unterminated IRI")
+		}
+		iri := p.s[p.i+1 : p.i+end]
+		p.i += end + 1
+		return NewIRI(iri), nil
+	case '_':
+		if !strings.HasPrefix(p.rest(), "_:") {
+			return Term{}, fmt.Errorf("malformed blank node at %q", p.rest())
+		}
+		start := p.i + 2
+		j := start
+		for j < len(p.s) && p.s[j] != ' ' && p.s[j] != '\t' {
+			j++
+		}
+		label := p.s[start:j]
+		p.i = j
+		if label == "" {
+			return Term{}, fmt.Errorf("empty blank node label")
+		}
+		return NewBlank(label), nil
+	case '"':
+		return p.literal()
+	default:
+		return Term{}, fmt.Errorf("unexpected character %q", p.s[p.i])
+	}
+}
+
+func (p *termParser) literal() (Term, error) {
+	// find the closing unescaped quote
+	j := p.i + 1
+	for j < len(p.s) {
+		if p.s[j] == '\\' {
+			j += 2
+			continue
+		}
+		if p.s[j] == '"' {
+			break
+		}
+		j++
+	}
+	if j >= len(p.s) {
+		return Term{}, fmt.Errorf("unterminated literal")
+	}
+	lex := unescapeLiteral(p.s[p.i+1 : j])
+	p.i = j + 1
+	// optional @lang or ^^<datatype>
+	if strings.HasPrefix(p.rest(), "@") {
+		start := p.i + 1
+		k := start
+		for k < len(p.s) && p.s[k] != ' ' && p.s[k] != '\t' {
+			k++
+		}
+		lang := p.s[start:k]
+		p.i = k
+		if lang == "" {
+			return Term{}, fmt.Errorf("empty language tag")
+		}
+		return NewLangLiteral(lex, lang), nil
+	}
+	if strings.HasPrefix(p.rest(), "^^<") {
+		end := strings.IndexByte(p.s[p.i+3:], '>')
+		if end < 0 {
+			return Term{}, fmt.Errorf("unterminated datatype IRI")
+		}
+		dt := p.s[p.i+3 : p.i+3+end]
+		p.i += 3 + end + 1
+		return NewTypedLiteral(lex, dt), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+// WriteNTriples serializes the graph in N-Triples syntax, one triple per
+// line, in the order given.
+func WriteNTriples(w io.Writer, g Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return fmt.Errorf("rdf: writing triple: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("rdf: writing triple: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("rdf: flushing output: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package rdf
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNTriplesBasic(t *testing.T) {
+	input := `
+# a comment
+<http://x/s> <http://x/p> <http://x/o> .
+<http://x/s> <http://x/p> "plain" .
+<http://x/s> <http://x/p> "typed"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://x/s> <http://x/p> "tagged"@en .
+_:b1 <http://x/p> _:b2 .
+`
+	g, err := ParseNTriples(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 5 {
+		t.Fatalf("parsed %d triples, want 5", len(g))
+	}
+	if g[0].O != NewIRI("http://x/o") {
+		t.Errorf("triple 0 object = %v", g[0].O)
+	}
+	if g[1].O != NewLiteral("plain") {
+		t.Errorf("triple 1 object = %v", g[1].O)
+	}
+	if g[2].O != NewTypedLiteral("typed", XSDInteger) {
+		t.Errorf("triple 2 object = %v", g[2].O)
+	}
+	if g[3].O != NewLangLiteral("tagged", "en") {
+		t.Errorf("triple 3 object = %v", g[3].O)
+	}
+	if g[4].S != NewBlank("b1") || g[4].O != NewBlank("b2") {
+		t.Errorf("triple 4 = %v", g[4])
+	}
+}
+
+func TestParseNTriplesErrors(t *testing.T) {
+	bad := []string{
+		`<http://s> <http://p> .`,                   // missing object
+		`<http://s> "lit" <http://o> .`,             // literal predicate
+		`<http://s> <http://p> <http://o>`,          // missing dot
+		`<http://s> <http://p> "unterminated .`,     // unterminated literal
+		`<unterminated <http://p> <http://o> .`,     // IRI swallows rest
+		`_: <http://p> <http://o> .`,                // empty blank label
+		`<http://s> <http://p> "x"@ .`,              // empty language
+		`<http://s> <http://p> "x"^^<unterminated`,  // unterminated datatype
+		`<http://s> <http://p> "x" extra-garbage .`, // garbage before dot
+	}
+	for _, in := range bad {
+		if _, err := ParseNTriples(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseNTriples(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	g := Graph{
+		NewTriple(NewIRI("http://x/s"), NewIRI("http://x/p"), NewLiteral("a\nb\"c\\d")),
+		NewTriple(NewBlank("n1"), NewIRI("http://x/q"), NewLangLiteral("x", "en")),
+		NewTriple(NewIRI("http://x/s"), NewIRI("http://x/r"), NewInteger(7)),
+	}
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, parsed) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", parsed, g)
+	}
+}
+
+// randomTerm builds arbitrary terms with printable content for the
+// property-based round-trip test.
+func randomTerm(r *rand.Rand, allowLiteral bool) Term {
+	letters := "abcdefghijklmnop \t\"\\\nqrstuvwxyz0123456789"
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return string(b)
+	}
+	iriSafe := func(n int) string {
+		return strings.Map(func(c rune) rune {
+			switch c {
+			case ' ', '\t', '"', '\\', '\n', '>':
+				return 'x'
+			}
+			return c
+		}, randStr(n))
+	}
+	switch k := r.Intn(3); {
+	case k == 0 || !allowLiteral:
+		return NewIRI("http://example.org/" + iriSafe(1+r.Intn(10)))
+	case k == 1:
+		return NewBlank("b" + iriSafe(1+r.Intn(5)))
+	default:
+		switch r.Intn(3) {
+		case 0:
+			return NewLiteral(randStr(r.Intn(12)))
+		case 1:
+			return NewLangLiteral(strings.ReplaceAll(randStr(r.Intn(12)), " ", "_"), "en")
+		default:
+			return NewTypedLiteral(randStr(r.Intn(12)), "http://example.org/dt"+iriSafe(3))
+		}
+	}
+}
+
+func TestNTriplesRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := make(Graph, 0, n%16)
+		for i := 0; i < int(n%16); i++ {
+			g = append(g, Triple{
+				S: randomTerm(r, false),
+				P: NewIRI("http://example.org/p" + string(rune('a'+r.Intn(26)))),
+				O: randomTerm(r, true),
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteNTriples(&buf, g); err != nil {
+			return false
+		}
+		parsed, err := ParseNTriples(&buf)
+		if err != nil {
+			return false
+		}
+		if len(g) == 0 {
+			return len(parsed) == 0
+		}
+		return reflect.DeepEqual(g, parsed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixMapExpandCompact(t *testing.T) {
+	pm := CommonPrefixes()
+	iri, err := pm.Expand("rdf:type")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iri != RDFType {
+		t.Errorf("Expand(rdf:type) = %q", iri)
+	}
+	if _, err := pm.Expand("nosuch:x"); err == nil {
+		t.Error("unbound prefix expansion succeeded")
+	}
+	if _, err := pm.Expand("noColon"); err == nil {
+		t.Error("expansion without colon succeeded")
+	}
+	q, ok := pm.Compact(RDFType)
+	if !ok || q != "rdf:type" {
+		t.Errorf("Compact = %q, %v", q, ok)
+	}
+	if _, ok := pm.Compact("http://unknown.example/x"); ok {
+		t.Error("compacted unknown namespace")
+	}
+}
+
+func TestPrefixMapRebind(t *testing.T) {
+	pm := NewPrefixMap()
+	pm.Bind("ex", "http://one.example/")
+	pm.Bind("ex", "http://two.example/")
+	iri, err := pm.Expand("ex:a")
+	if err != nil || iri != "http://two.example/a" {
+		t.Errorf("Expand after rebind = %q, %v", iri, err)
+	}
+	// the old namespace must no longer compact
+	if _, ok := pm.Compact("http://one.example/a"); ok {
+		t.Error("stale namespace still compacts")
+	}
+	if got := len(pm.Bindings()); got != 1 {
+		t.Errorf("Bindings() has %d entries, want 1", got)
+	}
+}
+
+func TestPrefixMapLongestMatch(t *testing.T) {
+	pm := NewPrefixMap()
+	pm.Bind("a", "http://x.example/")
+	pm.Bind("b", "http://x.example/deep/")
+	q, ok := pm.Compact("http://x.example/deep/leaf")
+	if !ok || q != "b:leaf" {
+		t.Errorf("Compact = %q, %v; want b:leaf", q, ok)
+	}
+}
+
+func TestParseTerm(t *testing.T) {
+	cases := []Term{
+		NewIRI("http://x/a"),
+		NewLiteral("plain"),
+		NewLiteral(`with "quotes" and \ backslash`),
+		NewLangLiteral("hej", "da"),
+		NewTypedLiteral("5", XSDInteger),
+		NewBlank("b1"),
+	}
+	for _, want := range cases {
+		got, err := ParseTerm(want.String())
+		if err != nil {
+			t.Errorf("ParseTerm(%q): %v", want.String(), err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseTerm(%q) = %#v, want %#v", want.String(), got, want)
+		}
+	}
+	for _, bad := range []string{"", "plain", `<http://x`, `"unterminated`, `<http://x> trailing`} {
+		if _, err := ParseTerm(bad); err == nil {
+			t.Errorf("ParseTerm(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PrefixMap maps prefix labels (without the trailing colon) to namespace
+// IRIs, supporting expansion of qualified names and compaction of IRIs.
+type PrefixMap struct {
+	byPrefix map[string]string
+	// ordered namespaces, longest first, for compaction
+	namespaces []string
+	byNS       map[string]string
+}
+
+// NewPrefixMap returns an empty prefix map.
+func NewPrefixMap() *PrefixMap {
+	return &PrefixMap{byPrefix: map[string]string{}, byNS: map[string]string{}}
+}
+
+// CommonPrefixes returns a prefix map preloaded with the vocabularies used
+// throughout this repository (rdf, rdfs, xsd, sh, void).
+func CommonPrefixes() *PrefixMap {
+	pm := NewPrefixMap()
+	pm.Bind("rdf", RDFNS)
+	pm.Bind("rdfs", RDFSNS)
+	pm.Bind("xsd", XSDNS)
+	pm.Bind("sh", SHNS)
+	pm.Bind("void", VoidNS)
+	return pm
+}
+
+// Bind associates prefix with the namespace IRI ns, replacing any previous
+// binding of the same prefix.
+func (pm *PrefixMap) Bind(prefix, ns string) {
+	if old, ok := pm.byPrefix[prefix]; ok {
+		delete(pm.byNS, old)
+		for i, n := range pm.namespaces {
+			if n == old {
+				pm.namespaces = append(pm.namespaces[:i], pm.namespaces[i+1:]...)
+				break
+			}
+		}
+	}
+	pm.byPrefix[prefix] = ns
+	pm.byNS[ns] = prefix
+	pm.namespaces = append(pm.namespaces, ns)
+	sort.Slice(pm.namespaces, func(i, j int) bool {
+		return len(pm.namespaces[i]) > len(pm.namespaces[j])
+	})
+}
+
+// Expand resolves a qualified name "prefix:local" to a full IRI. It returns
+// an error if the prefix is unbound or the input has no colon.
+func (pm *PrefixMap) Expand(qname string) (string, error) {
+	i := strings.IndexByte(qname, ':')
+	if i < 0 {
+		return "", fmt.Errorf("rdf: %q is not a qualified name", qname)
+	}
+	prefix, local := qname[:i], qname[i+1:]
+	ns, ok := pm.byPrefix[prefix]
+	if !ok {
+		return "", fmt.Errorf("rdf: unbound prefix %q", prefix)
+	}
+	return ns + local, nil
+}
+
+// Compact rewrites iri as "prefix:local" using the longest matching bound
+// namespace. The second result is false when no namespace matches.
+func (pm *PrefixMap) Compact(iri string) (string, bool) {
+	for _, ns := range pm.namespaces {
+		if strings.HasPrefix(iri, ns) {
+			local := iri[len(ns):]
+			if local == "" || strings.ContainsAny(local, "/#:") {
+				continue
+			}
+			return pm.byNS[ns] + ":" + local, true
+		}
+	}
+	return iri, false
+}
+
+// Bindings returns the prefix→namespace pairs sorted by prefix, for
+// deterministic serialization.
+func (pm *PrefixMap) Bindings() [][2]string {
+	out := make([][2]string, 0, len(pm.byPrefix))
+	for p, ns := range pm.byPrefix {
+		out = append(out, [2]string{p, ns})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

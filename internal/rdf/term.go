@@ -1,0 +1,193 @@
+// Package rdf provides the core RDF data model used throughout the
+// repository: terms (IRIs, literals, blank nodes), triples, prefix
+// management, and an N-Triples/Turtle-subset reader and writer.
+//
+// The model follows RDF 1.1 Concepts: an RDF graph is a set of triples
+// <s, p, o> with s ∈ IRI ∪ Blank, p ∈ IRI, and o ∈ IRI ∪ Blank ∪ Literal.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the three kinds of RDF terms.
+type TermKind uint8
+
+// The possible kinds of an RDF term.
+const (
+	// IRI is an absolute IRI reference such as http://example.org/a.
+	IRI TermKind = iota
+	// Literal is an RDF literal; Value holds the lexical form.
+	Literal
+	// Blank is a blank node; Value holds the local label (without "_:" prefix).
+	Blank
+)
+
+// String returns a human-readable name of the term kind.
+func (k TermKind) String() string {
+	switch k {
+	case IRI:
+		return "IRI"
+	case Literal:
+		return "Literal"
+	case Blank:
+		return "Blank"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is an RDF term. The zero value is the empty IRI, which is not a
+// valid term; use the constructors NewIRI, NewLiteral, and NewBlank.
+//
+// Literals may carry a datatype IRI and a language tag. Per RDF 1.1 a
+// literal has a language tag only if its datatype is rdf:langString; this
+// package does not enforce that invariant but the parser produces
+// conforming terms.
+type Term struct {
+	Kind TermKind
+	// Value is the IRI string, the literal lexical form, or the blank
+	// node label depending on Kind.
+	Value string
+	// Datatype is the datatype IRI for literals ("" means xsd:string).
+	Datatype string
+	// Lang is the language tag for language-tagged literals.
+	Lang string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
+
+// NewLiteral returns a plain (xsd:string) literal term.
+func NewLiteral(lexical string) Term { return Term{Kind: Literal, Value: lexical} }
+
+// NewTypedLiteral returns a literal with an explicit datatype IRI.
+func NewTypedLiteral(lexical, datatype string) Term {
+	return Term{Kind: Literal, Value: lexical, Datatype: datatype}
+}
+
+// NewLangLiteral returns a language-tagged literal.
+func NewLangLiteral(lexical, lang string) Term {
+	return Term{Kind: Literal, Value: lexical, Lang: lang, Datatype: RDFLangString}
+}
+
+// NewBlank returns a blank node term with the given label (no "_:" prefix).
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// NewInteger returns an xsd:integer literal for n.
+func NewInteger(n int64) Term {
+	return Term{Kind: Literal, Value: fmt.Sprintf("%d", n), Datatype: XSDInteger}
+}
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == Literal }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == Blank }
+
+// IsZero reports whether the term is the zero value (empty IRI), which is
+// used in a few places as "no term".
+func (t Term) IsZero() bool { return t == Term{} }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	case Literal:
+		var b strings.Builder
+		b.WriteByte('"')
+		b.WriteString(escapeLiteral(t.Value))
+		b.WriteByte('"')
+		if t.Lang != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
+		} else if t.Datatype != "" && t.Datatype != XSDString {
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
+		}
+		return b.String()
+	default:
+		return fmt.Sprintf("?!invalid-term-kind-%d", t.Kind)
+	}
+}
+
+// Compare orders terms: IRIs < Literals < Blanks, then by value, datatype,
+// and language. It returns -1, 0, or +1.
+func (t Term) Compare(u Term) int {
+	if t.Kind != u.Kind {
+		if t.Kind < u.Kind {
+			return -1
+		}
+		return 1
+	}
+	if c := strings.Compare(t.Value, u.Value); c != 0 {
+		return c
+	}
+	if c := strings.Compare(t.Datatype, u.Datatype); c != 0 {
+		return c
+	}
+	return strings.Compare(t.Lang, u.Lang)
+}
+
+func escapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func unescapeLiteral(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' || i+1 >= len(s) {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		switch s[i] {
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		case 't':
+			b.WriteByte('\t')
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package rdf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	tests := []struct {
+		name string
+		term Term
+		kind TermKind
+		str  string
+	}{
+		{"iri", NewIRI("http://x/a"), IRI, "<http://x/a>"},
+		{"plain literal", NewLiteral("hi"), Literal, `"hi"`},
+		{"typed literal", NewTypedLiteral("5", XSDInteger), Literal, `"5"^^<` + XSDInteger + `>`},
+		{"string-typed literal collapses", NewTypedLiteral("x", XSDString), Literal, `"x"`},
+		{"lang literal", NewLangLiteral("hej", "da"), Literal, `"hej"@da`},
+		{"blank", NewBlank("b1"), Blank, "_:b1"},
+		{"integer", NewInteger(-42), Literal, `"-42"^^<` + XSDInteger + `>`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.term.Kind != tc.kind {
+				t.Errorf("kind = %v, want %v", tc.term.Kind, tc.kind)
+			}
+			if got := tc.term.String(); got != tc.str {
+				t.Errorf("String() = %q, want %q", got, tc.str)
+			}
+		})
+	}
+}
+
+func TestTermPredicates(t *testing.T) {
+	if !NewIRI("x").IsIRI() || NewIRI("x").IsLiteral() || NewIRI("x").IsBlank() {
+		t.Error("IRI predicates wrong")
+	}
+	if !NewLiteral("x").IsLiteral() {
+		t.Error("literal predicate wrong")
+	}
+	if !NewBlank("x").IsBlank() {
+		t.Error("blank predicate wrong")
+	}
+	if !(Term{}).IsZero() {
+		t.Error("zero term not detected")
+	}
+	if NewIRI("x").IsZero() {
+		t.Error("non-zero term detected as zero")
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if IRI.String() != "IRI" || Literal.String() != "Literal" || Blank.String() != "Blank" {
+		t.Error("kind names wrong")
+	}
+	if TermKind(99).String() != "TermKind(99)" {
+		t.Errorf("invalid kind formatting: %s", TermKind(99).String())
+	}
+}
+
+func TestEscapeLiteralString(t *testing.T) {
+	term := NewLiteral("line1\nline2\t\"quoted\" back\\slash")
+	want := `"line1\nline2\t\"quoted\" back\\slash"`
+	if got := term.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestEscapeUnescapeRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		return unescapeLiteral(escapeLiteral(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermCompare(t *testing.T) {
+	ordered := []Term{
+		NewIRI("http://a"),
+		NewIRI("http://b"),
+		NewLiteral("a"),
+		NewLangLiteral("a", "en"),
+		NewLiteral("b"),
+		NewBlank("x"),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if (got < 0) != (want < 0) || (got > 0) != (want > 0) {
+				t.Errorf("Compare(%v, %v) = %d, want sign %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	tr := NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewLiteral("o"))
+	want := `<http://s> <http://p> "o" .`
+	if got := tr.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestTripleCompare(t *testing.T) {
+	a := NewTriple(NewIRI("a"), NewIRI("p"), NewIRI("x"))
+	b := NewTriple(NewIRI("a"), NewIRI("p"), NewIRI("y"))
+	c := NewTriple(NewIRI("b"), NewIRI("p"), NewIRI("x"))
+	if a.Compare(b) >= 0 || b.Compare(c) >= 0 || a.Compare(a) != 0 {
+		t.Error("triple ordering wrong")
+	}
+}
+
+func TestGraphAppend(t *testing.T) {
+	var g Graph
+	g.Append(NewIRI("s"), NewIRI("p"), NewIRI("o"))
+	g.Append(NewIRI("s2"), NewIRI("p"), NewLiteral("v"))
+	if len(g) != 2 {
+		t.Fatalf("len = %d, want 2", len(g))
+	}
+	if g[0].S.Value != "s" || g[1].O.Value != "v" {
+		t.Error("appended triples wrong")
+	}
+}

@@ -1,0 +1,41 @@
+package rdf
+
+import "strings"
+
+// Triple is a single RDF statement <subject, predicate, object>.
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple constructs a triple.
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// String renders the triple as one N-Triples line (without newline).
+func (t Triple) String() string {
+	var b strings.Builder
+	b.WriteString(t.S.String())
+	b.WriteByte(' ')
+	b.WriteString(t.P.String())
+	b.WriteByte(' ')
+	b.WriteString(t.O.String())
+	b.WriteString(" .")
+	return b.String()
+}
+
+// Compare orders triples lexicographically by subject, predicate, object.
+func (t Triple) Compare(u Triple) int {
+	if c := t.S.Compare(u.S); c != 0 {
+		return c
+	}
+	if c := t.P.Compare(u.P); c != 0 {
+		return c
+	}
+	return t.O.Compare(u.O)
+}
+
+// Graph is a convenience alias for a list of triples. It does not imply
+// set semantics; use store.Store for a deduplicated indexed graph.
+type Graph []Triple
+
+// Append adds a triple built from the given terms.
+func (g *Graph) Append(s, p, o Term) { *g = append(*g, Triple{S: s, P: p, O: o}) }

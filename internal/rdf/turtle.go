@@ -1,0 +1,460 @@
+package rdf
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseTurtle reads a graph in the Turtle subset used by this repository
+// (a superset of what shacl.WriteTurtle emits):
+//
+//   - @prefix and SPARQL-style PREFIX declarations, @base ignored
+//   - subject predicate-object lists with ';' and ',' separators
+//   - the 'a' keyword for rdf:type
+//   - IRIs, prefixed names, blank node labels, and anonymous blank
+//     nodes "[ ... ]" (nested property lists mint fresh blank nodes)
+//   - literals with optional @lang or ^^datatype (IRI or prefixed
+//     name), bare integers/decimals, and the booleans true/false
+//   - '#' comments
+//
+// Collections "( ... )" and multi-line literals are not supported.
+func ParseTurtle(r io.Reader) (Graph, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("rdf: reading turtle: %w", err)
+	}
+	p := &turtleParser{src: string(src), prefixes: NewPrefixMap()}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	return p.graph, nil
+}
+
+type turtleParser struct {
+	src      string
+	i        int
+	graph    Graph
+	prefixes *PrefixMap
+	bnodeSeq int
+}
+
+func (p *turtleParser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:min(p.i, len(p.src))], "\n")
+	return fmt.Errorf("rdf: turtle line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *turtleParser) parse() error {
+	for {
+		p.skipWS()
+		if p.i >= len(p.src) {
+			return nil
+		}
+		switch {
+		case p.hasKeyword("@prefix") || p.hasKeyword("PREFIX"):
+			if err := p.prefixDecl(); err != nil {
+				return err
+			}
+		case p.hasKeyword("@base") || p.hasKeyword("BASE"):
+			if err := p.baseDecl(); err != nil {
+				return err
+			}
+		default:
+			if err := p.triples(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// hasKeyword reports whether the input at the cursor starts with kw
+// followed by whitespace, case-sensitively for @-directives and
+// case-insensitively for SPARQL-style keywords.
+func (p *turtleParser) hasKeyword(kw string) bool {
+	if p.i+len(kw) > len(p.src) {
+		return false
+	}
+	got := p.src[p.i : p.i+len(kw)]
+	if strings.HasPrefix(kw, "@") {
+		if got != kw {
+			return false
+		}
+	} else if !strings.EqualFold(got, kw) {
+		return false
+	}
+	rest := p.src[p.i+len(kw):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t' || rest[0] == '\n' || rest[0] == '\r'
+}
+
+// hasBareword reports whether the input at the cursor is exactly word
+// followed by a Turtle delimiter or statement terminator.
+func (p *turtleParser) hasBareword(word string) bool {
+	if !strings.HasPrefix(p.src[p.i:], word) {
+		return false
+	}
+	rest := p.src[p.i+len(word):]
+	return rest == "" || isTurtleDelim(rest[0]) || rest[0] == '.'
+}
+
+func (p *turtleParser) prefixDecl() error {
+	sparqlStyle := !strings.HasPrefix(p.src[p.i:], "@")
+	if sparqlStyle {
+		p.i += len("PREFIX")
+	} else {
+		p.i += len("@prefix")
+	}
+	p.skipWS()
+	colon := strings.IndexByte(p.src[p.i:], ':')
+	if colon < 0 {
+		return p.errf("prefix declaration without ':'")
+	}
+	label := strings.TrimSpace(p.src[p.i : p.i+colon])
+	p.i += colon + 1
+	p.skipWS()
+	iri, err := p.iriRef()
+	if err != nil {
+		return err
+	}
+	p.prefixes.Bind(label, iri)
+	p.skipWS()
+	if !sparqlStyle {
+		if p.i >= len(p.src) || p.src[p.i] != '.' {
+			return p.errf("@prefix declaration missing '.'")
+		}
+		p.i++
+	} else if p.i < len(p.src) && p.src[p.i] == '.' {
+		p.i++ // tolerate a trailing dot on PREFIX too
+	}
+	return nil
+}
+
+func (p *turtleParser) baseDecl() error {
+	at := strings.HasPrefix(p.src[p.i:], "@")
+	if at {
+		p.i += len("@base")
+	} else {
+		p.i += len("BASE")
+	}
+	p.skipWS()
+	if _, err := p.iriRef(); err != nil {
+		return err
+	}
+	p.skipWS()
+	if at {
+		if p.i >= len(p.src) || p.src[p.i] != '.' {
+			return p.errf("@base declaration missing '.'")
+		}
+		p.i++
+	}
+	return nil
+}
+
+func (p *turtleParser) triples() error {
+	subj, err := p.subject()
+	if err != nil {
+		return err
+	}
+	if err := p.predicateObjectList(subj); err != nil {
+		return err
+	}
+	p.skipWS()
+	if p.i >= len(p.src) || p.src[p.i] != '.' {
+		return p.errf("statement missing terminating '.'")
+	}
+	p.i++
+	return nil
+}
+
+func (p *turtleParser) predicateObjectList(subj Term) error {
+	for {
+		p.skipWS()
+		pred, err := p.verb()
+		if err != nil {
+			return err
+		}
+		for {
+			p.skipWS()
+			obj, err := p.object()
+			if err != nil {
+				return err
+			}
+			p.graph = append(p.graph, Triple{S: subj, P: pred, O: obj})
+			p.skipWS()
+			if p.i < len(p.src) && p.src[p.i] == ',' {
+				p.i++
+				continue
+			}
+			break
+		}
+		p.skipWS()
+		if p.i < len(p.src) && p.src[p.i] == ';' {
+			p.i++
+			p.skipWS()
+			// trailing ';' before '.' or ']' is legal Turtle
+			if p.i < len(p.src) && (p.src[p.i] == '.' || p.src[p.i] == ']') {
+				return nil
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *turtleParser) subject() (Term, error) {
+	p.skipWS()
+	if p.i >= len(p.src) {
+		return Term{}, p.errf("unexpected end of input")
+	}
+	switch p.src[p.i] {
+	case '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewIRI(iri), nil
+	case '_':
+		return p.blankLabel()
+	case '[':
+		return p.anonBlank()
+	default:
+		return p.prefixedName()
+	}
+}
+
+func (p *turtleParser) verb() (Term, error) {
+	p.skipWS()
+	if p.i >= len(p.src) {
+		return Term{}, p.errf("unexpected end of input in predicate position")
+	}
+	if p.src[p.i] == 'a' && p.i+1 < len(p.src) && isTurtleDelim(p.src[p.i+1]) {
+		p.i++
+		return NewIRI(RDFType), nil
+	}
+	if p.src[p.i] == '<' {
+		iri, err := p.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewIRI(iri), nil
+	}
+	return p.prefixedName()
+}
+
+func (p *turtleParser) object() (Term, error) {
+	p.skipWS()
+	if p.i >= len(p.src) {
+		return Term{}, p.errf("unexpected end of input in object position")
+	}
+	c := p.src[p.i]
+	switch {
+	case c == '<':
+		iri, err := p.iriRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewIRI(iri), nil
+	case c == '_':
+		return p.blankLabel()
+	case c == '[':
+		return p.anonBlank()
+	case c == '"':
+		return p.literal()
+	case c >= '0' && c <= '9' || c == '-' || c == '+':
+		return p.number()
+	default:
+		if p.hasBareword("true") {
+			p.i += 4
+			return NewTypedLiteral("true", XSDBoolean), nil
+		}
+		if p.hasBareword("false") {
+			p.i += 5
+			return NewTypedLiteral("false", XSDBoolean), nil
+		}
+		return p.prefixedName()
+	}
+}
+
+// anonBlank parses "[ ... ]", minting a fresh blank node and emitting
+// the nested predicate-object list with it as subject.
+func (p *turtleParser) anonBlank() (Term, error) {
+	p.i++ // consume '['
+	p.bnodeSeq++
+	node := NewBlank(fmt.Sprintf("t%d", p.bnodeSeq))
+	p.skipWS()
+	if p.i < len(p.src) && p.src[p.i] == ']' {
+		p.i++
+		return node, nil
+	}
+	if err := p.predicateObjectList(node); err != nil {
+		return Term{}, err
+	}
+	p.skipWS()
+	if p.i >= len(p.src) || p.src[p.i] != ']' {
+		return Term{}, p.errf("unterminated blank node property list")
+	}
+	p.i++
+	return node, nil
+}
+
+func (p *turtleParser) blankLabel() (Term, error) {
+	if !strings.HasPrefix(p.src[p.i:], "_:") {
+		return Term{}, p.errf("malformed blank node")
+	}
+	p.i += 2
+	start := p.i
+	for p.i < len(p.src) && !isTurtleDelim(p.src[p.i]) {
+		p.i++
+	}
+	if p.i == start {
+		return Term{}, p.errf("empty blank node label")
+	}
+	return NewBlank(p.src[start:p.i]), nil
+}
+
+func (p *turtleParser) iriRef() (string, error) {
+	if p.i >= len(p.src) || p.src[p.i] != '<' {
+		return "", p.errf("expected IRI")
+	}
+	end := strings.IndexByte(p.src[p.i:], '>')
+	if end < 0 {
+		return "", p.errf("unterminated IRI")
+	}
+	iri := p.src[p.i+1 : p.i+end]
+	p.i += end + 1
+	return iri, nil
+}
+
+func (p *turtleParser) prefixedName() (Term, error) {
+	start := p.i
+	for p.i < len(p.src) && !isTurtleDelim(p.src[p.i]) && p.src[p.i] != ';' && p.src[p.i] != ',' {
+		p.i++
+	}
+	name := p.src[start:p.i]
+	// a trailing '.' is a statement terminator unless followed by a
+	// name character (e.g. a decimal inside a local name is not ours)
+	for strings.HasSuffix(name, ".") {
+		name = name[:len(name)-1]
+		p.i--
+	}
+	if name == "" {
+		return Term{}, p.errf("expected term, found %q", string(p.src[min(p.i, len(p.src)-1)]))
+	}
+	iri, err := p.prefixes.Expand(name)
+	if err != nil {
+		return Term{}, p.errf("%v", err)
+	}
+	return NewIRI(iri), nil
+}
+
+func (p *turtleParser) literal() (Term, error) {
+	// find closing unescaped quote
+	j := p.i + 1
+	for j < len(p.src) {
+		if p.src[j] == '\\' {
+			j += 2
+			continue
+		}
+		if p.src[j] == '"' {
+			break
+		}
+		j++
+	}
+	if j >= len(p.src) {
+		return Term{}, p.errf("unterminated literal")
+	}
+	lex := unescapeLiteral(p.src[p.i+1 : j])
+	p.i = j + 1
+	if strings.HasPrefix(p.src[p.i:], "@") {
+		start := p.i + 1
+		k := start
+		for k < len(p.src) && (isNameByte(p.src[k]) || p.src[k] == '-') {
+			k++
+		}
+		if k == start {
+			return Term{}, p.errf("empty language tag")
+		}
+		lang := p.src[start:k]
+		p.i = k
+		return NewLangLiteral(lex, lang), nil
+	}
+	if strings.HasPrefix(p.src[p.i:], "^^") {
+		p.i += 2
+		if p.i < len(p.src) && p.src[p.i] == '<' {
+			dt, err := p.iriRef()
+			if err != nil {
+				return Term{}, err
+			}
+			return NewTypedLiteral(lex, dt), nil
+		}
+		dt, err := p.prefixedName()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+func (p *turtleParser) number() (Term, error) {
+	start := p.i
+	if p.src[p.i] == '-' || p.src[p.i] == '+' {
+		p.i++
+	}
+	decimal := false
+	for p.i < len(p.src) {
+		c := p.src[p.i]
+		if c >= '0' && c <= '9' {
+			p.i++
+			continue
+		}
+		// a '.' is part of the number only when followed by a digit
+		if c == '.' && p.i+1 < len(p.src) && p.src[p.i+1] >= '0' && p.src[p.i+1] <= '9' {
+			decimal = true
+			p.i++
+			continue
+		}
+		break
+	}
+	lex := p.src[start:p.i]
+	if lex == "" || lex == "-" || lex == "+" {
+		return Term{}, p.errf("malformed number")
+	}
+	if decimal {
+		return NewTypedLiteral(lex, XSDDecimal), nil
+	}
+	return NewTypedLiteral(lex, XSDInteger), nil
+}
+
+func (p *turtleParser) skipWS() {
+	for p.i < len(p.src) {
+		switch p.src[p.i] {
+		case ' ', '\t', '\n', '\r':
+			p.i++
+		case '#':
+			for p.i < len(p.src) && p.src[p.i] != '\n' {
+				p.i++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isTurtleDelim(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\r', ';', ',', ']', ')', '"', '#':
+		return true
+	}
+	return false
+}
+
+func isNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseTurtle(t *testing.T, src string) Graph {
+	t.Helper()
+	g, err := ParseTurtle(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseTurtle: %v\ninput:\n%s", err, src)
+	}
+	return g
+}
+
+func TestParseTurtleBasics(t *testing.T) {
+	g := parseTurtle(t, `
+		@prefix ex: <http://ex/> .
+		# a comment
+		ex:alice a ex:Person ;
+			ex:name "Alice" ;
+			ex:age 42 ;
+			ex:height 1.75 ;
+			ex:active true ;
+			ex:knows ex:bob , ex:carol .
+		<http://ex/bob> ex:name "Bob"@en .
+	`)
+	if len(g) != 8 {
+		t.Fatalf("parsed %d triples, want 8:\n%v", len(g), g)
+	}
+	alice := NewIRI("http://ex/alice")
+	checks := []Triple{
+		{alice, NewIRI(RDFType), NewIRI("http://ex/Person")},
+		{alice, NewIRI("http://ex/name"), NewLiteral("Alice")},
+		{alice, NewIRI("http://ex/age"), NewTypedLiteral("42", XSDInteger)},
+		{alice, NewIRI("http://ex/height"), NewTypedLiteral("1.75", XSDDecimal)},
+		{alice, NewIRI("http://ex/active"), NewTypedLiteral("true", XSDBoolean)},
+		{alice, NewIRI("http://ex/knows"), NewIRI("http://ex/bob")},
+		{alice, NewIRI("http://ex/knows"), NewIRI("http://ex/carol")},
+		{NewIRI("http://ex/bob"), NewIRI("http://ex/name"), NewLangLiteral("Bob", "en")},
+	}
+	for _, want := range checks {
+		found := false
+		for _, tr := range g {
+			if tr == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing triple %v", want)
+		}
+	}
+}
+
+func TestParseTurtleSPARQLStylePrefix(t *testing.T) {
+	g := parseTurtle(t, `
+		PREFIX ex: <http://ex/>
+		ex:a ex:p ex:b .
+	`)
+	if len(g) != 1 || g[0].S.Value != "http://ex/a" {
+		t.Errorf("graph = %v", g)
+	}
+}
+
+func TestParseTurtleAnonymousBlankNodes(t *testing.T) {
+	g := parseTurtle(t, `
+		@prefix ex: <http://ex/> .
+		ex:shape ex:property [
+			ex:path ex:name ;
+			ex:count 5
+		] ;
+		ex:property [ ex:path ex:age ] .
+		[] ex:standalone "x" .
+	`)
+	// 2 ex:property links + 3 nested + 1 standalone = 6
+	if len(g) != 6 {
+		t.Fatalf("parsed %d triples, want 6:\n%v", len(g), g)
+	}
+	// the two property blank nodes must be distinct
+	var b1, b2 Term
+	for _, tr := range g {
+		if tr.P.Value == "http://ex/property" {
+			if b1.IsZero() {
+				b1 = tr.O
+			} else {
+				b2 = tr.O
+			}
+		}
+	}
+	if !b1.IsBlank() || !b2.IsBlank() || b1 == b2 {
+		t.Errorf("blank nodes: %v, %v", b1, b2)
+	}
+}
+
+func TestParseTurtleLabeledBlankNodes(t *testing.T) {
+	g := parseTurtle(t, `
+		@prefix ex: <http://ex/> .
+		_:x ex:p _:y .
+		_:y ex:q "v" .
+	`)
+	if len(g) != 2 {
+		t.Fatalf("parsed %d triples", len(g))
+	}
+	if g[0].O != g[1].S {
+		t.Error("blank node labels not shared across statements")
+	}
+}
+
+func TestParseTurtleTypedLiteralDatatypes(t *testing.T) {
+	g := parseTurtle(t, `
+		@prefix ex: <http://ex/> .
+		@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+		ex:a ex:p "5"^^xsd:integer .
+		ex:a ex:q "d"^^<http://ex/dt> .
+	`)
+	if g[0].O != NewTypedLiteral("5", XSDInteger) {
+		t.Errorf("qname datatype: %v", g[0].O)
+	}
+	if g[1].O != NewTypedLiteral("d", "http://ex/dt") {
+		t.Errorf("iri datatype: %v", g[1].O)
+	}
+}
+
+func TestParseTurtleBaseIgnored(t *testing.T) {
+	g := parseTurtle(t, `
+		@base <http://base/> .
+		BASE <http://base2/>
+		@prefix ex: <http://ex/> .
+		ex:a ex:p ex:b .
+	`)
+	if len(g) != 1 {
+		t.Errorf("graph = %v", g)
+	}
+}
+
+func TestParseTurtleNegativeNumbers(t *testing.T) {
+	g := parseTurtle(t, `
+		@prefix ex: <http://ex/> .
+		ex:a ex:p -7 ; ex:q -1.5 .
+	`)
+	if g[0].O != NewTypedLiteral("-7", XSDInteger) {
+		t.Errorf("negative integer: %v", g[0].O)
+	}
+	if g[1].O != NewTypedLiteral("-1.5", XSDDecimal) {
+		t.Errorf("negative decimal: %v", g[1].O)
+	}
+}
+
+func TestParseTurtleTrailingSemicolon(t *testing.T) {
+	g := parseTurtle(t, `
+		@prefix ex: <http://ex/> .
+		ex:a ex:p ex:b ;
+			ex:q ex:c ;
+			.
+	`)
+	if len(g) != 2 {
+		t.Errorf("parsed %d triples, want 2", len(g))
+	}
+}
+
+func TestParseTurtleErrors(t *testing.T) {
+	bad := map[string]string{
+		"missing dot":        `@prefix ex: <http://ex/> . ex:a ex:p ex:b`,
+		"unterminated iri":   `<http://ex/a <http://ex/p> <http://ex/b> .`,
+		"unbound prefix":     `ex:a ex:p ex:b .`,
+		"prefix without dot": `@prefix ex: <http://ex/>  ex:a ex:p ex:b .`,
+		"unterminated bnode": `@prefix ex: <http://ex/> . ex:a ex:p [ ex:q ex:b .`,
+		"unterminated lit":   `@prefix ex: <http://ex/> . ex:a ex:p "x .`,
+		"empty lang":         `@prefix ex: <http://ex/> . ex:a ex:p "x"@ .`,
+		"bare minus":         `@prefix ex: <http://ex/> . ex:a ex:p - .`,
+	}
+	for name, src := range bad {
+		if _, err := ParseTurtle(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestParseTurtleErrorHasLineNumber(t *testing.T) {
+	_, err := ParseTurtle(strings.NewReader("@prefix ex: <http://ex/> .\nex:a ex:p ex:b"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error = %v, want line number", err)
+	}
+}

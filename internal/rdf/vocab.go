@@ -1,0 +1,56 @@
+package rdf
+
+// Well-known vocabulary IRIs used across the repository.
+const (
+	// RDF core.
+	RDFNS         = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFType       = RDFNS + "type"
+	RDFLangString = RDFNS + "langString"
+
+	// RDFS.
+	RDFSNS    = "http://www.w3.org/2000/01/rdf-schema#"
+	RDFSLabel = RDFSNS + "label"
+	RDFSClass = RDFSNS + "Class"
+
+	// XML Schema datatypes.
+	XSDNS      = "http://www.w3.org/2001/XMLSchema#"
+	XSDString  = XSDNS + "string"
+	XSDInteger = XSDNS + "integer"
+	XSDDecimal = XSDNS + "decimal"
+	XSDBoolean = XSDNS + "boolean"
+	XSDDate    = XSDNS + "date"
+
+	// SHACL core plus the statistics extension proposed by the paper.
+	SHNS            = "http://www.w3.org/ns/shacl#"
+	SHNodeShape     = SHNS + "NodeShape"
+	SHPropertyShape = SHNS + "PropertyShape"
+	SHTargetClass   = SHNS + "targetClass"
+	SHPath          = SHNS + "path"
+	SHProperty      = SHNS + "property"
+	SHDatatype      = SHNS + "datatype"
+	SHClass         = SHNS + "class"
+	SHNodeKind      = SHNS + "nodeKind"
+	SHIRIKind       = SHNS + "IRI"
+	SHLiteralKind   = SHNS + "Literal"
+	// Statistics extension (Section 5 of the paper). sh:count, sh:minCount
+	// and sh:maxCount reuse/extend SHACL attribute names; sh:distinctCount
+	// is new. We additionally record the distinct subject count per
+	// property shape, which the paper derives from the node shape count.
+	SHCount                = SHNS + "count"
+	SHMinCount             = SHNS + "minCount"
+	SHMaxCount             = SHNS + "maxCount"
+	SHDistinctCount        = SHNS + "distinctCount"
+	SHDistinctSubjectCount = SHNS + "distinctSubjectCount"
+
+	// VoID statistics vocabulary (global statistics graph).
+	VoidNS                = "http://rdfs.org/ns/void#"
+	VoidTriples           = VoidNS + "triples"
+	VoidDistinctSubjects  = VoidNS + "distinctSubjects"
+	VoidDistinctObjects   = VoidNS + "distinctObjects"
+	VoidProperty          = VoidNS + "property"
+	VoidPropertyPartition = VoidNS + "propertyPartition"
+	VoidClassPartition    = VoidNS + "classPartition"
+	VoidClass             = VoidNS + "class"
+	VoidEntities          = VoidNS + "entities"
+	VoidDataset           = VoidNS + "Dataset"
+)

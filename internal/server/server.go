@@ -1,0 +1,233 @@
+// Package server exposes a DB over HTTP: a SPARQL 1.1 Protocol endpoint
+// with SPARQL 1.1 Query Results JSON serialization, plus endpoints for
+// the annotated shapes graph, the global statistics, and query plans.
+//
+//	GET/POST /sparql?query=...   SELECT/ASK results as application/sparql-results+json
+//	GET      /explain?query=...  the SS and GS query plans as text
+//	GET      /shapes             annotated SHACL shapes graph as Turtle
+//	GET      /stats              extended-VoID statistics as N-Triples
+//	GET      /healthz            liveness and dataset size
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"rdfshapes"
+	"rdfshapes/internal/rdf"
+)
+
+// Handler routes the endpoints over a DB.
+type Handler struct {
+	db  *rdfshapes.DB
+	mux *http.ServeMux
+}
+
+// New returns an http.Handler serving db.
+func New(db *rdfshapes.DB) *Handler {
+	h := &Handler{db: db, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/sparql", h.sparql)
+	h.mux.HandleFunc("/explain", h.explain)
+	h.mux.HandleFunc("/shapes", h.shapes)
+	h.mux.HandleFunc("/stats", h.stats)
+	h.mux.HandleFunc("/healthz", h.healthz)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// queryParam extracts the SPARQL query from a GET parameter, a form
+// field, or a raw application/sparql-query POST body.
+func queryParam(r *http.Request) (string, error) {
+	if q := r.URL.Query().Get("query"); q != "" {
+		return q, nil
+	}
+	if r.Method == http.MethodPost {
+		ct := r.Header.Get("Content-Type")
+		if strings.HasPrefix(ct, "application/sparql-query") {
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				return "", err
+			}
+			if len(body) == 0 {
+				return "", fmt.Errorf("empty request body")
+			}
+			return string(body), nil
+		}
+		if err := r.ParseForm(); err != nil {
+			return "", err
+		}
+		if q := r.PostForm.Get("query"); q != "" {
+			return q, nil
+		}
+	}
+	return "", fmt.Errorf("missing 'query' parameter")
+}
+
+// jsonTerm is one RDF term in SPARQL 1.1 JSON results form.
+type jsonTerm struct {
+	Type     string `json:"type"` // uri | literal | bnode
+	Value    string `json:"value"`
+	Lang     string `json:"xml:lang,omitempty"`
+	Datatype string `json:"datatype,omitempty"`
+}
+
+type jsonResults struct {
+	Head struct {
+		Vars []string `json:"vars"`
+	} `json:"head"`
+	Results *struct {
+		Bindings []map[string]jsonTerm `json:"bindings"`
+	} `json:"results,omitempty"`
+	Boolean *bool `json:"boolean,omitempty"`
+}
+
+func (h *Handler) sparql(w http.ResponseWriter, r *http.Request) {
+	src, err := queryParam(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch queryForm(src) {
+	case "ASK":
+		ok, err := h.db.Ask(src)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var out jsonResults
+		out.Boolean = &ok
+		writeJSON(w, out)
+		return
+	case "CONSTRUCT":
+		g, err := h.db.Construct(src)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/n-triples; charset=utf-8")
+		if err := rdf.WriteNTriples(w, g); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	res, err := h.db.Query(src)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var out jsonResults
+	out.Head.Vars = res.Vars
+	out.Results = &struct {
+		Bindings []map[string]jsonTerm `json:"bindings"`
+	}{Bindings: make([]map[string]jsonTerm, 0, len(res.Rows))}
+	for _, row := range res.Rows {
+		b := map[string]jsonTerm{}
+		for v, s := range row {
+			if s == "" {
+				continue // unbound OPTIONAL variable: omitted per spec
+			}
+			term, err := rdf.ParseTerm(s)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("internal: bad term %q: %v", s, err), http.StatusInternalServerError)
+				return
+			}
+			b[v] = toJSONTerm(term)
+		}
+		out.Results.Bindings = append(out.Results.Bindings, b)
+	}
+	writeJSON(w, out)
+}
+
+func toJSONTerm(t rdf.Term) jsonTerm {
+	switch t.Kind {
+	case rdf.IRI:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case rdf.Blank:
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		jt := jsonTerm{Type: "literal", Value: t.Value, Lang: t.Lang}
+		if t.Lang == "" && t.Datatype != "" && t.Datatype != rdf.XSDString {
+			jt.Datatype = t.Datatype
+		}
+		return jt
+	}
+}
+
+// queryForm sniffs the query form ("ASK", "CONSTRUCT", or "SELECT")
+// without a full parse, so each form gets its response shape: boolean
+// JSON for ASK, N-Triples for CONSTRUCT, bindings JSON otherwise.
+func queryForm(src string) string {
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") || strings.HasPrefix(strings.ToUpper(trimmed), "PREFIX") {
+			continue
+		}
+		upper := strings.ToUpper(trimmed)
+		switch {
+		case strings.HasPrefix(upper, "ASK"):
+			return "ASK"
+		case strings.HasPrefix(upper, "CONSTRUCT"):
+			return "CONSTRUCT"
+		}
+		return "SELECT"
+	}
+	return "SELECT"
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/sparql-results+json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		// headers are already out; nothing more to do
+		return
+	}
+}
+
+func (h *Handler) explain(w http.ResponseWriter, r *http.Request) {
+	src, err := queryParam(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, approach := range []string{"GS", "SS"} {
+		plan, err := h.db.Explain(src, approach)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintln(w, plan)
+	}
+	est, err := h.db.EstimateCount(src)
+	if err == nil {
+		fmt.Fprintf(w, "estimated result cardinality: %.0f\n", est)
+	}
+}
+
+func (h *Handler) shapes(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/turtle; charset=utf-8")
+	if err := h.db.WriteShapesTurtle(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/n-triples; charset=utf-8")
+	if err := rdf.WriteNTriples(w, h.db.Stats().ToGraph()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","triples":%d,"nodeShapes":%d,"propertyShapes":%d}`+"\n",
+		h.db.NumTriples(), h.db.Shapes().Len(), h.db.Shapes().PropertyShapeCount())
+}

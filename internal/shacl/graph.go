@@ -1,0 +1,180 @@
+package shacl
+
+import (
+	"fmt"
+	"strconv"
+
+	"rdfshapes/internal/rdf"
+)
+
+// ToGraph serializes the shapes graph (including any statistics
+// annotations) as RDF triples using the SHACL vocabulary plus the paper's
+// statistics attributes.
+func (sg *ShapesGraph) ToGraph() rdf.Graph {
+	var out rdf.Graph
+	typ := rdf.NewIRI(rdf.RDFType)
+	for _, ns := range sg.Shapes() {
+		s := rdf.NewIRI(ns.IRI)
+		out.Append(s, typ, rdf.NewIRI(rdf.SHNodeShape))
+		out.Append(s, rdf.NewIRI(rdf.SHTargetClass), rdf.NewIRI(ns.TargetClass))
+		if ns.Count >= 0 {
+			out.Append(s, rdf.NewIRI(rdf.SHCount), rdf.NewInteger(ns.Count))
+		}
+		for _, ps := range ns.Properties {
+			p := rdf.NewIRI(ps.IRI)
+			out.Append(s, rdf.NewIRI(rdf.SHProperty), p)
+			out.Append(p, typ, rdf.NewIRI(rdf.SHPropertyShape))
+			out.Append(p, rdf.NewIRI(rdf.SHPath), rdf.NewIRI(ps.Path))
+			if ps.Datatype != "" {
+				out.Append(p, rdf.NewIRI(rdf.SHDatatype), rdf.NewIRI(ps.Datatype))
+			}
+			if ps.Class != "" {
+				out.Append(p, rdf.NewIRI(rdf.SHClass), rdf.NewIRI(ps.Class))
+			}
+			if ps.NodeKind != "" {
+				kind := rdf.SHIRIKind
+				if ps.NodeKind == "Literal" {
+					kind = rdf.SHLiteralKind
+				}
+				out.Append(p, rdf.NewIRI(rdf.SHNodeKind), rdf.NewIRI(kind))
+			}
+			// Constraints and statistics share the sh:minCount and
+			// sh:maxCount attribute names (the paper repurposes them),
+			// so constraints serialize only while unannotated.
+			if ps.Stats == nil {
+				if ps.MinRequired > 0 {
+					out.Append(p, rdf.NewIRI(rdf.SHMinCount), rdf.NewInteger(ps.MinRequired))
+				}
+				if ps.MaxAllowed > 0 {
+					out.Append(p, rdf.NewIRI(rdf.SHMaxCount), rdf.NewInteger(ps.MaxAllowed))
+				}
+			}
+			if st := ps.Stats; st != nil {
+				out.Append(p, rdf.NewIRI(rdf.SHCount), rdf.NewInteger(st.Count))
+				out.Append(p, rdf.NewIRI(rdf.SHDistinctCount), rdf.NewInteger(st.DistinctCount))
+				out.Append(p, rdf.NewIRI(rdf.SHDistinctSubjectCount), rdf.NewInteger(st.DistinctSubjectCount))
+				out.Append(p, rdf.NewIRI(rdf.SHMinCount), rdf.NewInteger(st.MinCount))
+				out.Append(p, rdf.NewIRI(rdf.SHMaxCount), rdf.NewInteger(st.MaxCount))
+			}
+		}
+	}
+	return out
+}
+
+// FromGraph reconstructs a shapes graph from RDF triples produced by
+// ToGraph (or any graph using the same subset of the SHACL vocabulary
+// with IRI-identified shapes).
+func FromGraph(g rdf.Graph) (*ShapesGraph, error) {
+	bySubj := map[rdf.Term][]rdf.Triple{}
+	var nodeShapes []rdf.Term
+	for _, t := range g {
+		bySubj[t.S] = append(bySubj[t.S], t)
+		if t.P.Value == rdf.RDFType && t.O.Value == rdf.SHNodeShape {
+			nodeShapes = append(nodeShapes, t.S)
+		}
+	}
+	sg := NewShapesGraph()
+	for _, subj := range nodeShapes {
+		ns := NewNodeShape(subj.Value, "")
+		var propSubjects []rdf.Term
+		for _, t := range bySubj[subj] {
+			switch t.P.Value {
+			case rdf.SHTargetClass:
+				ns.TargetClass = t.O.Value
+			case rdf.SHCount:
+				n, err := parseCount(t)
+				if err != nil {
+					return nil, err
+				}
+				ns.Count = n
+			case rdf.SHProperty:
+				propSubjects = append(propSubjects, t.O)
+			}
+		}
+		if ns.TargetClass == "" {
+			return nil, fmt.Errorf("shacl: node shape %s has no sh:targetClass", subj.Value)
+		}
+		for _, psub := range propSubjects {
+			ps, err := propertyFromTriples(psub, bySubj[psub])
+			if err != nil {
+				return nil, err
+			}
+			if err := ns.AddProperty(ps); err != nil {
+				return nil, err
+			}
+		}
+		if err := sg.Add(ns); err != nil {
+			return nil, err
+		}
+	}
+	return sg, nil
+}
+
+func propertyFromTriples(subj rdf.Term, ts []rdf.Triple) (*PropertyShape, error) {
+	ps := &PropertyShape{IRI: subj.Value}
+	stats := &PropStats{}
+	// sh:minCount/sh:maxCount are cardinality constraints in plain SHACL
+	// but statistics once the annotator has run; the presence of the
+	// statistics-only attributes (sh:count etc.) disambiguates.
+	sawStats := false
+	var minCount, maxCount int64
+	for _, t := range ts {
+		switch t.P.Value {
+		case rdf.SHPath:
+			ps.Path = t.O.Value
+		case rdf.SHDatatype:
+			ps.Datatype = t.O.Value
+		case rdf.SHClass:
+			ps.Class = t.O.Value
+		case rdf.SHNodeKind:
+			if t.O.Value == rdf.SHLiteralKind {
+				ps.NodeKind = "Literal"
+			} else {
+				ps.NodeKind = "IRI"
+			}
+		case rdf.SHCount, rdf.SHDistinctCount, rdf.SHDistinctSubjectCount, rdf.SHMinCount, rdf.SHMaxCount:
+			n, err := parseCount(t)
+			if err != nil {
+				return nil, err
+			}
+			switch t.P.Value {
+			case rdf.SHCount:
+				sawStats = true
+				stats.Count = n
+			case rdf.SHDistinctCount:
+				sawStats = true
+				stats.DistinctCount = n
+			case rdf.SHDistinctSubjectCount:
+				sawStats = true
+				stats.DistinctSubjectCount = n
+			case rdf.SHMinCount:
+				minCount = n
+			case rdf.SHMaxCount:
+				maxCount = n
+			}
+		}
+	}
+	if ps.Path == "" {
+		return nil, fmt.Errorf("shacl: property shape %s has no sh:path", subj.Value)
+	}
+	if sawStats {
+		stats.MinCount = minCount
+		stats.MaxCount = maxCount
+		ps.Stats = stats
+	} else {
+		ps.MinRequired = minCount
+		ps.MaxAllowed = maxCount
+	}
+	return ps, nil
+}
+
+func parseCount(t rdf.Triple) (int64, error) {
+	if !t.O.IsLiteral() {
+		return 0, fmt.Errorf("shacl: %s of %s must be a literal, got %s", t.P.Value, t.S.Value, t.O)
+	}
+	n, err := strconv.ParseInt(t.O.Value, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("shacl: bad integer %q for %s: %w", t.O.Value, t.P.Value, err)
+	}
+	return n, nil
+}

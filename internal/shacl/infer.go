@@ -1,0 +1,154 @@
+package shacl
+
+import (
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/store"
+)
+
+// InferShapes derives a shapes graph from a data graph, playing the role
+// of the SHACLGEN library in the paper: one node shape per class, one
+// property shape per (class, predicate) pair observed on instances of the
+// class, with sh:datatype / sh:class / sh:nodeKind inferred when all
+// observed objects agree.
+//
+// Shape IRIs are minted under the urn:shapes: namespace from the class
+// local name.
+func InferShapes(st *store.Store) (*ShapesGraph, error) {
+	sg := NewShapesGraph()
+	tid := st.TypeID()
+	if tid == 0 {
+		return sg, nil
+	}
+
+	type propKey struct {
+		class store.ID
+		pred  store.ID
+	}
+	type propInfo struct {
+		sawIRI, sawLiteral bool
+		datatype           string
+		datatypeMixed      bool
+		objClass           string
+		objClassMixed      bool
+	}
+	props := map[propKey]*propInfo{}
+	classes := map[store.ID]bool{}
+
+	// classOf returns the classes of an object term, used to infer
+	// sh:class constraints.
+	classOf := func(obj store.ID) []store.ID {
+		var out []store.ID
+		st.Scan(store.IDTriple{S: obj, P: tid}, func(t store.IDTriple) bool {
+			out = append(out, t.O)
+			return true
+		})
+		return out
+	}
+
+	st.ForEachSubject(func(subject store.ID, triples []store.IDTriple) bool {
+		var types []store.ID
+		for _, t := range triples {
+			if t.P == tid {
+				types = append(types, t.O)
+				classes[t.O] = true
+			}
+		}
+		if len(types) == 0 {
+			return true
+		}
+		for _, t := range triples {
+			if t.P == tid {
+				continue
+			}
+			for _, cls := range types {
+				key := propKey{cls, t.P}
+				info := props[key]
+				if info == nil {
+					info = &propInfo{}
+					props[key] = info
+				}
+				obj := st.Dict().Term(t.O)
+				if obj.IsLiteral() {
+					info.sawLiteral = true
+					dt := obj.Datatype
+					if dt == "" {
+						dt = rdf.XSDString
+					}
+					switch {
+					case info.datatype == "" && !info.datatypeMixed:
+						info.datatype = dt
+					case info.datatype != dt:
+						info.datatypeMixed = true
+						info.datatype = ""
+					}
+				} else {
+					info.sawIRI = true
+					ocs := classOf(t.O)
+					if len(ocs) == 1 {
+						oc := st.Dict().Term(ocs[0]).Value
+						switch {
+						case info.objClass == "" && !info.objClassMixed:
+							info.objClass = oc
+						case info.objClass != oc:
+							info.objClassMixed = true
+							info.objClass = ""
+						}
+					} else {
+						info.objClassMixed = true
+						info.objClass = ""
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for cls := range classes {
+		clsIRI := st.Dict().Term(cls).Value
+		ns := NewNodeShape(shapeIRIFor(clsIRI), clsIRI)
+		if err := sg.Add(ns); err != nil {
+			return nil, err
+		}
+	}
+	for key, info := range props {
+		clsIRI := st.Dict().Term(key.class).Value
+		predIRI := st.Dict().Term(key.pred).Value
+		ns := sg.ByClass(clsIRI)
+		ps := &PropertyShape{
+			IRI:  ns.IRI + "-" + localName(predIRI),
+			Path: predIRI,
+		}
+		switch {
+		case info.sawLiteral && !info.sawIRI:
+			ps.NodeKind = "Literal"
+			if !info.datatypeMixed {
+				ps.Datatype = info.datatype
+			}
+		case info.sawIRI && !info.sawLiteral:
+			ps.NodeKind = "IRI"
+			if !info.objClassMixed {
+				ps.Class = info.objClass
+			}
+		}
+		if err := ns.AddProperty(ps); err != nil {
+			return nil, err
+		}
+	}
+	return sg, nil
+}
+
+// shapeIRIFor mints a deterministic shape IRI for a class IRI.
+func shapeIRIFor(classIRI string) string {
+	return "urn:shapes:" + localName(classIRI) + "Shape"
+}
+
+// localName extracts the fragment or last path segment of an IRI.
+func localName(iri string) string {
+	for i := len(iri) - 1; i >= 0; i-- {
+		switch iri[i] {
+		case '#', '/', ':':
+			return iri[i+1:]
+		}
+	}
+	return iri
+}

@@ -1,0 +1,399 @@
+package shacl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/store"
+)
+
+const ns = "http://x/"
+
+func zoo() *store.Store {
+	iri := func(s string) rdf.Term { return rdf.NewIRI(ns + s) }
+	typ := rdf.NewIRI(rdf.RDFType)
+	var g rdf.Graph
+	for _, name := range []string{"rex", "fido"} {
+		g.Append(iri(name), typ, iri("Dog"))
+		g.Append(iri(name), iri("name"), rdf.NewLiteral(name))
+	}
+	g.Append(iri("rex"), iri("owner"), iri("ann"))
+	g.Append(iri("ann"), typ, iri("Person"))
+	g.Append(iri("ann"), iri("name"), rdf.NewLiteral("Ann"))
+	g.Append(iri("ann"), iri("age"), rdf.NewInteger(40))
+	return store.Load(g)
+}
+
+func TestInferShapes(t *testing.T) {
+	sg, err := InferShapes(zoo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.Len() != 2 {
+		t.Fatalf("node shapes = %d, want 2", sg.Len())
+	}
+	dog := sg.ByClass(ns + "Dog")
+	if dog == nil {
+		t.Fatal("no Dog shape")
+	}
+	nameShape := dog.Property(ns + "name")
+	if nameShape == nil {
+		t.Fatal("Dog has no name property shape")
+	}
+	if nameShape.NodeKind != "Literal" || nameShape.Datatype != rdf.XSDString {
+		t.Errorf("name shape = %+v", nameShape)
+	}
+	owner := dog.Property(ns + "owner")
+	if owner == nil || owner.NodeKind != "IRI" || owner.Class != ns+"Person" {
+		t.Errorf("owner shape = %+v", owner)
+	}
+	person := sg.ByClass(ns + "Person")
+	age := person.Property(ns + "age")
+	if age == nil || age.Datatype != rdf.XSDInteger {
+		t.Errorf("age shape = %+v", age)
+	}
+	if sg.PropertyShapeCount() != 4 {
+		t.Errorf("property shapes = %d, want 4 (dog: name+owner, person: name+age)", sg.PropertyShapeCount())
+	}
+	if sg.Annotated() {
+		t.Error("freshly inferred shapes must not be annotated")
+	}
+}
+
+func TestInferShapesNoTypes(t *testing.T) {
+	var g rdf.Graph
+	g.Append(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewIRI("o"))
+	sg, err := InferShapes(store.Load(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.Len() != 0 {
+		t.Errorf("shapes = %d, want 0", sg.Len())
+	}
+}
+
+func TestInferMixedDatatype(t *testing.T) {
+	iri := func(s string) rdf.Term { return rdf.NewIRI(ns + s) }
+	typ := rdf.NewIRI(rdf.RDFType)
+	var g rdf.Graph
+	g.Append(iri("a"), typ, iri("T"))
+	g.Append(iri("a"), iri("v"), rdf.NewLiteral("s"))
+	g.Append(iri("b"), typ, iri("T"))
+	g.Append(iri("b"), iri("v"), rdf.NewInteger(1))
+	sg, err := InferShapes(store.Load(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := sg.ByClass(ns + "T").Property(ns + "v")
+	if ps.Datatype != "" {
+		t.Errorf("mixed datatypes must not infer a datatype, got %q", ps.Datatype)
+	}
+	if ps.NodeKind != "Literal" {
+		t.Errorf("NodeKind = %q", ps.NodeKind)
+	}
+}
+
+func TestShapesGraphInjectiveTargets(t *testing.T) {
+	sg := NewShapesGraph()
+	if err := sg.Add(NewNodeShape("urn:a", ns+"T")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sg.Add(NewNodeShape("urn:b", ns+"T")); err == nil {
+		t.Error("duplicate target class accepted")
+	}
+}
+
+func TestAddPropertyDuplicatePath(t *testing.T) {
+	nsh := NewNodeShape("urn:a", ns+"T")
+	if err := nsh.AddProperty(&PropertyShape{IRI: "urn:a-p", Path: ns + "p"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nsh.AddProperty(&PropertyShape{IRI: "urn:a-p2", Path: ns + "p"}); err == nil {
+		t.Error("duplicate path accepted")
+	}
+}
+
+func TestGraphRoundTripWithStats(t *testing.T) {
+	sg, err := InferShapes(zoo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// attach statistics to exercise the stats attributes
+	for _, nsh := range sg.Shapes() {
+		nsh.Count = 2
+		for _, ps := range nsh.Properties {
+			ps.Stats = &PropStats{Count: 5, DistinctCount: 4, DistinctSubjectCount: 2, MinCount: 1, MaxCount: 3}
+		}
+	}
+	rt, err := FromGraph(sg.ToGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Len() != sg.Len() || rt.PropertyShapeCount() != sg.PropertyShapeCount() {
+		t.Fatalf("shape counts differ after round trip")
+	}
+	if !rt.Annotated() {
+		t.Error("round trip lost annotations")
+	}
+	dog := rt.ByClass(ns + "Dog")
+	ps := dog.Property(ns + "name")
+	if ps.Stats == nil || ps.Stats.DistinctCount != 4 || ps.Stats.MaxCount != 3 {
+		t.Errorf("stats after round trip = %+v", ps.Stats)
+	}
+	if dog.Count != 2 {
+		t.Errorf("node count after round trip = %d", dog.Count)
+	}
+}
+
+func TestFromGraphErrors(t *testing.T) {
+	mk := func(lines ...rdf.Triple) rdf.Graph { return rdf.Graph(lines) }
+	typ := rdf.NewIRI(rdf.RDFType)
+	shape := rdf.NewIRI("urn:s")
+	cases := map[string]rdf.Graph{
+		"no target class": mk(
+			rdf.NewTriple(shape, typ, rdf.NewIRI(rdf.SHNodeShape)),
+		),
+		"property without path": mk(
+			rdf.NewTriple(shape, typ, rdf.NewIRI(rdf.SHNodeShape)),
+			rdf.NewTriple(shape, rdf.NewIRI(rdf.SHTargetClass), rdf.NewIRI(ns+"T")),
+			rdf.NewTriple(shape, rdf.NewIRI(rdf.SHProperty), rdf.NewIRI("urn:p")),
+			rdf.NewTriple(rdf.NewIRI("urn:p"), typ, rdf.NewIRI(rdf.SHPropertyShape)),
+		),
+		"bad count literal": mk(
+			rdf.NewTriple(shape, typ, rdf.NewIRI(rdf.SHNodeShape)),
+			rdf.NewTriple(shape, rdf.NewIRI(rdf.SHTargetClass), rdf.NewIRI(ns+"T")),
+			rdf.NewTriple(shape, rdf.NewIRI(rdf.SHCount), rdf.NewLiteral("many")),
+		),
+		"non-literal count": mk(
+			rdf.NewTriple(shape, typ, rdf.NewIRI(rdf.SHNodeShape)),
+			rdf.NewTriple(shape, rdf.NewIRI(rdf.SHTargetClass), rdf.NewIRI(ns+"T")),
+			rdf.NewTriple(shape, rdf.NewIRI(rdf.SHCount), rdf.NewIRI("urn:x")),
+		),
+	}
+	for name, g := range cases {
+		if _, err := FromGraph(g); err == nil {
+			t.Errorf("%s: FromGraph succeeded, want error", name)
+		}
+	}
+}
+
+func TestWriteTurtle(t *testing.T) {
+	sg, err := InferShapes(zoo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSize := sg.TurtleSize()
+	for _, nsh := range sg.Shapes() {
+		nsh.Count = 42
+		for _, ps := range nsh.Properties {
+			ps.Stats = &PropStats{Count: 10, DistinctCount: 9, DistinctSubjectCount: 8, MinCount: 0, MaxCount: 2}
+		}
+	}
+	var buf bytes.Buffer
+	if err := sg.WriteTurtle(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"sh:NodeShape", "sh:targetClass", "sh:count 42", "sh:distinctCount 9", "@prefix sh:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("turtle missing %q:\n%s", want, text)
+		}
+	}
+	annotatedSize := sg.TurtleSize()
+	if annotatedSize <= plainSize {
+		t.Errorf("annotated size %d not larger than plain %d", annotatedSize, plainSize)
+	}
+	// the paper reports ≈1.5× growth for LUBM; anything under 3× is sane
+	if float64(annotatedSize) > 3*float64(plainSize) {
+		t.Errorf("annotation overhead too large: %d vs %d", annotatedSize, plainSize)
+	}
+}
+
+func TestValidateCleanData(t *testing.T) {
+	st := zoo()
+	sg, err := InferShapes(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := sg.Validate(st, 0); len(vs) != 0 {
+		t.Errorf("violations on conforming data: %v", vs)
+	}
+}
+
+func TestValidateViolations(t *testing.T) {
+	iri := func(s string) rdf.Term { return rdf.NewIRI(ns + s) }
+	typ := rdf.NewIRI(rdf.RDFType)
+	var g rdf.Graph
+	g.Append(iri("rex"), typ, iri("Dog"))
+	g.Append(iri("rex"), iri("name"), rdf.NewInteger(7))  // datatype violation
+	g.Append(iri("rex"), iri("owner"), iri("someone"))    // class violation (untyped)
+	g.Append(iri("rex"), iri("toy"), rdf.NewLiteral("x")) // nodekind violation
+	st := store.Load(g)
+
+	sg := NewShapesGraph()
+	dog := NewNodeShape("urn:dog", ns+"Dog")
+	mustAdd := func(ps *PropertyShape) {
+		if err := dog.AddProperty(ps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(&PropertyShape{IRI: "urn:dog-name", Path: ns + "name", NodeKind: "Literal", Datatype: rdf.XSDString})
+	mustAdd(&PropertyShape{IRI: "urn:dog-owner", Path: ns + "owner", NodeKind: "IRI", Class: ns + "Person"})
+	mustAdd(&PropertyShape{IRI: "urn:dog-toy", Path: ns + "toy", NodeKind: "IRI"})
+	if err := sg.Add(dog); err != nil {
+		t.Fatal(err)
+	}
+
+	vs := sg.Validate(st, 0)
+	if len(vs) != 3 {
+		t.Fatalf("violations = %d, want 3: %v", len(vs), vs)
+	}
+	for _, v := range vs {
+		if v.String() == "" {
+			t.Error("empty violation message")
+		}
+	}
+	// limit should truncate
+	if vs := sg.Validate(st, 2); len(vs) != 2 {
+		t.Errorf("limited violations = %d, want 2", len(vs))
+	}
+}
+
+func TestTurtleRoundTrip(t *testing.T) {
+	sg, err := InferShapes(zoo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nsh := range sg.Shapes() {
+		nsh.Count = 7
+		for _, ps := range nsh.Properties {
+			ps.Stats = &PropStats{Count: 3, DistinctCount: 2, DistinctSubjectCount: 3, MinCount: 1, MaxCount: 2}
+		}
+	}
+	var buf bytes.Buffer
+	if err := sg.WriteTurtle(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ParseTurtle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Len() != sg.Len() || rt.PropertyShapeCount() != sg.PropertyShapeCount() {
+		t.Fatalf("shape counts differ: %d/%d vs %d/%d",
+			rt.Len(), rt.PropertyShapeCount(), sg.Len(), sg.PropertyShapeCount())
+	}
+	if !rt.Annotated() {
+		t.Error("turtle round trip lost statistics")
+	}
+	dog := rt.ByClass(ns + "Dog")
+	if dog == nil || dog.Count != 7 {
+		t.Fatalf("Dog shape = %+v", dog)
+	}
+	ps := dog.Property(ns + "name")
+	if ps == nil || ps.Stats == nil {
+		t.Fatal("name property shape lost")
+	}
+	if *ps.Stats != (PropStats{Count: 3, DistinctCount: 2, DistinctSubjectCount: 3, MinCount: 1, MaxCount: 2}) {
+		t.Errorf("stats = %+v", *ps.Stats)
+	}
+	if ps.NodeKind != "Literal" || ps.Datatype != rdf.XSDString {
+		t.Errorf("constraints lost: %+v", ps)
+	}
+}
+
+func TestValidateCardinalityConstraints(t *testing.T) {
+	iri := func(s string) rdf.Term { return rdf.NewIRI(ns + s) }
+	typ := rdf.NewIRI(rdf.RDFType)
+	var g rdf.Graph
+	// rex: 0 names (violates min 1); fido: 3 names (violates max 2)
+	g.Append(iri("rex"), typ, iri("Dog"))
+	g.Append(iri("fido"), typ, iri("Dog"))
+	g.Append(iri("fido"), iri("name"), rdf.NewLiteral("a"))
+	g.Append(iri("fido"), iri("name"), rdf.NewLiteral("b"))
+	g.Append(iri("fido"), iri("name"), rdf.NewLiteral("c"))
+	g.Append(iri("ok"), typ, iri("Dog"))
+	g.Append(iri("ok"), iri("name"), rdf.NewLiteral("d"))
+	st := store.Load(g)
+
+	sg := NewShapesGraph()
+	dog := NewNodeShape("urn:dog", ns+"Dog")
+	if err := dog.AddProperty(&PropertyShape{
+		IRI: "urn:dog-name", Path: ns + "name",
+		MinRequired: 1, MaxAllowed: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sg.Add(dog); err != nil {
+		t.Fatal(err)
+	}
+	vs := sg.Validate(st, 0)
+	if len(vs) != 2 {
+		t.Fatalf("violations = %d, want 2: %v", len(vs), vs)
+	}
+	byFocus := map[string]string{}
+	for _, v := range vs {
+		byFocus[v.FocusNode.Value] = v.Message
+	}
+	if !strings.Contains(byFocus[ns+"rex"], "at least 1") {
+		t.Errorf("rex violation = %q", byFocus[ns+"rex"])
+	}
+	if !strings.Contains(byFocus[ns+"fido"], "at most 2") {
+		t.Errorf("fido violation = %q", byFocus[ns+"fido"])
+	}
+}
+
+func TestConstraintSerializationRoundTrip(t *testing.T) {
+	sg := NewShapesGraph()
+	dog := NewNodeShape("urn:dog", ns+"Dog")
+	if err := dog.AddProperty(&PropertyShape{
+		IRI: "urn:dog-name", Path: ns + "name",
+		MinRequired: 1, MaxAllowed: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sg.Add(dog); err != nil {
+		t.Fatal(err)
+	}
+	// unannotated: min/max serialize as constraints and parse back
+	rt, err := FromGraph(sg.ToGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := rt.ByClass(ns + "Dog").Property(ns + "name")
+	if ps.MinRequired != 1 || ps.MaxAllowed != 3 || ps.Stats != nil {
+		t.Errorf("constraints after round trip = %+v", ps)
+	}
+	// Turtle form too
+	var buf bytes.Buffer
+	if err := sg.WriteTurtle(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sh:minCount 1") || !strings.Contains(buf.String(), "sh:maxCount 3") {
+		t.Errorf("turtle missing constraints:\n%s", buf.String())
+	}
+	rt2, err := ParseTurtle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps2 := rt2.ByClass(ns + "Dog").Property(ns + "name")
+	if ps2.MinRequired != 1 || ps2.MaxAllowed != 3 {
+		t.Errorf("turtle round trip = %+v", ps2)
+	}
+	// once annotated, min/max become statistics and constraints stop
+	// serializing — the paper's attribute reuse
+	rt.ByClass(ns + "Dog").Count = 0
+	ps.Stats = &PropStats{Count: 4, MinCount: 0, MaxCount: 2}
+	rt3, err := FromGraph(rt.ToGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps3 := rt3.ByClass(ns + "Dog").Property(ns + "name")
+	if ps3.Stats == nil || ps3.Stats.MaxCount != 2 {
+		t.Errorf("annotated round trip = %+v", ps3)
+	}
+	if ps3.MinRequired != 0 || ps3.MaxAllowed != 0 {
+		t.Errorf("constraints leaked into annotated form: %+v", ps3)
+	}
+}

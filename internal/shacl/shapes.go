@@ -1,0 +1,170 @@
+// Package shacl models SHACL shapes graphs — node shapes targeting
+// classes and property shapes targeting predicates — together with the
+// statistics extension proposed by the paper (Section 5): sh:count,
+// sh:minCount, sh:maxCount, and sh:distinctCount annotations computed
+// from the data graph.
+//
+// The package also provides shape inference from a data graph (the role
+// SHACLGEN plays in the paper, used for datasets that ship without
+// shapes), serialization to/from RDF, a compact Turtle writer (used for
+// the shapes-size overhead experiment), and constraint validation —
+// SHACL's original purpose, kept so the statistics extension demonstrably
+// "retains the structure of the original SHACL shapes graph".
+package shacl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PropStats is the statistics annotation of a property shape. All values
+// are scoped to subjects that are instances of the owning node shape's
+// target class: the fine-grained correlation information that global
+// statistics lack.
+type PropStats struct {
+	// Count is the number of <s, path, o> triples with s an instance of
+	// the target class (sh:count).
+	Count int64
+	// DistinctCount is the number of distinct objects among those
+	// triples (sh:distinctCount).
+	DistinctCount int64
+	// DistinctSubjectCount is the number of distinct subjects among
+	// those triples (sh:distinctSubjectCount; an addition of this
+	// implementation — the paper approximates it by the node shape
+	// count).
+	DistinctSubjectCount int64
+	// MinCount and MaxCount are the minimum and maximum number of such
+	// triples per instance (sh:minCount / sh:maxCount as statistics;
+	// instances lacking the property yield MinCount 0).
+	MinCount int64
+	MaxCount int64
+}
+
+// PropertyShape constrains (and, once annotated, describes) one predicate
+// of the instances of a node shape.
+type PropertyShape struct {
+	// IRI identifies the shape; blank-node property shapes get synthetic
+	// IRIs during inference.
+	IRI string
+	// Path is the target predicate IRI (sh:path).
+	Path string
+	// Datatype, when non-empty, constrains literal objects (sh:datatype).
+	Datatype string
+	// Class, when non-empty, constrains IRI objects to instances of the
+	// class (sh:class).
+	Class string
+	// NodeKind is "IRI", "Literal", or "" (sh:nodeKind).
+	NodeKind string
+	// MinRequired and MaxAllowed are SHACL cardinality *constraints*
+	// (how many values each focus node must/may have); 0 means unset,
+	// so the zero-value shape carries no cardinality constraints. They
+	// are distinct from Stats: the paper repurposes the
+	// sh:minCount/sh:maxCount attribute names for observed statistics,
+	// so a shapes graph serializes constraints only while unannotated
+	// (Stats nil), but validation honors them regardless.
+	MinRequired int64
+	MaxAllowed  int64
+	// Stats is nil until the annotator runs.
+	Stats *PropStats
+}
+
+// NodeShape targets a class and owns a set of property shapes.
+type NodeShape struct {
+	// IRI identifies the shape.
+	IRI string
+	// TargetClass is the class IRI whose instances the shape describes
+	// (sh:targetClass).
+	TargetClass string
+	// Properties lists the shape's property shapes sorted by path.
+	Properties []*PropertyShape
+	// Count is the number of instances of the target class (sh:count);
+	// -1 until the annotator runs.
+	Count int64
+}
+
+// NewNodeShape returns a node shape with no statistics.
+func NewNodeShape(iri, targetClass string) *NodeShape {
+	return &NodeShape{IRI: iri, TargetClass: targetClass, Count: -1}
+}
+
+// Property returns the property shape for the given predicate IRI, or nil.
+func (ns *NodeShape) Property(path string) *PropertyShape {
+	for _, ps := range ns.Properties {
+		if ps.Path == path {
+			return ps
+		}
+	}
+	return nil
+}
+
+// AddProperty appends a property shape, keeping Properties sorted by path.
+// Adding a second shape for the same path is an error.
+func (ns *NodeShape) AddProperty(ps *PropertyShape) error {
+	if ns.Property(ps.Path) != nil {
+		return fmt.Errorf("shacl: node shape %s already has a property shape for %s", ns.IRI, ps.Path)
+	}
+	ns.Properties = append(ns.Properties, ps)
+	sort.Slice(ns.Properties, func(i, j int) bool { return ns.Properties[i].Path < ns.Properties[j].Path })
+	return nil
+}
+
+// ShapesGraph is the SHACL shapes graph G_sh: a set of node shapes with
+// injective class targeting (Definition 3.3).
+type ShapesGraph struct {
+	shapes  []*NodeShape
+	byClass map[string]*NodeShape
+}
+
+// NewShapesGraph returns an empty shapes graph.
+func NewShapesGraph() *ShapesGraph {
+	return &ShapesGraph{byClass: map[string]*NodeShape{}}
+}
+
+// Add inserts a node shape. Two shapes may not target the same class
+// (targetS is injective per Definition 3.3).
+func (sg *ShapesGraph) Add(ns *NodeShape) error {
+	if prev, ok := sg.byClass[ns.TargetClass]; ok {
+		return fmt.Errorf("shacl: class %s already targeted by shape %s", ns.TargetClass, prev.IRI)
+	}
+	sg.byClass[ns.TargetClass] = ns
+	sg.shapes = append(sg.shapes, ns)
+	return nil
+}
+
+// ByClass returns the node shape targeting the class IRI, or nil.
+func (sg *ShapesGraph) ByClass(class string) *NodeShape { return sg.byClass[class] }
+
+// Shapes returns the node shapes sorted by target class.
+func (sg *ShapesGraph) Shapes() []*NodeShape {
+	out := append([]*NodeShape(nil), sg.shapes...)
+	sort.Slice(out, func(i, j int) bool { return out[i].TargetClass < out[j].TargetClass })
+	return out
+}
+
+// Len returns the number of node shapes.
+func (sg *ShapesGraph) Len() int { return len(sg.shapes) }
+
+// PropertyShapeCount returns the total number of property shapes, a
+// figure the paper reports for YAGO-4 (80 831 property shapes).
+func (sg *ShapesGraph) PropertyShapeCount() int {
+	n := 0
+	for _, ns := range sg.shapes {
+		n += len(ns.Properties)
+	}
+	return n
+}
+
+// Annotated reports whether every shape carries statistics.
+func (sg *ShapesGraph) Annotated() bool {
+	for _, ns := range sg.shapes {
+		if ns.Count < 0 {
+			return false
+		}
+		for _, ps := range ns.Properties {
+			if ps.Stats == nil {
+				return false
+			}
+		}
+	}
+	return len(sg.shapes) > 0
+}

@@ -1,0 +1,99 @@
+package shacl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"rdfshapes/internal/rdf"
+)
+
+// ParseTurtle reads a shapes graph from its Turtle serialization (the
+// format WriteTurtle emits, or any equivalent Turtle subset — property
+// shapes may be anonymous blank nodes or IRI-identified).
+func ParseTurtle(r io.Reader) (*ShapesGraph, error) {
+	g, err := rdf.ParseTurtle(r)
+	if err != nil {
+		return nil, fmt.Errorf("shacl: %w", err)
+	}
+	return FromGraph(g)
+}
+
+// WriteTurtle serializes the shapes graph in a compact Turtle subset,
+// one node shape per block with nested property shapes. This is the
+// representation whose byte size the paper reports when quantifying the
+// annotation overhead (e.g. LUBM: 45 KB plain → 68 KB annotated).
+func (sg *ShapesGraph) WriteTurtle(w io.Writer, prefixes *rdf.PrefixMap) error {
+	bw := bufio.NewWriter(w)
+	if prefixes == nil {
+		prefixes = rdf.CommonPrefixes()
+	}
+	for _, b := range prefixes.Bindings() {
+		fmt.Fprintf(bw, "@prefix %s: <%s> .\n", b[0], b[1])
+	}
+	fmt.Fprintln(bw)
+	name := func(iri string) string {
+		if q, ok := prefixes.Compact(iri); ok {
+			return q
+		}
+		return "<" + iri + ">"
+	}
+	for _, ns := range sg.Shapes() {
+		fmt.Fprintf(bw, "%s a sh:NodeShape ;\n", name(ns.IRI))
+		fmt.Fprintf(bw, "    sh:targetClass %s ", name(ns.TargetClass))
+		if ns.Count >= 0 {
+			fmt.Fprintf(bw, ";\n    sh:count %d ", ns.Count)
+		}
+		for _, ps := range ns.Properties {
+			fmt.Fprintf(bw, ";\n    sh:property [\n")
+			fmt.Fprintf(bw, "        sh:path %s ", name(ps.Path))
+			if ps.NodeKind != "" {
+				fmt.Fprintf(bw, ";\n        sh:nodeKind sh:%s ", ps.NodeKind)
+			}
+			if ps.Datatype != "" {
+				fmt.Fprintf(bw, ";\n        sh:datatype %s ", name(ps.Datatype))
+			}
+			if ps.Class != "" {
+				fmt.Fprintf(bw, ";\n        sh:class %s ", name(ps.Class))
+			}
+			if ps.Stats == nil {
+				if ps.MinRequired > 0 {
+					fmt.Fprintf(bw, ";\n        sh:minCount %d ", ps.MinRequired)
+				}
+				if ps.MaxAllowed > 0 {
+					fmt.Fprintf(bw, ";\n        sh:maxCount %d ", ps.MaxAllowed)
+				}
+			}
+			if st := ps.Stats; st != nil {
+				fmt.Fprintf(bw, ";\n        sh:count %d ", st.Count)
+				fmt.Fprintf(bw, ";\n        sh:distinctCount %d ", st.DistinctCount)
+				fmt.Fprintf(bw, ";\n        sh:distinctSubjectCount %d ", st.DistinctSubjectCount)
+				fmt.Fprintf(bw, ";\n        sh:minCount %d ", st.MinCount)
+				fmt.Fprintf(bw, ";\n        sh:maxCount %d ", st.MaxCount)
+			}
+			fmt.Fprintf(bw, "\n    ] ")
+		}
+		fmt.Fprintf(bw, ".\n\n")
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("shacl: writing turtle: %w", err)
+	}
+	return nil
+}
+
+// TurtleSize returns the serialized Turtle size in bytes, used by the
+// preprocessing-overhead experiment.
+func (sg *ShapesGraph) TurtleSize() int {
+	var c countingWriter
+	// WriteTurtle only fails on writer errors, which countingWriter
+	// never produces.
+	_ = sg.WriteTurtle(&c, nil)
+	return int(c)
+}
+
+type countingWriter int64
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
+}

@@ -1,0 +1,145 @@
+package shacl
+
+import (
+	"fmt"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/store"
+)
+
+// Violation reports one failed constraint check during validation.
+type Violation struct {
+	// FocusNode is the data node that violated the constraint.
+	FocusNode rdf.Term
+	// Shape is the IRI of the node or property shape that was violated.
+	Shape string
+	// Path is the predicate involved, or "" for node-level violations.
+	Path string
+	// Message describes the violation.
+	Message string
+}
+
+// String renders the violation for logs and error messages.
+func (v Violation) String() string {
+	if v.Path != "" {
+		return fmt.Sprintf("%s: %s @ %s (path %s)", v.Shape, v.Message, v.FocusNode, v.Path)
+	}
+	return fmt.Sprintf("%s: %s @ %s", v.Shape, v.Message, v.FocusNode)
+}
+
+// Validate checks every instance of each node shape's target class
+// against the shape's property constraints (sh:datatype, sh:class,
+// sh:nodeKind). It returns the violations found, up to limit (0 = all).
+//
+// This is SHACL's original validation semantics, retained to demonstrate
+// that the statistics annotations do not interfere with it.
+func (sg *ShapesGraph) Validate(st *store.Store, limit int) []Violation {
+	var out []Violation
+	tid := st.TypeID()
+	if tid == 0 {
+		return nil
+	}
+	add := func(v Violation) bool {
+		out = append(out, v)
+		return limit == 0 || len(out) < limit
+	}
+	for _, ns := range sg.Shapes() {
+		clsID, ok := st.Dict().Lookup(rdf.NewIRI(ns.TargetClass))
+		if !ok {
+			continue
+		}
+		keepGoing := true
+		st.Scan(store.IDTriple{P: tid, O: clsID}, func(inst store.IDTriple) bool {
+			focus := inst.S
+			for _, ps := range ns.Properties {
+				var occurrences int64
+				predID, found := st.Dict().Lookup(rdf.NewIRI(ps.Path))
+				if found {
+					ok2 := true
+					st.Scan(store.IDTriple{S: focus, P: predID}, func(t store.IDTriple) bool {
+						occurrences++
+						obj := st.Dict().Term(t.O)
+						if v, bad := checkObject(ps, st, obj); bad {
+							v.FocusNode = st.Dict().Term(focus)
+							if !add(v) {
+								ok2 = false
+								return false
+							}
+						}
+						return true
+					})
+					if !ok2 {
+						keepGoing = false
+						return false
+					}
+				}
+				if v, bad := checkCardinality(ps, occurrences); bad {
+					v.FocusNode = st.Dict().Term(focus)
+					if !add(v) {
+						keepGoing = false
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if !keepGoing {
+			break
+		}
+	}
+	return out
+}
+
+// checkCardinality enforces the MinRequired/MaxAllowed constraints
+// against the number of values a focus node has for the property.
+func checkCardinality(ps *PropertyShape, occurrences int64) (Violation, bool) {
+	base := Violation{Shape: ps.IRI, Path: ps.Path}
+	if ps.MinRequired > 0 && occurrences < ps.MinRequired {
+		base.Message = fmt.Sprintf("has %d values, requires at least %d", occurrences, ps.MinRequired)
+		return base, true
+	}
+	if ps.MaxAllowed > 0 && occurrences > ps.MaxAllowed {
+		base.Message = fmt.Sprintf("has %d values, allows at most %d", occurrences, ps.MaxAllowed)
+		return base, true
+	}
+	return Violation{}, false
+}
+
+func checkObject(ps *PropertyShape, st *store.Store, obj rdf.Term) (Violation, bool) {
+	base := Violation{Shape: ps.IRI, Path: ps.Path}
+	switch ps.NodeKind {
+	case "IRI":
+		if !obj.IsIRI() && !obj.IsBlank() {
+			base.Message = fmt.Sprintf("object %s is not an IRI", obj)
+			return base, true
+		}
+	case "Literal":
+		if !obj.IsLiteral() {
+			base.Message = fmt.Sprintf("object %s is not a literal", obj)
+			return base, true
+		}
+	}
+	if ps.Datatype != "" && obj.IsLiteral() {
+		dt := obj.Datatype
+		if dt == "" {
+			dt = rdf.XSDString
+		}
+		if dt != ps.Datatype {
+			base.Message = fmt.Sprintf("object %s has datatype %s, want %s", obj, dt, ps.Datatype)
+			return base, true
+		}
+	}
+	if ps.Class != "" && obj.IsIRI() {
+		objID, ok := st.Dict().Lookup(obj)
+		if !ok {
+			base.Message = fmt.Sprintf("object %s is not in the data graph", obj)
+			return base, true
+		}
+		clsID, ok := st.Dict().Lookup(rdf.NewIRI(ps.Class))
+		if !ok || !st.Contains(store.IDTriple{S: objID, P: st.TypeID(), O: clsID}) {
+			base.Message = fmt.Sprintf("object %s is not an instance of %s", obj, ps.Class)
+			return base, true
+		}
+	}
+	return Violation{}, false
+}

@@ -1,0 +1,395 @@
+// Package sparql implements the SPARQL subset needed by the paper's
+// workloads: PREFIX declarations and SELECT queries over a single basic
+// graph pattern (BGP), with optional DISTINCT and LIMIT.
+//
+// Every query the paper evaluates — complex (C), snowflake (F), and star
+// (S) shapes — is a conjunctive BGP, so joins between triple patterns are
+// the only operator the optimizer has to order.
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rdfshapes/internal/rdf"
+)
+
+// PatternTerm is one position of a triple pattern: either a variable or a
+// concrete RDF term.
+type PatternTerm struct {
+	// Var is the variable name without the leading '?', or "" when the
+	// position is concrete.
+	Var string
+	// Term is the concrete term; meaningful only when Var is "".
+	Term rdf.Term
+}
+
+// Variable returns a variable pattern term.
+func Variable(name string) PatternTerm { return PatternTerm{Var: name} }
+
+// Bound returns a concrete pattern term.
+func Bound(t rdf.Term) PatternTerm { return PatternTerm{Term: t} }
+
+// IsVar reports whether the position holds a variable.
+func (pt PatternTerm) IsVar() bool { return pt.Var != "" }
+
+// String renders the term in SPARQL syntax.
+func (pt PatternTerm) String() string {
+	if pt.IsVar() {
+		return "?" + pt.Var
+	}
+	return pt.Term.String()
+}
+
+// TriplePattern is one element of a BGP.
+type TriplePattern struct {
+	S, P, O PatternTerm
+	// Index is the position of the pattern in the parsed query, used by
+	// planners to report orderings stably.
+	Index int
+}
+
+// String renders the pattern in SPARQL syntax.
+func (tp TriplePattern) String() string {
+	return tp.S.String() + " " + tp.P.String() + " " + tp.O.String() + " ."
+}
+
+// Vars returns the distinct variable names used by the pattern.
+func (tp TriplePattern) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+		if pt.IsVar() && !seen[pt.Var] {
+			seen[pt.Var] = true
+			out = append(out, pt.Var)
+		}
+	}
+	return out
+}
+
+// IsTypePattern reports whether the pattern is <?x rdf:type Class> with a
+// concrete class, the shape that anchors a subject variable to a node
+// shape (Section 6.1 of the paper).
+func (tp TriplePattern) IsTypePattern() bool {
+	return !tp.P.IsVar() && tp.P.Term.IsIRI() && tp.P.Term.Value == rdf.RDFType &&
+		!tp.O.IsVar()
+}
+
+// JoinKind classifies a join between two triple patterns by the positions
+// of their shared variable, following Section 6.2 of the paper.
+type JoinKind uint8
+
+// Join kinds. Cartesian means no shared variable.
+const (
+	JoinNone  JoinKind = iota // Cartesian product
+	JoinSS                    // subject-subject
+	JoinSO                    // subject of left = object of right
+	JoinOS                    // object of left = subject of right
+	JoinOO                    // object-object
+	JoinOther                 // a shared variable involves a predicate position
+)
+
+// String names the join kind.
+func (k JoinKind) String() string {
+	switch k {
+	case JoinNone:
+		return "cartesian"
+	case JoinSS:
+		return "SS"
+	case JoinSO:
+		return "SO"
+	case JoinOS:
+		return "OS"
+	case JoinOO:
+		return "OO"
+	case JoinOther:
+		return "other"
+	default:
+		return fmt.Sprintf("JoinKind(%d)", uint8(k))
+	}
+}
+
+// SharedJoin describes one shared variable between two patterns.
+type SharedJoin struct {
+	Var  string
+	Kind JoinKind
+}
+
+// Joins returns the shared variables between a and b with their join
+// kinds, sorted by variable name for determinism. An empty result means
+// the patterns are only combinable as a Cartesian product.
+func Joins(a, b TriplePattern) []SharedJoin {
+	posIn := func(tp TriplePattern, v string) (subj, pred, obj bool) {
+		subj = tp.S.IsVar() && tp.S.Var == v
+		pred = tp.P.IsVar() && tp.P.Var == v
+		obj = tp.O.IsVar() && tp.O.Var == v
+		return
+	}
+	var out []SharedJoin
+	for _, v := range a.Vars() {
+		sa, pa, oa := posIn(a, v)
+		sb, pb, ob := posIn(b, v)
+		if !sb && !pb && !ob {
+			continue
+		}
+		var kind JoinKind
+		switch {
+		case pa || pb:
+			kind = JoinOther
+		case sa && sb:
+			kind = JoinSS
+		case sa && ob:
+			kind = JoinSO
+		case oa && sb:
+			kind = JoinOS
+		case oa && ob:
+			kind = JoinOO
+		}
+		out = append(out, SharedJoin{Var: v, Kind: kind})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Var < out[j].Var })
+	return out
+}
+
+// Query is a parsed SELECT or ASK query.
+type Query struct {
+	// Prefixes holds the PREFIX declarations of the query.
+	Prefixes *rdf.PrefixMap
+	// Ask is true for ASK queries (existence check, no projection).
+	Ask bool
+	// Projection lists the selected variable names; empty means SELECT *.
+	Projection []string
+	// Distinct is true for SELECT DISTINCT.
+	Distinct bool
+	// Patterns is the required BGP in textual order. Empty when the
+	// query body is a UNION of groups.
+	Patterns []TriplePattern
+	// UnionGroups, when non-empty, holds the branches of a top-level
+	// UNION: WHERE { {G1} UNION {G2} ... }. Each branch is a plain BGP
+	// evaluated independently; results are concatenated.
+	UnionGroups [][]TriplePattern
+	// Optionals lists OPTIONAL groups, each a small BGP evaluated as a
+	// left outer join against the required part, in textual order.
+	Optionals [][]TriplePattern
+	// Filters lists the FILTER constraints of the group. Filters may
+	// only reference variables bound by the required BGP.
+	Filters []Filter
+	// OrderBy lists the ORDER BY sort keys.
+	OrderBy []OrderKey
+	// Limit caps the number of results; 0 means unlimited.
+	Limit int
+	// Offset skips the first results after ordering.
+	Offset int
+	// Aggregate, when non-nil, turns the query into a COUNT aggregation
+	// (SELECT (COUNT(*) AS ?c) ...).
+	Aggregate *CountAggregate
+	// Construct, when non-empty, turns the query into a CONSTRUCT: each
+	// solution instantiates the template patterns into result triples.
+	Construct []TriplePattern
+}
+
+// CountAggregate is the COUNT projection of an aggregate query.
+type CountAggregate struct {
+	// Distinct is true for COUNT(DISTINCT ?v).
+	Distinct bool
+	// Var is the counted variable; "" means COUNT(*).
+	Var string
+	// As is the output variable name.
+	As string
+}
+
+// String renders the aggregate in SPARQL syntax.
+func (a *CountAggregate) String() string {
+	inner := "*"
+	if a.Var != "" {
+		inner = "?" + a.Var
+		if a.Distinct {
+			inner = "DISTINCT " + inner
+		}
+	}
+	return fmt.Sprintf("(COUNT(%s) AS ?%s)", inner, a.As)
+}
+
+// Vars returns the distinct variables of the BGP in first-use order.
+func (q *Query) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, tp := range q.Patterns {
+		for _, v := range tp.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// TypeOf returns the class IRI that variable v is declared to be an
+// instance of by a <?v rdf:type Class> pattern in the BGP, or ("", false).
+// When several type patterns constrain v, the first in textual order wins.
+func (q *Query) TypeOf(v string) (string, bool) {
+	for _, tp := range q.Patterns {
+		if tp.IsTypePattern() && tp.S.IsVar() && tp.S.Var == v && tp.O.Term.IsIRI() {
+			return tp.O.Term.Value, true
+		}
+	}
+	return "", false
+}
+
+// HasTypePattern reports whether the BGP contains at least one
+// type-defined triple pattern. Per Section 6.1, shape statistics apply
+// only in that case; otherwise planners fall back to global statistics.
+func (q *Query) HasTypePattern() bool {
+	for _, tp := range q.Patterns {
+		if tp.IsTypePattern() {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the query in SPARQL syntax (without prefix compaction).
+func (q *Query) String() string {
+	var b strings.Builder
+	if q.Ask {
+		b.WriteString("ASK")
+	} else if len(q.Construct) > 0 {
+		b.WriteString("CONSTRUCT {\n")
+		for _, tp := range q.Construct {
+			b.WriteString("  ")
+			b.WriteString(tp.String())
+			b.WriteByte('\n')
+		}
+		b.WriteString("}")
+	} else {
+		b.WriteString("SELECT ")
+		if q.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		if q.Aggregate != nil {
+			b.WriteString(q.Aggregate.String())
+		} else if len(q.Projection) == 0 {
+			b.WriteString("*")
+		} else {
+			for i, v := range q.Projection {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString("?" + v)
+			}
+		}
+	}
+	b.WriteString(" WHERE {\n")
+	for i, group := range q.UnionGroups {
+		if i > 0 {
+			b.WriteString("  UNION\n")
+		}
+		b.WriteString("  {\n")
+		for _, tp := range group {
+			b.WriteString("    ")
+			b.WriteString(tp.String())
+			b.WriteByte('\n')
+		}
+		b.WriteString("  }\n")
+	}
+	for _, tp := range q.Patterns {
+		b.WriteString("  ")
+		b.WriteString(tp.String())
+		b.WriteByte('\n')
+	}
+	for _, group := range q.Optionals {
+		b.WriteString("  OPTIONAL {\n")
+		for _, tp := range group {
+			b.WriteString("    ")
+			b.WriteString(tp.String())
+			b.WriteByte('\n')
+		}
+		b.WriteString("  }\n")
+	}
+	for _, f := range q.Filters {
+		b.WriteString("  ")
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString("}")
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY")
+		for _, k := range q.OrderBy {
+			b.WriteByte(' ')
+			b.WriteString(k.String())
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, " OFFSET %d", q.Offset)
+	}
+	return b.String()
+}
+
+// Clone returns a deep-enough copy of q whose Patterns slice can be
+// reordered without affecting the original.
+func (q *Query) Clone() *Query {
+	cp := *q
+	cp.Patterns = append([]TriplePattern(nil), q.Patterns...)
+	cp.Projection = append([]string(nil), q.Projection...)
+	cp.Filters = append([]Filter(nil), q.Filters...)
+	cp.OrderBy = append([]OrderKey(nil), q.OrderBy...)
+	cp.Optionals = make([][]TriplePattern, len(q.Optionals))
+	for i, g := range q.Optionals {
+		cp.Optionals[i] = append([]TriplePattern(nil), g...)
+	}
+	cp.UnionGroups = make([][]TriplePattern, len(q.UnionGroups))
+	for i, g := range q.UnionGroups {
+		cp.UnionGroups[i] = append([]TriplePattern(nil), g...)
+	}
+	cp.Construct = append([]TriplePattern(nil), q.Construct...)
+	return &cp
+}
+
+// AllVars returns the variables of the required BGP and every OPTIONAL
+// group, in first-use order.
+func (q *Query) AllVars() []string {
+	out := q.Vars()
+	seen := map[string]bool{}
+	for _, v := range out {
+		seen[v] = true
+	}
+	for _, g := range q.Optionals {
+		for _, tp := range g {
+			for _, v := range tp.Vars() {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	for _, g := range q.UnionGroups {
+		for _, tp := range g {
+			for _, v := range tp.Vars() {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Branch returns the query restricted to UNION branch i: a copy with the
+// branch's patterns as the required BGP and no union groups. Filters and
+// solution modifiers are preserved.
+func (q *Query) Branch(i int) *Query {
+	cp := q.Clone()
+	cp.Patterns = append([]TriplePattern(nil), q.UnionGroups[i]...)
+	for j := range cp.Patterns {
+		cp.Patterns[j].Index = j
+	}
+	cp.UnionGroups = nil
+	return cp
+}

@@ -1,0 +1,141 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+
+	"rdfshapes/internal/rdf"
+)
+
+// CompareOp enumerates the comparison operators supported in FILTER
+// expressions.
+type CompareOp uint8
+
+// The supported comparison operators.
+const (
+	OpEq CompareOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator in SPARQL syntax.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CompareOp(%d)", uint8(op))
+	}
+}
+
+// Filter is a comparison constraint between a variable and a constant or
+// second variable: FILTER(?x >= 10), FILTER(?a != ?b).
+type Filter struct {
+	Left  PatternTerm // always a variable in the supported subset
+	Op    CompareOp
+	Right PatternTerm
+}
+
+// String renders the filter in SPARQL syntax.
+func (f Filter) String() string {
+	return fmt.Sprintf("FILTER(%s %s %s)", f.Left, f.Op, f.Right)
+}
+
+// Vars returns the variables the filter references.
+func (f Filter) Vars() []string {
+	var out []string
+	if f.Left.IsVar() {
+		out = append(out, f.Left.Var)
+	}
+	if f.Right.IsVar() && (!f.Left.IsVar() || f.Right.Var != f.Left.Var) {
+		out = append(out, f.Right.Var)
+	}
+	return out
+}
+
+// OrderKey is one ORDER BY sort key.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+// String renders the key in SPARQL syntax.
+func (k OrderKey) String() string {
+	if k.Desc {
+		return "DESC(?" + k.Var + ")"
+	}
+	return "?" + k.Var
+}
+
+// EvalCompare applies op to two concrete terms with SPARQL-like
+// semantics: numeric comparison when both terms are numeric literals,
+// otherwise term ordering (IRIs before literals before blanks, then
+// lexical).
+func EvalCompare(op CompareOp, a, b rdf.Term) bool {
+	c := CompareTermValues(a, b)
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// CompareTermValues orders two terms for FILTER and ORDER BY: numeric
+// literals compare by value, everything else by Term.Compare.
+func CompareTermValues(a, b rdf.Term) int {
+	if av, ok := numericValue(a); ok {
+		if bv, ok := numericValue(b); ok {
+			switch {
+			case av < bv:
+				return -1
+			case av > bv:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	return a.Compare(b)
+}
+
+// numericValue extracts a float from xsd numeric literals.
+func numericValue(t rdf.Term) (float64, bool) {
+	if !t.IsLiteral() {
+		return 0, false
+	}
+	switch t.Datatype {
+	case rdf.XSDInteger, rdf.XSDDecimal,
+		rdf.XSDNS + "double", rdf.XSDNS + "float",
+		rdf.XSDNS + "long", rdf.XSDNS + "int", rdf.XSDNS + "short", rdf.XSDNS + "byte",
+		rdf.XSDNS + "nonNegativeInteger", rdf.XSDNS + "positiveInteger":
+		v, err := strconv.ParseFloat(t.Value, 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	default:
+		return 0, false
+	}
+}

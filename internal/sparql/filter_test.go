@@ -1,0 +1,454 @@
+package sparql
+
+import (
+	"testing"
+
+	"rdfshapes/internal/rdf"
+)
+
+func TestParseFilter(t *testing.T) {
+	q := MustParse(`
+		PREFIX ex: <http://x/>
+		SELECT * WHERE {
+			?p ex:age ?a .
+			?p ex:name ?n .
+			FILTER(?a >= 18) .
+			FILTER(?n != "Bob")
+		}`)
+	if len(q.Filters) != 2 {
+		t.Fatalf("filters = %d, want 2", len(q.Filters))
+	}
+	f := q.Filters[0]
+	if f.Left.Var != "a" || f.Op != OpGe || f.Right.Term != rdf.NewInteger(18) {
+		t.Errorf("filter 0 = %+v", f)
+	}
+	f = q.Filters[1]
+	if f.Op != OpNe || f.Right.Term != rdf.NewLiteral("Bob") {
+		t.Errorf("filter 1 = %+v", f)
+	}
+}
+
+func TestParseFilterOperators(t *testing.T) {
+	ops := map[string]CompareOp{
+		"=": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+	}
+	for text, want := range ops {
+		q := MustParse(`SELECT * WHERE { ?p <http://x/age> ?a . FILTER(?a ` + text + ` 5) }`)
+		if q.Filters[0].Op != want {
+			t.Errorf("operator %q parsed as %v", text, q.Filters[0].Op)
+		}
+	}
+}
+
+func TestParseFilterVarVsVar(t *testing.T) {
+	q := MustParse(`SELECT * WHERE {
+		?p <http://x/a> ?x . ?p <http://x/b> ?y . FILTER(?x < ?y)
+	}`)
+	f := q.Filters[0]
+	if !f.Left.IsVar() || !f.Right.IsVar() {
+		t.Errorf("filter = %+v", f)
+	}
+	if vars := f.Vars(); len(vars) != 2 {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestParseFilterErrors(t *testing.T) {
+	bad := map[string]string{
+		"unbound var":     `SELECT * WHERE { ?p <http://x/a> ?x . FILTER(?zz > 5) }`,
+		"two constants":   `SELECT * WHERE { ?p <http://x/a> ?x . FILTER(5 > 4) }`,
+		"missing paren":   `SELECT * WHERE { ?p <http://x/a> ?x . FILTER ?x > 5 }`,
+		"missing operand": `SELECT * WHERE { ?p <http://x/a> ?x . FILTER(?x >) }`,
+		"unclosed":        `SELECT * WHERE { ?p <http://x/a> ?x . FILTER(?x > 5 }`,
+		"lone bang":       `SELECT * WHERE { ?p <http://x/a> ?x . FILTER(?x ! 5) }`,
+	}
+	for name, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+}
+
+func TestParseOrderByLimitOffset(t *testing.T) {
+	q := MustParse(`SELECT * WHERE {
+		?p <http://x/age> ?a . ?p <http://x/name> ?n .
+	} ORDER BY DESC(?a) ?n LIMIT 10 OFFSET 5`)
+	if len(q.OrderBy) != 2 {
+		t.Fatalf("order keys = %v", q.OrderBy)
+	}
+	if !q.OrderBy[0].Desc || q.OrderBy[0].Var != "a" {
+		t.Errorf("key 0 = %+v", q.OrderBy[0])
+	}
+	if q.OrderBy[1].Desc || q.OrderBy[1].Var != "n" {
+		t.Errorf("key 1 = %+v", q.OrderBy[1])
+	}
+	if q.Limit != 10 || q.Offset != 5 {
+		t.Errorf("limit/offset = %d/%d", q.Limit, q.Offset)
+	}
+}
+
+func TestParseOrderByAsc(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?p <http://x/age> ?a } ORDER BY ASC(?a)`)
+	if len(q.OrderBy) != 1 || q.OrderBy[0].Desc {
+		t.Errorf("OrderBy = %v", q.OrderBy)
+	}
+}
+
+func TestParseOrderByErrors(t *testing.T) {
+	bad := []string{
+		`SELECT * WHERE { ?p <http://x/a> ?x } ORDER ?x`,
+		`SELECT * WHERE { ?p <http://x/a> ?x } ORDER BY`,
+		`SELECT * WHERE { ?p <http://x/a> ?x } ORDER BY ?unbound`,
+		`SELECT * WHERE { ?p <http://x/a> ?x } ORDER BY DESC ?x`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseAsk(t *testing.T) {
+	for _, src := range []string{
+		`ASK { ?p <http://x/age> ?a . FILTER(?a > 100) }`,
+		`ASK WHERE { ?p <http://x/age> ?a }`,
+	} {
+		q := MustParse(src)
+		if !q.Ask {
+			t.Errorf("Ask not set for %q", src)
+		}
+	}
+}
+
+func TestQueryStringWithModifiers(t *testing.T) {
+	src := `SELECT * WHERE {
+		?p <http://x/age> ?a .
+		FILTER(?a >= 18)
+	} ORDER BY DESC(?a) LIMIT 3 OFFSET 1`
+	q := MustParse(src)
+	rt, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", q.String(), err)
+	}
+	if len(rt.Filters) != 1 || len(rt.OrderBy) != 1 || rt.Limit != 3 || rt.Offset != 1 {
+		t.Errorf("round trip lost modifiers: %s", rt.String())
+	}
+}
+
+func TestAskStringRoundTrip(t *testing.T) {
+	q := MustParse(`ASK { ?p <http://x/age> ?a }`)
+	rt, err := Parse(q.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Ask {
+		t.Errorf("round trip lost ASK: %s", q.String())
+	}
+}
+
+func TestEvalCompareNumeric(t *testing.T) {
+	five := rdf.NewInteger(5)
+	ten := rdf.NewInteger(10)
+	tenDec := rdf.NewTypedLiteral("10.0", rdf.XSDDecimal)
+	cases := []struct {
+		op   CompareOp
+		a, b rdf.Term
+		want bool
+	}{
+		{OpLt, five, ten, true},
+		{OpGt, five, ten, false},
+		{OpLe, five, five, true},
+		{OpGe, ten, five, true},
+		{OpEq, ten, tenDec, true}, // numeric equality across datatypes
+		{OpNe, five, ten, true},
+	}
+	for _, tc := range cases {
+		if got := EvalCompare(tc.op, tc.a, tc.b); got != tc.want {
+			t.Errorf("EvalCompare(%v, %v, %v) = %v", tc.op, tc.a, tc.b, got)
+		}
+	}
+}
+
+func TestEvalCompareStrings(t *testing.T) {
+	a := rdf.NewLiteral("apple")
+	b := rdf.NewLiteral("banana")
+	if !EvalCompare(OpLt, a, b) {
+		t.Error("apple not < banana")
+	}
+	// "10" as a plain string compares lexically, not numerically
+	if EvalCompare(OpLt, rdf.NewLiteral("10"), rdf.NewLiteral("9")) != true {
+		t.Error(`plain "10" must sort before "9" lexically`)
+	}
+}
+
+func TestCompareOpString(t *testing.T) {
+	want := map[CompareOp]string{OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">="}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%v.String() = %q", op, op.String())
+		}
+	}
+}
+
+func TestNumericValueRejectsBadLexical(t *testing.T) {
+	if _, ok := numericValue(rdf.NewTypedLiteral("abc", rdf.XSDInteger)); ok {
+		t.Error("malformed numeric literal accepted")
+	}
+	if _, ok := numericValue(rdf.NewIRI("http://x")); ok {
+		t.Error("IRI treated as numeric")
+	}
+}
+
+func TestParseOptional(t *testing.T) {
+	q := MustParse(`
+		PREFIX ex: <http://x/>
+		SELECT * WHERE {
+			?b a ex:Book .
+			OPTIONAL { ?b ex:author ?a . ?a ex:name ?n }
+			OPTIONAL { ?b ex:isbn ?i }
+		}`)
+	if len(q.Patterns) != 1 {
+		t.Errorf("required patterns = %d, want 1", len(q.Patterns))
+	}
+	if len(q.Optionals) != 2 {
+		t.Fatalf("optional groups = %d, want 2", len(q.Optionals))
+	}
+	if len(q.Optionals[0]) != 2 || len(q.Optionals[1]) != 1 {
+		t.Errorf("group sizes = %d, %d", len(q.Optionals[0]), len(q.Optionals[1]))
+	}
+	all := q.AllVars()
+	if len(all) != 4 {
+		t.Errorf("AllVars = %v", all)
+	}
+	// String round trip keeps the optionals
+	rt, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, q.String())
+	}
+	if len(rt.Optionals) != 2 {
+		t.Errorf("round trip lost optionals: %s", q.String())
+	}
+}
+
+func TestParseOptionalErrors(t *testing.T) {
+	bad := []string{
+		`SELECT * WHERE { ?b <http://x/p> ?o . OPTIONAL { } }`,
+		`SELECT * WHERE { ?b <http://x/p> ?o . OPTIONAL ?b <http://x/q> ?v }`,
+		`SELECT * WHERE { ?b <http://x/p> ?o . OPTIONAL { ?b <http://x/q> ?v }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestOrderByOptionalVarAllowed(t *testing.T) {
+	if _, err := Parse(`SELECT * WHERE {
+		?b <http://x/p> ?o .
+		OPTIONAL { ?b <http://x/q> ?v }
+	} ORDER BY ?v`); err != nil {
+		t.Errorf("ORDER BY over optional variable rejected: %v", err)
+	}
+}
+
+func TestCloneCopiesOptionals(t *testing.T) {
+	q := MustParse(`SELECT * WHERE {
+		?b <http://x/p> ?o .
+		OPTIONAL { ?b <http://x/q> ?v }
+	}`)
+	cp := q.Clone()
+	cp.Optionals[0][0].S = Variable("changed")
+	if q.Optionals[0][0].S.Var == "changed" {
+		t.Error("Clone shares optional group storage")
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	q := MustParse(`
+		PREFIX ex: <http://x/>
+		SELECT ?x WHERE {
+			{ ?x a ex:Dog . ?x ex:name ?n }
+			UNION
+			{ ?x a ex:Cat }
+			UNION
+			{ ?x a ex:Bird }
+		}`)
+	if len(q.UnionGroups) != 3 {
+		t.Fatalf("branches = %d, want 3", len(q.UnionGroups))
+	}
+	if len(q.Patterns) != 0 {
+		t.Errorf("required patterns = %d, want 0", len(q.Patterns))
+	}
+	if len(q.UnionGroups[0]) != 2 || len(q.UnionGroups[1]) != 1 {
+		t.Errorf("branch sizes wrong")
+	}
+	b := q.Branch(1)
+	if len(b.Patterns) != 1 || len(b.UnionGroups) != 0 {
+		t.Errorf("Branch(1) = %+v", b)
+	}
+	// String round trip
+	rt, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, q.String())
+	}
+	if len(rt.UnionGroups) != 3 {
+		t.Errorf("round trip lost union: %s", q.String())
+	}
+}
+
+func TestParseUnionWithFilters(t *testing.T) {
+	// the filter variable is bound in both branches → accepted
+	q := MustParse(`SELECT * WHERE {
+		{ ?x <http://x/age> ?a }
+		UNION
+		{ ?x <http://x/years> ?a }
+	} LIMIT 5`)
+	if len(q.UnionGroups) != 2 || q.Limit != 5 {
+		t.Errorf("q = %+v", q)
+	}
+	// filter var bound in only one branch → rejected
+	if _, err := Parse(`SELECT * WHERE {
+		{ ?x <http://x/age> ?a }
+		UNION
+		{ ?x <http://x/years> ?b }
+	}`); err != nil {
+		t.Errorf("union without filters rejected: %v", err)
+	}
+}
+
+func TestParseCountAggregate(t *testing.T) {
+	q := MustParse(`SELECT (COUNT(*) AS ?n) WHERE { ?s <http://x/p> ?o }`)
+	if q.Aggregate == nil || q.Aggregate.Var != "" || q.Aggregate.As != "n" {
+		t.Fatalf("aggregate = %+v", q.Aggregate)
+	}
+	q = MustParse(`SELECT (COUNT(DISTINCT ?o) AS ?n) WHERE { ?s <http://x/p> ?o }`)
+	if q.Aggregate == nil || !q.Aggregate.Distinct || q.Aggregate.Var != "o" {
+		t.Fatalf("aggregate = %+v", q.Aggregate)
+	}
+	// String round trip
+	rt, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, q.String())
+	}
+	if rt.Aggregate == nil || rt.Aggregate.As != "n" {
+		t.Errorf("round trip lost aggregate: %s", q.String())
+	}
+}
+
+func TestPropertyPathSequence(t *testing.T) {
+	q := MustParse(`
+		PREFIX ub: <http://x/>
+		SELECT ?n WHERE {
+			?x a ub:Student .
+			?x ub:advisor/ub:name ?n .
+		}`)
+	if len(q.Patterns) != 3 {
+		t.Fatalf("patterns = %d, want 3 (type + 2 desugared):\n%s", len(q.Patterns), q.String())
+	}
+	// the chain shares a fresh variable
+	p1, p2 := q.Patterns[1], q.Patterns[2]
+	if !p1.O.IsVar() || !p2.S.IsVar() || p1.O.Var != p2.S.Var {
+		t.Errorf("chain not linked: %v | %v", p1, p2)
+	}
+	if p1.P.Term.Value != "http://x/advisor" || p2.P.Term.Value != "http://x/name" {
+		t.Errorf("predicates wrong: %v | %v", p1, p2)
+	}
+	if p2.O.Var != "n" {
+		t.Errorf("final object = %v", p2.O)
+	}
+	// indexes must stay sequential
+	for i, tp := range q.Patterns {
+		if tp.Index != i {
+			t.Errorf("pattern %d has index %d", i, tp.Index)
+		}
+	}
+}
+
+func TestPropertyPathInverse(t *testing.T) {
+	q := MustParse(`
+		PREFIX ub: <http://x/>
+		SELECT * WHERE { ?c ^ub:teacherOf ?t }`)
+	tp := q.Patterns[0]
+	if tp.S.Var != "t" || tp.O.Var != "c" {
+		t.Errorf("inverse not swapped: %v", tp)
+	}
+}
+
+func TestPropertyPathThreeSteps(t *testing.T) {
+	q := MustParse(`
+		PREFIX ub: <http://x/>
+		SELECT * WHERE { ?x ub:a/ub:b/^ub:c ?y }`)
+	if len(q.Patterns) != 3 {
+		t.Fatalf("patterns = %d", len(q.Patterns))
+	}
+	last := q.Patterns[2]
+	// ^ub:c means the final object ?y is the subject of the c-edge
+	if last.S.Var != "y" {
+		t.Errorf("inverse final step: %v", last)
+	}
+}
+
+func TestPropertyPathErrors(t *testing.T) {
+	bad := []string{
+		`SELECT * WHERE { ?x ?p/?q ?y }`,         // variable in path
+		`SELECT * WHERE { ?x <http://x/a>/ ?y }`, // dangling slash
+		`SELECT * WHERE { ?x ^ ?y }`,             // bare caret
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestPropertyPathExecution(t *testing.T) {
+	// end-to-end sanity through the engine happens in the facade tests;
+	// here check the desugared form answers TypeOf correctly: the
+	// subject variable's type pattern still anchors shape statistics.
+	q := MustParse(`
+		PREFIX ub: <http://x/>
+		SELECT * WHERE {
+			?x a ub:Student .
+			?x ub:advisor/ub:name ?n .
+		}`)
+	cls, ok := q.TypeOf("x")
+	if !ok || cls != "http://x/Student" {
+		t.Errorf("TypeOf(x) = %q, %v", cls, ok)
+	}
+}
+
+func TestParseConstruct(t *testing.T) {
+	q := MustParse(`
+		PREFIX ex: <http://x/>
+		CONSTRUCT { ?y ex:knownBy ?x . ?x a ex:Knower }
+		WHERE { ?x ex:knows ?y }`)
+	if len(q.Construct) != 2 {
+		t.Fatalf("template = %v", q.Construct)
+	}
+	if len(q.Patterns) != 1 {
+		t.Errorf("where patterns = %d", len(q.Patterns))
+	}
+	// round trip
+	rt, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, q.String())
+	}
+	if len(rt.Construct) != 2 {
+		t.Errorf("round trip lost template: %s", q.String())
+	}
+}
+
+func TestParseConstructErrors(t *testing.T) {
+	bad := []string{
+		`CONSTRUCT { } WHERE { ?s <http://x/p> ?o }`,
+		`CONSTRUCT { ?s <http://x/a>/<http://x/b> ?o } WHERE { ?s <http://x/p> ?o }`,
+		`CONSTRUCT { ?s <http://x/p> ?o }`,
+		`CONSTRUCT ?s <http://x/p> ?o WHERE { ?s <http://x/p> ?o }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}

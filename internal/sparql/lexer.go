@@ -1,0 +1,202 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes of the SPARQL subset.
+type tokenKind uint8
+
+const (
+	tokEOF     tokenKind = iota
+	tokKeyword           // SELECT, WHERE, PREFIX, DISTINCT, LIMIT (upper-cased)
+	tokVar               // ?name (value without '?')
+	tokIRI               // <...> (value without brackets)
+	tokQName             // prefix:local or the keyword 'a'
+	tokLiteral           // "..." with optional @lang or ^^<dt>; value is raw token text
+	tokNumber            // integer literal
+	tokDot               // .
+	tokLBrace            // {
+	tokRBrace            // }
+	tokStar              // *
+	tokLParen            // (
+	tokRParen            // )
+	tokOp                // comparison operator: = != < <= > >=
+	tokSlash             // / (property path sequence)
+	tokCaret             // ^ (property path inverse)
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "WHERE": true, "PREFIX": true,
+	"DISTINCT": true, "LIMIT": true, "ASK": true,
+	"FILTER": true, "ORDER": true, "BY": true,
+	"ASC": true, "DESC": true, "OFFSET": true,
+	"OPTIONAL": true, "UNION": true, "COUNT": true, "AS": true,
+	"CONSTRUCT": true,
+}
+
+// lex tokenizes the query text. Comments run from '#' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", i})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '?' || c == '$':
+			j := i + 1
+			for j < n && isNameChar(rune(src[j])) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("sparql: empty variable name at offset %d", i)
+			}
+			toks = append(toks, token{tokVar, src[i+1 : j], i})
+			i = j
+		case c == '/':
+			toks = append(toks, token{tokSlash, "/", i})
+			i++
+		case c == '^':
+			if i+1 < n && src[i+1] == '^' {
+				return nil, fmt.Errorf("sparql: unexpected '^^' outside a literal at offset %d", i)
+			}
+			toks = append(toks, token{tokCaret, "^", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sparql: unexpected '!' at offset %d", i)
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		case c == '<':
+			// '<' is ambiguous: IRI opener or comparison operator. An
+			// IRI reference contains no whitespace before its '>', so a
+			// space, '=', or end of line right after '<' means operator.
+			if i+1 >= n || src[i+1] == '=' || src[i+1] == ' ' || src[i+1] == '\t' || src[i+1] == '\n' || src[i+1] == '\r' || src[i+1] == '?' {
+				if i+1 < n && src[i+1] == '=' {
+					toks = append(toks, token{tokOp, "<=", i})
+					i += 2
+				} else {
+					toks = append(toks, token{tokOp, "<", i})
+					i++
+				}
+				continue
+			}
+			j := strings.IndexByte(src[i:], '>')
+			if j < 0 {
+				return nil, fmt.Errorf("sparql: unterminated IRI at offset %d", i)
+			}
+			iri := src[i+1 : i+j]
+			if strings.ContainsAny(iri, " \t\n\r") {
+				return nil, fmt.Errorf("sparql: malformed IRI at offset %d", i)
+			}
+			toks = append(toks, token{tokIRI, iri, i})
+			i += j + 1
+		case c == '"':
+			j := i + 1
+			for j < n {
+				if src[j] == '\\' {
+					j += 2
+					continue
+				}
+				if src[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sparql: unterminated literal at offset %d", i)
+			}
+			j++ // past closing quote
+			// optional @lang or ^^<dt>
+			if j < n && src[j] == '@' {
+				for j < n && (isNameChar(rune(src[j])) || src[j] == '@' || src[j] == '-') {
+					j++
+				}
+			} else if strings.HasPrefix(src[j:], "^^<") {
+				k := strings.IndexByte(src[j+3:], '>')
+				if k < 0 {
+					return nil, fmt.Errorf("sparql: unterminated datatype IRI at offset %d", j)
+				}
+				j += 3 + k + 1
+			}
+			toks = append(toks, token{tokLiteral, src[i:j], i})
+			i = j
+		case c >= '0' && c <= '9' || c == '-' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i + 1
+			for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') && !(src[j] == '.' && (j+1 >= n || src[j+1] < '0' || src[j+1] > '9')) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case isNameStart(rune(c)):
+			j := i
+			for j < n && (isNameChar(rune(src[j])) || src[j] == ':') {
+				j++
+			}
+			word := src[i:j]
+			if kw := strings.ToUpper(word); keywords[kw] && !strings.Contains(word, ":") {
+				toks = append(toks, token{tokKeyword, kw, i})
+			} else {
+				toks = append(toks, token{tokQName, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("sparql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isNameStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isNameChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

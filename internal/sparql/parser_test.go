@@ -1,0 +1,261 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"rdfshapes/internal/rdf"
+)
+
+func TestParseBasicQuery(t *testing.T) {
+	q, err := Parse(`
+		PREFIX ub: <http://example.org/ub#>
+		SELECT ?x ?y WHERE {
+			?x a ub:Student .
+			?x ub:advisor ?y .
+			?y ub:name "Alice" .
+		} LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 3 {
+		t.Fatalf("patterns = %d, want 3", len(q.Patterns))
+	}
+	if q.Limit != 5 {
+		t.Errorf("limit = %d", q.Limit)
+	}
+	if got := q.Projection; len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("projection = %v", got)
+	}
+	// 'a' keyword expands to rdf:type
+	if q.Patterns[0].P.Term.Value != rdf.RDFType {
+		t.Errorf("'a' not expanded: %v", q.Patterns[0].P)
+	}
+	// qname expansion
+	if q.Patterns[0].O.Term.Value != "http://example.org/ub#Student" {
+		t.Errorf("qname not expanded: %v", q.Patterns[0].O)
+	}
+	// literal object
+	if q.Patterns[2].O.Term != rdf.NewLiteral("Alice") {
+		t.Errorf("literal object = %v", q.Patterns[2].O.Term)
+	}
+	// Index assignment
+	for i, tp := range q.Patterns {
+		if tp.Index != i {
+			t.Errorf("pattern %d has Index %d", i, tp.Index)
+		}
+	}
+}
+
+func TestParseSelectStarDistinct(t *testing.T) {
+	q := MustParse(`SELECT DISTINCT * WHERE { ?s ?p ?o }`)
+	if !q.Distinct {
+		t.Error("DISTINCT not parsed")
+	}
+	if len(q.Projection) != 0 {
+		t.Errorf("projection = %v, want empty for *", q.Projection)
+	}
+	if q.Patterns[0].P.Var != "p" {
+		t.Errorf("predicate variable = %v", q.Patterns[0].P)
+	}
+}
+
+func TestParseTrailingDotOptional(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?s <http://p> ?o }`)
+	if len(q.Patterns) != 1 {
+		t.Fatalf("patterns = %d", len(q.Patterns))
+	}
+}
+
+func TestParseNumericAndTypedLiterals(t *testing.T) {
+	q := MustParse(`SELECT * WHERE {
+		?s <http://p> 5 .
+		?s <http://q> "7"^^<http://www.w3.org/2001/XMLSchema#integer> .
+		?s <http://r> "hej"@da .
+	}`)
+	if q.Patterns[0].O.Term != rdf.NewInteger(5) {
+		t.Errorf("numeric literal = %v", q.Patterns[0].O.Term)
+	}
+	if q.Patterns[1].O.Term != rdf.NewInteger(7) {
+		t.Errorf("typed literal = %v", q.Patterns[1].O.Term)
+	}
+	if q.Patterns[2].O.Term != rdf.NewLangLiteral("hej", "da") {
+		t.Errorf("lang literal = %v", q.Patterns[2].O.Term)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q := MustParse(`
+		# leading comment
+		SELECT * WHERE {
+			?s <http://p> ?o . # trailing comment
+		}`)
+	if len(q.Patterns) != 1 {
+		t.Fatalf("patterns = %d", len(q.Patterns))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"no select":          `WHERE { ?s ?p ?o }`,
+		"empty bgp":          `SELECT * WHERE { }`,
+		"unbound prefix":     `SELECT * WHERE { ?s ub:x ?o }`,
+		"literal subject":    `SELECT * WHERE { "lit" <http://p> ?o }`,
+		"literal predicate":  `SELECT * WHERE { ?s "lit" ?o }`,
+		"missing brace":      `SELECT * WHERE { ?s <http://p> ?o`,
+		"trailing garbage":   `SELECT * WHERE { ?s <http://p> ?o } garbage`,
+		"bad limit":          `SELECT * WHERE { ?s <http://p> ?o } LIMIT x`,
+		"empty var":          `SELECT * WHERE { ? <http://p> ?o }`,
+		"prefix no colon":    `PREFIX ub <http://x/> SELECT * WHERE { ?s ?p ?o }`,
+		"unterminated iri":   `SELECT * WHERE { ?s <http://p ?o }`,
+		"unterminated lit":   `SELECT * WHERE { ?s <http://p> "x }`,
+		"no projection":      `SELECT WHERE { ?s ?p ?o }`,
+		"missing where":      `SELECT * { ?s ?p ?o }`,
+		"missing separators": `SELECT * WHERE { ?s <http://p> ?o ?x <http://q> ?y }`,
+	}
+	for name, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse(%q) succeeded, want error", name, src)
+		}
+	}
+}
+
+func TestQueryVarsAndTypeOf(t *testing.T) {
+	q := MustParse(`
+		PREFIX ub: <http://x/>
+		SELECT * WHERE {
+			?x a ub:Student .
+			?x ub:advisor ?y .
+			?y a ub:Professor .
+			?z ub:knows ?x .
+		}`)
+	vars := q.Vars()
+	want := []string{"x", "y", "z"}
+	if len(vars) != len(want) {
+		t.Fatalf("vars = %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Errorf("vars[%d] = %s, want %s", i, vars[i], want[i])
+		}
+	}
+	cls, ok := q.TypeOf("x")
+	if !ok || cls != "http://x/Student" {
+		t.Errorf("TypeOf(x) = %q, %v", cls, ok)
+	}
+	if _, ok := q.TypeOf("z"); ok {
+		t.Error("TypeOf(z) should be unknown")
+	}
+	if !q.HasTypePattern() {
+		t.Error("HasTypePattern = false")
+	}
+	q2 := MustParse(`SELECT * WHERE { ?s <http://p> ?o }`)
+	if q2.HasTypePattern() {
+		t.Error("HasTypePattern = true for type-free query")
+	}
+}
+
+func TestJoinsClassification(t *testing.T) {
+	q := MustParse(`
+		SELECT * WHERE {
+			?x <http://p> ?y .
+			?x <http://q> ?z .
+			?w <http://r> ?x .
+			?a <http://s> ?y .
+			?y ?x ?b .
+		}`)
+	tp := q.Patterns
+	check := func(a, b TriplePattern, wantVar string, wantKind JoinKind) {
+		t.Helper()
+		js := Joins(a, b)
+		found := false
+		for _, j := range js {
+			if j.Var == wantVar {
+				found = true
+				if j.Kind != wantKind {
+					t.Errorf("join %s kind = %v, want %v", wantVar, j.Kind, wantKind)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("join on %s not found between %v and %v", wantVar, a, b)
+		}
+	}
+	check(tp[0], tp[1], "x", JoinSS)
+	check(tp[0], tp[2], "x", JoinSO)
+	check(tp[2], tp[0], "x", JoinOS)
+	check(tp[0], tp[3], "y", JoinOO)
+	check(tp[0], tp[4], "x", JoinOther) // x is a predicate in tp[4]
+	if js := Joins(tp[1], tp[3]); len(js) != 0 {
+		t.Errorf("unexpected joins: %v", js)
+	}
+}
+
+func TestJoinKindString(t *testing.T) {
+	kinds := map[JoinKind]string{
+		JoinNone: "cartesian", JoinSS: "SS", JoinSO: "SO",
+		JoinOS: "OS", JoinOO: "OO", JoinOther: "other",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	q := MustParse(`
+		PREFIX ub: <http://x/>
+		SELECT DISTINCT ?x WHERE {
+			?x a ub:Student .
+			?x ub:name "Bob" .
+		} LIMIT 3`)
+	text := q.String()
+	for _, want := range []string{"SELECT DISTINCT ?x", "LIMIT 3", "<http://x/Student>"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("String() missing %q:\n%s", want, text)
+		}
+	}
+	q2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparsing String() output: %v\n%s", err, text)
+	}
+	if len(q2.Patterns) != len(q.Patterns) || q2.Limit != q.Limit || q2.Distinct != q.Distinct {
+		t.Error("round-tripped query differs")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?a <http://p> ?b . ?b <http://q> ?c }`)
+	cp := q.Clone()
+	cp.Patterns[0], cp.Patterns[1] = cp.Patterns[1], cp.Patterns[0]
+	if q.Patterns[0].P.Term.Value != "http://p" {
+		t.Error("Clone shares the pattern slice")
+	}
+}
+
+func TestIsTypePattern(t *testing.T) {
+	q := MustParse(`
+		PREFIX ub: <http://x/>
+		SELECT * WHERE {
+			?x a ub:Student .
+			?x a ?cls .
+			?x ub:p ub:Student .
+		}`)
+	if !q.Patterns[0].IsTypePattern() {
+		t.Error("typed pattern not recognized")
+	}
+	if q.Patterns[1].IsTypePattern() {
+		t.Error("variable-class pattern wrongly recognized")
+	}
+	if q.Patterns[2].IsTypePattern() {
+		t.Error("non-type predicate wrongly recognized")
+	}
+}
+
+func TestPatternVarsDeduplicated(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?x <http://p> ?x }`)
+	if vars := q.Patterns[0].Vars(); len(vars) != 1 || vars[0] != "x" {
+		t.Errorf("Vars = %v", vars)
+	}
+}

@@ -1,0 +1,65 @@
+// Package store implements an in-memory, dictionary-encoded RDF triple
+// store with sorted SPO, PSO, POS, and OSP indexes. It plays the role that
+// Jena TDB plays in the paper: the storage and access-path substrate over
+// which query plans are executed.
+//
+// Terms are interned into dense uint32 IDs; triples are stored as ID
+// triples in four sort orders so that every triple-pattern shape has an
+// index-supported range scan.
+package store
+
+import (
+	"fmt"
+
+	"rdfshapes/internal/rdf"
+)
+
+// ID is a dictionary-encoded term identifier. 0 is reserved and never
+// identifies a term; pattern positions use 0 as the wildcard.
+type ID uint32
+
+// Wildcard is the ID value that matches any term in Scan/Count patterns.
+const Wildcard ID = 0
+
+// Dict interns RDF terms into dense IDs starting at 1.
+type Dict struct {
+	ids   map[rdf.Term]ID
+	terms []rdf.Term // terms[0] is a placeholder for the reserved ID 0
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{
+		ids:   make(map[rdf.Term]ID),
+		terms: make([]rdf.Term, 1),
+	}
+}
+
+// Intern returns the ID for t, assigning a fresh one on first sight.
+func (d *Dict) Intern(t rdf.Term) ID {
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	id := ID(len(d.terms))
+	d.ids[t] = id
+	d.terms = append(d.terms, t)
+	return id
+}
+
+// Lookup returns the ID for t, or (0, false) if t was never interned.
+func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
+	id, ok := d.ids[t]
+	return id, ok
+}
+
+// Term returns the term for a valid ID. It panics on the reserved ID 0 or
+// an out-of-range ID, which always indicates a programming error.
+func (d *Dict) Term(id ID) rdf.Term {
+	if id == 0 || int(id) >= len(d.terms) {
+		panic(fmt.Sprintf("store: invalid term ID %d (dictionary size %d)", id, len(d.terms)-1))
+	}
+	return d.terms[id]
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int { return len(d.terms) - 1 }

@@ -1,0 +1,177 @@
+package store
+
+import "sort"
+
+// pattern describes which index serves a triple pattern and how many
+// leading components of that index's sort order are bound.
+//
+// Every combination of bound positions is prefix-resolvable by one of the
+// four indexes, so Scan never post-filters and Count is two binary
+// searches:
+//
+//	(s p o) → SPO, (s p ?) → SPO, (s ? o) → OSP, (s ? ?) → SPO,
+//	(? p o) → POS, (? p ?) → PSO, (? ? o) → OSP, (? ? ?) → SPO.
+
+// Scan calls fn for every triple matching the pattern, where Wildcard (0)
+// in a position matches anything. fn returning false stops the scan early.
+func (s *Store) Scan(pat IDTriple, fn func(IDTriple) bool) {
+	s.mustBeFrozen()
+	idx, lo, hi := s.match(pat)
+	for _, t := range idx[lo:hi] {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Count returns the number of triples matching the pattern in O(log n).
+func (s *Store) Count(pat IDTriple) int {
+	s.mustBeFrozen()
+	_, lo, hi := s.match(pat)
+	return hi - lo
+}
+
+// Contains reports whether the fully bound triple is in the store.
+func (s *Store) Contains(t IDTriple) bool {
+	return s.Count(t) > 0
+}
+
+// match selects the serving index and the half-open row range for pat.
+func (s *Store) match(pat IDTriple) (idx []IDTriple, lo, hi int) {
+	switch {
+	case pat.S != 0 && pat.P != 0 && pat.O != 0:
+		lo, hi = rangeOf(s.spo, keySPO, key3{pat.S, pat.P, pat.O}, 3)
+		return s.spo, lo, hi
+	case pat.S != 0 && pat.P != 0:
+		lo, hi = rangeOf(s.spo, keySPO, key3{pat.S, pat.P, 0}, 2)
+		return s.spo, lo, hi
+	case pat.S != 0 && pat.O != 0:
+		lo, hi = rangeOf(s.osp, keyOSP, key3{pat.O, pat.S, 0}, 2)
+		return s.osp, lo, hi
+	case pat.S != 0:
+		lo, hi = rangeOf(s.spo, keySPO, key3{pat.S, 0, 0}, 1)
+		return s.spo, lo, hi
+	case pat.P != 0 && pat.O != 0:
+		lo, hi = rangeOf(s.pos, keyPOS, key3{pat.P, pat.O, 0}, 2)
+		return s.pos, lo, hi
+	case pat.P != 0:
+		lo, hi = rangeOf(s.pso, keyPSO, key3{pat.P, 0, 0}, 1)
+		return s.pso, lo, hi
+	case pat.O != 0:
+		lo, hi = rangeOf(s.osp, keyOSP, key3{pat.O, 0, 0}, 1)
+		return s.osp, lo, hi
+	default:
+		return s.spo, 0, len(s.spo)
+	}
+}
+
+type key3 [3]ID
+
+func keySPO(t IDTriple) key3 { return key3{t.S, t.P, t.O} }
+func keyPSO(t IDTriple) key3 { return key3{t.P, t.S, t.O} }
+func keyPOS(t IDTriple) key3 { return key3{t.P, t.O, t.S} }
+func keyOSP(t IDTriple) key3 { return key3{t.O, t.S, t.P} }
+
+// rangeOf returns the half-open range of rows whose first n key components
+// equal the first n components of want.
+func rangeOf(idx []IDTriple, key func(IDTriple) key3, want key3, n int) (lo, hi int) {
+	lo = sort.Search(len(idx), func(i int) bool {
+		return !lessPrefix(key(idx[i]), want, n)
+	})
+	hi = sort.Search(len(idx), func(i int) bool {
+		return lessPrefix(want, key(idx[i]), n)
+	})
+	return lo, hi
+}
+
+// lessPrefix compares the first n components of a and b.
+func lessPrefix(a, b key3, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// DistinctSubjects returns the number of distinct subjects among triples
+// with predicate p (Wildcard means "over the whole graph").
+func (s *Store) DistinctSubjects(p ID) int {
+	s.mustBeFrozen()
+	if p == Wildcard {
+		return countRuns(s.spo, func(t IDTriple) ID { return t.S })
+	}
+	_, lo, hi := s.match(IDTriple{P: p})
+	return countRuns(s.pso[lo:hi], func(t IDTriple) ID { return t.S })
+}
+
+// DistinctObjects returns the number of distinct objects among triples
+// with predicate p (Wildcard means "over the whole graph").
+func (s *Store) DistinctObjects(p ID) int {
+	s.mustBeFrozen()
+	if p == Wildcard {
+		return countRuns(s.osp, func(t IDTriple) ID { return t.O })
+	}
+	lo, hi := rangeOf(s.pos, keyPOS, key3{p, 0, 0}, 1)
+	return countRuns(s.pos[lo:hi], func(t IDTriple) ID { return t.O })
+}
+
+func countRuns(ts []IDTriple, component func(IDTriple) ID) int {
+	n := 0
+	var prev ID
+	for i, t := range ts {
+		c := component(t)
+		if i == 0 || c != prev {
+			n++
+			prev = c
+		}
+	}
+	return n
+}
+
+// ForEachSubject calls fn once per distinct subject with the subject's
+// triples sorted by (P,O). The slice is only valid during the call.
+// It powers characteristic-set extraction and per-instance min/max counts.
+func (s *Store) ForEachSubject(fn func(subject ID, triples []IDTriple) bool) {
+	s.mustBeFrozen()
+	start := 0
+	for i := 1; i <= len(s.spo); i++ {
+		if i == len(s.spo) || s.spo[i].S != s.spo[start].S {
+			if !fn(s.spo[start].S, s.spo[start:i]) {
+				return
+			}
+			start = i
+		}
+	}
+}
+
+// Predicates returns the distinct predicate IDs in the graph in ID-sorted
+// run order of the PSO index.
+func (s *Store) Predicates() []ID {
+	s.mustBeFrozen()
+	var out []ID
+	var prev ID
+	for i, t := range s.pso {
+		if i == 0 || t.P != prev {
+			out = append(out, t.P)
+			prev = t.P
+		}
+	}
+	return out
+}
+
+// ObjectsOf returns the distinct objects of triples with predicate p, e.g.
+// the class IRIs when p is rdf:type.
+func (s *Store) ObjectsOf(p ID) []ID {
+	s.mustBeFrozen()
+	lo, hi := rangeOf(s.pos, keyPOS, key3{p, 0, 0}, 1)
+	var out []ID
+	var prev ID
+	for i, t := range s.pos[lo:hi] {
+		if i == 0 || t.O != prev {
+			out = append(out, t.O)
+			prev = t.O
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"rdfshapes/internal/rdf"
+)
+
+// snapshotMagic identifies the snapshot format and its version.
+const snapshotMagic = "RDFSNAP1"
+
+// maxSnapshotString bounds string lengths read from snapshots, guarding
+// against corrupted or hostile inputs.
+const maxSnapshotString = 64 << 20
+
+// WriteSnapshot serializes the frozen store — dictionary plus triples —
+// in a compact binary format readable by ReadSnapshot. Only the SPO
+// ordering is written; the other indexes are rebuilt on load.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	s.mustBeFrozen()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	writeString := func(v string) error {
+		if err := writeUvarint(uint64(len(v))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(v)
+		return err
+	}
+
+	// Dictionary: terms in ID order so IDs are implicit.
+	if err := writeUvarint(uint64(s.dict.Len())); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	for id := ID(1); int(id) <= s.dict.Len(); id++ {
+		t := s.dict.Term(id)
+		if err := bw.WriteByte(byte(t.Kind)); err != nil {
+			return fmt.Errorf("store: writing snapshot: %w", err)
+		}
+		for _, v := range []string{t.Value, t.Datatype, t.Lang} {
+			if err := writeString(v); err != nil {
+				return fmt.Errorf("store: writing snapshot: %w", err)
+			}
+		}
+	}
+
+	// Triples from the SPO index, delta-encoding subjects since the
+	// index is sorted.
+	if err := writeUvarint(uint64(len(s.spo))); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	var prevS ID
+	for _, t := range s.spo {
+		if err := writeUvarint(uint64(t.S - prevS)); err != nil {
+			return fmt.Errorf("store: writing snapshot: %w", err)
+		}
+		prevS = t.S
+		if err := writeUvarint(uint64(t.P)); err != nil {
+			return fmt.Errorf("store: writing snapshot: %w", err)
+		}
+		if err := writeUvarint(uint64(t.O)); err != nil {
+			return fmt.Errorf("store: writing snapshot: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot reconstructs a frozen store from WriteSnapshot output.
+func ReadSnapshot(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: reading snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("store: not a snapshot (bad magic %q)", magic)
+	}
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > maxSnapshotString {
+			return "", fmt.Errorf("string length %d exceeds limit", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
+	s := New()
+	nTerms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading snapshot dictionary: %w", err)
+	}
+	for i := uint64(0); i < nTerms; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("store: reading snapshot term %d: %w", i, err)
+		}
+		if rdf.TermKind(kind) > rdf.Blank {
+			return nil, fmt.Errorf("store: snapshot term %d has invalid kind %d", i, kind)
+		}
+		var fields [3]string
+		for f := range fields {
+			if fields[f], err = readString(); err != nil {
+				return nil, fmt.Errorf("store: reading snapshot term %d: %w", i, err)
+			}
+		}
+		term := rdf.Term{
+			Kind:     rdf.TermKind(kind),
+			Value:    fields[0],
+			Datatype: fields[1],
+			Lang:     fields[2],
+		}
+		if got := s.dict.Intern(term); got != ID(i+1) {
+			return nil, fmt.Errorf("store: snapshot dictionary has duplicate term %s", term)
+		}
+	}
+
+	nTriples, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading snapshot triple count: %w", err)
+	}
+	limit := uint64(s.dict.Len())
+	var prevS uint64
+	for i := uint64(0); i < nTriples; i++ {
+		var vals [3]uint64
+		for f := range vals {
+			if vals[f], err = binary.ReadUvarint(br); err != nil {
+				return nil, fmt.Errorf("store: reading snapshot triple %d: %w", i, err)
+			}
+		}
+		subj := prevS + vals[0]
+		prevS = subj
+		if subj == 0 || subj > limit || vals[1] == 0 || vals[1] > limit || vals[2] == 0 || vals[2] > limit {
+			return nil, fmt.Errorf("store: snapshot triple %d references unknown term", i)
+		}
+		s.staged = append(s.staged, IDTriple{S: ID(subj), P: ID(vals[1]), O: ID(vals[2])})
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("store: trailing data after snapshot")
+	}
+	s.Freeze()
+	return s, nil
+}

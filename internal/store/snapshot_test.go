@@ -1,0 +1,126 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rdfshapes/internal/rdf"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	st := Load(testGraph())
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Len() != st.Len() {
+		t.Fatalf("triple count %d != %d", rt.Len(), st.Len())
+	}
+	if rt.Dict().Len() != st.Dict().Len() {
+		t.Fatalf("dictionary size %d != %d", rt.Dict().Len(), st.Dict().Len())
+	}
+	// every original triple must be present with the same IDs
+	st.Scan(IDTriple{}, func(tr IDTriple) bool {
+		if !rt.Contains(tr) {
+			t.Errorf("triple %v missing after round trip", tr)
+		}
+		return true
+	})
+	// dictionary terms must map identically
+	for id := ID(1); int(id) <= st.Dict().Len(); id++ {
+		if st.Dict().Term(id) != rt.Dict().Term(id) {
+			t.Errorf("term %d differs: %v vs %v", id, st.Dict().Term(id), rt.Dict().Term(id))
+		}
+	}
+	if rt.TypeID() != st.TypeID() {
+		t.Errorf("TypeID %d != %d", rt.TypeID(), st.TypeID())
+	}
+}
+
+func TestSnapshotPreservesLiterals(t *testing.T) {
+	var g rdf.Graph
+	g.Append(rdf.NewIRI("http://s"), rdf.NewIRI("http://p"), rdf.NewLangLiteral("hej", "da"))
+	g.Append(rdf.NewIRI("http://s"), rdf.NewIRI("http://q"), rdf.NewTypedLiteral("5", rdf.XSDInteger))
+	g.Append(rdf.NewBlank("b"), rdf.NewIRI("http://p"), rdf.NewLiteral("x\ny"))
+	st := Load(g)
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range []rdf.Term{
+		rdf.NewLangLiteral("hej", "da"),
+		rdf.NewTypedLiteral("5", rdf.XSDInteger),
+		rdf.NewBlank("b"),
+		rdf.NewLiteral("x\ny"),
+	} {
+		if _, ok := rt.Dict().Lookup(term); !ok {
+			t.Errorf("term %v lost in snapshot", term)
+		}
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad magic":    "NOTASNAP",
+		"truncated":    "RDFSNAP1",
+		"short header": "RDF",
+	}
+	for name, input := range cases {
+		if _, err := ReadSnapshot(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: ReadSnapshot succeeded", name)
+		}
+	}
+}
+
+func TestSnapshotTrailingDataRejected(t *testing.T) {
+	st := Load(testGraph())
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("extra")
+	if _, err := ReadSnapshot(&buf); err == nil {
+		t.Error("trailing data accepted")
+	}
+}
+
+func TestSnapshotCorruptTripleIDsRejected(t *testing.T) {
+	// handcraft a snapshot with a triple referencing term 99
+	var buf bytes.Buffer
+	buf.WriteString("RDFSNAP1")
+	buf.WriteByte(1)             // 1 term
+	buf.WriteByte(byte(rdf.IRI)) // kind
+	buf.WriteByte(3)             // len("abc")
+	buf.WriteString("abc")       //
+	buf.WriteByte(0)             // datatype ""
+	buf.WriteByte(0)             // lang ""
+	buf.WriteByte(1)             // 1 triple
+	buf.WriteByte(99)            // S delta = 99 (out of range)
+	buf.WriteByte(1)             // P
+	buf.WriteByte(1)             // O
+	if _, err := ReadSnapshot(&buf); err == nil {
+		t.Error("out-of-range term ID accepted")
+	}
+}
+
+func TestSnapshotRequiresFrozenStore(t *testing.T) {
+	st := New()
+	st.Add(rdf.NewTriple(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewIRI("o")))
+	defer func() {
+		if recover() == nil {
+			t.Error("WriteSnapshot on unfrozen store did not panic")
+		}
+	}()
+	var buf bytes.Buffer
+	_ = st.WriteSnapshot(&buf)
+}

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"rdfshapes/internal/rdf"
+)
+
+// IDTriple is a dictionary-encoded triple.
+type IDTriple struct {
+	S, P, O ID
+}
+
+// Store is an immutable-after-Freeze indexed triple store. Build one with
+// New, Add/AddGraph triples, then call Freeze before querying. Load is a
+// convenience wrapper doing all three.
+type Store struct {
+	dict   *Dict
+	staged []IDTriple
+
+	frozen bool
+	spo    []IDTriple // sorted (S,P,O)
+	pso    []IDTriple // sorted (P,S,O)
+	pos    []IDTriple // sorted (P,O,S)
+	osp    []IDTriple // sorted (O,S,P)
+
+	typeID ID // ID of rdf:type, 0 if absent from the data
+}
+
+// New returns an empty store ready for Add calls.
+func New() *Store {
+	return &Store{dict: NewDict()}
+}
+
+// Load builds a frozen store from a graph in one call.
+func Load(g rdf.Graph) *Store {
+	s := New()
+	s.AddGraph(g)
+	s.Freeze()
+	return s
+}
+
+// Dict exposes the term dictionary.
+func (s *Store) Dict() *Dict { return s.dict }
+
+// Add stages one triple. It panics if the store is already frozen, which
+// indicates a programming error: the store is immutable after Freeze.
+func (s *Store) Add(t rdf.Triple) {
+	if s.frozen {
+		panic("store: Add after Freeze")
+	}
+	s.staged = append(s.staged, IDTriple{
+		S: s.dict.Intern(t.S),
+		P: s.dict.Intern(t.P),
+		O: s.dict.Intern(t.O),
+	})
+}
+
+// AddGraph stages every triple of g.
+func (s *Store) AddGraph(g rdf.Graph) {
+	for _, t := range g {
+		s.Add(t)
+	}
+}
+
+// Freeze deduplicates staged triples and builds the four sorted indexes,
+// sorting the three secondary orderings in parallel. Calling Freeze twice
+// is a no-op.
+func (s *Store) Freeze() {
+	if s.frozen {
+		return
+	}
+	s.frozen = true
+	ts := s.staged
+	s.staged = nil
+	sortTriples(ts, cmpSPO)
+	ts = dedupe(ts)
+	s.spo = ts
+
+	secondary := []struct {
+		dst  *[]IDTriple
+		less cmpFunc
+	}{
+		{&s.pso, cmpPSO},
+		{&s.pos, cmpPOS},
+		{&s.osp, cmpOSP},
+	}
+	var wg sync.WaitGroup
+	for _, idx := range secondary {
+		*idx.dst = append([]IDTriple(nil), ts...)
+		wg.Add(1)
+		go func(dst []IDTriple, less cmpFunc) {
+			defer wg.Done()
+			sortTriples(dst, less)
+		}(*idx.dst, idx.less)
+	}
+	wg.Wait()
+
+	if id, ok := s.dict.Lookup(rdf.NewIRI(rdf.RDFType)); ok {
+		s.typeID = id
+	}
+}
+
+// Len returns the number of distinct triples. Valid only after Freeze.
+func (s *Store) Len() int {
+	s.mustBeFrozen()
+	return len(s.spo)
+}
+
+// TypeID returns the dictionary ID of rdf:type, or 0 if the data contains
+// no rdf:type triples.
+func (s *Store) TypeID() ID {
+	s.mustBeFrozen()
+	return s.typeID
+}
+
+func (s *Store) mustBeFrozen() {
+	if !s.frozen {
+		panic("store: query before Freeze")
+	}
+}
+
+func dedupe(ts []IDTriple) []IDTriple {
+	if len(ts) == 0 {
+		return ts
+	}
+	out := ts[:1]
+	for _, t := range ts[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+type cmpFunc func(a, b IDTriple) bool
+
+func cmpSPO(a, b IDTriple) bool {
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	return a.O < b.O
+}
+
+func cmpPSO(a, b IDTriple) bool {
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	return a.O < b.O
+}
+
+func cmpPOS(a, b IDTriple) bool {
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	if a.O != b.O {
+		return a.O < b.O
+	}
+	return a.S < b.S
+}
+
+func cmpOSP(a, b IDTriple) bool {
+	if a.O != b.O {
+		return a.O < b.O
+	}
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	return a.P < b.P
+}
+
+func sortTriples(ts []IDTriple, less cmpFunc) {
+	sort.Slice(ts, func(i, j int) bool { return less(ts[i], ts[j]) })
+}

@@ -1,0 +1,337 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"rdfshapes/internal/rdf"
+)
+
+func testGraph() rdf.Graph {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+	typ := rdf.NewIRI(rdf.RDFType)
+	var g rdf.Graph
+	g.Append(iri("alice"), typ, iri("Person"))
+	g.Append(iri("bob"), typ, iri("Person"))
+	g.Append(iri("carol"), typ, iri("Robot"))
+	g.Append(iri("alice"), iri("knows"), iri("bob"))
+	g.Append(iri("alice"), iri("knows"), iri("carol"))
+	g.Append(iri("bob"), iri("knows"), iri("carol"))
+	g.Append(iri("alice"), iri("name"), rdf.NewLiteral("Alice"))
+	g.Append(iri("bob"), iri("name"), rdf.NewLiteral("Bob"))
+	// duplicate on purpose
+	g.Append(iri("alice"), iri("knows"), iri("bob"))
+	return g
+}
+
+func TestStoreDeduplication(t *testing.T) {
+	st := Load(testGraph())
+	if st.Len() != 8 {
+		t.Errorf("Len = %d, want 8 (duplicate removed)", st.Len())
+	}
+}
+
+func TestDictIntern(t *testing.T) {
+	d := NewDict()
+	a := d.Intern(rdf.NewIRI("http://x/a"))
+	b := d.Intern(rdf.NewIRI("http://x/b"))
+	a2 := d.Intern(rdf.NewIRI("http://x/a"))
+	if a != a2 {
+		t.Error("re-interning returned a different ID")
+	}
+	if a == b {
+		t.Error("distinct terms share an ID")
+	}
+	if a == 0 || b == 0 {
+		t.Error("ID 0 must stay reserved")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if got := d.Term(a); got.Value != "http://x/a" {
+		t.Errorf("Term(%d) = %v", a, got)
+	}
+	if _, ok := d.Lookup(rdf.NewIRI("http://x/missing")); ok {
+		t.Error("Lookup found a missing term")
+	}
+}
+
+func TestDictTermPanicsOnInvalidID(t *testing.T) {
+	d := NewDict()
+	for _, id := range []ID{0, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Term(%d) did not panic", id)
+				}
+			}()
+			d.Term(id)
+		}()
+	}
+}
+
+func TestScanAllPatternShapes(t *testing.T) {
+	st := Load(testGraph())
+	id := func(s string) ID {
+		v, ok := st.Dict().Lookup(rdf.NewIRI("http://x/" + s))
+		if !ok {
+			t.Fatalf("term %s missing", s)
+		}
+		return v
+	}
+	alice, bob, knows := id("alice"), id("bob"), id("knows")
+	typ := st.TypeID()
+	person := id("Person")
+
+	tests := []struct {
+		name string
+		pat  IDTriple
+		want int
+	}{
+		{"spo", IDTriple{alice, knows, bob}, 1},
+		{"sp?", IDTriple{S: alice, P: knows}, 2},
+		{"s?o", IDTriple{S: alice, O: bob}, 1},
+		{"s??", IDTriple{S: alice}, 4},
+		{"?po", IDTriple{P: typ, O: person}, 2},
+		{"?p?", IDTriple{P: knows}, 3},
+		{"??o", IDTriple{O: bob}, 1},
+		{"???", IDTriple{}, 8},
+		{"absent", IDTriple{S: bob, P: knows, O: bob}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := st.Count(tc.pat); got != tc.want {
+				t.Errorf("Count(%v) = %d, want %d", tc.pat, got, tc.want)
+			}
+			n := 0
+			st.Scan(tc.pat, func(tr IDTriple) bool {
+				// every yielded triple must match the pattern
+				if tc.pat.S != 0 && tr.S != tc.pat.S ||
+					tc.pat.P != 0 && tr.P != tc.pat.P ||
+					tc.pat.O != 0 && tr.O != tc.pat.O {
+					t.Errorf("Scan yielded non-matching triple %v", tr)
+				}
+				n++
+				return true
+			})
+			if n != tc.want {
+				t.Errorf("Scan yielded %d, want %d", n, tc.want)
+			}
+		})
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	st := Load(testGraph())
+	n := 0
+	st.Scan(IDTriple{}, func(IDTriple) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("scan visited %d rows after early stop, want 3", n)
+	}
+}
+
+func TestDistinctCounts(t *testing.T) {
+	st := Load(testGraph())
+	knows, _ := st.Dict().Lookup(rdf.NewIRI("http://x/knows"))
+	if got := st.DistinctSubjects(knows); got != 2 {
+		t.Errorf("DistinctSubjects(knows) = %d, want 2", got)
+	}
+	if got := st.DistinctObjects(knows); got != 2 {
+		t.Errorf("DistinctObjects(knows) = %d, want 2 (bob, carol)", got)
+	}
+	if got := st.DistinctSubjects(Wildcard); got != 3 {
+		t.Errorf("DistinctSubjects(all) = %d, want 3", got)
+	}
+	// objects: Person, Robot, bob, carol, "Alice", "Bob"
+	if got := st.DistinctObjects(Wildcard); got != 6 {
+		t.Errorf("DistinctObjects(all) = %d, want 6", got)
+	}
+}
+
+func TestPredicatesAndObjectsOf(t *testing.T) {
+	st := Load(testGraph())
+	if got := len(st.Predicates()); got != 3 {
+		t.Errorf("Predicates() has %d entries, want 3", got)
+	}
+	classes := st.ObjectsOf(st.TypeID())
+	if len(classes) != 2 {
+		t.Errorf("ObjectsOf(type) has %d entries, want 2", len(classes))
+	}
+}
+
+func TestForEachSubjectGroups(t *testing.T) {
+	st := Load(testGraph())
+	groups := map[ID]int{}
+	st.ForEachSubject(func(s ID, ts []IDTriple) bool {
+		groups[s] = len(ts)
+		for _, tr := range ts {
+			if tr.S != s {
+				t.Errorf("group for %d contains triple of subject %d", s, tr.S)
+			}
+		}
+		return true
+	})
+	if len(groups) != 3 {
+		t.Errorf("%d subject groups, want 3", len(groups))
+	}
+	total := 0
+	for _, n := range groups {
+		total += n
+	}
+	if total != st.Len() {
+		t.Errorf("groups cover %d triples, want %d", total, st.Len())
+	}
+}
+
+func TestForEachSubjectEarlyStop(t *testing.T) {
+	st := Load(testGraph())
+	n := 0
+	st.ForEachSubject(func(ID, []IDTriple) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("visited %d groups after early stop, want 1", n)
+	}
+}
+
+func TestFreezeDiscipline(t *testing.T) {
+	st := New()
+	st.Add(rdf.NewTriple(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewIRI("o")))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("query before Freeze did not panic")
+			}
+		}()
+		st.Len()
+	}()
+	st.Freeze()
+	st.Freeze() // idempotent
+	if st.Len() != 1 {
+		t.Errorf("Len = %d", st.Len())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Add after Freeze did not panic")
+			}
+		}()
+		st.Add(rdf.NewTriple(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewIRI("o2")))
+	}()
+}
+
+func TestTypeIDAbsent(t *testing.T) {
+	var g rdf.Graph
+	g.Append(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewIRI("o"))
+	st := Load(g)
+	if st.TypeID() != 0 {
+		t.Error("TypeID should be 0 without rdf:type triples")
+	}
+}
+
+// TestScanAgainstBruteForce cross-checks index scans against a linear
+// filter over randomly generated graphs for every pattern shape.
+func TestScanAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var g rdf.Graph
+		n := 1 + r.Intn(60)
+		for i := 0; i < n; i++ {
+			g.Append(
+				rdf.NewIRI(fmt.Sprintf("http://x/s%d", r.Intn(8))),
+				rdf.NewIRI(fmt.Sprintf("http://x/p%d", r.Intn(4))),
+				rdf.NewIRI(fmt.Sprintf("http://x/o%d", r.Intn(8))),
+			)
+		}
+		st := Load(g)
+		var all []IDTriple
+		st.Scan(IDTriple{}, func(tr IDTriple) bool {
+			all = append(all, tr)
+			return true
+		})
+		// try every boundness mask with components sampled from the data
+		for mask := 0; mask < 8; mask++ {
+			probe := all[r.Intn(len(all))]
+			pat := IDTriple{}
+			if mask&1 != 0 {
+				pat.S = probe.S
+			}
+			if mask&2 != 0 {
+				pat.P = probe.P
+			}
+			if mask&4 != 0 {
+				pat.O = probe.O
+			}
+			want := 0
+			for _, tr := range all {
+				if (pat.S == 0 || tr.S == pat.S) &&
+					(pat.P == 0 || tr.P == pat.P) &&
+					(pat.O == 0 || tr.O == pat.O) {
+					want++
+				}
+			}
+			if st.Count(pat) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIndexesSorted verifies the internal sort invariants survive Load.
+func TestIndexesSorted(t *testing.T) {
+	st := Load(testGraph())
+	var prev IDTriple
+	first := true
+	st.Scan(IDTriple{}, func(tr IDTriple) bool {
+		if !first && cmpSPO(tr, prev) {
+			t.Errorf("SPO order violated: %v before %v", prev, tr)
+		}
+		prev, first = tr, false
+		return true
+	})
+	if !sort.SliceIsSorted(st.pso, func(i, j int) bool { return cmpPSO(st.pso[i], st.pso[j]) }) {
+		t.Error("PSO not sorted")
+	}
+	if !sort.SliceIsSorted(st.pos, func(i, j int) bool { return cmpPOS(st.pos[i], st.pos[j]) }) {
+		t.Error("POS not sorted")
+	}
+	if !sort.SliceIsSorted(st.osp, func(i, j int) bool { return cmpOSP(st.osp[i], st.osp[j]) }) {
+		t.Error("OSP not sorted")
+	}
+}
+
+// TestConcurrentReaders verifies the store is safe for parallel readers
+// after Freeze (the documented contract).
+func TestConcurrentReaders(t *testing.T) {
+	st := Load(testGraph())
+	knows, _ := st.Dict().Lookup(rdf.NewIRI("http://x/knows"))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := st.Count(IDTriple{P: knows}); got != 3 {
+					t.Errorf("Count = %d", got)
+					return
+				}
+				st.Scan(IDTriple{P: knows}, func(IDTriple) bool { return true })
+				_ = st.DistinctSubjects(knows)
+				_ = st.Predicates()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,572 @@
+// Package workloads defines the benchmark query sets of the paper's
+// evaluation, adapted to the generated datasets:
+//
+//   - LUBM: the five selected standard queries (Q2, Q4, Q8, Q9, Q12) plus
+//     handcrafted complex (C), snowflake (F), and star (S) queries — 26
+//     in total, matching the query-count breakdown of Figure 4c. C0 is
+//     the paper's 9-pattern example query Q from Table 2.
+//   - WatDiv: 3 C + 5 F + 7 S queries, the benchmark's category mix.
+//   - YAGO: 13 handcrafted queries following the C/F/S patterns, as the
+//     paper does for YAGO-4.
+//
+// Every query is plain SPARQL text exercised through the parser.
+package workloads
+
+import (
+	"sort"
+	"strings"
+
+	"rdfshapes/internal/sparql"
+)
+
+// Query is one benchmark query.
+type Query struct {
+	// Name is the paper-style label (Q2, C0, F3, S1, ...).
+	Name string
+	// Category is "Q" (standard), "C" (complex), "F" (snowflake), or
+	// "S" (star), derived from the name.
+	Category string
+	// Text is the SPARQL source.
+	Text string
+}
+
+// Parse returns the parsed form of the query.
+func (q Query) Parse() (*sparql.Query, error) { return sparql.Parse(q.Text) }
+
+func mk(name, text string) Query {
+	return Query{Name: name, Category: name[:1], Text: text}
+}
+
+const lubmPrefix = "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+
+// LUBM returns the LUBM workload sorted by category then name.
+func LUBM() []Query {
+	qs := []Query{
+		mk("Q2", lubmPrefix+`SELECT ?x ?y ?z WHERE {
+			?x a ub:GraduateStudent .
+			?y a ub:University .
+			?z a ub:Department .
+			?x ub:memberOf ?z .
+			?z ub:subOrganizationOf ?y .
+			?x ub:undergraduateDegreeFrom ?y .
+		}`),
+		mk("Q4", lubmPrefix+`SELECT ?x ?n ?e ?t WHERE {
+			?x a ub:FullProfessor .
+			?x ub:worksFor <http://www.lubm.example/U0/Dept0> .
+			?x ub:name ?n .
+			?x ub:emailAddress ?e .
+			?x ub:telephone ?t .
+		}`),
+		mk("Q8", lubmPrefix+`SELECT ?x ?y ?e WHERE {
+			?x a ub:UndergraduateStudent .
+			?y a ub:Department .
+			?x ub:memberOf ?y .
+			?y ub:subOrganizationOf <http://www.lubm.example/University0> .
+			?x ub:emailAddress ?e .
+		}`),
+		mk("Q9", lubmPrefix+`SELECT ?x ?y ?z WHERE {
+			?x a ub:GraduateStudent .
+			?y a ub:FullProfessor .
+			?z a ub:GraduateCourse .
+			?x ub:advisor ?y .
+			?y ub:teacherOf ?z .
+			?x ub:takesCourse ?z .
+		}`),
+		mk("Q12", lubmPrefix+`SELECT ?x ?y WHERE {
+			?x a ub:FullProfessor .
+			?x ub:headOf ?y .
+			?y a ub:Department .
+			?y ub:subOrganizationOf <http://www.lubm.example/University0> .
+		}`),
+		// C0 is the paper's example query Q (Table 2, Figure 2).
+		mk("C0", lubmPrefix+`SELECT * WHERE {
+			?A a ub:FullProfessor .
+			?A ub:name ?N .
+			?A ub:teacherOf ?C .
+			?C a ub:GraduateCourse .
+			?X ub:advisor ?A .
+			?X a ub:GraduateStudent .
+			?X ub:degreeFrom ?U .
+			?Y ub:takesCourse ?C .
+			?Y a ub:GraduateStudent .
+		}`),
+		mk("C1", lubmPrefix+`SELECT * WHERE {
+			?p a ub:FullProfessor .
+			?p ub:worksFor ?d .
+			?d ub:subOrganizationOf ?u .
+			?pub ub:publicationAuthor ?p .
+			?pub a ub:Publication .
+			?s ub:advisor ?p .
+			?s a ub:GraduateStudent .
+			?s ub:takesCourse ?c .
+			?c a ub:GraduateCourse .
+		}`),
+		mk("C2", lubmPrefix+`SELECT * WHERE {
+			?s a ub:GraduateStudent .
+			?s ub:degreeFrom ?u .
+			?u a ub:University .
+			?s ub:memberOf ?d .
+			?d a ub:Department .
+			?d ub:subOrganizationOf ?u2 .
+			?u2 a ub:University .
+			?s ub:takesCourse ?c .
+		}`),
+		mk("C3", lubmPrefix+`SELECT * WHERE {
+			?g a ub:ResearchGroup .
+			?g ub:subOrganizationOf ?d .
+			?d a ub:Department .
+			?h ub:headOf ?d .
+			?h a ub:FullProfessor .
+			?h ub:researchInterest ?ri .
+			?h ub:degreeFrom ?u .
+		}`),
+		mk("C4", lubmPrefix+`SELECT * WHERE {
+			?pub a ub:Publication .
+			?pub ub:publicationAuthor ?p .
+			?p a ub:FullProfessor .
+			?pub ub:publicationAuthor ?s .
+			?s a ub:GraduateStudent .
+			?s ub:advisor ?p2 .
+			?p2 a ub:AssociateProfessor .
+		}`),
+		mk("C5", lubmPrefix+`SELECT * WHERE {
+			?t a ub:AssociateProfessor .
+			?t ub:teacherOf ?c .
+			?c a ub:Course .
+			?x ub:takesCourse ?c .
+			?x a ub:UndergraduateStudent .
+			?x ub:memberOf ?d .
+			?t ub:worksFor ?d .
+		}`),
+		mk("F1", lubmPrefix+`SELECT * WHERE {
+			?p a ub:FullProfessor .
+			?p ub:name ?n .
+			?p ub:emailAddress ?e .
+			?p ub:teacherOf ?c .
+			?c a ub:GraduateCourse .
+			?c ub:name ?cn .
+			?s ub:takesCourse ?c .
+			?s a ub:GraduateStudent .
+			?s ub:name ?sn .
+		}`),
+		mk("F2", lubmPrefix+`SELECT * WHERE {
+			?d a ub:Department .
+			?d ub:name ?dn .
+			?d ub:subOrganizationOf ?u .
+			?u a ub:University .
+			?u ub:name ?un .
+			?p ub:worksFor ?d .
+			?p a ub:AssistantProfessor .
+			?p ub:researchInterest ?ri .
+		}`),
+		mk("F3", lubmPrefix+`SELECT * WHERE {
+			?s a ub:GraduateStudent .
+			?s ub:name ?sn .
+			?s ub:emailAddress ?se .
+			?s ub:advisor ?a .
+			?a a ub:FullProfessor .
+			?a ub:name ?an .
+			?a ub:telephone ?at .
+		}`),
+		mk("F4", lubmPrefix+`SELECT * WHERE {
+			?pub a ub:Publication .
+			?pub ub:name ?pn .
+			?pub ub:publicationAuthor ?a .
+			?a a ub:AssistantProfessor .
+			?a ub:worksFor ?d .
+			?d a ub:Department .
+			?d ub:name ?dn .
+		}`),
+		mk("F5", lubmPrefix+`SELECT * WHERE {
+			?x a ub:UndergraduateStudent .
+			?x ub:takesCourse ?c .
+			?c a ub:Course .
+			?c ub:name ?cn .
+			?t ub:teacherOf ?c .
+			?t a ub:Lecturer .
+			?t ub:name ?tn .
+		}`),
+		mk("F6", lubmPrefix+`SELECT * WHERE {
+			?s a ub:GraduateStudent .
+			?s ub:undergraduateDegreeFrom ?u .
+			?u a ub:University .
+			?u ub:name ?un .
+			?s ub:memberOf ?d .
+			?d a ub:Department .
+			?d ub:name ?dn .
+		}`),
+		mk("F7", lubmPrefix+`SELECT * WHERE {
+			?g a ub:ResearchGroup .
+			?g ub:subOrganizationOf ?d .
+			?d a ub:Department .
+			?d ub:name ?dn .
+			?p ub:worksFor ?d .
+			?p a ub:FullProfessor .
+			?p ub:researchInterest ?ri .
+		}`),
+		mk("F8", lubmPrefix+`SELECT * WHERE {
+			?c a ub:GraduateCourse .
+			?c ub:name ?cn .
+			?s ub:takesCourse ?c .
+			?s a ub:GraduateStudent .
+			?s ub:advisor ?a .
+			?a a ub:AssociateProfessor .
+			?a ub:name ?an .
+		}`),
+		mk("S1", lubmPrefix+`SELECT * WHERE {
+			?x a ub:FullProfessor .
+			?x ub:name ?n .
+			?x ub:emailAddress ?e .
+			?x ub:telephone ?t .
+			?x ub:researchInterest ?r .
+		}`),
+		mk("S2", lubmPrefix+`SELECT * WHERE {
+			?x a ub:GraduateStudent .
+			?x ub:name ?n .
+			?x ub:advisor ?a .
+			?x ub:takesCourse ?c .
+			?x ub:memberOf ?d .
+		}`),
+		mk("S3", lubmPrefix+`SELECT * WHERE {
+			?x a ub:UndergraduateStudent .
+			?x ub:name ?n .
+			?x ub:takesCourse ?c .
+			?x ub:emailAddress ?e .
+		}`),
+		mk("S4", lubmPrefix+`SELECT * WHERE {
+			?x a ub:Department .
+			?x ub:name ?n .
+			?x ub:subOrganizationOf ?u .
+		}`),
+		mk("S5", lubmPrefix+`SELECT * WHERE {
+			?x a ub:AssociateProfessor .
+			?x ub:teacherOf ?c .
+			?x ub:degreeFrom ?u .
+			?x ub:name ?n .
+		}`),
+		mk("S6", lubmPrefix+`SELECT * WHERE {
+			?x a ub:Publication .
+			?x ub:name ?n .
+			?x ub:publicationAuthor ?a .
+		}`),
+		mk("S7", lubmPrefix+`SELECT * WHERE {
+			?x a ub:GraduateStudent .
+			?x ub:undergraduateDegreeFrom ?u .
+			?x ub:degreeFrom ?u2 .
+			?x ub:emailAddress ?e .
+		}`),
+	}
+	sortQueries(qs)
+	return qs
+}
+
+const watdivPrefix = "PREFIX wsdbm: <http://db.uwaterloo.ca/~galuc/wsdbm/>\n"
+
+// WatDiv returns the WatDiv workload (3 C, 5 F, 7 S).
+func WatDiv() []Query {
+	qs := []Query{
+		mk("C1", watdivPrefix+`SELECT * WHERE {
+			?u a wsdbm:User .
+			?u wsdbm:follows ?v .
+			?v a wsdbm:User .
+			?v wsdbm:makesReview ?r .
+			?r wsdbm:reviewFor ?p .
+			?p a wsdbm:Movie .
+			?u wsdbm:likes ?p .
+			?p wsdbm:hasGenre ?g .
+		}`),
+		mk("C2", watdivPrefix+`SELECT * WHERE {
+			?o a wsdbm:Offer .
+			?o wsdbm:offerFor ?p .
+			?p a wsdbm:Book .
+			?o wsdbm:offeredBy ?ret .
+			?ret a wsdbm:Retailer .
+			?ret wsdbm:locatedIn ?c .
+			?r wsdbm:reviewFor ?p .
+			?r wsdbm:rating 5 .
+		}`),
+		mk("C3", watdivPrefix+`SELECT * WHERE {
+			?u a wsdbm:User .
+			?u wsdbm:locatedIn ?c .
+			?u wsdbm:follows ?v .
+			?v wsdbm:follows ?w .
+			?w a wsdbm:User .
+			?w wsdbm:likes ?p .
+			?p a wsdbm:Product .
+		}`),
+		mk("F1", watdivPrefix+`SELECT * WHERE {
+			?p a wsdbm:Movie .
+			?p wsdbm:label ?l .
+			?p wsdbm:duration ?dur .
+			?p wsdbm:hasGenre ?g .
+			?g wsdbm:label ?gl .
+			?r wsdbm:reviewFor ?p .
+			?r wsdbm:rating ?rt .
+		}`),
+		mk("F2", watdivPrefix+`SELECT * WHERE {
+			?o a wsdbm:Offer .
+			?o wsdbm:price ?pr .
+			?o wsdbm:offerFor ?p .
+			?p a wsdbm:Album .
+			?p wsdbm:artist ?a .
+			?o wsdbm:offeredBy ?ret .
+			?ret wsdbm:locatedIn ?c .
+		}`),
+		mk("F3", watdivPrefix+`SELECT * WHERE {
+			?u a wsdbm:User .
+			?u wsdbm:label ?ul .
+			?u wsdbm:makesReview ?r .
+			?r a wsdbm:Review .
+			?r wsdbm:rating ?rt .
+			?r wsdbm:reviewFor ?p .
+			?p wsdbm:label ?pl .
+		}`),
+		mk("F4", watdivPrefix+`SELECT * WHERE {
+			?p a wsdbm:Book .
+			?p wsdbm:numPages ?n .
+			?p wsdbm:label ?l .
+			?o wsdbm:offerFor ?p .
+			?o wsdbm:price ?pr .
+			?o wsdbm:offeredBy ?ret .
+			?ret wsdbm:homepage ?h .
+		}`),
+		mk("F5", watdivPrefix+`SELECT * WHERE {
+			?p a wsdbm:Movie .
+			?p wsdbm:hasGenre ?g .
+			?p2 wsdbm:hasGenre ?g .
+			?p2 a wsdbm:Album .
+			?p2 wsdbm:artist ?a .
+			?g wsdbm:label ?gl .
+		}`),
+		mk("S1", watdivPrefix+`SELECT * WHERE {
+			?p a wsdbm:Movie .
+			?p wsdbm:label ?l .
+			?p wsdbm:duration ?d .
+			?p wsdbm:hasGenre ?g .
+		}`),
+		mk("S2", watdivPrefix+`SELECT * WHERE {
+			?u a wsdbm:User .
+			?u wsdbm:label ?l .
+			?u wsdbm:locatedIn ?c .
+			?u wsdbm:likes ?p .
+		}`),
+		mk("S3", watdivPrefix+`SELECT * WHERE {
+			?r a wsdbm:Review .
+			?r wsdbm:rating ?rt .
+			?r wsdbm:text ?t .
+			?r wsdbm:reviewFor ?p .
+		}`),
+		mk("S4", watdivPrefix+`SELECT * WHERE {
+			?o a wsdbm:Offer .
+			?o wsdbm:price ?p .
+			?o wsdbm:offerFor ?pr .
+			?o wsdbm:offeredBy ?r .
+		}`),
+		mk("S5", watdivPrefix+`SELECT * WHERE {
+			?p a wsdbm:Book .
+			?p wsdbm:numPages ?n .
+			?p wsdbm:label ?l .
+		}`),
+		mk("S6", watdivPrefix+`SELECT * WHERE {
+			?ret a wsdbm:Retailer .
+			?ret wsdbm:label ?l .
+			?ret wsdbm:locatedIn ?c .
+			?ret wsdbm:homepage ?h .
+		}`),
+		mk("S7", watdivPrefix+`SELECT * WHERE {
+			?u a wsdbm:User .
+			?u wsdbm:follows ?v .
+			?u wsdbm:makesReview ?r .
+			?u wsdbm:label ?l .
+		}`),
+	}
+	sortQueries(qs)
+	return qs
+}
+
+const yagoPrefix = "PREFIX schema: <http://schema.org/>\nPREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+
+// YAGO returns the 13 handcrafted YAGO queries (3 C, 5 F, 5 S).
+func YAGO() []Query {
+	qs := []Query{
+		mk("C1", yagoPrefix+`SELECT * WHERE {
+			?a a schema:Actor .
+			?a schema:actorIn ?m .
+			?m a schema:Movie .
+			?m schema:director ?d .
+			?d schema:birthPlace ?c .
+			?c a schema:City .
+			?c schema:containedInPlace ?co .
+		}`),
+		mk("C2", yagoPrefix+`SELECT * WHERE {
+			?s a schema:Scientist .
+			?s schema:worksFor ?u .
+			?u a schema:University .
+			?u schema:containedInPlace ?city .
+			?city schema:containedInPlace ?country .
+			?s schema:birthPlace ?bc .
+			?bc a schema:City .
+		}`),
+		mk("C3", yagoPrefix+`SELECT * WHERE {
+			?p a schema:Politician .
+			?p schema:memberOf ?o .
+			?o a schema:Organization .
+			?o schema:founder ?f .
+			?f a schema:Person .
+			?f schema:birthPlace ?c .
+		}`),
+		mk("F1", yagoPrefix+`SELECT * WHERE {
+			?m a schema:Movie .
+			?m rdfs:label ?l .
+			?m schema:director ?d .
+			?d a schema:Person .
+			?d schema:birthPlace ?c .
+			?c schema:population ?pop .
+		}`),
+		mk("F2", yagoPrefix+`SELECT * WHERE {
+			?p a schema:Person .
+			?p schema:birthPlace ?c .
+			?c a schema:City .
+			?c schema:containedInPlace ?co .
+			?co a schema:Country .
+			?p schema:nationality ?co2 .
+		}`),
+		mk("F3", yagoPrefix+`SELECT * WHERE {
+			?u a schema:University .
+			?u rdfs:label ?ul .
+			?u schema:containedInPlace ?c .
+			?s schema:alumniOf ?u .
+			?s a schema:Person .
+			?s schema:birthDate ?bd .
+		}`),
+		mk("F4", yagoPrefix+`SELECT * WHERE {
+			?b a schema:Book .
+			?b schema:author ?a .
+			?a a schema:Person .
+			?a schema:birthPlace ?c .
+			?c a schema:City .
+			?c schema:containedInPlace ?co .
+		}`),
+		mk("F5", yagoPrefix+`SELECT * WHERE {
+			?p a schema:Actor .
+			?p schema:award ?aw .
+			?p schema:actorIn ?m .
+			?m a schema:Movie .
+			?m rdfs:label ?ml .
+		}`),
+		mk("S1", yagoPrefix+`SELECT * WHERE {
+			?p a schema:Person .
+			?p rdfs:label ?l .
+			?p schema:birthPlace ?c .
+			?p schema:birthDate ?d .
+		}`),
+		mk("S2", yagoPrefix+`SELECT * WHERE {
+			?c a schema:City .
+			?c rdfs:label ?l .
+			?c schema:population ?pop .
+			?c schema:containedInPlace ?co .
+		}`),
+		mk("S3", yagoPrefix+`SELECT * WHERE {
+			?s a schema:Scientist .
+			?s schema:worksFor ?u .
+			?s schema:alumniOf ?u2 .
+			?s rdfs:label ?l .
+		}`),
+		mk("S4", yagoPrefix+`SELECT * WHERE {
+			?o a schema:Organization .
+			?o rdfs:label ?l .
+			?o schema:containedInPlace ?c .
+			?o schema:founder ?f .
+		}`),
+		mk("S5", yagoPrefix+`SELECT * WHERE {
+			?m a schema:Movie .
+			?m rdfs:label ?l .
+			?m schema:director ?d .
+		}`),
+	}
+	sortQueries(qs)
+	return qs
+}
+
+// ByName finds a query by name in a workload, or returns false.
+func ByName(ws []Query, name string) (Query, bool) {
+	for _, q := range ws {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return Query{}, false
+}
+
+// categoryRank orders the display: standard queries, complex, snowflake,
+// star — the grouping of the paper's figures.
+func categoryRank(c string) int {
+	switch c {
+	case "Q":
+		return 0
+	case "C":
+		return 1
+	case "F":
+		return 2
+	case "S":
+		return 3
+	default:
+		return 4
+	}
+}
+
+func sortQueries(qs []Query) {
+	sort.Slice(qs, func(i, j int) bool {
+		if r1, r2 := categoryRank(qs[i].Category), categoryRank(qs[j].Category); r1 != r2 {
+			return r1 < r2
+		}
+		// numeric-aware name ordering: Q2 < Q12
+		n1, n2 := qs[i].Name, qs[j].Name
+		if len(n1) != len(n2) {
+			return len(n1) < len(n2)
+		}
+		return strings.Compare(n1, n2) < 0
+	})
+}
+
+// LUBMExtended returns queries exercising the operators beyond the
+// paper's conjunctive BGPs — FILTER, OPTIONAL, UNION, property paths,
+// and COUNT — used by the extended-operators benchmark. Names carry an
+// "X" prefix to keep them apart from the paper workload.
+func LUBMExtended() []Query {
+	mkx := func(name, text string) Query {
+		return Query{Name: name, Category: "X", Text: text}
+	}
+	return []Query{
+		mkx("X1-filter", lubmPrefix+`SELECT * WHERE {
+			?x a ub:GraduateStudent .
+			?x ub:name ?n .
+			FILTER(?n != "GradStudent0-0-0")
+		}`),
+		mkx("X2-optional", lubmPrefix+`SELECT * WHERE {
+			?x a ub:UndergraduateStudent .
+			?x ub:name ?n .
+			OPTIONAL { ?x ub:advisor ?a }
+		}`),
+		mkx("X3-union", lubmPrefix+`SELECT ?x WHERE {
+			{ ?x a ub:FullProfessor }
+			UNION
+			{ ?x a ub:AssociateProfessor }
+			UNION
+			{ ?x a ub:AssistantProfessor }
+		}`),
+		mkx("X4-path", lubmPrefix+`SELECT ?n WHERE {
+			?x a ub:GraduateStudent .
+			?x ub:advisor/ub:name ?n .
+		}`),
+		mkx("X5-inverse", lubmPrefix+`SELECT * WHERE {
+			?c a ub:GraduateCourse .
+			?c ^ub:teacherOf ?t .
+			?t ub:name ?n .
+		}`),
+		mkx("X6-ordered", lubmPrefix+`SELECT ?n WHERE {
+			?x a ub:FullProfessor .
+			?x ub:name ?n .
+		} ORDER BY ?n LIMIT 10`),
+	}
+}

@@ -1,0 +1,182 @@
+package workloads
+
+import (
+	"testing"
+
+	"rdfshapes/internal/sparql"
+)
+
+func TestAllQueriesParse(t *testing.T) {
+	for _, ws := range map[string][]Query{"LUBM": LUBM(), "WatDiv": WatDiv(), "YAGO": YAGO()} {
+		for _, q := range ws {
+			parsed, err := q.Parse()
+			if err != nil {
+				t.Errorf("%s: %v", q.Name, err)
+				continue
+			}
+			if len(parsed.Patterns) < 2 {
+				t.Errorf("%s: only %d patterns; workload queries must join", q.Name, len(parsed.Patterns))
+			}
+		}
+	}
+}
+
+func TestWorkloadSizes(t *testing.T) {
+	// category mix per the paper: LUBM 5 standard + C/F/S totalling 26;
+	// WatDiv 3C/5F/7S; YAGO 13 handcrafted
+	count := func(ws []Query, cat string) int {
+		n := 0
+		for _, q := range ws {
+			if q.Category == cat {
+				n++
+			}
+		}
+		return n
+	}
+	l := LUBM()
+	if len(l) != 26 {
+		t.Errorf("LUBM has %d queries, want 26", len(l))
+	}
+	if count(l, "Q") != 5 {
+		t.Errorf("LUBM standard queries = %d, want 5", count(l, "Q"))
+	}
+	w := WatDiv()
+	if count(w, "C") != 3 || count(w, "F") != 5 || count(w, "S") != 7 {
+		t.Errorf("WatDiv mix = %d/%d/%d, want 3/5/7", count(w, "C"), count(w, "F"), count(w, "S"))
+	}
+	y := YAGO()
+	if len(y) != 13 {
+		t.Errorf("YAGO has %d queries, want 13", len(y))
+	}
+}
+
+func TestCategoriesShapeDiscipline(t *testing.T) {
+	// star queries must share one subject variable across all patterns
+	for _, ws := range [][]Query{LUBM(), WatDiv(), YAGO()} {
+		for _, q := range ws {
+			if q.Category != "S" {
+				continue
+			}
+			parsed, err := q.Parse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			subject := ""
+			for _, tp := range parsed.Patterns {
+				if !tp.S.IsVar() {
+					t.Errorf("%s: star query with bound subject", q.Name)
+					continue
+				}
+				if subject == "" {
+					subject = tp.S.Var
+				} else if tp.S.Var != subject {
+					t.Errorf("%s: star query uses subjects %q and %q", q.Name, subject, tp.S.Var)
+				}
+			}
+		}
+	}
+}
+
+func TestComplexAndSnowflakeAreConnected(t *testing.T) {
+	// every non-star query must form one connected component: shuffled
+	// execution would otherwise always pay Cartesian products
+	for _, ws := range [][]Query{LUBM(), WatDiv(), YAGO()} {
+		for _, q := range ws {
+			parsed, err := q.Parse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !connected(parsed) {
+				t.Errorf("%s (%s) is not connected", q.Name, q.Category)
+			}
+		}
+	}
+}
+
+func connected(q *sparql.Query) bool {
+	n := len(q.Patterns)
+	if n == 0 {
+		return true
+	}
+	visited := make([]bool, n)
+	queue := []int{0}
+	visited[0] = true
+	seen := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for i := 0; i < n; i++ {
+			if !visited[i] && len(sparql.Joins(q.Patterns[cur], q.Patterns[i])) > 0 {
+				visited[i] = true
+				seen++
+				queue = append(queue, i)
+			}
+		}
+	}
+	return seen == n
+}
+
+func TestByName(t *testing.T) {
+	l := LUBM()
+	q, ok := ByName(l, "C0")
+	if !ok || q.Name != "C0" {
+		t.Errorf("ByName(C0) = %+v, %v", q, ok)
+	}
+	if _, ok := ByName(l, "Z9"); ok {
+		t.Error("ByName found a nonexistent query")
+	}
+}
+
+func TestOrderingGroupsByCategory(t *testing.T) {
+	l := LUBM()
+	lastRank := -1
+	for _, q := range l {
+		r := categoryRank(q.Category)
+		if r < lastRank {
+			t.Fatalf("queries not grouped: %s after rank %d", q.Name, lastRank)
+		}
+		lastRank = r
+	}
+	if l[0].Name != "Q2" {
+		t.Errorf("first query = %s, want Q2", l[0].Name)
+	}
+}
+
+func TestC0IsThePaperExampleQuery(t *testing.T) {
+	q, ok := ByName(LUBM(), "C0")
+	if !ok {
+		t.Fatal("C0 missing")
+	}
+	parsed, err := q.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Patterns) != 9 {
+		t.Errorf("C0 has %d patterns, want the paper's 9", len(parsed.Patterns))
+	}
+}
+
+func TestExtendedWorkloadParses(t *testing.T) {
+	qs := LUBMExtended()
+	if len(qs) != 6 {
+		t.Fatalf("extended queries = %d", len(qs))
+	}
+	features := 0
+	for _, q := range qs {
+		parsed, err := q.Parse()
+		if err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+			continue
+		}
+		if len(parsed.Filters) > 0 || len(parsed.Optionals) > 0 ||
+			len(parsed.UnionGroups) > 0 || len(parsed.OrderBy) > 0 {
+			features++
+		}
+		if q.Category != "X" {
+			t.Errorf("%s: category %q", q.Name, q.Category)
+		}
+	}
+	if features < 4 {
+		t.Errorf("only %d extended queries use operators", features)
+	}
+}

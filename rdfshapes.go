@@ -1,0 +1,604 @@
+// Package rdfshapes is a SPARQL query optimizer driven by SHACL shape
+// statistics, reproducing "Optimizing SPARQL Queries using Shape
+// Statistics" (EDBT 2021).
+//
+// A DB bundles an in-memory RDF store with a SHACL shapes graph whose
+// node and property shapes are annotated with statistics of the data
+// (sh:count, sh:minCount, sh:maxCount, sh:distinctCount), plus
+// extended-VoID global statistics. Queries are planned with the paper's
+// greedy join-ordering algorithm over those statistics and executed with
+// index nested-loop joins:
+//
+//	db, err := rdfshapes.LoadNTriples(file)
+//	res, err := db.Query(`SELECT ?x WHERE { ?x a ub:Student . ?x ub:name ?n }`)
+//
+// Shapes may be supplied (WithShapesGraph) or inferred from the data;
+// both are annotated automatically at load time.
+package rdfshapes
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rdfshapes/internal/annotator"
+	"rdfshapes/internal/cardinality"
+	"rdfshapes/internal/core"
+	"rdfshapes/internal/engine"
+	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/shacl"
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+// DB is an immutable RDF dataset with statistics, ready for querying.
+type DB struct {
+	store  *store.Store
+	shapes *shacl.ShapesGraph
+	global *gstats.Global
+	ss     *cardinality.ShapeEstimator
+	gs     *cardinality.GlobalEstimator
+	maxOps int64
+}
+
+type config struct {
+	shapes *shacl.ShapesGraph
+	maxOps int64
+}
+
+// Option customizes Load.
+type Option func(*config)
+
+// WithShapesGraph supplies a SHACL shapes graph shipped with the dataset
+// instead of inferring one from the data.
+func WithShapesGraph(sg *shacl.ShapesGraph) Option {
+	return func(c *config) { c.shapes = sg }
+}
+
+// WithOpsBudget caps the work of every Query/Count/Ask call at n index
+// rows visited — the analog of a server-side query timeout. Exceeding
+// the budget returns ErrBudgetExceeded. 0 (the default) means unlimited.
+func WithOpsBudget(n int64) Option {
+	return func(c *config) { c.maxOps = n }
+}
+
+// ErrBudgetExceeded is returned when a query exceeds the DB's operation
+// budget (WithOpsBudget).
+var ErrBudgetExceeded = engine.ErrBudgetExceeded
+
+// Load builds a DB from parsed triples: it indexes the data, obtains a
+// shapes graph (supplied or inferred), and computes global and shape
+// statistics.
+func Load(g rdf.Graph, opts ...Option) (*DB, error) {
+	return fromStore(store.Load(g), opts...)
+}
+
+// fromStore finishes DB construction over an already-indexed store.
+func fromStore(st *store.Store, opts ...Option) (*DB, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	shapes := cfg.shapes
+	if shapes == nil {
+		inferred, err := shacl.InferShapes(st)
+		if err != nil {
+			return nil, fmt.Errorf("rdfshapes: inferring shapes: %w", err)
+		}
+		shapes = inferred
+	}
+	global := gstats.Compute(st)
+	if shapes.Len() > 0 {
+		if err := annotator.Annotate(shapes, st); err != nil {
+			return nil, fmt.Errorf("rdfshapes: annotating shapes: %w", err)
+		}
+	}
+	return &DB{
+		store:  st,
+		shapes: shapes,
+		global: global,
+		ss:     cardinality.NewShapeEstimator(shapes, global),
+		gs:     cardinality.NewGlobalEstimator(global),
+		maxOps: cfg.maxOps,
+	}, nil
+}
+
+// LoadNTriples reads N-Triples data and builds a DB.
+func LoadNTriples(r io.Reader, opts ...Option) (*DB, error) {
+	g, err := rdf.ParseNTriples(r)
+	if err != nil {
+		return nil, err
+	}
+	return Load(g, opts...)
+}
+
+// WriteSnapshot persists the indexed data in the store's binary snapshot
+// format. Statistics are not stored; LoadSnapshot recomputes them, which
+// is cheap relative to parsing text formats.
+func (db *DB) WriteSnapshot(w io.Writer) error {
+	return db.store.WriteSnapshot(w)
+}
+
+// LoadSnapshot rebuilds a DB from WriteSnapshot output, re-deriving (or
+// re-annotating, when WithShapesGraph supplies them) shapes and
+// statistics.
+func LoadSnapshot(r io.Reader, opts ...Option) (*DB, error) {
+	st, err := store.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return fromStore(st, opts...)
+}
+
+// Result is a materialized query result.
+type Result struct {
+	// Vars lists the projected variable names.
+	Vars []string
+	// Rows holds one binding map per result, variable → term in
+	// N-Triples syntax.
+	Rows []map[string]string
+	// Plan is the executed join order, for diagnostics.
+	Plan string
+}
+
+// Query parses, optimizes (with shape statistics), executes, and
+// materializes a SELECT query, applying FILTER, ORDER BY, OFFSET, and
+// LIMIT. For ASK queries, Rows is non-empty iff the pattern matches; use
+// Ask for a boolean answer.
+func (db *DB) Query(src string) (*Result, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Construct) > 0 {
+		return nil, fmt.Errorf("rdfshapes: CONSTRUCT queries go through Construct, not Query")
+	}
+	if q.Aggregate != nil {
+		return db.queryAggregate(q)
+	}
+	if len(q.UnionGroups) > 0 {
+		return db.queryUnion(q)
+	}
+	plan := db.plan(q)
+	opts := engine.Options{Filters: q.Filters, Optionals: q.Optionals}
+	if q.Ask {
+		opts.Limit = 1
+	}
+	er, err := db.run(plan.Order(), opts)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := engine.Materialize(db.store, q, er)
+	if err != nil {
+		return nil, err
+	}
+	proj := q.Projection
+	if len(proj) == 0 {
+		proj = q.AllVars()
+	}
+	return &Result{Vars: proj, Rows: rows, Plan: plan.String()}, nil
+}
+
+// queryUnion evaluates a top-level UNION: every branch is planned and
+// executed independently and the results are concatenated, then
+// DISTINCT, OFFSET, and LIMIT apply to the combined rows. SELECT *
+// projects the variables common to all branches.
+func (db *DB) queryUnion(q *sparql.Query) (*Result, error) {
+	proj := q.Projection
+	if len(proj) == 0 {
+		proj = commonBranchVars(q)
+	}
+	var rows []map[string]string
+	var plans []string
+	for i := range q.UnionGroups {
+		bq := q.Branch(i)
+		bq.Projection = proj
+		bq.Distinct = false
+		bq.Limit = 0
+		bq.Offset = 0
+		plan := db.plan(bq)
+		plans = append(plans, plan.String())
+		er, err := db.run(plan.Order(), engine.Options{Filters: bq.Filters})
+		if err != nil {
+			return nil, err
+		}
+		branchRows, err := engine.Materialize(db.store, bq, er)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, branchRows...)
+	}
+	rows = applyRowModifiers(rows, proj, q.Distinct, q.Offset, q.Limit)
+	return &Result{Vars: proj, Rows: rows, Plan: strings.Join(plans, "")}, nil
+}
+
+// queryAggregate evaluates a COUNT projection.
+func (db *DB) queryAggregate(q *sparql.Query) (*Result, error) {
+	agg := q.Aggregate
+	row := map[string]string{}
+	if agg.Var == "" && !q.Distinct {
+		// COUNT(*): counting needs no materialization
+		n, err := db.countSolutions(q)
+		if err != nil {
+			return nil, err
+		}
+		row[agg.As] = rdf.NewInteger(n).String()
+		return &Result{Vars: []string{agg.As}, Rows: []map[string]string{row}}, nil
+	}
+	// COUNT(?v) / COUNT(DISTINCT ?v): materialize the counted column
+	inner := q.Clone()
+	inner.Aggregate = nil
+	inner.Distinct = false
+	inner.Limit = 0
+	inner.Offset = 0
+	if agg.Var != "" {
+		inner.Projection = []string{agg.Var}
+	} else {
+		inner.Projection = nil
+	}
+	res, err := db.queryParsed(inner)
+	if err != nil {
+		return nil, err
+	}
+	var n int64
+	seen := map[string]bool{}
+	for _, r := range res.Rows {
+		if agg.Var != "" {
+			v := r[agg.Var]
+			if v == "" {
+				continue // unbound values are not counted
+			}
+			if agg.Distinct {
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+			}
+		}
+		n++
+	}
+	row[agg.As] = rdf.NewInteger(n).String()
+	return &Result{Vars: []string{agg.As}, Rows: []map[string]string{row}, Plan: res.Plan}, nil
+}
+
+// queryParsed runs an already-parsed non-aggregate query.
+func (db *DB) queryParsed(q *sparql.Query) (*Result, error) {
+	if len(q.UnionGroups) > 0 {
+		return db.queryUnion(q)
+	}
+	plan := db.plan(q)
+	er, err := db.run(plan.Order(), engine.Options{Filters: q.Filters, Optionals: q.Optionals})
+	if err != nil {
+		return nil, err
+	}
+	rows, err := engine.Materialize(db.store, q, er)
+	if err != nil {
+		return nil, err
+	}
+	proj := q.Projection
+	if len(proj) == 0 {
+		proj = q.AllVars()
+	}
+	return &Result{Vars: proj, Rows: rows, Plan: plan.String()}, nil
+}
+
+// countSolutions counts solutions of the (possibly UNION) BGP with its
+// filters, before projection and modifiers.
+func (db *DB) countSolutions(q *sparql.Query) (int64, error) {
+	if len(q.UnionGroups) == 0 {
+		plan := db.plan(q)
+		er, err := db.run(plan.Order(), engine.Options{CountOnly: true, Filters: q.Filters, Optionals: q.Optionals})
+		if err != nil {
+			return 0, err
+		}
+		return er.Count, nil
+	}
+	var total int64
+	for i := range q.UnionGroups {
+		bq := q.Branch(i)
+		plan := db.plan(bq)
+		er, err := db.run(plan.Order(), engine.Options{CountOnly: true, Filters: bq.Filters})
+		if err != nil {
+			return 0, err
+		}
+		total += er.Count
+	}
+	return total, nil
+}
+
+// commonBranchVars returns the variables bound by every UNION branch, in
+// first-branch order.
+func commonBranchVars(q *sparql.Query) []string {
+	if len(q.UnionGroups) == 0 {
+		return nil
+	}
+	var out []string
+	for _, tp := range q.UnionGroups[0] {
+		for _, v := range tp.Vars() {
+			if contains(out, v) {
+				continue
+			}
+			inAll := true
+			for _, g := range q.UnionGroups[1:] {
+				found := false
+				for _, gtp := range g {
+					if contains(gtp.Vars(), v) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					inAll = false
+					break
+				}
+			}
+			if inAll {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func contains(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// applyRowModifiers applies DISTINCT, OFFSET, and LIMIT to materialized
+// rows (used for UNION results, where branches materialize separately).
+func applyRowModifiers(rows []map[string]string, proj []string, distinct bool, offset, limit int) []map[string]string {
+	var out []map[string]string
+	seen := map[string]bool{}
+	skipped := 0
+	for _, r := range rows {
+		if distinct {
+			key := ""
+			for _, v := range proj {
+				key += r[v] + "\x00"
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		if skipped < offset {
+			skipped++
+			continue
+		}
+		out = append(out, r)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// Ask answers an ASK query (or any query treated as an existence check):
+// true iff the BGP with its filters has at least one match.
+func (db *DB) Ask(src string) (bool, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return false, err
+	}
+	if len(q.UnionGroups) > 0 {
+		n, err := db.countSolutions(q)
+		return n > 0, err
+	}
+	plan := db.plan(q)
+	er, err := db.run(plan.Order(), engine.Options{Filters: q.Filters, Optionals: q.Optionals, Limit: 1})
+	if err != nil {
+		return false, err
+	}
+	return er.Count > 0, nil
+}
+
+// Count executes the query and returns the number of filtered results
+// before projection, DISTINCT, and LIMIT — the BGP's true cardinality.
+func (db *DB) Count(src string) (int64, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	return db.countSolutions(q)
+}
+
+// Explain returns the query plan built with the requested statistics:
+// "SS" (shape statistics, the default) or "GS" (global statistics).
+func (db *DB) Explain(src, approach string) (string, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	switch approach {
+	case "", "SS":
+		return db.plan(q).String(), nil
+	case "GS":
+		return core.Optimize(q, db.gs).String(), nil
+	default:
+		return "", fmt.Errorf("rdfshapes: unknown approach %q (want SS or GS)", approach)
+	}
+}
+
+// EstimateCount returns the shape-statistics estimate of the query's
+// result cardinality, without executing it.
+func (db *DB) EstimateCount(src string) (float64, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	plan := db.plan(q)
+	est, _ := cardinality.SequenceEstimate(q, plan.Order(), db.estimatorFor(q))
+	return est * cardinality.FilterSelectivity(q), nil
+}
+
+// QueryEach streams a SELECT query's solutions to fn without
+// materializing the full result set: fn receives each projected binding
+// map and returns false to stop early. Solution modifiers that need the
+// whole result (DISTINCT, ORDER BY, OFFSET) and the UNION/aggregate
+// forms are not streamable and fall back to Query internally.
+func (db *DB) QueryEach(src string, fn func(row map[string]string) bool) error {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return err
+	}
+	if q.Distinct || len(q.OrderBy) > 0 || q.Offset > 0 ||
+		len(q.UnionGroups) > 0 || q.Aggregate != nil || len(q.Construct) > 0 {
+		res, err := db.Query(src)
+		if err != nil {
+			return err
+		}
+		for _, row := range res.Rows {
+			if !fn(row) {
+				return nil
+			}
+		}
+		return nil
+	}
+	plan := db.plan(q)
+	proj := q.Projection
+	if len(proj) == 0 {
+		proj = q.AllVars()
+	}
+	// Engine rows stream through Materialize in result order, so a
+	// limited run is enough; budget still applies.
+	er, err := db.run(plan.Order(), engine.Options{
+		Filters:   q.Filters,
+		Optionals: q.Optionals,
+		Limit:     q.Limit,
+	})
+	if err != nil {
+		return err
+	}
+	rows, err := engine.Materialize(db.store, q, er)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if !fn(row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Construct evaluates a CONSTRUCT query: the WHERE part runs like a
+// SELECT, and every solution instantiates the template into result
+// triples. Template triples with an unbound variable, a literal subject,
+// or a non-IRI predicate are skipped for that solution, per SPARQL.
+// Blank nodes in the template are minted fresh per solution. The result
+// graph is deduplicated.
+func (db *DB) Construct(src string) (rdf.Graph, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Construct) == 0 {
+		return nil, fmt.Errorf("rdfshapes: Construct requires a CONSTRUCT query")
+	}
+	inner := q.Clone()
+	inner.Construct = nil
+	inner.Projection = nil // bind everything the template may need
+	inner.Distinct = false
+	res, err := db.queryParsed(inner)
+	if err != nil {
+		return nil, err
+	}
+
+	var out rdf.Graph
+	seen := map[rdf.Triple]bool{}
+	for rowNo, row := range res.Rows {
+		resolve := func(pt sparql.PatternTerm) (rdf.Term, bool) {
+			if !pt.IsVar() {
+				if pt.Term.IsBlank() {
+					// fresh blank node per solution
+					return rdf.NewBlank(fmt.Sprintf("c%d-%s", rowNo, pt.Term.Value)), true
+				}
+				return pt.Term, true
+			}
+			s, ok := row[pt.Var]
+			if !ok || s == "" {
+				return rdf.Term{}, false
+			}
+			term, err := rdf.ParseTerm(s)
+			if err != nil {
+				return rdf.Term{}, false
+			}
+			return term, true
+		}
+		for _, tmpl := range q.Construct {
+			s, ok := resolve(tmpl.S)
+			if !ok || s.IsLiteral() {
+				continue
+			}
+			p, ok := resolve(tmpl.P)
+			if !ok || !p.IsIRI() {
+				continue
+			}
+			o, ok := resolve(tmpl.O)
+			if !ok {
+				continue
+			}
+			t := rdf.Triple{S: s, P: p, O: o}
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Validate checks the data against the shapes graph's constraints and
+// returns up to limit violations (0 = all).
+func (db *DB) Validate(limit int) []shacl.Violation {
+	return db.shapes.Validate(db.store, limit)
+}
+
+// Shapes exposes the annotated shapes graph.
+func (db *DB) Shapes() *shacl.ShapesGraph { return db.shapes }
+
+// Stats exposes the extended-VoID global statistics.
+func (db *DB) Stats() *gstats.Global { return db.global }
+
+// Store exposes the underlying triple store.
+func (db *DB) Store() *store.Store { return db.store }
+
+// NumTriples returns the dataset size.
+func (db *DB) NumTriples() int { return db.store.Len() }
+
+// WriteShapesTurtle serializes the annotated shapes graph as Turtle.
+func (db *DB) WriteShapesTurtle(w io.Writer) error {
+	return db.shapes.WriteTurtle(w, nil)
+}
+
+// run executes an ordered BGP with the DB's operation budget applied.
+func (db *DB) run(order []sparql.TriplePattern, opts engine.Options) (*engine.Result, error) {
+	opts.MaxOps = db.maxOps
+	er, err := engine.Run(db.store, order, opts)
+	if err != nil {
+		return nil, err
+	}
+	if er.TimedOut {
+		return nil, fmt.Errorf("rdfshapes: %w (budget %d)", ErrBudgetExceeded, db.maxOps)
+	}
+	return er, nil
+}
+
+func (db *DB) plan(q *sparql.Query) *core.Plan {
+	return core.Optimize(q, db.estimatorFor(q))
+}
+
+// estimatorFor applies the paper's Section 6.1 rule: shape statistics
+// when the query has a type-defined triple pattern, global otherwise.
+func (db *DB) estimatorFor(q *sparql.Query) cardinality.Estimator {
+	if q.HasTypePattern() && db.shapes.Annotated() {
+		return db.ss
+	}
+	return db.gs
+}
