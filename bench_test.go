@@ -385,6 +385,44 @@ func BenchmarkEngineStarQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineObserverOverhead compares engine.Run with the observer
+// hook disabled (the default) and enabled. The disabled case must match
+// the pre-observability engine: the hook costs two nil checks and no
+// clock reads when Options.Observer is nil.
+func BenchmarkEngineObserverOverhead(b *testing.B) {
+	d, _, _ := loadDatasets(b)
+	wq, err := d.QueryByName("S2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := wq.Parse()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := d.Planner("SS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	order := pl.Plan(q).Order()
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Run(d.Store, order, engine.Options{CountOnly: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		var last engine.ExecReport
+		obs := func(r engine.ExecReport) { last = r }
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Run(d.Store, order, engine.Options{CountOnly: true, Observer: obs}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(last.Ops), "ops-reported")
+	})
+}
+
 // BenchmarkOptimize measures Algorithm 1 on the 9-pattern example query.
 func BenchmarkOptimize(b *testing.B) {
 	d, _, _ := loadDatasets(b)

@@ -179,6 +179,9 @@ func run(exp string, scale bench.Scale, cfg bench.RunConfig, csvDir string) erro
 			fmt.Print(bench.FormatRuntime(rs))
 			fmt.Println()
 			fmt.Print(bench.FormatWinners(bench.Winners(rs)))
+			if err := printTraceSummary(d, cfg); err != nil {
+				return err
+			}
 			if err := saveCSV(f.id+"-runtime.csv", func(w io.Writer) error {
 				return bench.WriteRuntimeCSV(w, rs)
 			}); err != nil {
@@ -224,6 +227,9 @@ func run(exp string, scale bench.Scale, cfg bench.RunConfig, csvDir string) erro
 		fmt.Print(bench.FormatRuntime(rs))
 		fmt.Println()
 		fmt.Print(bench.FormatWinners(bench.Winners(rs)))
+		if err := printTraceSummary(d, cfg); err != nil {
+			return err
+		}
 		fmt.Println()
 		qs, err := bench.QErrorExperiment(d, cfg)
 		if err != nil {
@@ -265,6 +271,21 @@ func run(exp string, scale bench.Scale, cfg bench.RunConfig, csvDir string) erro
 			return err
 		}
 	}
+	return nil
+}
+
+// printTraceSummary runs the workload once through the observability
+// layer (internal/obsv) and prints the per-query trace table — the same
+// estimated-vs-actual cardinality accounting the server exposes at
+// /trace/recent.
+func printTraceSummary(d *bench.Dataset, cfg bench.RunConfig) error {
+	c, err := bench.TraceExperiment(d, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Printf("trace summary (%s, SS planner, final intermediate est vs true):\n", d.Name)
+	fmt.Print(bench.FormatTraces(c.Recent(0)))
 	return nil
 }
 

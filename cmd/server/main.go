@@ -1,10 +1,14 @@
 // Command server runs an HTTP SPARQL endpoint over a dataset: load
 // N-Triples (or a binary snapshot) or generate a benchmark dataset, then
-// serve /sparql, /explain, /shapes, /stats, and /healthz.
+// serve /sparql, /explain, /shapes, /stats, /healthz, plus the
+// observability surface /metrics (Prometheus text format) and
+// /trace/recent (per-query traces with estimated vs. actual
+// cardinalities; see docs/OBSERVABILITY.md).
 //
 //	server -dataset lubm -scale 1 -addr :8080
-//	server -data graph.nt -addr :8080
+//	server -data graph.nt -addr :8080 -tracebuf 1024
 //	curl 'localhost:8080/sparql?query=SELECT...'
+//	curl 'localhost:8080/metrics'
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"rdfshapes/internal/datagen/lubm"
 	"rdfshapes/internal/datagen/watdiv"
 	"rdfshapes/internal/datagen/yago"
+	"rdfshapes/internal/obsv"
 	"rdfshapes/internal/server"
 )
 
@@ -29,13 +34,16 @@ func main() {
 	seed := flag.Int64("seed", 7, "generator seed")
 	addr := flag.String("addr", ":8080", "listen address")
 	budget := flag.Int64("budget", 50<<20, "per-query operation budget (0 = unlimited)")
+	tracebuf := flag.Int("tracebuf", obsv.DefaultRingSize, "query traces kept for /trace/recent")
 	flag.Parse()
 
 	db, err := open(*dataset, *dataFile, *scale, *seed, *budget)
 	if err != nil {
 		log.Fatal("server: ", err)
 	}
-	log.Printf("serving %d triples (%d node shapes) on %s", db.NumTriples(), db.Shapes().Len(), *addr)
+	db.SetCollector(obsv.NewCollector(*tracebuf))
+	log.Printf("serving %d triples (%d node shapes) on %s (metrics at /metrics, traces at /trace/recent)",
+		db.NumTriples(), db.Shapes().Len(), *addr)
 	if err := http.ListenAndServe(*addr, server.New(db)); err != nil {
 		log.Fatal("server: ", err)
 	}

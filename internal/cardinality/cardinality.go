@@ -1,12 +1,22 @@
 // Package cardinality implements the paper's cardinality model: the
-// Table 1 estimates for single triple patterns over global or shape
-// statistics, the join cardinality formulas of Equations 1–3 (SS, SO/OS,
-// OO joins), sequence estimation for whole BGPs, and the q-error metric.
+// Table 1 estimates for single triple patterns over global (extended
+// VoID) or shape (annotated SHACL) statistics, the join cardinality
+// formulas of Equations 1–3 (SS, SO/OS, OO joins) under the standard
+// containment and independence assumptions, sequence estimation for
+// whole BGPs (the E⋈ column of Table 2), and the q-error precision
+// metric of Section 7.
+//
+// Estimates produced here are what the observability layer
+// (internal/obsv) accounts against measured truth: every traced query
+// records per-step estimated vs. actual intermediate cardinalities and
+// their q-error, so estimator regressions surface on /metrics rather
+// than only in offline experiments.
 package cardinality
 
 import (
 	"math"
 
+	"rdfshapes/internal/obsv"
 	"rdfshapes/internal/sparql"
 )
 
@@ -74,10 +84,11 @@ func Join(a, b TPStats, joins []sparql.SharedJoin) float64 {
 
 // QError is the precision metric of Section 7:
 // max( max(1,est)/max(1,true), max(1,true)/max(1,est) ).
+// The implementation lives in internal/obsv (the dependency-free leaf
+// both the estimators and the serving path share) so online accounting
+// and offline experiments agree by construction.
 func QError(estimated, actual float64) float64 {
-	e := math.Max(1, estimated)
-	a := math.Max(1, actual)
-	return math.Max(e/a, a/e)
+	return obsv.QError(estimated, actual)
 }
 
 // SequenceEstimate estimates the result cardinality of executing the

@@ -2,7 +2,16 @@
 // join-ordering algorithm (Algorithm 1) that orders the triple patterns
 // of a BGP by estimated join cardinality, over any statistics-backed
 // estimator — global statistics (GS), shape statistics (SS), or one of
-// the baseline estimators.
+// the baseline estimators (Jena-style heuristic, GraphDB-style
+// selectivity, Characteristic Sets, SumRDF).
+//
+// A Plan keeps the per-step join estimates it was built from (the E⋈
+// column of Table 2) precisely so downstream layers can hold the planner
+// accountable: the engine measures actual intermediate sizes in the same
+// step order, and the observability layer (internal/obsv) pairs the two
+// into per-pattern q-errors. Plan.Estimates exposes that sequence.
+// OptimizeExhaustive provides the cost-optimal reference order for the
+// greedy-vs-exact ablation.
 package core
 
 import (
@@ -48,6 +57,17 @@ func (p *Plan) Order() []sparql.TriplePattern {
 	out := make([]sparql.TriplePattern, len(p.Steps))
 	for i, s := range p.Steps {
 		out[i] = s.Pattern
+	}
+	return out
+}
+
+// Estimates returns the per-step join-cardinality estimates in execution
+// order — index-aligned with engine Result.Intermediate, which is what
+// query traces pair them against.
+func (p *Plan) Estimates() []float64 {
+	out := make([]float64, len(p.Steps))
+	for i, s := range p.Steps {
+		out[i] = s.JoinEstimate
 	}
 	return out
 }

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"rdfshapes/internal/sparql"
 	"rdfshapes/internal/store"
@@ -43,6 +44,34 @@ type Options struct {
 	// the group, or kept once with the group's variables unbound (ID 0)
 	// when the group has no match.
 	Optionals [][]sparql.TriplePattern
+	// Observer, when non-nil, receives an ExecReport after the run
+	// completes (the observability hook of internal/obsv). A nil
+	// Observer is the fast path: Run then performs no clock reads and
+	// no extra allocation — its whole cost is two nil checks
+	// (BenchmarkEngineObserverOverhead pins this).
+	Observer Observer
+}
+
+// Observer receives the execution report of one Run.
+type Observer func(ExecReport)
+
+// ExecReport summarizes one Run for an Observer: the measured
+// counterparts of the planner's estimates, plus wall time.
+type ExecReport struct {
+	// Wall is the execution wall time.
+	Wall time.Duration
+	// Ops is the number of index rows visited.
+	Ops int64
+	// Count is the number of result rows.
+	Count int64
+	// Intermediate is a copy of Result.Intermediate (per-pattern actual
+	// intermediate sizes in execution order).
+	Intermediate []int64
+	// TimedOut is true when MaxOps interrupted the execution.
+	TimedOut bool
+	// LimitHit is true when Options.Limit stopped the run early, making
+	// Intermediate lower bounds of the full enumeration.
+	LimitHit bool
 }
 
 // Result holds the outcome of executing a BGP.
@@ -62,6 +91,11 @@ type Result struct {
 	Ops int64
 	// TimedOut is true when MaxOps interrupted the execution.
 	TimedOut bool
+	// LimitHit is true when Options.Limit stopped the run early. In that
+	// case Intermediate holds the sizes actually explored — exactly the
+	// work performed, which is less than a full enumeration would
+	// produce (pinned by TestLimitIntermediateAccounting).
+	LimitHit bool
 }
 
 // compiledPattern precomputes, for one pattern, the constant IDs and the
@@ -76,6 +110,23 @@ type compiledPattern struct {
 func Run(st *store.Store, patterns []sparql.TriplePattern, opts Options) (*Result, error) {
 	if len(patterns) == 0 {
 		return nil, fmt.Errorf("engine: empty pattern list")
+	}
+	var start time.Time
+	if opts.Observer != nil {
+		start = time.Now()
+	}
+	report := func(res *Result) {
+		if opts.Observer == nil {
+			return
+		}
+		opts.Observer(ExecReport{
+			Wall:         time.Since(start),
+			Ops:          res.Ops,
+			Count:        res.Count,
+			Intermediate: append([]int64(nil), res.Intermediate...),
+			TimedOut:     res.TimedOut,
+			LimitHit:     res.LimitHit,
+		})
 	}
 	res := &Result{Intermediate: make([]int64, len(patterns))}
 
@@ -104,6 +155,7 @@ func Run(st *store.Store, patterns []sparql.TriplePattern, opts Options) (*Resul
 
 	compiled, empty := compilePatterns(st, patterns, slots)
 	if empty {
+		report(res)
 		return res, nil
 	}
 	groups := make([][]compiledPattern, 0, len(opts.Optionals))
@@ -129,6 +181,8 @@ func Run(st *store.Store, patterns []sparql.TriplePattern, opts Options) (*Resul
 	if exec.stopped && exec.budgetHit {
 		res.TimedOut = true
 	}
+	res.LimitHit = exec.limitHit
+	report(res)
 	return res, nil
 }
 
@@ -170,6 +224,7 @@ type executor struct {
 	opts       Options
 	stopped    bool
 	budgetHit  bool
+	limitHit   bool
 }
 
 // emit records one complete solution.
@@ -179,6 +234,7 @@ func (e *executor) emit() {
 		e.res.Rows = append(e.res.Rows, append([]store.ID(nil), e.row...))
 		if e.opts.Limit > 0 && len(e.res.Rows) >= e.opts.Limit {
 			e.stopped = true
+			e.limitHit = true
 		}
 	}
 }

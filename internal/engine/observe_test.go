@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"testing"
+
+	"rdfshapes/internal/sparql"
+)
+
+// TestLimitIntermediateAccounting pins the interaction between
+// Options.Limit and Intermediate accounting: early exit reports exactly
+// the partial bindings explored — no more, no fewer — and flags the run
+// as LimitHit so trace consumers treat the actuals as lower bounds
+// rather than full enumeration counts.
+func TestLimitIntermediateAccounting(t *testing.T) {
+	st := family()
+	src := `SELECT * WHERE {
+		?p <http://x/parentOf> ?c .
+		?c <http://x/name> ?n .
+	}`
+
+	full := run(t, st, src, Options{})
+	if full.Count != 3 || full.LimitHit {
+		t.Fatalf("full run: Count=%d LimitHit=%v, want 3/false", full.Count, full.LimitHit)
+	}
+	if full.Intermediate[0] != 3 || full.Intermediate[1] != 3 {
+		t.Fatalf("full run Intermediate = %v, want [3 3]", full.Intermediate)
+	}
+
+	limited := run(t, st, src, Options{Limit: 1})
+	if limited.Count != 1 || len(limited.Rows) != 1 {
+		t.Fatalf("limited run: Count=%d Rows=%d, want 1/1", limited.Count, len(limited.Rows))
+	}
+	if !limited.LimitHit {
+		t.Error("limited run: LimitHit not set")
+	}
+	if limited.TimedOut {
+		t.Error("limited run: TimedOut set without a budget")
+	}
+	// Exactly one binding per level was explored before the first
+	// solution: the accounting reflects work performed, not the full
+	// enumeration.
+	if limited.Intermediate[0] != 1 || limited.Intermediate[1] != 1 {
+		t.Errorf("limited run Intermediate = %v, want [1 1]", limited.Intermediate)
+	}
+
+	// A limit the result never reaches must not flag LimitHit.
+	loose := run(t, st, src, Options{Limit: 100})
+	if loose.LimitHit {
+		t.Error("loose limit: LimitHit set although enumeration completed")
+	}
+	if loose.Intermediate[0] != 3 || loose.Intermediate[1] != 3 {
+		t.Errorf("loose limit Intermediate = %v, want [3 3]", loose.Intermediate)
+	}
+
+	// CountOnly ignores Limit (counts are exact by definition).
+	counted := run(t, st, src, Options{Limit: 1, CountOnly: true})
+	if counted.Count != 3 || counted.LimitHit {
+		t.Errorf("CountOnly run: Count=%d LimitHit=%v, want 3/false", counted.Count, counted.LimitHit)
+	}
+}
+
+// TestObserverReport checks the observability hook: the report mirrors
+// the Result and carries a wall time, and a nil observer stays silent.
+func TestObserverReport(t *testing.T) {
+	st := family()
+	q := sparql.MustParse(`SELECT * WHERE {
+		?p <http://x/parentOf> ?c .
+		?c <http://x/name> ?n .
+	}`)
+
+	var rep ExecReport
+	calls := 0
+	res, err := Run(st, q.Patterns, Options{
+		Limit:    1,
+		Observer: func(r ExecReport) { rep = r; calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("observer called %d times, want 1", calls)
+	}
+	if rep.Count != res.Count || rep.Ops != res.Ops {
+		t.Errorf("report Count/Ops = %d/%d, want %d/%d", rep.Count, rep.Ops, res.Count, res.Ops)
+	}
+	if !rep.LimitHit || rep.TimedOut {
+		t.Errorf("report flags = limit:%v timeout:%v, want true/false", rep.LimitHit, rep.TimedOut)
+	}
+	if len(rep.Intermediate) != len(res.Intermediate) {
+		t.Fatalf("report Intermediate length %d, want %d", len(rep.Intermediate), len(res.Intermediate))
+	}
+	for i := range rep.Intermediate {
+		if rep.Intermediate[i] != res.Intermediate[i] {
+			t.Errorf("report Intermediate[%d] = %d, want %d", i, rep.Intermediate[i], res.Intermediate[i])
+		}
+	}
+	if rep.Wall <= 0 {
+		t.Error("report Wall not positive")
+	}
+	// The report must be a copy: later mutation of the result slice must
+	// not reach an already-delivered report.
+	res.Intermediate[0] = -1
+	if rep.Intermediate[0] == -1 {
+		t.Error("report Intermediate aliases Result.Intermediate")
+	}
+}
+
+// TestObserverOnEmptyPattern verifies the observer fires on the
+// constant-not-in-dictionary fast exit too, reporting zero work.
+func TestObserverOnEmptyPattern(t *testing.T) {
+	st := family()
+	q := sparql.MustParse(`SELECT * WHERE { ?p <http://x/noSuchPredicate> ?c }`)
+	calls := 0
+	var rep ExecReport
+	if _, err := Run(st, q.Patterns, Options{Observer: func(r ExecReport) { rep = r; calls++ }}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("observer called %d times, want 1", calls)
+	}
+	if rep.Ops != 0 || rep.Count != 0 || len(rep.Intermediate) != 1 {
+		t.Errorf("empty-pattern report = %+v, want zero work with 1 level", rep)
+	}
+}

@@ -1,0 +1,183 @@
+package obsv
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// Exported metric names, all prefixed rdfshapes_. docs/OBSERVABILITY.md
+// documents each one; tests pin the full inventory.
+const (
+	MetricQueries       = "rdfshapes_queries_total"
+	MetricDuration      = "rdfshapes_query_duration_seconds"
+	MetricQError        = "rdfshapes_plan_qerror"
+	MetricRowsVisited   = "rdfshapes_index_rows_visited_total"
+	MetricIntermediate  = "rdfshapes_intermediate_results_total"
+	MetricResultRows    = "rdfshapes_result_rows_total"
+	MetricTracesWritten = "rdfshapes_traces_recorded_total"
+)
+
+// DurationBuckets are the latency histogram upper bounds in seconds,
+// spanning sub-millisecond index lookups to the multi-second budget
+// region.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// QErrorBuckets are the q-error histogram upper bounds, aligned with the
+// <1.5 / [1.5,250) / ≥250 bands of the paper's Figure 4c–4d plus finer
+// intermediate resolution.
+var QErrorBuckets = []float64{1, 1.5, 2, 5, 10, 50, 250, 1000, 10000}
+
+// Collector aggregates query traces into a bounded ring buffer and
+// cumulative Prometheus metrics. All methods are safe for concurrent use
+// and safe on a nil receiver (no-ops), per the package's nil-collector
+// convention.
+type Collector struct {
+	ring *Ring
+
+	queries      *CounterVec   // by planner, status
+	duration     *HistogramVec // by planner
+	qerror       *HistogramVec // by planner
+	rowsVisited  *CounterVec
+	intermediate *CounterVec
+	resultRows   *CounterVec
+
+	mu     sync.Mutex
+	gauges map[string]GaugeFunc
+}
+
+// NewCollector returns a collector whose trace ring holds the last
+// ringSize traces (<= 0 selects DefaultRingSize).
+func NewCollector(ringSize int) *Collector {
+	return &Collector{
+		ring: NewRing(ringSize),
+		queries: NewCounterVec(MetricQueries,
+			"Queries executed, by planner and outcome (ok|timeout|error).",
+			"planner", "status"),
+		duration: NewHistogramVec(MetricDuration,
+			"Query execution wall time in seconds, by planner.",
+			DurationBuckets, "planner"),
+		qerror: NewHistogramVec(MetricQError,
+			"Q-error of the estimated vs. actual final join cardinality, by planner (complete executions only).",
+			QErrorBuckets, "planner"),
+		rowsVisited: NewCounterVec(MetricRowsVisited,
+			"Index rows visited by query execution."),
+		intermediate: NewCounterVec(MetricIntermediate,
+			"Intermediate results produced by query execution (the paper's plan-cost objective)."),
+		resultRows: NewCounterVec(MetricResultRows,
+			"Result rows produced by execution, before solution modifiers (LIMIT/OFFSET/DISTINCT)."),
+		gauges: map[string]GaugeFunc{},
+	}
+}
+
+// RegisterGauge installs (or replaces) a scrape-time gauge.
+func (c *Collector) RegisterGauge(name, help string, fn func() float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gauges[name] = GaugeFunc{name: name, help: help, fn: fn}
+}
+
+// Record finalizes t (via Finish, when the caller has not already),
+// stamps its time, stores it in the trace ring, and folds it into every
+// cumulative metric. Safe on a nil receiver.
+func (c *Collector) Record(t QueryTrace) {
+	if c == nil {
+		return
+	}
+	if len(t.Patterns) > 0 {
+		t.Finish() // idempotent; ensures derived fields are consistent
+	}
+	if t.Time.IsZero() {
+		t.Time = time.Now()
+	}
+	if len(t.Query) > MaxQueryLen {
+		t.Query = t.Query[:MaxQueryLen]
+	}
+	planner := t.Planner
+	if planner == "" {
+		planner = "unknown"
+	}
+	status := "ok"
+	switch {
+	case t.Err != "":
+		status = "error"
+	case t.TimedOut:
+		status = "timeout"
+	}
+	c.queries.Add(1, planner, status)
+	c.duration.Observe(float64(t.WallNanos)/1e9, planner)
+	c.rowsVisited.Add(float64(t.Ops))
+	c.intermediate.Add(float64(t.ActualCost))
+	c.resultRows.Add(float64(t.Rows))
+	// Partial executions (budget or LIMIT cut) would pollute the q-error
+	// distribution with lower-bound actuals; only complete runs count.
+	if status == "ok" && !t.Partial() && len(t.Patterns) > 0 {
+		c.qerror.Observe(t.QError, planner)
+	}
+	c.ring.Add(t)
+}
+
+// Recent returns up to n traces, newest first (n <= 0 means all held).
+func (c *Collector) Recent(n int) []QueryTrace {
+	if c == nil {
+		return nil
+	}
+	return c.ring.Recent(n)
+}
+
+// TraceCount returns the number of traces ever recorded.
+func (c *Collector) TraceCount() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.ring.Total()
+}
+
+// RingSize returns the trace buffer capacity.
+func (c *Collector) RingSize() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.ring.buf)
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4): registered gauges first (sorted by name), then
+// the trace counter and the cumulative query metrics.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	names := sortedKeys(c.gauges)
+	gauges := make([]GaugeFunc, 0, len(names))
+	for _, n := range names {
+		gauges = append(gauges, c.gauges[n])
+	}
+	c.mu.Unlock()
+	for _, g := range gauges {
+		if err := g.write(w); err != nil {
+			return err
+		}
+	}
+	if err := writeHeader(w, MetricTracesWritten, "Query traces recorded since start (including ring-evicted ones).", "counter"); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, MetricTracesWritten+" "+formatValue(float64(c.ring.Total()))+"\n"); err != nil {
+		return err
+	}
+	for _, f := range []interface{ write(io.Writer) error }{
+		c.queries, c.duration, c.qerror, c.rowsVisited, c.intermediate, c.resultRows,
+	} {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

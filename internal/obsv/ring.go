@@ -1,0 +1,71 @@
+package obsv
+
+import "sync"
+
+// DefaultRingSize is the trace buffer capacity when none is given.
+const DefaultRingSize = 256
+
+// Ring is a bounded, concurrency-safe buffer of the most recent query
+// traces. Once full, each Add overwrites the oldest entry; memory use is
+// fixed at the capacity chosen at construction.
+type Ring struct {
+	mu  sync.Mutex
+	buf []QueryTrace
+	seq uint64 // total traces ever added
+}
+
+// NewRing returns a ring holding the last n traces (n <= 0 selects
+// DefaultRingSize).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{buf: make([]QueryTrace, n)}
+}
+
+// Add stores t, evicting the oldest trace when full, and returns the
+// 1-based sequence number assigned to t.
+func (r *Ring) Add(t QueryTrace) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	t.ID = r.seq
+	r.buf[int((r.seq-1)%uint64(len(r.buf)))] = t
+	return r.seq
+}
+
+// Len returns the number of traces currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seq < uint64(len(r.buf)) {
+		return int(r.seq)
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of traces ever added, including evicted ones.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Recent returns up to n traces, newest first (n <= 0 means all held).
+func (r *Ring) Recent(n int) []QueryTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	held := len(r.buf)
+	if r.seq < uint64(held) {
+		held = int(r.seq)
+	}
+	if n <= 0 || n > held {
+		n = held
+	}
+	out := make([]QueryTrace, 0, n)
+	for i := 0; i < n; i++ {
+		idx := int((r.seq - 1 - uint64(i)) % uint64(len(r.buf)))
+		out = append(out, r.buf[idx])
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package obsv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(3)
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("empty ring: Len=%d Total=%d", r.Len(), r.Total())
+	}
+	for i := 1; i <= 5; i++ {
+		id := r.Add(QueryTrace{Query: fmt.Sprintf("q%d", i)})
+		if id != uint64(i) {
+			t.Errorf("Add #%d returned id %d", i, id)
+		}
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3", r.Len())
+	}
+	if r.Total() != 5 {
+		t.Errorf("Total = %d, want 5", r.Total())
+	}
+	got := r.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("Recent(0) returned %d traces", len(got))
+	}
+	// newest first: q5, q4, q3; q1/q2 evicted
+	for i, want := range []string{"q5", "q4", "q3"} {
+		if got[i].Query != want {
+			t.Errorf("Recent[%d].Query = %q, want %q", i, got[i].Query, want)
+		}
+		if got[i].ID != uint64(5-i) {
+			t.Errorf("Recent[%d].ID = %d, want %d", i, got[i].ID, 5-i)
+		}
+	}
+	if got = r.Recent(2); len(got) != 2 || got[0].Query != "q5" {
+		t.Errorf("Recent(2) = %v", got)
+	}
+	if got = r.Recent(10); len(got) != 3 {
+		t.Errorf("Recent(10) returned %d traces", len(got))
+	}
+}
+
+func TestRingPartiallyFull(t *testing.T) {
+	r := NewRing(8)
+	r.Add(QueryTrace{Query: "a"})
+	r.Add(QueryTrace{Query: "b"})
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+	got := r.Recent(0)
+	if len(got) != 2 || got[0].Query != "b" || got[1].Query != "a" {
+		t.Errorf("Recent(0) = %v", got)
+	}
+}
+
+func TestRingDefaultSize(t *testing.T) {
+	if n := NewCollector(0).RingSize(); n != DefaultRingSize {
+		t.Errorf("default ring size = %d, want %d", n, DefaultRingSize)
+	}
+	if n := NewCollector(-5).RingSize(); n != DefaultRingSize {
+		t.Errorf("negative ring size = %d, want %d", n, DefaultRingSize)
+	}
+}
+
+// TestRingConcurrentWrites exercises wraparound under concurrent writers
+// and readers; run with -race.
+func TestRingConcurrentWrites(t *testing.T) {
+	const writers = 8
+	const perWriter = 200
+	r := NewRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Add(QueryTrace{Query: fmt.Sprintf("w%d-%d", w, i), Ops: int64(i)})
+				if i%17 == 0 {
+					r.Recent(4)
+					r.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Total() != writers*perWriter {
+		t.Errorf("Total = %d, want %d", r.Total(), writers*perWriter)
+	}
+	got := r.Recent(0)
+	if len(got) != 16 {
+		t.Fatalf("Recent(0) returned %d traces", len(got))
+	}
+	// IDs must be the 16 highest sequence numbers, strictly descending.
+	for i := 1; i < len(got); i++ {
+		if got[i].ID != got[i-1].ID-1 {
+			t.Errorf("IDs not contiguous descending: %d then %d", got[i-1].ID, got[i].ID)
+		}
+	}
+	if got[0].ID != writers*perWriter {
+		t.Errorf("newest ID = %d, want %d", got[0].ID, writers*perWriter)
+	}
+}

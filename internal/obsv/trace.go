@@ -1,0 +1,103 @@
+package obsv
+
+import (
+	"math"
+	"time"
+)
+
+// PatternTrace is the per-pattern accounting of one executed plan step:
+// the estimated join cardinality the planner committed to, the actual
+// intermediate-result size the engine measured (the E⋈ vs. true-
+// cardinality columns of the paper's Table 2), and their q-error.
+type PatternTrace struct {
+	// Pattern is the triple pattern in SPARQL syntax.
+	Pattern string `json:"pattern"`
+	// Estimated is the planner's join-cardinality estimate for the
+	// intermediate result after this step.
+	Estimated float64 `json:"estimated"`
+	// Actual is the measured intermediate-result size after this step.
+	// When the trace is partial (TimedOut or LimitHit), it is a lower
+	// bound: execution stopped before the full enumeration.
+	Actual int64 `json:"actual"`
+	// QError is QError(Estimated, Actual), filled by Finish.
+	QError float64 `json:"qerror"`
+}
+
+// QueryTrace records one query execution end to end.
+type QueryTrace struct {
+	// ID is a monotonically increasing sequence number assigned when the
+	// trace is recorded (1-based; 0 means "not yet recorded").
+	ID uint64 `json:"id"`
+	// Time is when the trace was recorded.
+	Time time.Time `json:"time"`
+	// Query is the query text (or a workload query name), truncated to
+	// MaxQueryLen bytes at record time.
+	Query string `json:"query,omitempty"`
+	// Planner names the statistics source that produced the plan
+	// ("SS", "GS", ...).
+	Planner string `json:"planner"`
+	// Plan is the rendered join order, as produced by /explain.
+	Plan string `json:"plan,omitempty"`
+	// Patterns holds per-step estimated vs. actual cardinalities in
+	// execution order.
+	Patterns []PatternTrace `json:"patterns,omitempty"`
+	// EstimatedCost is the plan's estimated cost (sum of estimated
+	// intermediate sizes, the objective of the paper's Problem 2).
+	EstimatedCost float64 `json:"estimatedCost,omitempty"`
+	// ActualCost is the measured plan cost: the sum of actual
+	// intermediate sizes. Filled by Finish.
+	ActualCost int64 `json:"actualCost,omitempty"`
+	// QError is the q-error of the final intermediate cardinality —
+	// estimated vs. actual result cardinality before solution modifiers.
+	// Filled by Finish.
+	QError float64 `json:"qerror,omitempty"`
+	// Rows is the number of result rows produced.
+	Rows int64 `json:"rows"`
+	// Ops is the number of index rows visited.
+	Ops int64 `json:"ops"`
+	// WallNanos is the execution wall time in nanoseconds.
+	WallNanos int64 `json:"wallNanos"`
+	// TimedOut is true when the operation budget interrupted execution.
+	TimedOut bool `json:"timedOut,omitempty"`
+	// LimitHit is true when a result LIMIT stopped execution early, so
+	// the per-pattern actuals are lower bounds.
+	LimitHit bool `json:"limitHit,omitempty"`
+	// Err holds the error message for failed queries.
+	Err string `json:"error,omitempty"`
+}
+
+// MaxQueryLen caps the query text stored per trace.
+const MaxQueryLen = 2048
+
+// QError is the estimation-precision metric of the paper's Section 7:
+//
+//	max( max(1,est)/max(1,true), max(1,true)/max(1,est) )
+//
+// It is symmetric, ≥ 1, and 1 means a perfect estimate. This is the
+// canonical implementation; internal/cardinality re-exports it.
+func QError(estimated, actual float64) float64 {
+	e := math.Max(1, estimated)
+	a := math.Max(1, actual)
+	return math.Max(e/a, a/e)
+}
+
+// Partial reports whether execution stopped before enumerating every
+// solution, making Actual values lower bounds.
+func (t *QueryTrace) Partial() bool { return t.TimedOut || t.LimitHit }
+
+// Finish computes the derived accounting fields — per-pattern q-errors,
+// the measured plan cost, and the final-cardinality q-error — from the
+// raw Estimated/Actual values. Callers populate Patterns and then call
+// Finish before recording the trace.
+func (t *QueryTrace) Finish() {
+	t.ActualCost = 0
+	for i := range t.Patterns {
+		p := &t.Patterns[i]
+		p.QError = QError(p.Estimated, float64(p.Actual))
+		t.ActualCost += p.Actual
+	}
+	if n := len(t.Patterns); n > 0 {
+		last := t.Patterns[n-1]
+		t.QError = QError(last.Estimated, float64(last.Actual))
+	}
+}

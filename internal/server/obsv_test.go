@@ -1,0 +1,181 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"rdfshapes"
+	"rdfshapes/internal/obsv"
+)
+
+func getBody(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func serveQueries(t *testing.T, srv string, queries ...string) {
+	t.Helper()
+	for _, q := range queries {
+		resp, err := http.Get(srv + "/sparql?query=" + url.QueryEscape(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newServer(t)
+	serveQueries(t, srv.URL,
+		`PREFIX ex: <http://ex/> SELECT ?x ?n WHERE { ?x a ex:Person . ?x ex:name ?n }`,
+		`SELECT * WHERE { ?s ?p ?o }`,
+		`NOT SPARQL`, // parse error: rejected before execution, not traced
+	)
+	status, body, hdr := getBody(t, srv.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE rdfshapes_queries_total counter",
+		"# TYPE rdfshapes_query_duration_seconds histogram",
+		"# TYPE rdfshapes_plan_qerror histogram",
+		`rdfshapes_queries_total{planner="SS",status="ok"} 1`,
+		`rdfshapes_queries_total{planner="GS",status="ok"} 1`,
+		`le="+Inf"`,
+		"rdfshapes_index_rows_visited_total",
+		"rdfshapes_intermediate_results_total",
+		"rdfshapes_result_rows_total",
+		"rdfshapes_traces_recorded_total 2",
+		"rdfshapes_dataset_triples 6",
+		"rdfshapes_dataset_node_shapes",
+		"rdfshapes_dataset_property_shapes",
+		"rdfshapes_trace_buffer_capacity",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestTraceRecentEndpoint(t *testing.T) {
+	srv := newServer(t)
+	serveQueries(t, srv.URL,
+		`PREFIX ex: <http://ex/> SELECT ?x ?n WHERE { ?x a ex:Person . ?x ex:name ?n }`,
+		`SELECT * WHERE { ?s ?p ?o }`,
+	)
+	var out struct {
+		Total  uint64 `json:"total"`
+		Traces []struct {
+			ID       uint64 `json:"id"`
+			Query    string `json:"query"`
+			Planner  string `json:"planner"`
+			Plan     string `json:"plan"`
+			Patterns []struct {
+				Pattern   string  `json:"pattern"`
+				Estimated float64 `json:"estimated"`
+				Actual    int64   `json:"actual"`
+				QError    float64 `json:"qerror"`
+			} `json:"patterns"`
+			Rows      int64 `json:"rows"`
+			Ops       int64 `json:"ops"`
+			WallNanos int64 `json:"wallNanos"`
+		} `json:"traces"`
+	}
+	resp := getJSON(t, srv.URL+"/trace/recent", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Total != 2 || len(out.Traces) != 2 {
+		t.Fatalf("total = %d, traces = %d, want 2/2", out.Total, len(out.Traces))
+	}
+	// newest first: the single-pattern scan over everything
+	newest := out.Traces[0]
+	if newest.Planner != "GS" || newest.Rows != 6 {
+		t.Errorf("newest trace = %+v, want GS with 6 rows", newest)
+	}
+	oldest := out.Traces[1]
+	if oldest.Planner != "SS" {
+		t.Errorf("oldest planner = %q, want SS", oldest.Planner)
+	}
+	if len(oldest.Patterns) != 2 {
+		t.Fatalf("oldest has %d pattern traces, want 2", len(oldest.Patterns))
+	}
+	for _, p := range oldest.Patterns {
+		if p.Pattern == "" || p.Actual <= 0 || p.QError < 1 {
+			t.Errorf("incomplete pattern trace: %+v", p)
+		}
+	}
+	if oldest.Plan == "" || !strings.Contains(oldest.Query, "SELECT") {
+		t.Errorf("trace missing plan/query: %+v", oldest)
+	}
+	if oldest.Ops <= 0 || oldest.WallNanos <= 0 {
+		t.Errorf("trace missing ops/wall: %+v", oldest)
+	}
+
+	// n parameter limits and validates
+	resp = getJSON(t, srv.URL+"/trace/recent?n=1", &out)
+	if resp.StatusCode != http.StatusOK || len(out.Traces) != 1 {
+		t.Errorf("n=1: status %d, %d traces", resp.StatusCode, len(out.Traces))
+	}
+	status, _, _ := getBody(t, srv.URL+"/trace/recent?n=bogus")
+	if status != http.StatusBadRequest {
+		t.Errorf("n=bogus status = %d, want 400", status)
+	}
+}
+
+func TestTraceRecentEmpty(t *testing.T) {
+	srv := newServer(t)
+	_, body, _ := getBody(t, srv.URL+"/trace/recent")
+	if !strings.Contains(body, `"traces":[]`) {
+		t.Errorf("empty trace list should encode as [], got %s", body)
+	}
+}
+
+func TestTimeoutStatusInMetrics(t *testing.T) {
+	db, err := rdfshapes.LoadNTriples(strings.NewReader(testNT), rdfshapes.WithOpsBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(db))
+	t.Cleanup(srv.Close)
+	serveQueries(t, srv.URL, `SELECT * WHERE { ?s ?p ?o }`)
+	_, body, _ := getBody(t, srv.URL+"/metrics")
+	if !strings.Contains(body, `rdfshapes_queries_total{planner="GS",status="timeout"} 1`) {
+		t.Errorf("metrics missing timeout status:\n%s", body)
+	}
+}
+
+func TestServerInstallsDefaultCollector(t *testing.T) {
+	db, err := rdfshapes.LoadNTriples(strings.NewReader(testNT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Collector() != nil {
+		t.Fatal("fresh DB should have no collector")
+	}
+	New(db)
+	c := db.Collector()
+	if c == nil {
+		t.Fatal("New did not install a collector")
+	}
+	if c.RingSize() != obsv.DefaultRingSize {
+		t.Errorf("default ring size = %d, want %d", c.RingSize(), obsv.DefaultRingSize)
+	}
+}

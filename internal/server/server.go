@@ -1,12 +1,22 @@
 // Package server exposes a DB over HTTP: a SPARQL 1.1 Protocol endpoint
-// with SPARQL 1.1 Query Results JSON serialization, plus endpoints for
-// the annotated shapes graph, the global statistics, and query plans.
+// with SPARQL 1.1 Query Results JSON serialization, endpoints for the
+// paper's artifacts (the annotated SHACL shapes graph, the extended-VoID
+// global statistics, and GS-vs-SS query plans), and the observability
+// surface that makes the paper's evaluation quantities — estimated vs.
+// actual join cardinalities, q-error, runtime under a budget —
+// continuously visible in production.
 //
 //	GET/POST /sparql?query=...   SELECT/ASK results as application/sparql-results+json
 //	GET      /explain?query=...  the SS and GS query plans as text
 //	GET      /shapes             annotated SHACL shapes graph as Turtle
 //	GET      /stats              extended-VoID statistics as N-Triples
 //	GET      /healthz            liveness and dataset size
+//	GET      /metrics            cumulative counters/histograms, Prometheus text format
+//	GET      /trace/recent?n=N   the last N query traces as JSON
+//
+// New installs an obsv.Collector on the DB when none is present, so
+// every served query is traced by default. docs/OBSERVABILITY.md
+// documents each metric, label, and trace field.
 package server
 
 import (
@@ -14,26 +24,48 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"rdfshapes"
+	"rdfshapes/internal/obsv"
 	"rdfshapes/internal/rdf"
 )
 
 // Handler routes the endpoints over a DB.
 type Handler struct {
 	db  *rdfshapes.DB
+	obs *obsv.Collector
 	mux *http.ServeMux
 }
 
-// New returns an http.Handler serving db.
+// New returns an http.Handler serving db. When db has no observability
+// collector yet, a default one (DefaultRingSize traces) is installed so
+// the /metrics and /trace/recent endpoints are live out of the box.
 func New(db *rdfshapes.DB) *Handler {
-	h := &Handler{db: db, mux: http.NewServeMux()}
+	if db.Collector() == nil {
+		db.SetCollector(obsv.NewCollector(0))
+	}
+	h := &Handler{db: db, obs: db.Collector(), mux: http.NewServeMux()}
+	h.obs.RegisterGauge("rdfshapes_dataset_triples",
+		"Triples in the served dataset.",
+		func() float64 { return float64(db.NumTriples()) })
+	h.obs.RegisterGauge("rdfshapes_dataset_node_shapes",
+		"Node shapes in the annotated shapes graph.",
+		func() float64 { return float64(db.Shapes().Len()) })
+	h.obs.RegisterGauge("rdfshapes_dataset_property_shapes",
+		"Property shapes in the annotated shapes graph.",
+		func() float64 { return float64(db.Shapes().PropertyShapeCount()) })
+	h.obs.RegisterGauge("rdfshapes_trace_buffer_capacity",
+		"Capacity of the in-memory query trace ring buffer.",
+		func() float64 { return float64(h.obs.RingSize()) })
 	h.mux.HandleFunc("/sparql", h.sparql)
 	h.mux.HandleFunc("/explain", h.explain)
 	h.mux.HandleFunc("/shapes", h.shapes)
 	h.mux.HandleFunc("/stats", h.stats)
 	h.mux.HandleFunc("/healthz", h.healthz)
+	h.mux.HandleFunc("/metrics", h.metrics)
+	h.mux.HandleFunc("/trace/recent", h.traceRecent)
 	return h
 }
 
@@ -223,6 +255,48 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/n-triples; charset=utf-8")
 	if err := rdf.WriteNTriples(w, h.db.Stats().ToGraph()); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// metrics serves the cumulative counters and histograms in Prometheus
+// text exposition format.
+func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := h.obs.WritePrometheus(w); err != nil {
+		// headers are already out; nothing more to do
+		return
+	}
+}
+
+// traceRecentResponse is the JSON shape of GET /trace/recent.
+type traceRecentResponse struct {
+	// Total counts traces ever recorded, including ring-evicted ones.
+	Total uint64 `json:"total"`
+	// Traces holds the most recent traces, newest first.
+	Traces []obsv.QueryTrace `json:"traces"`
+}
+
+// traceRecent serves the last n query traces (default 20, capped at the
+// ring capacity) as JSON, newest first.
+func (h *Handler) traceRecent(w http.ResponseWriter, r *http.Request) {
+	n := 20
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v <= 0 {
+			http.Error(w, fmt.Sprintf("invalid 'n' parameter %q", s), http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	resp := traceRecentResponse{Total: h.obs.TraceCount(), Traces: h.obs.Recent(n)}
+	if resp.Traces == nil {
+		resp.Traces = []obsv.QueryTrace{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(resp); err != nil {
+		return
 	}
 }
 

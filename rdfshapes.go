@@ -26,6 +26,7 @@ import (
 	"rdfshapes/internal/core"
 	"rdfshapes/internal/engine"
 	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/obsv"
 	"rdfshapes/internal/rdf"
 	"rdfshapes/internal/shacl"
 	"rdfshapes/internal/sparql"
@@ -40,11 +41,13 @@ type DB struct {
 	ss     *cardinality.ShapeEstimator
 	gs     *cardinality.GlobalEstimator
 	maxOps int64
+	obs    *obsv.Collector
 }
 
 type config struct {
 	shapes *shacl.ShapesGraph
 	maxOps int64
+	obs    *obsv.Collector
 }
 
 // Option customizes Load.
@@ -61,6 +64,15 @@ func WithShapesGraph(sg *shacl.ShapesGraph) Option {
 // the budget returns ErrBudgetExceeded. 0 (the default) means unlimited.
 func WithOpsBudget(n int64) Option {
 	return func(c *config) { c.maxOps = n }
+}
+
+// WithCollector installs an observability collector: every query run
+// through the DB records a trace (plan, per-pattern estimated vs. actual
+// cardinalities, q-error, ops, wall time) into its ring buffer and
+// cumulative metrics. Without a collector (the default), query execution
+// takes the nil-collector fast path and pays no instrumentation cost.
+func WithCollector(c *obsv.Collector) Option {
+	return func(cfg *config) { cfg.obs = c }
 }
 
 // ErrBudgetExceeded is returned when a query exceeds the DB's operation
@@ -101,6 +113,7 @@ func fromStore(st *store.Store, opts ...Option) (*DB, error) {
 		ss:     cardinality.NewShapeEstimator(shapes, global),
 		gs:     cardinality.NewGlobalEstimator(global),
 		maxOps: cfg.maxOps,
+		obs:    cfg.obs,
 	}, nil
 }
 
@@ -155,17 +168,17 @@ func (db *DB) Query(src string) (*Result, error) {
 		return nil, fmt.Errorf("rdfshapes: CONSTRUCT queries go through Construct, not Query")
 	}
 	if q.Aggregate != nil {
-		return db.queryAggregate(q)
+		return db.queryAggregate(src, q)
 	}
 	if len(q.UnionGroups) > 0 {
-		return db.queryUnion(q)
+		return db.queryUnion(src, q)
 	}
 	plan := db.plan(q)
 	opts := engine.Options{Filters: q.Filters, Optionals: q.Optionals}
 	if q.Ask {
 		opts.Limit = 1
 	}
-	er, err := db.run(plan.Order(), opts)
+	er, err := db.exec(src, plan, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +197,7 @@ func (db *DB) Query(src string) (*Result, error) {
 // executed independently and the results are concatenated, then
 // DISTINCT, OFFSET, and LIMIT apply to the combined rows. SELECT *
 // projects the variables common to all branches.
-func (db *DB) queryUnion(q *sparql.Query) (*Result, error) {
+func (db *DB) queryUnion(src string, q *sparql.Query) (*Result, error) {
 	proj := q.Projection
 	if len(proj) == 0 {
 		proj = commonBranchVars(q)
@@ -199,7 +212,7 @@ func (db *DB) queryUnion(q *sparql.Query) (*Result, error) {
 		bq.Offset = 0
 		plan := db.plan(bq)
 		plans = append(plans, plan.String())
-		er, err := db.run(plan.Order(), engine.Options{Filters: bq.Filters})
+		er, err := db.exec(src, plan, engine.Options{Filters: bq.Filters})
 		if err != nil {
 			return nil, err
 		}
@@ -214,12 +227,12 @@ func (db *DB) queryUnion(q *sparql.Query) (*Result, error) {
 }
 
 // queryAggregate evaluates a COUNT projection.
-func (db *DB) queryAggregate(q *sparql.Query) (*Result, error) {
+func (db *DB) queryAggregate(src string, q *sparql.Query) (*Result, error) {
 	agg := q.Aggregate
 	row := map[string]string{}
 	if agg.Var == "" && !q.Distinct {
 		// COUNT(*): counting needs no materialization
-		n, err := db.countSolutions(q)
+		n, err := db.countSolutions(src, q)
 		if err != nil {
 			return nil, err
 		}
@@ -237,7 +250,7 @@ func (db *DB) queryAggregate(q *sparql.Query) (*Result, error) {
 	} else {
 		inner.Projection = nil
 	}
-	res, err := db.queryParsed(inner)
+	res, err := db.queryParsed(src, inner)
 	if err != nil {
 		return nil, err
 	}
@@ -262,13 +275,14 @@ func (db *DB) queryAggregate(q *sparql.Query) (*Result, error) {
 	return &Result{Vars: []string{agg.As}, Rows: []map[string]string{row}, Plan: res.Plan}, nil
 }
 
-// queryParsed runs an already-parsed non-aggregate query.
-func (db *DB) queryParsed(q *sparql.Query) (*Result, error) {
+// queryParsed runs an already-parsed non-aggregate query; src is the
+// original query text, carried for trace attribution.
+func (db *DB) queryParsed(src string, q *sparql.Query) (*Result, error) {
 	if len(q.UnionGroups) > 0 {
-		return db.queryUnion(q)
+		return db.queryUnion(src, q)
 	}
 	plan := db.plan(q)
-	er, err := db.run(plan.Order(), engine.Options{Filters: q.Filters, Optionals: q.Optionals})
+	er, err := db.exec(src, plan, engine.Options{Filters: q.Filters, Optionals: q.Optionals})
 	if err != nil {
 		return nil, err
 	}
@@ -285,10 +299,10 @@ func (db *DB) queryParsed(q *sparql.Query) (*Result, error) {
 
 // countSolutions counts solutions of the (possibly UNION) BGP with its
 // filters, before projection and modifiers.
-func (db *DB) countSolutions(q *sparql.Query) (int64, error) {
+func (db *DB) countSolutions(src string, q *sparql.Query) (int64, error) {
 	if len(q.UnionGroups) == 0 {
 		plan := db.plan(q)
-		er, err := db.run(plan.Order(), engine.Options{CountOnly: true, Filters: q.Filters, Optionals: q.Optionals})
+		er, err := db.exec(src, plan, engine.Options{CountOnly: true, Filters: q.Filters, Optionals: q.Optionals})
 		if err != nil {
 			return 0, err
 		}
@@ -298,7 +312,7 @@ func (db *DB) countSolutions(q *sparql.Query) (int64, error) {
 	for i := range q.UnionGroups {
 		bq := q.Branch(i)
 		plan := db.plan(bq)
-		er, err := db.run(plan.Order(), engine.Options{CountOnly: true, Filters: bq.Filters})
+		er, err := db.exec(src, plan, engine.Options{CountOnly: true, Filters: bq.Filters})
 		if err != nil {
 			return 0, err
 		}
@@ -387,11 +401,11 @@ func (db *DB) Ask(src string) (bool, error) {
 		return false, err
 	}
 	if len(q.UnionGroups) > 0 {
-		n, err := db.countSolutions(q)
+		n, err := db.countSolutions(src, q)
 		return n > 0, err
 	}
 	plan := db.plan(q)
-	er, err := db.run(plan.Order(), engine.Options{Filters: q.Filters, Optionals: q.Optionals, Limit: 1})
+	er, err := db.exec(src, plan, engine.Options{Filters: q.Filters, Optionals: q.Optionals, Limit: 1})
 	if err != nil {
 		return false, err
 	}
@@ -405,7 +419,7 @@ func (db *DB) Count(src string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return db.countSolutions(q)
+	return db.countSolutions(src, q)
 }
 
 // Explain returns the query plan built with the requested statistics:
@@ -467,7 +481,7 @@ func (db *DB) QueryEach(src string, fn func(row map[string]string) bool) error {
 	}
 	// Engine rows stream through Materialize in result order, so a
 	// limited run is enough; budget still applies.
-	er, err := db.run(plan.Order(), engine.Options{
+	er, err := db.exec(src, plan, engine.Options{
 		Filters:   q.Filters,
 		Optionals: q.Optionals,
 		Limit:     q.Limit,
@@ -505,7 +519,7 @@ func (db *DB) Construct(src string) (rdf.Graph, error) {
 	inner.Construct = nil
 	inner.Projection = nil // bind everything the template may need
 	inner.Distinct = false
-	res, err := db.queryParsed(inner)
+	res, err := db.queryParsed(src, inner)
 	if err != nil {
 		return nil, err
 	}
@@ -572,15 +586,71 @@ func (db *DB) Store() *store.Store { return db.store }
 // NumTriples returns the dataset size.
 func (db *DB) NumTriples() int { return db.store.Len() }
 
+// Collector returns the installed observability collector, or nil.
+func (db *DB) Collector() *obsv.Collector { return db.obs }
+
+// SetCollector installs (or removes, with nil) the observability
+// collector. Not safe to call concurrently with queries; set it up
+// before serving traffic.
+func (db *DB) SetCollector(c *obsv.Collector) { db.obs = c }
+
 // WriteShapesTurtle serializes the annotated shapes graph as Turtle.
 func (db *DB) WriteShapesTurtle(w io.Writer) error {
 	return db.shapes.WriteTurtle(w, nil)
 }
 
-// run executes an ordered BGP with the DB's operation budget applied.
-func (db *DB) run(order []sparql.TriplePattern, opts engine.Options) (*engine.Result, error) {
+// exec executes a planned BGP with the DB's operation budget applied.
+// When a collector is installed it also assembles and records a query
+// trace: per-pattern estimated (the plan's join estimates) vs. actual
+// (the engine's intermediate sizes) cardinalities, q-error, ops, and
+// wall time. Without a collector it is exactly the old fast path.
+func (db *DB) exec(src string, plan *core.Plan, opts engine.Options) (*engine.Result, error) {
 	opts.MaxOps = db.maxOps
-	er, err := engine.Run(db.store, order, opts)
+	c := db.obs
+	if c == nil {
+		er, err := engine.Run(db.store, plan.Order(), opts)
+		if err != nil {
+			return nil, err
+		}
+		if er.TimedOut {
+			return nil, fmt.Errorf("rdfshapes: %w (budget %d)", ErrBudgetExceeded, db.maxOps)
+		}
+		return er, nil
+	}
+
+	var rep engine.ExecReport
+	var reported bool
+	opts.Observer = func(r engine.ExecReport) { rep, reported = r, true }
+	er, err := engine.Run(db.store, plan.Order(), opts)
+
+	t := obsv.QueryTrace{
+		Query:         src,
+		Planner:       plan.Estimator,
+		Plan:          plan.String(),
+		EstimatedCost: plan.Cost,
+	}
+	if err != nil {
+		t.Err = err.Error()
+	} else if reported {
+		t.Rows = rep.Count
+		t.Ops = rep.Ops
+		t.WallNanos = rep.Wall.Nanoseconds()
+		t.TimedOut = rep.TimedOut
+		t.LimitHit = rep.LimitHit
+		for i, actual := range rep.Intermediate {
+			if i >= len(plan.Steps) {
+				break
+			}
+			t.Patterns = append(t.Patterns, obsv.PatternTrace{
+				Pattern:   plan.Steps[i].Pattern.String(),
+				Estimated: plan.Steps[i].JoinEstimate,
+				Actual:    actual,
+			})
+		}
+	}
+	t.Finish()
+	c.Record(t)
+
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"rdfshapes"
 	"rdfshapes/internal/datagen/lubm"
+	"rdfshapes/internal/obsv"
 	"rdfshapes/internal/rdf"
 )
 
@@ -672,5 +673,90 @@ func TestQueryEach(t *testing.T) {
 	}
 	if err := db.QueryEach("bogus", func(map[string]string) bool { return true }); err == nil {
 		t.Error("QueryEach accepted a syntax error")
+	}
+}
+
+func TestWithCollectorTracesQueries(t *testing.T) {
+	c := obsv.NewCollector(8)
+	db, err := rdfshapes.LoadNTriples(strings.NewReader(testNT), rdfshapes.WithCollector(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Collector() != c {
+		t.Fatal("Collector accessor does not return the configured collector")
+	}
+	if _, err := db.Query(`PREFIX ex: <http://ex/>
+		SELECT ?x ?n WHERE { ?x a ex:Person . ?x ex:name ?n }`); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TraceCount(); got != 1 {
+		t.Fatalf("TraceCount = %d, want 1", got)
+	}
+	tr := c.Recent(1)[0]
+	if tr.Planner != "SS" {
+		t.Errorf("trace planner = %q, want SS (type-defined pattern)", tr.Planner)
+	}
+	if len(tr.Patterns) != 2 {
+		t.Fatalf("trace has %d pattern entries, want 2", len(tr.Patterns))
+	}
+	for i, p := range tr.Patterns {
+		if p.Pattern == "" || p.Estimated <= 0 || p.Actual <= 0 || p.QError < 1 {
+			t.Errorf("pattern %d incomplete: %+v", i, p)
+		}
+	}
+	if tr.Rows != 2 || tr.WallNanos <= 0 || tr.Ops <= 0 {
+		t.Errorf("trace rows/wall/ops = %d/%d/%d", tr.Rows, tr.WallNanos, tr.Ops)
+	}
+	if !strings.Contains(tr.Query, "ex:Person") {
+		t.Errorf("trace query = %q", tr.Query)
+	}
+
+	// Ask and Count also trace.
+	if _, err := db.Ask(`ASK { ?s ?p ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Count(`SELECT * WHERE { ?s ?p ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TraceCount(); got != 3 {
+		t.Errorf("TraceCount after Ask+Count = %d, want 3", got)
+	}
+
+	// And the collector renders all of it as Prometheus text.
+	var b strings.Builder
+	if err := c.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`rdfshapes_queries_total{planner="SS",status="ok"}`,
+		`rdfshapes_plan_qerror_count{planner="SS"} `,
+		`rdfshapes_query_duration_seconds_count{planner="GS"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSetCollector(t *testing.T) {
+	db := open(t)
+	if db.Collector() != nil {
+		t.Fatal("collector should default to nil")
+	}
+	c := obsv.NewCollector(4)
+	db.SetCollector(c)
+	if _, err := db.Query(`SELECT * WHERE { ?s ?p ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	if c.TraceCount() != 1 {
+		t.Errorf("TraceCount = %d, want 1", c.TraceCount())
+	}
+	db.SetCollector(nil)
+	if _, err := db.Query(`SELECT * WHERE { ?s ?p ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	if c.TraceCount() != 1 {
+		t.Errorf("detached collector gained traces: %d", c.TraceCount())
 	}
 }

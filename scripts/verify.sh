@@ -1,0 +1,27 @@
+#!/bin/sh
+# Repo verification: static checks, the tier-1 suite, and the race
+# detector over the concurrency-sensitive packages (the observability
+# collector and the HTTP server). Run from the repo root.
+set -eu
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== gofmt =="
+fmtout=$(gofmt -l .)
+if [ -n "$fmtout" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmtout" >&2
+    exit 1
+fi
+
+echo "== go test (tier-1) =="
+go test ./...
+
+echo "== go test -race (obsv, server) =="
+go test -race ./internal/obsv ./internal/server
+
+echo "verify: all checks passed"
