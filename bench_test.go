@@ -7,6 +7,7 @@ package rdfshapes_test
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"rdfshapes/internal/datagen/lubm"
 	"rdfshapes/internal/engine"
 	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/live"
 	"rdfshapes/internal/sparql"
 	"rdfshapes/internal/store"
 	"rdfshapes/internal/workloads"
@@ -563,5 +565,67 @@ func BenchmarkExtendedOperators(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkLiveScanEmptyOverlay pins the live layer's read overhead: with
+// an empty overlay a snapshot scan must stay within a small constant
+// factor of the frozen store it wraps (it is one pointer-pair check away
+// from the same code path).
+func BenchmarkLiveScanEmptyOverlay(b *testing.B) {
+	d, _, _ := loadDatasets(b)
+	st := d.Store
+	pred := st.TypeID()
+	if pred == 0 {
+		b.Fatal("rdf:type not in dictionary")
+	}
+	b.Run("frozen", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			st.Scan(store.IDTriple{P: pred}, func(store.IDTriple) bool {
+				n++
+				return true
+			})
+		}
+	})
+	b.Run("live", func(b *testing.B) {
+		snap := live.Wrap(st).Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			snap.Scan(store.IDTriple{P: pred}, func(store.IDTriple) bool {
+				n++
+				return true
+			})
+		}
+	})
+}
+
+// BenchmarkLiveUpdateThroughput measures committed SPARQL UPDATE batches
+// through the facade — parse, overlay commit, incremental statistics
+// maintenance, planner refresh — reporting sustained triples per second.
+func BenchmarkLiveUpdateThroughput(b *testing.B) {
+	const batch = 100
+	db, err := rdfshapes.Load(lubm.Generate(lubm.Config{Universities: 1, Seed: 7}),
+		rdfshapes.WithShapesGraph(lubm.Shapes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		sb.WriteString("INSERT DATA {\n")
+		for j := 0; j < batch; j++ {
+			fmt.Fprintf(&sb, "<http://live/s%d-%d> <http://live/p> <http://live/o%d> .\n", i, j, j)
+		}
+		sb.WriteString("}")
+		if _, err := db.Update(sb.String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*batch)/elapsed, "triples/s")
 	}
 }

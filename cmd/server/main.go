@@ -1,13 +1,15 @@
 // Command server runs an HTTP SPARQL endpoint over a dataset: load
 // N-Triples (or a binary snapshot) or generate a benchmark dataset, then
-// serve /sparql, /explain, /shapes, /stats, /healthz, plus the
-// observability surface /metrics (Prometheus text format) and
-// /trace/recent (per-query traces with estimated vs. actual
+// serve /sparql, /update (SPARQL UPDATE with live statistics
+// maintenance; see docs/LIVE_UPDATES.md), /explain, /shapes, /stats,
+// /healthz, plus the observability surface /metrics (Prometheus text
+// format) and /trace/recent (per-query traces with estimated vs. actual
 // cardinalities; see docs/OBSERVABILITY.md).
 //
 //	server -dataset lubm -scale 1 -addr :8080
 //	server -data graph.nt -addr :8080 -tracebuf 1024
 //	curl 'localhost:8080/sparql?query=SELECT...'
+//	curl 'localhost:8080/update' -d 'update=INSERT DATA { <s> <p> <o> }'
 //	curl 'localhost:8080/metrics'
 package main
 
@@ -35,22 +37,30 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	budget := flag.Int64("budget", 50<<20, "per-query operation budget (0 = unlimited)")
 	tracebuf := flag.Int("tracebuf", obsv.DefaultRingSize, "query traces kept for /trace/recent")
+	compactAt := flag.Int("compact-threshold", rdfshapes.DefaultCompactThreshold,
+		"overlay size triggering background compaction (0 = never)")
+	driftAt := flag.Int64("drift-threshold", rdfshapes.DefaultDriftThreshold,
+		"statistics drift triggering background re-annotation (0 = never)")
 	flag.Parse()
 
-	db, err := open(*dataset, *dataFile, *scale, *seed, *budget)
+	db, err := open(*dataset, *dataFile, *scale, *seed, *budget, *compactAt, *driftAt)
 	if err != nil {
 		log.Fatal("server: ", err)
 	}
 	db.SetCollector(obsv.NewCollector(*tracebuf))
-	log.Printf("serving %d triples (%d node shapes) on %s (metrics at /metrics, traces at /trace/recent)",
+	log.Printf("serving %d triples (%d node shapes) on %s (updates at /update, metrics at /metrics, traces at /trace/recent)",
 		db.NumTriples(), db.Shapes().Len(), *addr)
 	if err := http.ListenAndServe(*addr, server.New(db)); err != nil {
 		log.Fatal("server: ", err)
 	}
 }
 
-func open(dataset, dataFile string, scale int, seed, budget int64) (*rdfshapes.DB, error) {
-	opts := []rdfshapes.Option{rdfshapes.WithOpsBudget(budget)}
+func open(dataset, dataFile string, scale int, seed, budget int64, compactAt int, driftAt int64) (*rdfshapes.DB, error) {
+	opts := []rdfshapes.Option{
+		rdfshapes.WithOpsBudget(budget),
+		rdfshapes.WithAutoCompact(compactAt),
+		rdfshapes.WithDriftThreshold(driftAt),
+	}
 	if dataFile != "" {
 		f, err := os.Open(dataFile)
 		if err != nil {

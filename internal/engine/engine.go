@@ -1,6 +1,6 @@
-// Package engine executes basic graph patterns against a store.Store
-// using left-deep index nested-loop joins in a caller-supplied triple
-// pattern order.
+// Package engine executes basic graph patterns against a Source — a
+// frozen store.Store or a live overlay snapshot — using left-deep index
+// nested-loop joins in a caller-supplied triple pattern order.
 //
 // Because every pattern lookup is served by a sorted-index range scan,
 // total work is essentially the sum of intermediate result sizes — the
@@ -23,6 +23,16 @@ import (
 // budget interrupts execution (the analog of the paper's 10-minute query
 // timeout).
 var ErrBudgetExceeded = errors.New("engine: operation budget exceeded")
+
+// Source is the read interface the engine executes against: a frozen
+// store.Store or a live.Snapshot (frozen base plus delta overlay). Scan
+// must enumerate matches of a pattern (store.Wildcard in a position
+// matches anything) until fn returns false, and the view must be
+// immutable for the duration of a Run.
+type Source interface {
+	Dict() *store.Dict
+	Scan(pat store.IDTriple, fn func(store.IDTriple) bool)
+}
 
 // Options configures a BGP execution.
 type Options struct {
@@ -107,7 +117,7 @@ type compiledPattern struct {
 }
 
 // Run executes patterns in the given order against st.
-func Run(st *store.Store, patterns []sparql.TriplePattern, opts Options) (*Result, error) {
+func Run(st Source, patterns []sparql.TriplePattern, opts Options) (*Result, error) {
 	if len(patterns) == 0 {
 		return nil, fmt.Errorf("engine: empty pattern list")
 	}
@@ -189,7 +199,7 @@ func Run(st *store.Store, patterns []sparql.TriplePattern, opts Options) (*Resul
 // compilePatterns resolves patterns to slots and constants. empty is
 // true when a constant term does not occur in the data at all, making
 // the pattern list unsatisfiable.
-func compilePatterns(st *store.Store, patterns []sparql.TriplePattern, slots map[string]int) (compiled []compiledPattern, empty bool) {
+func compilePatterns(st Source, patterns []sparql.TriplePattern, slots map[string]int) (compiled []compiledPattern, empty bool) {
 	compiled = make([]compiledPattern, len(patterns))
 	for i, tp := range patterns {
 		cp := compiledPattern{slotS: -1, slotP: -1, slotO: -1}
@@ -214,7 +224,7 @@ func compilePatterns(st *store.Store, patterns []sparql.TriplePattern, slots map
 }
 
 type executor struct {
-	st         *store.Store
+	st         Source
 	compiled   []compiledPattern
 	groups     [][]compiledPattern // OPTIONAL groups
 	groupEmpty []bool              // group references a term absent from the data
@@ -374,7 +384,7 @@ func (e *executor) unbind(cp compiledPattern, s, p, o bool) {
 // query's solution modifiers in SPARQL order: ORDER BY over the full
 // bindings (sort keys need not be projected), then projection with
 // DISTINCT, then OFFSET and LIMIT.
-func Materialize(st *store.Store, q *sparql.Query, res *Result) ([]map[string]string, error) {
+func Materialize(st Source, q *sparql.Query, res *Result) ([]map[string]string, error) {
 	if res.Rows == nil && res.Count > 0 {
 		return nil, fmt.Errorf("engine: result was executed with CountOnly")
 	}

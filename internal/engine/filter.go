@@ -16,7 +16,7 @@ type compiledFilter struct {
 // compileFilters resolves each filter's variables to slots and assigns
 // the filter to the earliest pattern level at which all of them are
 // bound (filter push-down). The result is indexed by pattern level.
-func compileFilters(st *store.Store, patterns []sparql.TriplePattern, filters []sparql.Filter, slots map[string]int) ([][]compiledFilter, error) {
+func compileFilters(st Source, patterns []sparql.TriplePattern, filters []sparql.Filter, slots map[string]int) ([][]compiledFilter, error) {
 	perLevel := make([][]compiledFilter, len(patterns))
 	if len(filters) == 0 {
 		return perLevel, nil
@@ -50,7 +50,7 @@ func compileFilters(st *store.Store, patterns []sparql.TriplePattern, filters []
 	return perLevel, nil
 }
 
-func compileFilter(st *store.Store, f sparql.Filter, slots map[string]int) (compiledFilter, error) {
+func compileFilter(st Source, f sparql.Filter, slots map[string]int) (compiledFilter, error) {
 	resolve, err := operandResolver(st, f.Left, slots)
 	if err != nil {
 		return compiledFilter{}, err
@@ -67,7 +67,7 @@ func compileFilter(st *store.Store, f sparql.Filter, slots map[string]int) (comp
 
 // operandResolver returns a function producing the operand's term under
 // a binding row. Constants resolve once.
-func operandResolver(st *store.Store, pt sparql.PatternTerm, slots map[string]int) (func(row []store.ID) rdf.Term, error) {
+func operandResolver(st Source, pt sparql.PatternTerm, slots map[string]int) (func(row []store.ID) rdf.Term, error) {
 	if !pt.IsVar() {
 		term := pt.Term
 		return func([]store.ID) rdf.Term { return term }, nil

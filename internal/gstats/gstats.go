@@ -66,6 +66,21 @@ func Compute(st *store.Store) *Global {
 	return g
 }
 
+// Clone returns a deep copy of g, so incremental maintenance can mutate
+// a private copy while queries keep reading the published one.
+func (g *Global) Clone() *Global {
+	out := *g
+	out.Pred = make(map[string]PredStat, len(g.Pred))
+	for k, v := range g.Pred {
+		out.Pred[k] = v
+	}
+	out.ClassInstances = make(map[string]int64, len(g.ClassInstances))
+	for k, v := range g.ClassInstances {
+		out.ClassInstances[k] = v
+	}
+	return &out
+}
+
 // TypeStat returns the statistics of rdf:type, which several Table 1
 // formulas need; the zero PredStat is returned when the graph has no type
 // triples.

@@ -1,0 +1,251 @@
+// Package live adds a concurrent read/write layer on top of the frozen
+// base store.Store: an LSM-style delta overlay (sorted added/deleted
+// fragments merged into scans), copy-on-write snapshots so in-flight
+// queries always see one consistent version, and background compaction
+// that folds the overlay into a new frozen base once it grows past a
+// threshold. See docs/LIVE_UPDATES.md for the design.
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/store"
+)
+
+// Store is a mutable triple store built from an immutable base plus a
+// delta overlay. Readers call Snapshot and are wait-free; writers are
+// serialized by an internal mutex and publish a new snapshot per batch.
+type Store struct {
+	mu  sync.Mutex // serializes Apply, Compact, SetAutoCompact
+	cur atomic.Pointer[Snapshot]
+
+	compactThreshold int // overlay size triggering background compaction; <=0 disables
+	compacting       atomic.Bool
+	wg               sync.WaitGroup
+}
+
+// Wrap turns a frozen base store into a live store with an empty overlay.
+func Wrap(base *store.Store) *Store {
+	base.Len() // panics if the base is not frozen, the contract violation we want loud
+	ls := &Store{}
+	ls.cur.Store(&Snapshot{base: base})
+	return ls
+}
+
+// Snapshot returns the current version of the dataset. The returned
+// snapshot is immutable and remains valid (and consistent) indefinitely,
+// however many commits or compactions happen after.
+func (ls *Store) Snapshot() *Snapshot { return ls.cur.Load() }
+
+// Base returns the current frozen base store, excluding any overlay.
+func (ls *Store) Base() *store.Store { return ls.Snapshot().base }
+
+// OverlaySize returns the current overlay's added and deleted counts.
+func (ls *Store) OverlaySize() (added, deleted int) {
+	return ls.Snapshot().Overlay()
+}
+
+// SetAutoCompact sets the overlay size (added+deleted) past which a
+// commit schedules background compaction. n <= 0 disables auto-compaction.
+func (ls *Store) SetAutoCompact(n int) {
+	ls.mu.Lock()
+	ls.compactThreshold = n
+	ls.mu.Unlock()
+}
+
+// Wait blocks until background compactions scheduled so far have
+// finished. Intended for shutdown and tests; callers must ensure no
+// concurrent Apply can schedule new ones.
+func (ls *Store) Wait() { ls.wg.Wait() }
+
+// Batch is one atomic set of changes. Deletions are applied before
+// insertions, so a triple appearing in both ends up present.
+type Batch struct {
+	Insert []rdf.Triple
+	Delete []rdf.Triple
+}
+
+// CommitInfo describes the effective changes of one committed batch:
+// Inserted triples were absent from Prev and are present in Next, and
+// symmetrically for Deleted. Requested no-ops (inserting an existing
+// triple, deleting a missing one) are excluded, which is what lets the
+// statistics maintainer apply exact deltas.
+type CommitInfo struct {
+	Prev, Next *Snapshot
+	Inserted   []store.IDTriple
+	Deleted    []store.IDTriple
+}
+
+// Apply commits a batch atomically: readers see either the previous
+// snapshot or the next one, never a partial batch.
+func (ls *Store) Apply(b Batch) CommitInfo {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	prev := ls.cur.Load()
+	dict := prev.base.Dict()
+
+	added := toSet(prev.added)
+	deleted := toSet(prev.deleted)
+	var ins, del []store.IDTriple
+
+	for _, t := range b.Delete {
+		it, ok := lookupTriple(dict, t)
+		if !ok {
+			continue // a term nowhere in the data: the triple cannot exist
+		}
+		switch {
+		case added[it]:
+			delete(added, it)
+		case !deleted[it] && prev.base.Contains(it):
+			deleted[it] = true
+		default:
+			continue // not in the view
+		}
+		del = append(del, it)
+	}
+	for _, t := range b.Insert {
+		it := store.IDTriple{
+			S: dict.Intern(t.S),
+			P: dict.Intern(t.P),
+			O: dict.Intern(t.O),
+		}
+		switch {
+		case deleted[it]:
+			delete(deleted, it) // resurrect a base triple
+		case added[it] || prev.base.Contains(it):
+			continue // already in the view
+		default:
+			added[it] = true
+		}
+		ins = append(ins, it)
+	}
+
+	if len(ins) == 0 && len(del) == 0 {
+		return CommitInfo{Prev: prev, Next: prev}
+	}
+	next := &Snapshot{
+		base:    prev.base,
+		added:   store.NewFragment(setSlice(added)),
+		deleted: store.NewFragment(setSlice(deleted)),
+		gen:     prev.gen + 1,
+	}
+	ls.cur.Store(next)
+	ls.maybeCompact(next)
+	return CommitInfo{Prev: prev, Next: next, Inserted: ins, Deleted: del}
+}
+
+// maybeCompact schedules a background compaction when the overlay has
+// outgrown the threshold. Called with ls.mu held.
+func (ls *Store) maybeCompact(s *Snapshot) {
+	if ls.compactThreshold <= 0 {
+		return
+	}
+	if s.added.Len()+s.deleted.Len() < ls.compactThreshold {
+		return
+	}
+	if !ls.compacting.CompareAndSwap(false, true) {
+		return // one compaction at a time
+	}
+	ls.wg.Add(1)
+	go func() {
+		defer ls.wg.Done()
+		defer ls.compacting.Store(false)
+		// Best effort: on failure the overlay stays and a later commit
+		// re-triggers compaction.
+		ls.Compact()
+	}()
+}
+
+// Compact folds the overlay into a new frozen base and publishes a
+// snapshot over it. The bulk of the work (building and freezing the new
+// base) runs without blocking writers; commits that land meanwhile are
+// carried over as a residual overlay, so the merged view is unchanged.
+// Returns the published snapshot.
+func (ls *Store) Compact() (*Snapshot, error) {
+	ls.mu.Lock()
+	start := ls.cur.Load()
+	ls.mu.Unlock()
+	if start.added == nil && start.deleted == nil {
+		return start, nil
+	}
+
+	// Phase 1 (unlocked): materialize start's merged view into a new
+	// frozen base sharing the dictionary.
+	nb := store.NewWithDict(start.base.Dict())
+	var addErr error
+	start.Scan(store.IDTriple{}, func(t store.IDTriple) bool {
+		addErr = nb.TryAddID(t)
+		return addErr == nil
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+	nb.Freeze()
+
+	// Phase 2 (locked): rebase commits that landed since start onto the
+	// new base. With A0/D0 the overlay at start and A1/D1 the overlay
+	// now, the view now is (base \ D1) ∪ A1 and the new base is
+	// (base \ D0) ∪ A0; the residual overlay below reproduces the former
+	// from the latter (each union is disjoint by the Snapshot invariants).
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	cur := ls.cur.Load()
+	resAdd := append(diff(cur.added, start.added), diff(start.deleted, cur.deleted)...)
+	resDel := append(diff(cur.deleted, start.deleted), diff(start.added, cur.added)...)
+	next := &Snapshot{
+		base:    nb,
+		added:   store.NewFragment(resAdd),
+		deleted: store.NewFragment(resDel),
+		gen:     cur.gen + 1,
+	}
+	ls.cur.Store(next)
+	return next, nil
+}
+
+// toSet expands a fragment into a mutable set.
+func toSet(f *store.Fragment) map[store.IDTriple]bool {
+	out := make(map[store.IDTriple]bool, f.Len())
+	for _, t := range f.Triples() {
+		out[t] = true
+	}
+	return out
+}
+
+func setSlice(set map[store.IDTriple]bool) []store.IDTriple {
+	out := make([]store.IDTriple, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	return out
+}
+
+// diff returns the triples of a that are not in b.
+func diff(a, b *store.Fragment) []store.IDTriple {
+	var out []store.IDTriple
+	for _, t := range a.Triples() {
+		if !b.Contains(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// lookupTriple encodes t without interning, reporting false when any term
+// is absent from the dictionary.
+func lookupTriple(d *store.Dict, t rdf.Triple) (store.IDTriple, bool) {
+	s, ok := d.Lookup(t.S)
+	if !ok {
+		return store.IDTriple{}, false
+	}
+	p, ok := d.Lookup(t.P)
+	if !ok {
+		return store.IDTriple{}, false
+	}
+	o, ok := d.Lookup(t.O)
+	if !ok {
+		return store.IDTriple{}, false
+	}
+	return store.IDTriple{S: s, P: p, O: o}, true
+}

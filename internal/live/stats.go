@@ -1,0 +1,474 @@
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/shacl"
+	"rdfshapes/internal/store"
+)
+
+// Stats is one immutable published version of the planner statistics:
+// the extended-VoID global statistics and the annotated shapes graph.
+// Consumers must treat both as read-only; the maintainer mutates clones.
+type Stats struct {
+	Global *gstats.Global
+	Shapes *shacl.ShapesGraph
+}
+
+// Maintainer keeps planner statistics in sync with commits. Counters that
+// are cheap to maintain exactly — triple totals, per-predicate counts and
+// distinct subject/object counts, class instance counts, shape sh:count
+// and sh:distinctSubjectCount — are updated exactly on every commit.
+// Quantities that would need a full recount (class-scoped
+// sh:distinctCount in the general case, shrinking sh:maxCount, rising
+// sh:minCount) are left approximate and tracked by a drift counter; once
+// accumulated drift passes the threshold, onDrift fires (once) in a new
+// goroutine so the owner can re-annotate in the background and Reset.
+type Maintainer struct {
+	mu  sync.Mutex
+	cur Stats
+
+	drift     atomic.Int64
+	threshold int64
+	onDrift   func()
+	firing    atomic.Bool
+}
+
+// NewMaintainer returns a maintainer starting from s. driftThreshold <= 0
+// disables the onDrift trigger (drift is still tracked).
+func NewMaintainer(s Stats, driftThreshold int64, onDrift func()) *Maintainer {
+	return &Maintainer{cur: s, threshold: driftThreshold, onDrift: onDrift}
+}
+
+// Current returns the latest published statistics.
+func (m *Maintainer) Current() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur
+}
+
+// Drift returns the accumulated approximation drift since the last Reset:
+// the number of statistic adjustments that could not be made exactly.
+func (m *Maintainer) Drift() int64 { return m.drift.Load() }
+
+// Rearm re-enables the onDrift trigger without touching statistics or
+// drift, for owners whose recompute attempt failed.
+func (m *Maintainer) Rearm() { m.firing.Store(false) }
+
+// Reset installs freshly recomputed statistics and zeroes the drift,
+// re-arming the onDrift trigger.
+func (m *Maintainer) Reset(s Stats) {
+	m.mu.Lock()
+	m.cur = s
+	m.mu.Unlock()
+	m.drift.Store(0)
+	m.firing.Store(false)
+}
+
+// Apply folds one commit's effective changes into the statistics. The
+// current Stats value is never mutated: a clone is adjusted and published,
+// so planners holding the old value keep a consistent view.
+func (m *Maintainer) Apply(ci CommitInfo) {
+	if len(ci.Inserted) == 0 && len(ci.Deleted) == 0 {
+		return
+	}
+	m.mu.Lock()
+	g := m.cur.Global.Clone()
+	sg := m.cur.Shapes.Clone()
+	d := applyCommit(g, sg, ci)
+	m.cur = Stats{Global: g, Shapes: sg}
+	m.mu.Unlock()
+	if d == 0 {
+		return
+	}
+	total := m.drift.Add(d)
+	if m.threshold > 0 && total >= m.threshold && m.onDrift != nil &&
+		m.firing.CompareAndSwap(false, true) {
+		go m.onDrift()
+	}
+}
+
+type pair [2]store.ID
+
+// applyCommit adjusts g and sg for one commit and returns the drift (the
+// number of adjustments that are approximate rather than exact).
+func applyCommit(g *gstats.Global, sg *shacl.ShapesGraph, ci CommitInfo) int64 {
+	prev, next := ci.Prev, ci.Next
+	dict := next.Dict()
+	var drift int64
+	iri := func(id store.ID) string { return dict.Term(id).Value }
+
+	// Global triple and per-predicate counts: exact.
+	g.Triples += int64(len(ci.Inserted)) - int64(len(ci.Deleted))
+
+	sp := map[pair]int{} // (subject, predicate) → net triple change
+	po := map[pair]int{} // (predicate, object) → net triple change
+	subj := map[store.ID]int{}
+	obj := map[store.ID]int{}
+	predNet := map[store.ID]int{}
+	for _, t := range ci.Inserted {
+		sp[pair{t.S, t.P}]++
+		po[pair{t.P, t.O}]++
+		subj[t.S]++
+		obj[t.O]++
+		predNet[t.P]++
+	}
+	for _, t := range ci.Deleted {
+		sp[pair{t.S, t.P}]--
+		po[pair{t.P, t.O}]--
+		subj[t.S]--
+		obj[t.O]--
+		predNet[t.P]--
+	}
+	for p, net := range predNet {
+		if net == 0 {
+			continue
+		}
+		ps := g.Pred[iri(p)]
+		ps.Count += int64(net)
+		g.Pred[iri(p)] = ps
+	}
+
+	// Distinct counts via the group trick: for every key group the commit
+	// touched, "after" is one O(log n) Count on the new snapshot and
+	// before = after − net, so the 0↔positive transitions — the only ones
+	// that move a distinct counter — are detected exactly, even when a
+	// batch adds several triples of the same group at once.
+	for k, net := range sp {
+		if net == 0 {
+			continue
+		}
+		after := int64(next.Count(store.IDTriple{S: k[0], P: k[1]}))
+		if d := zeroCross(after-int64(net), after); d != 0 {
+			ps := g.Pred[iri(k[1])]
+			ps.DSC += d
+			g.Pred[iri(k[1])] = ps
+		}
+	}
+	for k, net := range po {
+		if net == 0 {
+			continue
+		}
+		after := int64(next.Count(store.IDTriple{P: k[0], O: k[1]}))
+		if d := zeroCross(after-int64(net), after); d != 0 {
+			ps := g.Pred[iri(k[0])]
+			ps.DOC += d
+			g.Pred[iri(k[0])] = ps
+		}
+	}
+	for s, net := range subj {
+		if net == 0 {
+			continue
+		}
+		after := int64(next.Count(store.IDTriple{S: s}))
+		g.DistinctSubjects += zeroCross(after-int64(net), after)
+	}
+	for o, net := range obj {
+		if net == 0 {
+			continue
+		}
+		after := int64(next.Count(store.IDTriple{O: o}))
+		g.DistinctObjects += zeroCross(after-int64(net), after)
+	}
+	for p := range predNet {
+		key := iri(p)
+		if ps, ok := g.Pred[key]; ok && ps.Count <= 0 && ps.DSC <= 0 && ps.DOC <= 0 {
+			delete(g.Pred, key)
+		}
+	}
+
+	// Shapes are class-scoped, so nothing below applies without rdf:type.
+	tid, ok := dict.Lookup(rdf.NewIRI(rdf.RDFType))
+	if !ok {
+		return drift
+	}
+
+	// Class instance counts and node-shape sh:count: exact (one type
+	// triple per instance and class; the store deduplicates).
+	typeSubjects := map[store.ID]bool{}
+	classNet := map[store.ID]int{}
+	for _, t := range ci.Inserted {
+		if t.P == tid {
+			typeSubjects[t.S] = true
+			classNet[t.O]++
+		}
+	}
+	for _, t := range ci.Deleted {
+		if t.P == tid {
+			typeSubjects[t.S] = true
+			classNet[t.O]--
+		}
+	}
+	for c, d := range classNet {
+		if d == 0 {
+			continue
+		}
+		cls := iri(c)
+		if n := g.ClassInstances[cls] + int64(d); n > 0 {
+			g.ClassInstances[cls] = n
+		} else {
+			delete(g.ClassInstances, cls)
+		}
+		if ns := sg.ByClass(cls); ns != nil && ns.Count >= 0 {
+			ns.Count += int64(d)
+			if ns.Count < 0 {
+				ns.Count = 0
+			}
+		}
+	}
+
+	// Subjects whose class membership changed: subtract their entire old
+	// contribution (counted against the previous snapshot) from the
+	// shapes they belonged to and add the new contribution to the shapes
+	// they belong to now. Exact for sh:count and sh:distinctSubjectCount.
+	for s := range typeSubjects {
+		oldShapes := shapesOf(prev, sg, dict, tid, s)
+		newShapes := shapesOf(next, sg, dict, tid, s)
+		if len(oldShapes) == 0 && len(newShapes) == 0 {
+			continue
+		}
+		var oldRuns, newRuns map[store.ID]runStat
+		if len(oldShapes) > 0 {
+			oldRuns = subjectRuns(prev, tid, s)
+		}
+		if len(newShapes) > 0 {
+			newRuns = subjectRuns(next, tid, s)
+		}
+		for _, ns := range oldShapes {
+			drift += contribute(ns, dict, oldRuns, -1)
+		}
+		for _, ns := range newShapes {
+			drift += contribute(ns, dict, newRuns, +1)
+		}
+	}
+
+	// Data triples of membership-stable subjects: per-(subject,predicate)
+	// group deltas against each shape the subject is an instance of.
+	for k, net := range sp {
+		s, p := k[0], k[1]
+		if net == 0 || p == tid || typeSubjects[s] {
+			continue
+		}
+		shapes := shapesOf(next, sg, dict, tid, s)
+		if len(shapes) == 0 {
+			continue
+		}
+		after := int64(next.Count(store.IDTriple{S: s, P: p}))
+		before := after - int64(net)
+		path := iri(p)
+		for _, ns := range shapes {
+			ps := ns.Property(path)
+			if ps == nil || ps.Stats == nil {
+				drift++ // data for a predicate the shape does not describe
+				continue
+			}
+			st := ps.Stats
+			st.Count += int64(net)
+			switch {
+			case before == 0 && after > 0:
+				st.DistinctSubjectCount++
+			case before > 0 && after == 0:
+				st.DistinctSubjectCount--
+				st.MinCount = 0 // the subject is still a member and now lacks the property
+			}
+			if after > st.MaxCount {
+				st.MaxCount = after
+			}
+			if net < 0 && before >= st.MaxCount {
+				drift++ // the max holder shrank; the true max may be lower
+			}
+			if net > 0 && before > 0 && before <= st.MinCount {
+				drift++ // the min holder grew; the true min may be higher
+			}
+			clampProp(st, ns)
+		}
+	}
+
+	// Class-scoped sh:distinctCount: exact only when the object is
+	// globally new (or gone) for the predicate — then it is certainly new
+	// in (or gone from) every affected class scope. Otherwise scope
+	// membership of the object is unknown without a recount: drift.
+	type cpoKey struct {
+		cls  string
+		p, o store.ID
+	}
+	seenCPO := map[cpoKey]bool{}
+	scopedDC := func(t store.IDTriple, ins bool) {
+		if t.P == tid || typeSubjects[t.S] {
+			return
+		}
+		shapes := shapesOf(next, sg, dict, tid, t.S)
+		if len(shapes) == 0 {
+			return
+		}
+		after := int64(next.Count(store.IDTriple{P: t.P, O: t.O}))
+		before := after - int64(po[pair{t.P, t.O}])
+		path := iri(t.P)
+		for _, ns := range shapes {
+			ps := ns.Property(path)
+			if ps == nil || ps.Stats == nil {
+				continue // drift already recorded by the group loop above
+			}
+			k := cpoKey{ns.TargetClass, t.P, t.O}
+			if seenCPO[k] {
+				continue
+			}
+			seenCPO[k] = true
+			switch {
+			case ins && before == 0:
+				ps.Stats.DistinctCount++
+			case !ins && after == 0:
+				ps.Stats.DistinctCount--
+			default:
+				drift++
+			}
+			clampProp(ps.Stats, ns)
+		}
+	}
+	for _, t := range ci.Inserted {
+		scopedDC(t, true)
+	}
+	for _, t := range ci.Deleted {
+		scopedDC(t, false)
+	}
+	return drift
+}
+
+// runStat summarizes one subject's triples for one predicate.
+type runStat struct {
+	count    int64
+	distinct int64 // distinct objects
+}
+
+// subjectRuns returns, for every non-type predicate of s, the triple
+// count and distinct object count in the given snapshot.
+func subjectRuns(v *Snapshot, tid, s store.ID) map[store.ID]runStat {
+	runs := map[store.ID]runStat{}
+	objs := map[pair]bool{}
+	v.Scan(store.IDTriple{S: s}, func(t store.IDTriple) bool {
+		if t.P == tid {
+			return true
+		}
+		r := runs[t.P]
+		r.count++
+		if !objs[pair{t.P, t.O}] {
+			objs[pair{t.P, t.O}] = true
+			r.distinct++
+		}
+		runs[t.P] = r
+		return true
+	})
+	return runs
+}
+
+// shapesOf returns the node shapes whose target classes s is an instance
+// of in the given snapshot.
+func shapesOf(v *Snapshot, sg *shacl.ShapesGraph, dict *store.Dict, tid, s store.ID) []*shacl.NodeShape {
+	var out []*shacl.NodeShape
+	v.Scan(store.IDTriple{S: s, P: tid}, func(t store.IDTriple) bool {
+		if ns := sg.ByClass(dict.Term(t.O).Value); ns != nil {
+			out = append(out, ns)
+		}
+		return true
+	})
+	return out
+}
+
+// contribute adds (sign = +1) or removes (sign = -1) one subject's whole
+// contribution to a node shape's property statistics. Returns drift.
+func contribute(ns *shacl.NodeShape, dict *store.Dict, runs map[store.ID]runStat, sign int64) int64 {
+	var drift int64
+	seen := map[string]bool{}
+	for pid, r := range runs {
+		path := dict.Term(pid).Value
+		seen[path] = true
+		ps := ns.Property(path)
+		if ps == nil || ps.Stats == nil {
+			drift++ // data for a predicate the shape does not describe
+			continue
+		}
+		st := ps.Stats
+		st.Count += sign * r.count
+		st.DistinctSubjectCount += sign
+		if sign > 0 {
+			if r.count > st.MaxCount {
+				st.MaxCount = r.count
+			}
+			if r.count < st.MinCount {
+				st.MinCount = r.count
+			}
+		} else {
+			if r.count >= st.MaxCount {
+				drift++ // the max holder may be gone
+			}
+			if r.count <= st.MinCount {
+				drift++ // the min holder may be gone
+			}
+		}
+		drift += r.distinct // class-scoped object distinctness unknown
+		clampProp(st, ns)
+	}
+	// A member lacking a described property pins that property's observed
+	// minimum at zero; a departing member may have been what pinned it.
+	for _, ps := range ns.Properties {
+		if ps.Stats == nil || seen[ps.Path] {
+			continue
+		}
+		if sign > 0 {
+			ps.Stats.MinCount = 0
+		} else if ps.Stats.MinCount == 0 {
+			drift++
+		}
+	}
+	return drift
+}
+
+// zeroCross returns the distinct-counter delta for a group whose size
+// moved from before to after: only 0↔positive transitions count.
+func zeroCross(before, after int64) int64 {
+	switch {
+	case before <= 0 && after > 0:
+		return 1
+	case before > 0 && after <= 0:
+		return -1
+	}
+	return 0
+}
+
+// clampProp repairs the derived invariants of a property-shape statistic
+// after a delta: counts never negative, distinct counts within [1, Count]
+// when any triple exists, min ≤ max, and an observed minimum of 0
+// whenever some class member lacks the property.
+func clampProp(st *shacl.PropStats, ns *shacl.NodeShape) {
+	if st.Count < 0 {
+		st.Count = 0
+	}
+	if st.DistinctSubjectCount < 0 {
+		st.DistinctSubjectCount = 0
+	}
+	if st.DistinctSubjectCount > st.Count {
+		st.DistinctSubjectCount = st.Count
+	}
+	if st.Count == 0 {
+		st.DistinctCount, st.MinCount, st.MaxCount = 0, 0, 0
+		return
+	}
+	if st.DistinctCount > st.Count {
+		st.DistinctCount = st.Count
+	}
+	if st.DistinctCount < 1 {
+		st.DistinctCount = 1
+	}
+	if st.MaxCount < 1 {
+		st.MaxCount = 1
+	}
+	if st.MinCount > st.MaxCount {
+		st.MinCount = st.MaxCount
+	}
+	if ns.Count >= 0 && st.DistinctSubjectCount < ns.Count {
+		st.MinCount = 0
+	}
+}

@@ -1,0 +1,235 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rdfshapes/internal/annotator"
+	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/shacl"
+	"rdfshapes/internal/store"
+)
+
+// exactGlobalsEqual compares the fields the maintainer keeps exact.
+func exactGlobalsEqual(t *testing.T, got, want *gstats.Global) {
+	t.Helper()
+	if got.Triples != want.Triples {
+		t.Errorf("Triples = %d, want %d", got.Triples, want.Triples)
+	}
+	if got.DistinctSubjects != want.DistinctSubjects {
+		t.Errorf("DistinctSubjects = %d, want %d", got.DistinctSubjects, want.DistinctSubjects)
+	}
+	if got.DistinctObjects != want.DistinctObjects {
+		t.Errorf("DistinctObjects = %d, want %d", got.DistinctObjects, want.DistinctObjects)
+	}
+	if len(got.Pred) != len(want.Pred) {
+		t.Errorf("len(Pred) = %d, want %d", len(got.Pred), len(want.Pred))
+	}
+	for p, w := range want.Pred {
+		if g := got.Pred[p]; g != w {
+			t.Errorf("Pred[%s] = %+v, want %+v", p, g, w)
+		}
+	}
+	if len(got.ClassInstances) != len(want.ClassInstances) {
+		t.Errorf("len(ClassInstances) = %d, want %d", len(got.ClassInstances), len(want.ClassInstances))
+	}
+	for c, w := range want.ClassInstances {
+		if g := got.ClassInstances[c]; g != w {
+			t.Errorf("ClassInstances[%s] = %d, want %d", c, g, w)
+		}
+	}
+}
+
+// TestMaintainerExactAgainstOracle drives random update batches through
+// the maintainer and cross-checks every exactly-maintained statistic
+// against a full recompute on the compacted dataset.
+func TestMaintainerExactAgainstOracle(t *testing.T) {
+	typ := rdf.NewIRI(rdf.RDFType)
+	var g rdf.Graph
+	g.Append(iri("p1"), typ, iri("Person"))
+	g.Append(iri("p2"), typ, iri("Person"))
+	g.Append(iri("r1"), typ, iri("Robot"))
+	g.Append(iri("p1"), iri("name"), rdf.NewLiteral("P1"))
+	g.Append(iri("p2"), iri("name"), rdf.NewLiteral("P2"))
+	g.Append(iri("p1"), iri("knows"), iri("p2"))
+	g.Append(iri("p2"), iri("knows"), iri("p1"))
+	g.Append(iri("r1"), iri("serial"), rdf.NewLiteral("007"))
+	st := store.Load(g)
+	sg, err := shacl.InferShapes(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := annotator.Annotate(sg, st); err != nil {
+		t.Fatal(err)
+	}
+	ls := Wrap(st)
+	m := NewMaintainer(Stats{Global: gstats.Compute(st), Shapes: sg}, 0, nil)
+
+	rng := rand.New(rand.NewSource(41))
+	subjects := []string{"p1", "p2", "p3", "p4", "r1", "r2"}
+	classes := []string{"Person", "Robot"}
+	preds := []string{"name", "knows", "serial"}
+	objects := []rdf.Term{iri("p1"), iri("p2"), rdf.NewLiteral("v1"), rdf.NewLiteral("v2")}
+
+	randOp := func() rdf.Triple {
+		s := iri(subjects[rng.Intn(len(subjects))])
+		if rng.Intn(4) == 0 { // type triple
+			return rdf.NewTriple(s, typ, iri(classes[rng.Intn(len(classes))]))
+		}
+		return rdf.NewTriple(s, iri(preds[rng.Intn(len(preds))]), objects[rng.Intn(len(objects))])
+	}
+
+	for step := 0; step < 120; step++ {
+		var b Batch
+		for i := rng.Intn(3); i >= 0; i-- {
+			if rng.Intn(3) == 0 {
+				b.Delete = append(b.Delete, randOp())
+			} else {
+				b.Insert = append(b.Insert, randOp())
+			}
+		}
+		m.Apply(ls.Apply(b))
+	}
+
+	snap, err := ls.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := snap.Base()
+
+	cur := m.Current()
+	exactGlobalsEqual(t, cur.Global, gstats.Compute(frozen))
+
+	oracle := cur.Shapes.Clone()
+	if err := annotator.Annotate(oracle, frozen); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range oracle.Shapes() {
+		got := cur.Shapes.ByClass(want.TargetClass)
+		if got == nil {
+			t.Errorf("shape for %s missing from maintained graph", want.TargetClass)
+			continue
+		}
+		if got.Count != want.Count {
+			t.Errorf("%s: sh:count = %d, want %d", want.TargetClass, got.Count, want.Count)
+		}
+		for _, wp := range want.Properties {
+			gp := got.Property(wp.Path)
+			if gp == nil || gp.Stats == nil || wp.Stats == nil {
+				continue
+			}
+			if gp.Stats.Count != wp.Stats.Count {
+				t.Errorf("%s %s: sh:count = %d, want %d",
+					want.TargetClass, wp.Path, gp.Stats.Count, wp.Stats.Count)
+			}
+			if gp.Stats.DistinctSubjectCount != wp.Stats.DistinctSubjectCount {
+				t.Errorf("%s %s: sh:distinctSubjectCount = %d, want %d",
+					want.TargetClass, wp.Path, gp.Stats.DistinctSubjectCount, wp.Stats.DistinctSubjectCount)
+			}
+		}
+	}
+}
+
+// TestMaintainerPublishesClones verifies that Apply never mutates a
+// previously returned Stats value.
+func TestMaintainerPublishesClones(t *testing.T) {
+	typ := rdf.NewIRI(rdf.RDFType)
+	var g rdf.Graph
+	g.Append(iri("p1"), typ, iri("Person"))
+	g.Append(iri("p1"), iri("name"), rdf.NewLiteral("P1"))
+	st := store.Load(g)
+	sg, err := shacl.InferShapes(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := annotator.Annotate(sg, st); err != nil {
+		t.Fatal(err)
+	}
+	ls := Wrap(st)
+	m := NewMaintainer(Stats{Global: gstats.Compute(st), Shapes: sg}, 0, nil)
+
+	before := m.Current()
+	wantTriples := before.Global.Triples
+	wantCount := before.Shapes.ByClass("http://x/Person").Count
+
+	m.Apply(ls.Apply(Batch{Insert: []rdf.Triple{
+		rdf.NewTriple(iri("p2"), typ, iri("Person")),
+		rdf.NewTriple(iri("p2"), iri("name"), rdf.NewLiteral("P2")),
+	}}))
+
+	if before.Global.Triples != wantTriples {
+		t.Error("Apply mutated a published Global")
+	}
+	if before.Shapes.ByClass("http://x/Person").Count != wantCount {
+		t.Error("Apply mutated a published ShapesGraph")
+	}
+	after := m.Current()
+	if after.Global.Triples != wantTriples+2 {
+		t.Errorf("Triples = %d, want %d", after.Global.Triples, wantTriples+2)
+	}
+	if c := after.Shapes.ByClass("http://x/Person").Count; c != wantCount+1 {
+		t.Errorf("Person sh:count = %d, want %d", c, wantCount+1)
+	}
+}
+
+// TestMaintainerDriftTrigger verifies the one-shot onDrift trigger and
+// its re-arming by Reset.
+func TestMaintainerDriftTrigger(t *testing.T) {
+	typ := rdf.NewIRI(rdf.RDFType)
+	var g rdf.Graph
+	g.Append(iri("p1"), typ, iri("Person"))
+	g.Append(iri("p1"), iri("name"), rdf.NewLiteral("P1"))
+	st := store.Load(g)
+	sg, err := shacl.InferShapes(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := annotator.Annotate(sg, st); err != nil {
+		t.Fatal(err)
+	}
+	ls := Wrap(st)
+	fired := make(chan struct{}, 8)
+	m := NewMaintainer(Stats{Global: gstats.Compute(st), Shapes: sg}, 1, func() {
+		fired <- struct{}{}
+	})
+
+	// a data triple for a predicate the Person shape does not describe
+	// is one of the documented drift sources
+	driftBatch := func(n int) Batch {
+		return Batch{Insert: []rdf.Triple{
+			rdf.NewTriple(iri("p1"), iri(fmt.Sprintf("undescribed%d", n)), rdf.NewLiteral("x")),
+		}}
+	}
+	m.Apply(ls.Apply(driftBatch(0)))
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("onDrift did not fire past the threshold")
+	}
+	if m.Drift() == 0 {
+		t.Error("Drift = 0 after a drifting commit")
+	}
+
+	// further drift must not re-fire while the first shot is outstanding
+	m.Apply(ls.Apply(driftBatch(1)))
+	select {
+	case <-fired:
+		t.Fatal("onDrift fired twice without a Reset")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Reset re-arms; the next drifting commit fires again
+	m.Reset(m.Current())
+	if m.Drift() != 0 {
+		t.Error("Drift not zeroed by Reset")
+	}
+	m.Apply(ls.Apply(driftBatch(2)))
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("onDrift did not fire after Reset")
+	}
+}

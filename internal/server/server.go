@@ -7,6 +7,7 @@
 // continuously visible in production.
 //
 //	GET/POST /sparql?query=...   SELECT/ASK results as application/sparql-results+json
+//	POST     /update             SPARQL UPDATE (INSERT DATA / DELETE DATA), JSON ack
 //	GET      /explain?query=...  the SS and GS query plans as text
 //	GET      /shapes             annotated SHACL shapes graph as Turtle
 //	GET      /stats              extended-VoID statistics as N-Triples
@@ -14,9 +15,13 @@
 //	GET      /metrics            cumulative counters/histograms, Prometheus text format
 //	GET      /trace/recent?n=N   the last N query traces as JSON
 //
+// Requests with an unsupported method receive 405 Method Not Allowed
+// with an Allow header listing the supported methods.
+//
 // New installs an obsv.Collector on the DB when none is present, so
 // every served query is traced by default. docs/OBSERVABILITY.md
-// documents each metric, label, and trace field.
+// documents each metric, label, and trace field; docs/LIVE_UPDATES.md
+// documents the /update endpoint and the live-update metrics.
 package server
 
 import (
@@ -59,7 +64,20 @@ func New(db *rdfshapes.DB) *Handler {
 	h.obs.RegisterGauge("rdfshapes_trace_buffer_capacity",
 		"Capacity of the in-memory query trace ring buffer.",
 		func() float64 { return float64(h.obs.RingSize()) })
+	h.obs.RegisterGauge("rdfshapes_stats_drift",
+		"Approximation drift accumulated in the planner statistics since the last re-annotation.",
+		func() float64 { return float64(db.StatsDrift()) })
+	h.obs.RegisterGauge("rdfshapes_overlay_added_triples",
+		"Triples in the live overlay's added fragment, pending compaction.",
+		func() float64 { a, _ := db.OverlaySize(); return float64(a) })
+	h.obs.RegisterGauge("rdfshapes_overlay_deleted_triples",
+		"Base triples marked deleted in the live overlay, pending compaction.",
+		func() float64 { _, d := db.OverlaySize(); return float64(d) })
+	h.obs.RegisterGauge("rdfshapes_updates_applied",
+		"SPARQL UPDATE requests committed since startup.",
+		func() float64 { return float64(db.UpdatesApplied()) })
 	h.mux.HandleFunc("/sparql", h.sparql)
+	h.mux.HandleFunc("/update", h.update)
 	h.mux.HandleFunc("/explain", h.explain)
 	h.mux.HandleFunc("/shapes", h.shapes)
 	h.mux.HandleFunc("/stats", h.stats)
@@ -67,6 +85,20 @@ func New(db *rdfshapes.DB) *Handler {
 	h.mux.HandleFunc("/metrics", h.metrics)
 	h.mux.HandleFunc("/trace/recent", h.traceRecent)
 	return h
+}
+
+// allow enforces the supported methods for a handler. When the request
+// method is not listed it writes 405 Method Not Allowed with an Allow
+// header and returns false.
+func allow(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m {
+			return true
+		}
+	}
+	w.Header().Set("Allow", strings.Join(methods, ", "))
+	http.Error(w, fmt.Sprintf("method %s not allowed", r.Method), http.StatusMethodNotAllowed)
+	return false
 }
 
 // ServeHTTP implements http.Handler.
@@ -120,7 +152,53 @@ type jsonResults struct {
 	Boolean *bool `json:"boolean,omitempty"`
 }
 
+// updateParam extracts the SPARQL UPDATE request from a form field or a
+// raw application/sparql-update POST body, per the SPARQL 1.1 Protocol.
+func updateParam(r *http.Request) (string, error) {
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/sparql-update") {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			return "", err
+		}
+		if len(body) == 0 {
+			return "", fmt.Errorf("empty request body")
+		}
+		return string(body), nil
+	}
+	if err := r.ParseForm(); err != nil {
+		return "", err
+	}
+	if u := r.PostForm.Get("update"); u != "" {
+		return u, nil
+	}
+	return "", fmt.Errorf("missing 'update' parameter")
+}
+
+// update applies a SPARQL UPDATE request (INSERT DATA / DELETE DATA)
+// and acknowledges with the committed triple counts as JSON.
+func (h *Handler) update(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodPost) {
+		return
+	}
+	src, err := updateParam(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := h.db.Update(src)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"inserted":%d,"deleted":%d}`+"\n", res.Inserted, res.Deleted)
+}
+
 func (h *Handler) sparql(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
 	src, err := queryParam(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -224,6 +302,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func (h *Handler) explain(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
 	src, err := queryParam(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -244,14 +325,20 @@ func (h *Handler) explain(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (h *Handler) shapes(w http.ResponseWriter, _ *http.Request) {
+func (h *Handler) shapes(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
 	w.Header().Set("Content-Type", "text/turtle; charset=utf-8")
 	if err := h.db.WriteShapesTurtle(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 
-func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
 	w.Header().Set("Content-Type", "application/n-triples; charset=utf-8")
 	if err := rdf.WriteNTriples(w, h.db.Stats().ToGraph()); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -260,7 +347,10 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
 
 // metrics serves the cumulative counters and histograms in Prometheus
 // text exposition format.
-func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := h.obs.WritePrometheus(w); err != nil {
 		// headers are already out; nothing more to do
@@ -279,6 +369,9 @@ type traceRecentResponse struct {
 // traceRecent serves the last n query traces (default 20, capped at the
 // ring capacity) as JSON, newest first.
 func (h *Handler) traceRecent(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
 	n := 20
 	if s := r.URL.Query().Get("n"); s != "" {
 		v, err := strconv.Atoi(s)
@@ -300,7 +393,10 @@ func (h *Handler) traceRecent(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"status":"ok","triples":%d,"nodeShapes":%d,"propertyShapes":%d}`+"\n",
 		h.db.NumTriples(), h.db.Shapes().Len(), h.db.Shapes().PropertyShapeCount())

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func postUpdate(t *testing.T, srv string, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(srv+"/update", "application/x-www-form-urlencoded",
+		strings.NewReader(url.Values{"update": {body}}.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+func countPersons(t *testing.T, srv string) int {
+	t.Helper()
+	q := url.QueryEscape(`PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Person }`)
+	var out struct {
+		Results struct {
+			Bindings []map[string]struct {
+				Value string `json:"value"`
+			} `json:"bindings"`
+		} `json:"results"`
+	}
+	resp := getJSON(t, srv+"/sparql?query="+q, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+	return len(out.Results.Bindings)
+}
+
+// TestUpdateHTTPRoundTrip is the acceptance check: insert over HTTP, see
+// the data in a query without any reload, delete, see it gone.
+func TestUpdateHTTPRoundTrip(t *testing.T) {
+	srv := newServer(t)
+	if n := countPersons(t, srv.URL); n != 2 {
+		t.Fatalf("persons = %d, want 2", n)
+	}
+
+	resp, body := postUpdate(t, srv.URL, `PREFIX ex: <http://ex/>
+		INSERT DATA { ex:carol a ex:Person . ex:carol ex:name "Carol" }`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status = %d: %s", resp.StatusCode, body)
+	}
+	var ack struct{ Inserted, Deleted int }
+	if err := json.Unmarshal([]byte(body), &ack); err != nil {
+		t.Fatalf("ack %q: %v", body, err)
+	}
+	if ack.Inserted != 2 || ack.Deleted != 0 {
+		t.Errorf("ack = %+v, want 2 inserted", ack)
+	}
+	if n := countPersons(t, srv.URL); n != 3 {
+		t.Errorf("persons = %d after insert, want 3", n)
+	}
+
+	resp, body = postUpdate(t, srv.URL, `PREFIX ex: <http://ex/>
+		DELETE DATA { ex:carol a ex:Person . ex:carol ex:name "Carol" }`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d: %s", resp.StatusCode, body)
+	}
+	if n := countPersons(t, srv.URL); n != 2 {
+		t.Errorf("persons = %d after delete, want 2", n)
+	}
+}
+
+func TestUpdateRawBody(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.Post(srv.URL+"/update", "application/sparql-update",
+		strings.NewReader(`INSERT DATA { <http://ex/s> <http://ex/p> <http://ex/o> }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, b)
+	}
+}
+
+func TestUpdateBadRequests(t *testing.T) {
+	srv := newServer(t)
+	resp, body := postUpdate(t, srv.URL, `INSERT DATA { ?v <http://p> <http://o> }`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("variable in DATA: status = %d: %s", resp.StatusCode, body)
+	}
+	resp, err := http.Post(srv.URL+"/update", "application/x-www-form-urlencoded", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing parameter: status = %d", resp.StatusCode)
+	}
+}
+
+// TestMethodNotAllowed checks the 405 + Allow hygiene across endpoints.
+func TestMethodNotAllowed(t *testing.T) {
+	srv := newServer(t)
+	cases := []struct {
+		method, path string
+		allow        string
+	}{
+		{http.MethodGet, "/update", "POST"},
+		{http.MethodDelete, "/update", "POST"},
+		{http.MethodDelete, "/sparql", "GET, POST"},
+		{http.MethodPut, "/explain", "GET, POST"},
+		{http.MethodPost, "/shapes", "GET"},
+		{http.MethodPost, "/stats", "GET"},
+		{http.MethodPost, "/healthz", "GET"},
+		{http.MethodPost, "/metrics", "GET"},
+		{http.MethodPost, "/trace/recent", "GET"},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, srv.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status = %d, want 405", c.method, c.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != c.allow {
+			t.Errorf("%s %s: Allow = %q, want %q", c.method, c.path, got, c.allow)
+		}
+	}
+}
+
+// TestLiveMetricsExposed checks the drift and overlay gauges appear in
+// /metrics and move after an update.
+func TestLiveMetricsExposed(t *testing.T) {
+	srv := newServer(t)
+	// one undescribed predicate on a typed subject: drift and overlay move
+	resp, body := postUpdate(t, srv.URL, `PREFIX ex: <http://ex/>
+		INSERT DATA { ex:alice ex:nickname "Al" }`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status = %d: %s", resp.StatusCode, body)
+	}
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	b, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+	for _, want := range []string{
+		"rdfshapes_stats_drift 1",
+		"rdfshapes_overlay_added_triples 1",
+		"rdfshapes_overlay_deleted_triples 0",
+		"rdfshapes_updates_applied 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -154,6 +154,28 @@ func (sg *ShapesGraph) PropertyShapeCount() int {
 	return n
 }
 
+// Clone returns a deep copy of the graph: node shapes, property shapes,
+// and statistics are all fresh, so incremental maintenance can mutate a
+// private copy while queries keep reading the published one.
+func (sg *ShapesGraph) Clone() *ShapesGraph {
+	out := NewShapesGraph()
+	for _, ns := range sg.shapes {
+		c := *ns
+		c.Properties = make([]*PropertyShape, len(ns.Properties))
+		for i, ps := range ns.Properties {
+			p := *ps
+			if ps.Stats != nil {
+				st := *ps.Stats
+				p.Stats = &st
+			}
+			c.Properties[i] = &p
+		}
+		// Add cannot fail: class targeting was injective in the source.
+		_ = out.Add(&c)
+	}
+	return out
+}
+
 // Annotated reports whether every shape carries statistics.
 func (sg *ShapesGraph) Annotated() bool {
 	for _, ns := range sg.shapes {

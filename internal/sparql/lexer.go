@@ -10,22 +10,23 @@ import (
 type tokenKind uint8
 
 const (
-	tokEOF     tokenKind = iota
-	tokKeyword           // SELECT, WHERE, PREFIX, DISTINCT, LIMIT (upper-cased)
-	tokVar               // ?name (value without '?')
-	tokIRI               // <...> (value without brackets)
-	tokQName             // prefix:local or the keyword 'a'
-	tokLiteral           // "..." with optional @lang or ^^<dt>; value is raw token text
-	tokNumber            // integer literal
-	tokDot               // .
-	tokLBrace            // {
-	tokRBrace            // }
-	tokStar              // *
-	tokLParen            // (
-	tokRParen            // )
-	tokOp                // comparison operator: = != < <= > >=
-	tokSlash             // / (property path sequence)
-	tokCaret             // ^ (property path inverse)
+	tokEOF       tokenKind = iota
+	tokKeyword             // SELECT, WHERE, PREFIX, DISTINCT, LIMIT (upper-cased)
+	tokVar                 // ?name (value without '?')
+	tokIRI                 // <...> (value without brackets)
+	tokQName               // prefix:local or the keyword 'a'
+	tokLiteral             // "..." with optional @lang or ^^<dt>; value is raw token text
+	tokNumber              // integer literal
+	tokDot                 // .
+	tokLBrace              // {
+	tokRBrace              // }
+	tokStar                // *
+	tokLParen              // (
+	tokRParen              // )
+	tokOp                  // comparison operator: = != < <= > >=
+	tokSlash               // / (property path sequence)
+	tokCaret               // ^ (property path inverse)
+	tokSemicolon           // ; (UPDATE operation separator)
 )
 
 type token struct {
@@ -41,6 +42,7 @@ var keywords = map[string]bool{
 	"ASC": true, "DESC": true, "OFFSET": true,
 	"OPTIONAL": true, "UNION": true, "COUNT": true, "AS": true,
 	"CONSTRUCT": true,
+	"INSERT":    true, "DELETE": true, "DATA": true,
 }
 
 // lex tokenizes the query text. Comments run from '#' to end of line.
@@ -65,6 +67,9 @@ func lex(src string) ([]token, error) {
 			i++
 		case c == '.':
 			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == ';':
+			toks = append(toks, token{tokSemicolon, ";", i})
 			i++
 		case c == '*':
 			toks = append(toks, token{tokStar, "*", i})

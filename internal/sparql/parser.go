@@ -59,24 +59,32 @@ func (p *parser) expect(kind tokenKind, what string) (token, error) {
 	return t, nil
 }
 
-func (p *parser) query() (*Query, error) {
-	q := &Query{Prefixes: p.prefixes}
-	// PREFIX declarations
+// prefixDecls consumes any run of PREFIX declarations, binding each into
+// the parser's prefix map. Shared by queries and updates.
+func (p *parser) prefixDecls() error {
 	for p.cur().kind == tokKeyword && p.cur().text == "PREFIX" {
 		p.next()
 		name, err := p.expect(tokQName, "prefix name")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		label := strings.TrimSuffix(name.text, ":")
 		if label == name.text {
-			return nil, fmt.Errorf("sparql: prefix name %q must end with ':' (offset %d)", name.text, name.pos)
+			return fmt.Errorf("sparql: prefix name %q must end with ':' (offset %d)", name.text, name.pos)
 		}
 		iri, err := p.expect(tokIRI, "prefix IRI")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p.prefixes.Bind(label, iri.text)
+	}
+	return nil
+}
+
+func (p *parser) query() (*Query, error) {
+	q := &Query{Prefixes: p.prefixes}
+	if err := p.prefixDecls(); err != nil {
+		return nil, err
 	}
 	// query form: SELECT [DISTINCT] projection | ASK
 	switch t := p.cur(); {

@@ -1,0 +1,139 @@
+package sparql
+
+import (
+	"fmt"
+
+	"rdfshapes/internal/rdf"
+)
+
+// UpdateOp is one INSERT DATA or DELETE DATA operation: a set of ground
+// triples to add to or remove from the dataset.
+type UpdateOp struct {
+	// Insert distinguishes INSERT DATA (true) from DELETE DATA (false).
+	Insert bool
+	// Triples are the ground triples of the data block.
+	Triples []rdf.Triple
+}
+
+// UpdateRequest is a parsed SPARQL UPDATE request: a sequence of
+// operations to apply in order.
+type UpdateRequest struct {
+	// Prefixes are the namespace bindings in scope.
+	Prefixes *rdf.PrefixMap
+	// Ops are the operations in source order.
+	Ops []UpdateOp
+}
+
+// ParseUpdate parses a SPARQL UPDATE request in the supported subset:
+//
+//	PREFIX ex: <http://ex/>
+//	INSERT DATA { ex:s ex:p ex:o . ex:s ex:q "v" } ;
+//	DELETE DATA { ex:old a ex:Gone }
+//
+// Operations are INSERT DATA and DELETE DATA only (ground triples — no
+// variables, no blank nodes), separated by ';' per the SPARQL 1.1 UPDATE
+// grammar; PREFIX declarations may precede any operation and stay in
+// scope for the rest of the request. The keyword 'a' abbreviates
+// rdf:type, and a trailing '.' inside a data block is optional.
+func ParseUpdate(src string) (*UpdateRequest, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prefixes: rdf.CommonPrefixes()}
+	req := &UpdateRequest{Prefixes: p.prefixes}
+	for {
+		if err := p.prefixDecls(); err != nil {
+			return nil, err
+		}
+		if p.cur().kind == tokEOF && len(req.Ops) > 0 {
+			break // trailing ';' after the last operation
+		}
+		op, err := p.updateOp()
+		if err != nil {
+			return nil, err
+		}
+		req.Ops = append(req.Ops, *op)
+		if p.cur().kind == tokSemicolon {
+			p.next()
+			continue
+		}
+		break
+	}
+	if t := p.cur(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sparql: trailing input at offset %d: %q", t.pos, t.text)
+	}
+	if len(req.Ops) == 0 {
+		return nil, fmt.Errorf("sparql: empty UPDATE request")
+	}
+	return req, nil
+}
+
+// updateOp parses "INSERT DATA { ... }" or "DELETE DATA { ... }".
+func (p *parser) updateOp() (*UpdateOp, error) {
+	t := p.next()
+	if t.kind != tokKeyword || (t.text != "INSERT" && t.text != "DELETE") {
+		return nil, fmt.Errorf("sparql: expected INSERT DATA or DELETE DATA at offset %d, got %q", t.pos, t.text)
+	}
+	op := &UpdateOp{Insert: t.text == "INSERT"}
+	if d := p.next(); d.kind != tokKeyword || d.text != "DATA" {
+		return nil, fmt.Errorf("sparql: expected DATA after %s at offset %d (only INSERT DATA / DELETE DATA are supported)", t.text, d.pos)
+	}
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	for p.cur().kind != tokRBrace {
+		tr, err := p.groundTriple()
+		if err != nil {
+			return nil, err
+		}
+		op.Triples = append(op.Triples, tr)
+		if p.cur().kind == tokDot {
+			p.next()
+		} else if p.cur().kind != tokRBrace {
+			return nil, fmt.Errorf("sparql: expected '.' or '}' in data block at offset %d", p.cur().pos)
+		}
+	}
+	p.next() // consume '}'
+	if len(op.Triples) == 0 {
+		kw := "DELETE"
+		if op.Insert {
+			kw = "INSERT"
+		}
+		return nil, fmt.Errorf("sparql: empty %s DATA block", kw)
+	}
+	return op, nil
+}
+
+// groundTriple parses one fully bound triple of a data block.
+func (p *parser) groundTriple() (rdf.Triple, error) {
+	s, err := p.groundTerm(true)
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	pr, err := p.groundTerm(true)
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	if !pr.IsIRI() {
+		return rdf.Triple{}, fmt.Errorf("sparql: predicate must be an IRI, got %s", pr)
+	}
+	o, err := p.groundTerm(false)
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	return rdf.Triple{S: s, P: pr, O: o}, nil
+}
+
+// groundTerm parses one term of a ground triple, rejecting variables.
+func (p *parser) groundTerm(subjectOrPred bool) (rdf.Term, error) {
+	pos := p.cur().pos
+	pt, err := p.patternTerm(subjectOrPred)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	if pt.IsVar() {
+		return rdf.Term{}, fmt.Errorf("sparql: variable ?%s not allowed in a DATA block (offset %d)", pt.Var, pos)
+	}
+	return pt.Term, nil
+}

@@ -1,0 +1,101 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"rdfshapes/internal/rdf"
+)
+
+func TestParseUpdateInsertData(t *testing.T) {
+	req, err := ParseUpdate(`PREFIX ex: <http://ex/>
+		INSERT DATA { ex:s ex:p ex:o . ex:s ex:q "v"@en }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Ops) != 1 {
+		t.Fatalf("ops = %d, want 1", len(req.Ops))
+	}
+	op := req.Ops[0]
+	if !op.Insert {
+		t.Error("op is not an insert")
+	}
+	if len(op.Triples) != 2 {
+		t.Fatalf("triples = %d, want 2", len(op.Triples))
+	}
+	if got := op.Triples[0]; got.S.Value != "http://ex/s" || got.P.Value != "http://ex/p" || got.O.Value != "http://ex/o" {
+		t.Errorf("triple 0 = %v", got)
+	}
+	if got := op.Triples[1].O; got.Kind != rdf.Literal || got.Value != "v" || got.Lang != "en" {
+		t.Errorf("literal object = %#v", got)
+	}
+}
+
+func TestParseUpdateMultiOp(t *testing.T) {
+	req, err := ParseUpdate(`PREFIX ex: <http://ex/>
+		INSERT DATA { ex:a ex:p ex:b . } ;
+		PREFIX f: <http://f/>
+		DELETE DATA { f:x a ex:Gone } ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Ops) != 2 {
+		t.Fatalf("ops = %d, want 2", len(req.Ops))
+	}
+	if !req.Ops[0].Insert || req.Ops[1].Insert {
+		t.Errorf("op kinds = %v, %v; want insert, delete", req.Ops[0].Insert, req.Ops[1].Insert)
+	}
+	del := req.Ops[1].Triples[0]
+	if del.S.Value != "http://f/x" {
+		t.Errorf("later PREFIX not in scope: subject = %v", del.S)
+	}
+	if del.P.Value != rdf.RDFType {
+		t.Errorf("'a' did not expand to rdf:type: %v", del.P)
+	}
+}
+
+func TestParseUpdateTypedLiteralAndIRI(t *testing.T) {
+	req, err := ParseUpdate(`INSERT DATA {
+		<http://ex/s> <http://ex/age> "30"^^<http://www.w3.org/2001/XMLSchema#integer>
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := req.Ops[0].Triples[0].O
+	if o.Kind != rdf.Literal || o.Value != "30" || o.Datatype != rdf.XSDInteger {
+		t.Errorf("typed literal = %#v", o)
+	}
+}
+
+func TestParseUpdateErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty request":       ``,
+		"prefix only":         `PREFIX ex: <http://ex/>`,
+		"variable subject":    `INSERT DATA { ?s <http://p> <http://o> }`,
+		"variable object":     `DELETE DATA { <http://s> <http://p> ?o }`,
+		"literal predicate":   `INSERT DATA { <http://s> "p" <http://o> }`,
+		"empty block":         `INSERT DATA { }`,
+		"missing DATA":        `INSERT { <http://s> <http://p> <http://o> }`,
+		"select not update":   `SELECT * WHERE { ?s ?p ?o }`,
+		"trailing junk":       `INSERT DATA { <http://s> <http://p> <http://o> } extra`,
+		"unclosed block":      `INSERT DATA { <http://s> <http://p> <http://o>`,
+		"where form rejected": `DELETE WHERE { ?s ?p ?o }`,
+	}
+	for name, src := range cases {
+		if _, err := ParseUpdate(src); err == nil {
+			t.Errorf("%s: ParseUpdate accepted %q", name, src)
+		} else if !strings.HasPrefix(err.Error(), "sparql:") {
+			t.Errorf("%s: error %q not in package convention", name, err)
+		}
+	}
+}
+
+func TestParseUpdateTrailingSemicolonOnly(t *testing.T) {
+	// a bare trailing ';' is allowed, but ';' with nothing before it is not
+	if _, err := ParseUpdate(`;`); err == nil {
+		t.Error("lone ';' accepted")
+	}
+	if _, err := ParseUpdate(`INSERT DATA { <http://s> <http://p> <http://o> } ; ;`); err == nil {
+		t.Error("double trailing ';' accepted")
+	}
+}

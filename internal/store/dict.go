@@ -10,6 +10,7 @@ package store
 
 import (
 	"fmt"
+	"sync"
 
 	"rdfshapes/internal/rdf"
 )
@@ -21,8 +22,11 @@ type ID uint32
 // Wildcard is the ID value that matches any term in Scan/Count patterns.
 const Wildcard ID = 0
 
-// Dict interns RDF terms into dense IDs starting at 1.
+// Dict interns RDF terms into dense IDs starting at 1. It is safe for
+// concurrent use; IDs are append-only, so an ID handed out once stays
+// valid forever even while writers intern new terms.
 type Dict struct {
+	mu    sync.RWMutex
 	ids   map[rdf.Term]ID
 	terms []rdf.Term // terms[0] is a placeholder for the reserved ID 0
 }
@@ -37,10 +41,18 @@ func NewDict() *Dict {
 
 // Intern returns the ID for t, assigning a fresh one on first sight.
 func (d *Dict) Intern(t rdf.Term) ID {
+	d.mu.RLock()
+	id, ok := d.ids[t]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.ids[t]; ok {
 		return id
 	}
-	id := ID(len(d.terms))
+	id = ID(len(d.terms))
 	d.ids[t] = id
 	d.terms = append(d.terms, t)
 	return id
@@ -48,13 +60,17 @@ func (d *Dict) Intern(t rdf.Term) ID {
 
 // Lookup returns the ID for t, or (0, false) if t was never interned.
 func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
+	d.mu.RLock()
 	id, ok := d.ids[t]
+	d.mu.RUnlock()
 	return id, ok
 }
 
 // Term returns the term for a valid ID. It panics on the reserved ID 0 or
 // an out-of-range ID, which always indicates a programming error.
 func (d *Dict) Term(id ID) rdf.Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id == 0 || int(id) >= len(d.terms) {
 		panic(fmt.Sprintf("store: invalid term ID %d (dictionary size %d)", id, len(d.terms)-1))
 	}
@@ -62,4 +78,8 @@ func (d *Dict) Term(id ID) rdf.Term {
 }
 
 // Len returns the number of interned terms.
-func (d *Dict) Len() int { return len(d.terms) - 1 }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms) - 1
+}

@@ -1,0 +1,86 @@
+package store
+
+// Fragment is a small immutable sorted index over a set of ID triples. The
+// live layer uses two fragments (added, deleted) as the delta overlay on
+// top of a frozen base store: like the base it keeps all four orderings,
+// so every triple-pattern shape is still a prefix range scan.
+//
+// All methods are safe on a nil receiver, which represents the empty
+// fragment; NewFragment returns nil for an empty input so empty overlays
+// cost nothing to check.
+type Fragment struct {
+	spo []IDTriple
+	pso []IDTriple
+	pos []IDTriple
+	osp []IDTriple
+}
+
+// NewFragment builds a fragment from ts (copied, deduplicated). The IDs
+// must come from the same dictionary as any store the fragment overlays.
+func NewFragment(ts []IDTriple) *Fragment {
+	if len(ts) == 0 {
+		return nil
+	}
+	spo := append([]IDTriple(nil), ts...)
+	sortTriples(spo, cmpSPO)
+	spo = dedupe(spo)
+	f := &Fragment{spo: spo}
+	secondary := []struct {
+		dst  *[]IDTriple
+		less cmpFunc
+	}{
+		{&f.pso, cmpPSO},
+		{&f.pos, cmpPOS},
+		{&f.osp, cmpOSP},
+	}
+	for _, idx := range secondary {
+		*idx.dst = append([]IDTriple(nil), spo...)
+		sortTriples(*idx.dst, idx.less)
+	}
+	return f
+}
+
+// Len returns the number of distinct triples in the fragment.
+func (f *Fragment) Len() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.spo)
+}
+
+// Scan calls fn for every triple matching pat (Wildcard matches anything),
+// in the serving index's sort order. fn returning false stops the scan.
+func (f *Fragment) Scan(pat IDTriple, fn func(IDTriple) bool) {
+	if f == nil {
+		return
+	}
+	idx, lo, hi := matchIn(f.spo, f.pso, f.pos, f.osp, pat)
+	for _, t := range idx[lo:hi] {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Count returns the number of triples matching pat in O(log n).
+func (f *Fragment) Count(pat IDTriple) int {
+	if f == nil {
+		return 0
+	}
+	_, lo, hi := matchIn(f.spo, f.pso, f.pos, f.osp, pat)
+	return hi - lo
+}
+
+// Contains reports whether the fully bound triple is in the fragment.
+func (f *Fragment) Contains(t IDTriple) bool {
+	return f.Count(t) > 0
+}
+
+// Triples returns the fragment's triples in SPO order. The slice is shared
+// with the fragment and must not be modified.
+func (f *Fragment) Triples() []IDTriple {
+	if f == nil {
+		return nil
+	}
+	return f.spo
+}

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"rdfshapes/internal/rdf"
+)
+
+func TestFragmentNilIsEmpty(t *testing.T) {
+	var f *Fragment
+	if f.Len() != 0 {
+		t.Errorf("nil Len = %d", f.Len())
+	}
+	if f.Count(IDTriple{}) != 0 {
+		t.Errorf("nil Count = %d", f.Count(IDTriple{}))
+	}
+	if f.Contains(IDTriple{S: 1, P: 2, O: 3}) {
+		t.Error("nil Contains = true")
+	}
+	if f.Triples() != nil {
+		t.Error("nil Triples != nil")
+	}
+	f.Scan(IDTriple{}, func(IDTriple) bool {
+		t.Error("nil Scan visited a triple")
+		return true
+	})
+	if NewFragment(nil) != nil {
+		t.Error("NewFragment(empty) != nil")
+	}
+}
+
+func TestFragmentDedupesAndSorts(t *testing.T) {
+	ts := []IDTriple{
+		{S: 2, P: 1, O: 1},
+		{S: 1, P: 1, O: 2},
+		{S: 1, P: 1, O: 1},
+		{S: 1, P: 1, O: 2}, // duplicate
+	}
+	f := NewFragment(ts)
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+	got := f.Triples()
+	for i := 1; i < len(got); i++ {
+		if !cmpSPO(got[i-1], got[i]) {
+			t.Errorf("Triples not in SPO order at %d: %v, %v", i, got[i-1], got[i])
+		}
+	}
+	// the input slice must not be disturbed
+	if ts[0] != (IDTriple{S: 2, P: 1, O: 1}) {
+		t.Error("NewFragment mutated its input")
+	}
+}
+
+func TestFragmentScanMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var ts []IDTriple
+	for i := 0; i < 300; i++ {
+		ts = append(ts, IDTriple{
+			S: ID(rng.Intn(6) + 1),
+			P: ID(rng.Intn(4) + 1),
+			O: ID(rng.Intn(8) + 1),
+		})
+	}
+	f := NewFragment(ts)
+	dedup := map[IDTriple]bool{}
+	for _, tr := range ts {
+		dedup[tr] = true
+	}
+	// all 8 pattern shapes over a few bindings each
+	for s := ID(0); s <= 2; s++ {
+		for p := ID(0); p <= 2; p++ {
+			for o := ID(0); o <= 2; o++ {
+				pat := IDTriple{S: s, P: p, O: o}
+				want := 0
+				for tr := range dedup {
+					if (s == Wildcard || tr.S == s) &&
+						(p == Wildcard || tr.P == p) &&
+						(o == Wildcard || tr.O == o) {
+						want++
+					}
+				}
+				got := 0
+				f.Scan(pat, func(tr IDTriple) bool {
+					got++
+					return true
+				})
+				if got != want {
+					t.Errorf("Scan(%v) visited %d, want %d", pat, got, want)
+				}
+				if c := f.Count(pat); c != want {
+					t.Errorf("Count(%v) = %d, want %d", pat, c, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFragmentScanEarlyStop(t *testing.T) {
+	f := NewFragment([]IDTriple{{S: 1, P: 1, O: 1}, {S: 1, P: 1, O: 2}, {S: 1, P: 1, O: 3}})
+	n := 0
+	f.Scan(IDTriple{}, func(IDTriple) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("early-stopped scan visited %d, want 2", n)
+	}
+}
+
+func TestTryAddAfterFreeze(t *testing.T) {
+	st := New()
+	tr := rdf.NewTriple(rdf.NewIRI("http://x/s"), rdf.NewIRI("http://x/p"), rdf.NewIRI("http://x/o"))
+	if err := st.TryAdd(tr); err != nil {
+		t.Fatalf("TryAdd before freeze: %v", err)
+	}
+	st.Freeze()
+	if err := st.TryAdd(tr); !errors.Is(err, ErrFrozen) {
+		t.Errorf("TryAdd after freeze: err = %v, want ErrFrozen", err)
+	}
+	if err := st.TryAddID(IDTriple{S: 1, P: 2, O: 3}); !errors.Is(err, ErrFrozen) {
+		t.Errorf("TryAddID after freeze: err = %v, want ErrFrozen", err)
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len = %d after rejected adds, want 1", st.Len())
+	}
+}
+
+func TestNewWithDictShares(t *testing.T) {
+	base := Load(testGraph())
+	d := base.Dict()
+	st := NewWithDict(d)
+	if st.Dict() != d {
+		t.Fatal("NewWithDict did not adopt the dictionary")
+	}
+	st.Add(rdf.NewTriple(rdf.NewIRI("http://x/alice"), rdf.NewIRI("http://x/knows"), rdf.NewIRI("http://x/dan")))
+	st.Freeze()
+	// alice and knows were already interned; only dan is new
+	if _, ok := d.Lookup(rdf.NewIRI("http://x/dan")); !ok {
+		t.Error("new term not interned in the shared dictionary")
+	}
+	if st.TypeID() != base.TypeID() {
+		t.Errorf("TypeID %d != %d under a shared dictionary", st.TypeID(), base.TypeID())
+	}
+}

@@ -38,30 +38,36 @@ func (s *Store) Contains(t IDTriple) bool {
 
 // match selects the serving index and the half-open row range for pat.
 func (s *Store) match(pat IDTriple) (idx []IDTriple, lo, hi int) {
+	return matchIn(s.spo, s.pso, s.pos, s.osp, pat)
+}
+
+// matchIn selects which of the four sorted orderings serves pat and the
+// half-open row range within it. Shared by Store and Fragment.
+func matchIn(spo, pso, pos, osp []IDTriple, pat IDTriple) (idx []IDTriple, lo, hi int) {
 	switch {
 	case pat.S != 0 && pat.P != 0 && pat.O != 0:
-		lo, hi = rangeOf(s.spo, keySPO, key3{pat.S, pat.P, pat.O}, 3)
-		return s.spo, lo, hi
+		lo, hi = rangeOf(spo, keySPO, key3{pat.S, pat.P, pat.O}, 3)
+		return spo, lo, hi
 	case pat.S != 0 && pat.P != 0:
-		lo, hi = rangeOf(s.spo, keySPO, key3{pat.S, pat.P, 0}, 2)
-		return s.spo, lo, hi
+		lo, hi = rangeOf(spo, keySPO, key3{pat.S, pat.P, 0}, 2)
+		return spo, lo, hi
 	case pat.S != 0 && pat.O != 0:
-		lo, hi = rangeOf(s.osp, keyOSP, key3{pat.O, pat.S, 0}, 2)
-		return s.osp, lo, hi
+		lo, hi = rangeOf(osp, keyOSP, key3{pat.O, pat.S, 0}, 2)
+		return osp, lo, hi
 	case pat.S != 0:
-		lo, hi = rangeOf(s.spo, keySPO, key3{pat.S, 0, 0}, 1)
-		return s.spo, lo, hi
+		lo, hi = rangeOf(spo, keySPO, key3{pat.S, 0, 0}, 1)
+		return spo, lo, hi
 	case pat.P != 0 && pat.O != 0:
-		lo, hi = rangeOf(s.pos, keyPOS, key3{pat.P, pat.O, 0}, 2)
-		return s.pos, lo, hi
+		lo, hi = rangeOf(pos, keyPOS, key3{pat.P, pat.O, 0}, 2)
+		return pos, lo, hi
 	case pat.P != 0:
-		lo, hi = rangeOf(s.pso, keyPSO, key3{pat.P, 0, 0}, 1)
-		return s.pso, lo, hi
+		lo, hi = rangeOf(pso, keyPSO, key3{pat.P, 0, 0}, 1)
+		return pso, lo, hi
 	case pat.O != 0:
-		lo, hi = rangeOf(s.osp, keyOSP, key3{pat.O, 0, 0}, 1)
-		return s.osp, lo, hi
+		lo, hi = rangeOf(osp, keyOSP, key3{pat.O, 0, 0}, 1)
+		return osp, lo, hi
 	default:
-		return s.spo, 0, len(s.spo)
+		return spo, 0, len(spo)
 	}
 }
 

@@ -68,6 +68,53 @@ func TestSnapshotPreservesLiterals(t *testing.T) {
 	}
 }
 
+func TestSnapshotEmptyStoreRoundTrip(t *testing.T) {
+	st := New()
+	st.Freeze()
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Len() != 0 {
+		t.Errorf("Len = %d, want 0", rt.Len())
+	}
+	if rt.Dict().Len() != 0 {
+		t.Errorf("Dict().Len() = %d, want 0", rt.Dict().Len())
+	}
+	if rt.TypeID() != 0 {
+		t.Errorf("TypeID = %d, want 0", rt.TypeID())
+	}
+}
+
+func TestSnapshotTypeIDZeroRoundTrip(t *testing.T) {
+	// a dataset without any rdf:type triple has TypeID 0; the round trip
+	// must preserve that rather than resolving 0 to a real term
+	var g rdf.Graph
+	g.Append(rdf.NewIRI("http://x/s"), rdf.NewIRI("http://x/p"), rdf.NewIRI("http://x/o"))
+	st := Load(g)
+	if st.TypeID() != 0 {
+		t.Fatalf("precondition: TypeID = %d, want 0", st.TypeID())
+	}
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.TypeID() != 0 {
+		t.Errorf("TypeID = %d after round trip, want 0", rt.TypeID())
+	}
+	if rt.Len() != 1 {
+		t.Errorf("Len = %d, want 1", rt.Len())
+	}
+}
+
 func TestSnapshotErrors(t *testing.T) {
 	cases := map[string]string{
 		"empty":        "",

@@ -1,11 +1,16 @@
 package store
 
 import (
+	"errors"
 	"sort"
 	"sync"
 
 	"rdfshapes/internal/rdf"
 )
+
+// ErrFrozen is returned by TryAdd/TryAddID when the store has already been
+// frozen and can no longer accept triples.
+var ErrFrozen = errors.New("store: Add after Freeze")
 
 // IDTriple is a dictionary-encoded triple.
 type IDTriple struct {
@@ -33,6 +38,14 @@ func New() *Store {
 	return &Store{dict: NewDict()}
 }
 
+// NewWithDict returns an empty store that interns into an existing
+// dictionary instead of a fresh one. The live layer uses it to rebuild a
+// compacted base without re-interning: IDs are append-only, so triples
+// encoded against d stay valid in the new store.
+func NewWithDict(d *Dict) *Store {
+	return &Store{dict: d}
+}
+
 // Load builds a frozen store from a graph in one call.
 func Load(g rdf.Graph) *Store {
 	s := New()
@@ -45,16 +58,37 @@ func Load(g rdf.Graph) *Store {
 func (s *Store) Dict() *Dict { return s.dict }
 
 // Add stages one triple. It panics if the store is already frozen, which
-// indicates a programming error: the store is immutable after Freeze.
+// indicates a programming error in bulk-load code: the store is immutable
+// after Freeze. Callers that can legitimately race a freeze (the live
+// layer's compactor) use TryAdd instead.
 func (s *Store) Add(t rdf.Triple) {
+	if err := s.TryAdd(t); err != nil {
+		panic(err.Error())
+	}
+}
+
+// TryAdd stages one triple, returning ErrFrozen instead of panicking if
+// the store is already frozen.
+func (s *Store) TryAdd(t rdf.Triple) error {
 	if s.frozen {
-		panic("store: Add after Freeze")
+		return ErrFrozen
 	}
 	s.staged = append(s.staged, IDTriple{
 		S: s.dict.Intern(t.S),
 		P: s.dict.Intern(t.P),
 		O: s.dict.Intern(t.O),
 	})
+	return nil
+}
+
+// TryAddID stages one already-encoded triple. The IDs must come from this
+// store's dictionary (see NewWithDict). Returns ErrFrozen after Freeze.
+func (s *Store) TryAddID(t IDTriple) error {
+	if s.frozen {
+		return ErrFrozen
+	}
+	s.staged = append(s.staged, t)
+	return nil
 }
 
 // AddGraph stages every triple of g.

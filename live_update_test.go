@@ -1,0 +1,254 @@
+package rdfshapes_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rdfshapes"
+)
+
+func TestUpdateRoundTrip(t *testing.T) {
+	db := open(t)
+	res, err := db.Update(`PREFIX ex: <http://ex/>
+		INSERT DATA { ex:carol a ex:Person . ex:carol ex:name "Carol" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 2 || res.Deleted != 0 {
+		t.Fatalf("result = %+v, want 2 inserted", res)
+	}
+	if db.NumTriples() != 7 {
+		t.Errorf("NumTriples = %d, want 7", db.NumTriples())
+	}
+
+	rows, err := db.Query(`PREFIX ex: <http://ex/>
+		SELECT ?n WHERE { ex:carol ex:name ?n }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Rows) != 1 || rows.Rows[0]["n"] != `"Carol"` {
+		t.Fatalf("inserted triple not visible: %v", rows.Rows)
+	}
+
+	res, err = db.Update(`PREFIX ex: <http://ex/>
+		DELETE DATA { ex:carol ex:name "Carol" } ;
+		DELETE DATA { ex:carol a ex:Person }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deleted != 2 {
+		t.Fatalf("result = %+v, want 2 deleted", res)
+	}
+	rows, err = db.Query(`PREFIX ex: <http://ex/>
+		SELECT ?n WHERE { ex:carol ex:name ?n }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Rows) != 0 {
+		t.Errorf("deleted triple still visible: %v", rows.Rows)
+	}
+	if db.NumTriples() != 5 {
+		t.Errorf("NumTriples = %d, want 5", db.NumTriples())
+	}
+	if n := db.UpdatesApplied(); n != 2 {
+		t.Errorf("UpdatesApplied = %d, want 2", n)
+	}
+}
+
+func TestUpdateNoOpsExcluded(t *testing.T) {
+	db := open(t)
+	res, err := db.Update(`PREFIX ex: <http://ex/>
+		INSERT DATA { ex:alice ex:name "Alice" } ;
+		DELETE DATA { ex:nobody ex:name "Nobody" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 0 || res.Deleted != 0 {
+		t.Errorf("result = %+v, want all no-ops", res)
+	}
+	if db.NumTriples() != 5 {
+		t.Errorf("NumTriples = %d, want 5", db.NumTriples())
+	}
+}
+
+func TestUpdateParseErrorLeavesDataIntact(t *testing.T) {
+	db := open(t)
+	if _, err := db.Update(`INSERT DATA { ?v <http://p> <http://o> }`); err == nil {
+		t.Fatal("variable in DATA block accepted")
+	}
+	if db.NumTriples() != 5 {
+		t.Errorf("NumTriples = %d after rejected update, want 5", db.NumTriples())
+	}
+}
+
+// TestUpdateExactStatsDeltas is the acceptance check: after a committed
+// batch, the per-predicate global count and the shape sh:count move by
+// exactly the delta.
+func TestUpdateExactStatsDeltas(t *testing.T) {
+	db := open(t)
+	knowsBefore := db.Stats().Pred["http://ex/knows"].Count
+	personBefore := db.Shapes().ByClass("http://ex/Person").Count
+	propBefore := db.Shapes().ByClass("http://ex/Person").Property("http://ex/knows").Stats.Count
+
+	_, err := db.Update(`PREFIX ex: <http://ex/>
+		INSERT DATA {
+			ex:carol a ex:Person .
+			ex:carol ex:knows ex:alice .
+			ex:bob ex:knows ex:alice
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := db.Stats().Pred["http://ex/knows"].Count; got != knowsBefore+2 {
+		t.Errorf("Pred[knows].Count = %d, want %d", got, knowsBefore+2)
+	}
+	if got := db.Shapes().ByClass("http://ex/Person").Count; got != personBefore+1 {
+		t.Errorf("Person sh:count = %d, want %d", got, personBefore+1)
+	}
+	if got := db.Shapes().ByClass("http://ex/Person").Property("http://ex/knows").Stats.Count; got != propBefore+2 {
+		t.Errorf("Person/knows sh:count = %d, want %d", got, propBefore+2)
+	}
+	if got := db.Stats().Triples; got != 8 {
+		t.Errorf("Triples = %d, want 8", got)
+	}
+
+	_, err = db.Update(`PREFIX ex: <http://ex/>
+		DELETE DATA { ex:bob ex:knows ex:alice }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats().Pred["http://ex/knows"].Count; got != knowsBefore+1 {
+		t.Errorf("Pred[knows].Count after delete = %d, want %d", got, knowsBefore+1)
+	}
+	if got := db.Shapes().ByClass("http://ex/Person").Property("http://ex/knows").Stats.Count; got != propBefore+1 {
+		t.Errorf("Person/knows sh:count after delete = %d, want %d", got, propBefore+1)
+	}
+}
+
+// TestUpdateReflectsInEstimate verifies the planner sees maintained
+// statistics without a reload: the shape-statistics estimate for a typed
+// star query tracks the instance count exactly.
+func TestUpdateReflectsInEstimate(t *testing.T) {
+	db := open(t)
+	src := `PREFIX ex: <http://ex/>
+		SELECT * WHERE { ?x a ex:Person . ?x ex:name ?n . }`
+	est, err := db.EstimateCount(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 2 {
+		t.Fatalf("EstimateCount = %v, want 2", est)
+	}
+	_, err = db.Update(`PREFIX ex: <http://ex/>
+		INSERT DATA { ex:carol a ex:Person . ex:carol ex:name "Carol" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err = db.EstimateCount(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 3 {
+		t.Errorf("EstimateCount after insert = %v, want 3", est)
+	}
+}
+
+func TestReannotateZeroesDrift(t *testing.T) {
+	db := open(t)
+	// a predicate no shape describes on a typed subject is a drift source
+	if _, err := db.Update(`PREFIX ex: <http://ex/>
+		INSERT DATA { ex:alice ex:nickname "Al" }`); err != nil {
+		t.Fatal(err)
+	}
+	if db.StatsDrift() == 0 {
+		t.Fatal("StatsDrift = 0 after an approximate adjustment")
+	}
+	if a, d := db.OverlaySize(); a != 1 || d != 0 {
+		t.Fatalf("overlay = +%d/-%d, want +1/-0", a, d)
+	}
+	if err := db.Reannotate(); err != nil {
+		t.Fatal(err)
+	}
+	if db.StatsDrift() != 0 {
+		t.Errorf("StatsDrift = %d after Reannotate, want 0", db.StatsDrift())
+	}
+	if a, d := db.OverlaySize(); a != 0 || d != 0 {
+		t.Errorf("overlay = +%d/-%d after Reannotate, want empty", a, d)
+	}
+	// the recomputed shapes now describe the new predicate's scope exactly
+	if db.NumTriples() != 6 {
+		t.Errorf("NumTriples = %d, want 6", db.NumTriples())
+	}
+}
+
+func TestWriteSnapshotIncludesUpdates(t *testing.T) {
+	db := open(t)
+	if _, err := db.Update(`PREFIX ex: <http://ex/>
+		INSERT DATA { ex:carol a ex:Person }`); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := rdfshapes.LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumTriples() != 6 {
+		t.Errorf("NumTriples = %d after snapshot round trip, want 6", rt.NumTriples())
+	}
+	n, err := rt.Count(`PREFIX ex: <http://ex/>
+		SELECT * WHERE { ?x a ex:Person }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("Person instances = %d, want 3", n)
+	}
+}
+
+func TestOldQueriesUnaffectedByUpdates(t *testing.T) {
+	db := open(t)
+	// QueryEach holds one snapshot for the whole iteration; an update
+	// committed mid-iteration must not change what it sees. Simulate by
+	// updating from inside the callback.
+	seen := 0
+	err := db.QueryEach(`PREFIX ex: <http://ex/>
+		SELECT ?x WHERE { ?x a ex:Person }`, func(row map[string]string) bool {
+		seen++
+		if seen == 1 {
+			if _, err := db.Update(`PREFIX ex: <http://ex/>
+				INSERT DATA { ex:carol a ex:Person . ex:dave a ex:Person }`); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 2 {
+		t.Errorf("iteration saw %d persons, want the snapshot's 2", seen)
+	}
+	if db.NumTriples() != 7 {
+		t.Errorf("NumTriples = %d, want 7", db.NumTriples())
+	}
+}
+
+func TestUpdateTurtleShapesStayServable(t *testing.T) {
+	db := open(t)
+	if _, err := db.Update(`PREFIX ex: <http://ex/>
+		INSERT DATA { ex:carol a ex:Person . ex:carol ex:name "Carol" }`); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := db.WriteShapesTurtle(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sh:count 3") {
+		t.Errorf("serialized shapes lack the updated sh:count:\n%s", buf.String())
+	}
+}

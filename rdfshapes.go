@@ -14,18 +14,26 @@
 //
 // Shapes may be supplied (WithShapesGraph) or inferred from the data;
 // both are annotated automatically at load time.
+//
+// The dataset is mutable after load: DB.Update applies SPARQL INSERT
+// DATA / DELETE DATA batches through a copy-on-write overlay
+// (internal/live), statistics are maintained incrementally, and queries
+// always run against one consistent snapshot. See docs/LIVE_UPDATES.md.
 package rdfshapes
 
 import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"rdfshapes/internal/annotator"
 	"rdfshapes/internal/cardinality"
 	"rdfshapes/internal/core"
 	"rdfshapes/internal/engine"
 	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/live"
 	"rdfshapes/internal/obsv"
 	"rdfshapes/internal/rdf"
 	"rdfshapes/internal/shacl"
@@ -33,21 +41,65 @@ import (
 	"rdfshapes/internal/store"
 )
 
-// DB is an immutable RDF dataset with statistics, ready for querying.
+// DefaultCompactThreshold is the overlay size (added + deleted triples)
+// past which a commit schedules background compaction into a new frozen
+// base (override with WithAutoCompact).
+const DefaultCompactThreshold = 1 << 16
+
+// DefaultDriftThreshold is the accumulated statistics drift past which
+// background re-annotation is triggered (override with
+// WithDriftThreshold).
+const DefaultDriftThreshold = 1 << 12
+
+// DB is an RDF dataset with statistics, ready for querying and updating.
+// All methods are safe for concurrent use (except SetCollector, see its
+// doc): queries are wait-free against immutable snapshots, updates are
+// serialized internally.
 type DB struct {
-	store  *store.Store
-	shapes *shacl.ShapesGraph
-	global *gstats.Global
-	ss     *cardinality.ShapeEstimator
-	gs     *cardinality.GlobalEstimator
+	live  *live.Store
+	maint *live.Maintainer
+
+	// planner holds the current estimator pair built from the latest
+	// maintained statistics; refreshed after every committed update.
+	planner   atomic.Pointer[plannerState]
+	plannerMu sync.Mutex // serializes refreshPlanner
+
+	updateMu     sync.Mutex // serializes Update and Reannotate
+	reannotating atomic.Bool
+	updates      atomic.Int64 // Update calls that committed
+
 	maxOps int64
 	obs    *obsv.Collector
 }
 
-type config struct {
+// plannerState is one immutable version of the planning statistics and
+// the estimators built over them.
+type plannerState struct {
 	shapes *shacl.ShapesGraph
-	maxOps int64
-	obs    *obsv.Collector
+	global *gstats.Global
+	ss     *cardinality.ShapeEstimator
+	gs     *cardinality.GlobalEstimator
+}
+
+// view is the per-call execution context: one data snapshot and one
+// planner state, taken together at the start of a public call so every
+// branch of a query sees the same version.
+type view struct {
+	db   *DB
+	snap *live.Snapshot
+	ps   *plannerState
+}
+
+func (db *DB) view() view {
+	return view{db: db, snap: db.live.Snapshot(), ps: db.planner.Load()}
+}
+
+type config struct {
+	shapes    *shacl.ShapesGraph
+	maxOps    int64
+	obs       *obsv.Collector
+	compactAt int
+	driftAt   int64
 }
 
 // Option customizes Load.
@@ -64,6 +116,22 @@ func WithShapesGraph(sg *shacl.ShapesGraph) Option {
 // the budget returns ErrBudgetExceeded. 0 (the default) means unlimited.
 func WithOpsBudget(n int64) Option {
 	return func(c *config) { c.maxOps = n }
+}
+
+// WithAutoCompact sets the overlay size (added + deleted triples) past
+// which a committed update schedules background compaction into a new
+// frozen base. n <= 0 disables auto-compaction. Default
+// DefaultCompactThreshold.
+func WithAutoCompact(n int) Option {
+	return func(c *config) { c.compactAt = n }
+}
+
+// WithDriftThreshold sets the accumulated statistics drift past which
+// background re-annotation (Reannotate) is triggered. n <= 0 disables
+// the trigger; drift is still tracked and exposed via StatsDrift.
+// Default DefaultDriftThreshold.
+func WithDriftThreshold(n int64) Option {
+	return func(c *config) { c.driftAt = n }
 }
 
 // WithCollector installs an observability collector: every query run
@@ -88,7 +156,7 @@ func Load(g rdf.Graph, opts ...Option) (*DB, error) {
 
 // fromStore finishes DB construction over an already-indexed store.
 func fromStore(st *store.Store, opts ...Option) (*DB, error) {
-	var cfg config
+	cfg := config{compactAt: DefaultCompactThreshold, driftAt: DefaultDriftThreshold}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -106,16 +174,118 @@ func fromStore(st *store.Store, opts ...Option) (*DB, error) {
 			return nil, fmt.Errorf("rdfshapes: annotating shapes: %w", err)
 		}
 	}
-	return &DB{
-		store:  st,
-		shapes: shapes,
-		global: global,
-		ss:     cardinality.NewShapeEstimator(shapes, global),
-		gs:     cardinality.NewGlobalEstimator(global),
+	db := &DB{
 		maxOps: cfg.maxOps,
 		obs:    cfg.obs,
-	}, nil
+	}
+	db.live = live.Wrap(st)
+	db.live.SetAutoCompact(cfg.compactAt)
+	db.maint = live.NewMaintainer(
+		live.Stats{Global: global, Shapes: shapes},
+		cfg.driftAt,
+		// Background trigger; Reannotate re-arms it on failure.
+		func() { db.Reannotate() },
+	)
+	db.refreshPlanner()
+	return db, nil
 }
+
+// refreshPlanner rebuilds the estimator pair from the latest maintained
+// statistics and publishes it. The mutex only orders concurrent
+// refreshes; a late rebuild re-reads Current, so it can repeat work but
+// never install stale statistics.
+func (db *DB) refreshPlanner() {
+	db.plannerMu.Lock()
+	defer db.plannerMu.Unlock()
+	s := db.maint.Current()
+	db.planner.Store(&plannerState{
+		shapes: s.Shapes,
+		global: s.Global,
+		ss:     cardinality.NewShapeEstimator(s.Shapes, s.Global),
+		gs:     cardinality.NewGlobalEstimator(s.Global),
+	})
+}
+
+// UpdateResult reports the effective changes of one Update call:
+// requested no-ops (inserting a triple already present, deleting one not
+// present) are excluded.
+type UpdateResult struct {
+	Inserted int
+	Deleted  int
+}
+
+// Update parses and applies a SPARQL UPDATE request (INSERT DATA and
+// DELETE DATA operations, ';'-separated). Each operation commits
+// atomically: a concurrent query sees either none or all of its changes.
+// Statistics are maintained incrementally, so planner estimates reflect
+// the new state as soon as Update returns.
+func (db *DB) Update(src string) (*UpdateResult, error) {
+	req, err := sparql.ParseUpdate(src)
+	if err != nil {
+		return nil, err
+	}
+	db.updateMu.Lock()
+	defer db.updateMu.Unlock()
+	res := &UpdateResult{}
+	for _, op := range req.Ops {
+		var b live.Batch
+		if op.Insert {
+			b.Insert = op.Triples
+		} else {
+			b.Delete = op.Triples
+		}
+		ci := db.live.Apply(b)
+		db.maint.Apply(ci)
+		res.Inserted += len(ci.Inserted)
+		res.Deleted += len(ci.Deleted)
+	}
+	db.refreshPlanner()
+	db.updates.Add(1)
+	return res, nil
+}
+
+// Reannotate compacts the overlay into a fresh frozen base, recomputes
+// global statistics and shape annotations from scratch, and zeroes the
+// drift counter. It runs automatically in the background once drift
+// passes the threshold (WithDriftThreshold); it is exported for explicit
+// refreshes and tests. Queries are never blocked; concurrent updates
+// wait for the recompute.
+func (db *DB) Reannotate() error {
+	if !db.reannotating.CompareAndSwap(false, true) {
+		return nil // a re-annotation is already running
+	}
+	defer db.reannotating.Store(false)
+	db.updateMu.Lock()
+	defer db.updateMu.Unlock()
+	snap, err := db.live.Compact()
+	if err != nil {
+		return err
+	}
+	base := snap.Base()
+	global := gstats.Compute(base)
+	shapes := db.planner.Load().shapes.Clone()
+	if shapes.Len() > 0 {
+		if err := annotator.Annotate(shapes, base); err != nil {
+			// Keep the maintained statistics; drift stays nonzero and the
+			// trigger is re-armed so a later commit retries.
+			db.maint.Rearm()
+			return fmt.Errorf("rdfshapes: re-annotating: %w", err)
+		}
+	}
+	db.maint.Reset(live.Stats{Global: global, Shapes: shapes})
+	db.refreshPlanner()
+	return nil
+}
+
+// StatsDrift returns the accumulated approximation drift of the
+// incrementally maintained statistics since the last (re-)annotation.
+func (db *DB) StatsDrift() int64 { return db.maint.Drift() }
+
+// OverlaySize returns the live overlay's added and deleted triple counts.
+func (db *DB) OverlaySize() (added, deleted int) { return db.live.OverlaySize() }
+
+// UpdatesApplied returns the number of committed Update calls.
+func (db *DB) UpdatesApplied() int64 { return db.updates.Load() }
 
 // LoadNTriples reads N-Triples data and builds a DB.
 func LoadNTriples(r io.Reader, opts ...Option) (*DB, error) {
@@ -127,10 +297,15 @@ func LoadNTriples(r io.Reader, opts ...Option) (*DB, error) {
 }
 
 // WriteSnapshot persists the indexed data in the store's binary snapshot
-// format. Statistics are not stored; LoadSnapshot recomputes them, which
-// is cheap relative to parsing text formats.
+// format, compacting any pending overlay first so the snapshot includes
+// every committed update. Statistics are not stored; LoadSnapshot
+// recomputes them, which is cheap relative to parsing text formats.
 func (db *DB) WriteSnapshot(w io.Writer) error {
-	return db.store.WriteSnapshot(w)
+	snap, err := db.live.Compact()
+	if err != nil {
+		return err
+	}
+	return snap.Base().WriteSnapshot(w)
 }
 
 // LoadSnapshot rebuilds a DB from WriteSnapshot output, re-deriving (or
@@ -167,22 +342,23 @@ func (db *DB) Query(src string) (*Result, error) {
 	if len(q.Construct) > 0 {
 		return nil, fmt.Errorf("rdfshapes: CONSTRUCT queries go through Construct, not Query")
 	}
+	v := db.view()
 	if q.Aggregate != nil {
-		return db.queryAggregate(src, q)
+		return v.queryAggregate(src, q)
 	}
 	if len(q.UnionGroups) > 0 {
-		return db.queryUnion(src, q)
+		return v.queryUnion(src, q)
 	}
-	plan := db.plan(q)
+	plan := v.plan(q)
 	opts := engine.Options{Filters: q.Filters, Optionals: q.Optionals}
 	if q.Ask {
 		opts.Limit = 1
 	}
-	er, err := db.exec(src, plan, opts)
+	er, err := v.exec(src, plan, opts)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := engine.Materialize(db.store, q, er)
+	rows, err := engine.Materialize(v.snap, q, er)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +373,7 @@ func (db *DB) Query(src string) (*Result, error) {
 // executed independently and the results are concatenated, then
 // DISTINCT, OFFSET, and LIMIT apply to the combined rows. SELECT *
 // projects the variables common to all branches.
-func (db *DB) queryUnion(src string, q *sparql.Query) (*Result, error) {
+func (v view) queryUnion(src string, q *sparql.Query) (*Result, error) {
 	proj := q.Projection
 	if len(proj) == 0 {
 		proj = commonBranchVars(q)
@@ -210,13 +386,13 @@ func (db *DB) queryUnion(src string, q *sparql.Query) (*Result, error) {
 		bq.Distinct = false
 		bq.Limit = 0
 		bq.Offset = 0
-		plan := db.plan(bq)
+		plan := v.plan(bq)
 		plans = append(plans, plan.String())
-		er, err := db.exec(src, plan, engine.Options{Filters: bq.Filters})
+		er, err := v.exec(src, plan, engine.Options{Filters: bq.Filters})
 		if err != nil {
 			return nil, err
 		}
-		branchRows, err := engine.Materialize(db.store, bq, er)
+		branchRows, err := engine.Materialize(v.snap, bq, er)
 		if err != nil {
 			return nil, err
 		}
@@ -227,12 +403,12 @@ func (db *DB) queryUnion(src string, q *sparql.Query) (*Result, error) {
 }
 
 // queryAggregate evaluates a COUNT projection.
-func (db *DB) queryAggregate(src string, q *sparql.Query) (*Result, error) {
+func (v view) queryAggregate(src string, q *sparql.Query) (*Result, error) {
 	agg := q.Aggregate
 	row := map[string]string{}
 	if agg.Var == "" && !q.Distinct {
 		// COUNT(*): counting needs no materialization
-		n, err := db.countSolutions(src, q)
+		n, err := v.countSolutions(src, q)
 		if err != nil {
 			return nil, err
 		}
@@ -250,7 +426,7 @@ func (db *DB) queryAggregate(src string, q *sparql.Query) (*Result, error) {
 	} else {
 		inner.Projection = nil
 	}
-	res, err := db.queryParsed(src, inner)
+	res, err := v.queryParsed(src, inner)
 	if err != nil {
 		return nil, err
 	}
@@ -277,16 +453,16 @@ func (db *DB) queryAggregate(src string, q *sparql.Query) (*Result, error) {
 
 // queryParsed runs an already-parsed non-aggregate query; src is the
 // original query text, carried for trace attribution.
-func (db *DB) queryParsed(src string, q *sparql.Query) (*Result, error) {
+func (v view) queryParsed(src string, q *sparql.Query) (*Result, error) {
 	if len(q.UnionGroups) > 0 {
-		return db.queryUnion(src, q)
+		return v.queryUnion(src, q)
 	}
-	plan := db.plan(q)
-	er, err := db.exec(src, plan, engine.Options{Filters: q.Filters, Optionals: q.Optionals})
+	plan := v.plan(q)
+	er, err := v.exec(src, plan, engine.Options{Filters: q.Filters, Optionals: q.Optionals})
 	if err != nil {
 		return nil, err
 	}
-	rows, err := engine.Materialize(db.store, q, er)
+	rows, err := engine.Materialize(v.snap, q, er)
 	if err != nil {
 		return nil, err
 	}
@@ -299,10 +475,10 @@ func (db *DB) queryParsed(src string, q *sparql.Query) (*Result, error) {
 
 // countSolutions counts solutions of the (possibly UNION) BGP with its
 // filters, before projection and modifiers.
-func (db *DB) countSolutions(src string, q *sparql.Query) (int64, error) {
+func (v view) countSolutions(src string, q *sparql.Query) (int64, error) {
 	if len(q.UnionGroups) == 0 {
-		plan := db.plan(q)
-		er, err := db.exec(src, plan, engine.Options{CountOnly: true, Filters: q.Filters, Optionals: q.Optionals})
+		plan := v.plan(q)
+		er, err := v.exec(src, plan, engine.Options{CountOnly: true, Filters: q.Filters, Optionals: q.Optionals})
 		if err != nil {
 			return 0, err
 		}
@@ -311,8 +487,8 @@ func (db *DB) countSolutions(src string, q *sparql.Query) (int64, error) {
 	var total int64
 	for i := range q.UnionGroups {
 		bq := q.Branch(i)
-		plan := db.plan(bq)
-		er, err := db.exec(src, plan, engine.Options{CountOnly: true, Filters: bq.Filters})
+		plan := v.plan(bq)
+		er, err := v.exec(src, plan, engine.Options{CountOnly: true, Filters: bq.Filters})
 		if err != nil {
 			return 0, err
 		}
@@ -400,12 +576,13 @@ func (db *DB) Ask(src string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	v := db.view()
 	if len(q.UnionGroups) > 0 {
-		n, err := db.countSolutions(src, q)
+		n, err := v.countSolutions(src, q)
 		return n > 0, err
 	}
-	plan := db.plan(q)
-	er, err := db.exec(src, plan, engine.Options{Filters: q.Filters, Optionals: q.Optionals, Limit: 1})
+	plan := v.plan(q)
+	er, err := v.exec(src, plan, engine.Options{Filters: q.Filters, Optionals: q.Optionals, Limit: 1})
 	if err != nil {
 		return false, err
 	}
@@ -419,7 +596,7 @@ func (db *DB) Count(src string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return db.countSolutions(src, q)
+	return db.view().countSolutions(src, q)
 }
 
 // Explain returns the query plan built with the requested statistics:
@@ -429,11 +606,12 @@ func (db *DB) Explain(src, approach string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	v := db.view()
 	switch approach {
 	case "", "SS":
-		return db.plan(q).String(), nil
+		return v.plan(q).String(), nil
 	case "GS":
-		return core.Optimize(q, db.gs).String(), nil
+		return core.Optimize(q, v.ps.gs).String(), nil
 	default:
 		return "", fmt.Errorf("rdfshapes: unknown approach %q (want SS or GS)", approach)
 	}
@@ -446,8 +624,9 @@ func (db *DB) EstimateCount(src string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	plan := db.plan(q)
-	est, _ := cardinality.SequenceEstimate(q, plan.Order(), db.estimatorFor(q))
+	v := db.view()
+	plan := v.plan(q)
+	est, _ := cardinality.SequenceEstimate(q, plan.Order(), v.estimatorFor(q))
 	return est * cardinality.FilterSelectivity(q), nil
 }
 
@@ -474,14 +653,15 @@ func (db *DB) QueryEach(src string, fn func(row map[string]string) bool) error {
 		}
 		return nil
 	}
-	plan := db.plan(q)
+	v := db.view()
+	plan := v.plan(q)
 	proj := q.Projection
 	if len(proj) == 0 {
 		proj = q.AllVars()
 	}
 	// Engine rows stream through Materialize in result order, so a
 	// limited run is enough; budget still applies.
-	er, err := db.exec(src, plan, engine.Options{
+	er, err := v.exec(src, plan, engine.Options{
 		Filters:   q.Filters,
 		Optionals: q.Optionals,
 		Limit:     q.Limit,
@@ -489,7 +669,7 @@ func (db *DB) QueryEach(src string, fn func(row map[string]string) bool) error {
 	if err != nil {
 		return err
 	}
-	rows, err := engine.Materialize(db.store, q, er)
+	rows, err := engine.Materialize(v.snap, q, er)
 	if err != nil {
 		return err
 	}
@@ -519,7 +699,7 @@ func (db *DB) Construct(src string) (rdf.Graph, error) {
 	inner.Construct = nil
 	inner.Projection = nil // bind everything the template may need
 	inner.Distinct = false
-	res, err := db.queryParsed(src, inner)
+	res, err := db.view().queryParsed(src, inner)
 	if err != nil {
 		return nil, err
 	}
@@ -569,22 +749,39 @@ func (db *DB) Construct(src string) (rdf.Graph, error) {
 }
 
 // Validate checks the data against the shapes graph's constraints and
-// returns up to limit violations (0 = all).
+// returns up to limit violations (0 = all). Any pending overlay is
+// compacted first so committed updates are validated too.
 func (db *DB) Validate(limit int) []shacl.Violation {
-	return db.shapes.Validate(db.store, limit)
+	snap, err := db.live.Compact()
+	if err != nil {
+		// Compaction over an unfrozen rebuild cannot fail in practice;
+		// fall back to validating the current base.
+		snap = db.live.Snapshot()
+	}
+	return db.Shapes().Validate(snap.Base(), limit)
 }
 
-// Shapes exposes the annotated shapes graph.
-func (db *DB) Shapes() *shacl.ShapesGraph { return db.shapes }
+// Shapes exposes the current annotated shapes graph. The returned graph
+// is an immutable version: updates publish fresh copies rather than
+// mutating it.
+func (db *DB) Shapes() *shacl.ShapesGraph { return db.planner.Load().shapes }
 
-// Stats exposes the extended-VoID global statistics.
-func (db *DB) Stats() *gstats.Global { return db.global }
+// Stats exposes the current extended-VoID global statistics. The
+// returned value is an immutable version: updates publish fresh copies
+// rather than mutating it.
+func (db *DB) Stats() *gstats.Global { return db.planner.Load().global }
 
-// Store exposes the underlying triple store.
-func (db *DB) Store() *store.Store { return db.store }
+// Store exposes the current frozen base store, excluding any
+// uncompacted overlay. Tools that need the full committed dataset as a
+// *store.Store should call WriteSnapshot or Validate semantics instead;
+// query paths use consistent snapshots internally.
+func (db *DB) Store() *store.Store { return db.live.Base() }
 
-// NumTriples returns the dataset size.
-func (db *DB) NumTriples() int { return db.store.Len() }
+// Live exposes the live overlay store for advanced integrations.
+func (db *DB) Live() *live.Store { return db.live }
+
+// NumTriples returns the dataset size, including committed updates.
+func (db *DB) NumTriples() int { return db.live.Snapshot().Len() }
 
 // Collector returns the installed observability collector, or nil.
 func (db *DB) Collector() *obsv.Collector { return db.obs }
@@ -596,7 +793,7 @@ func (db *DB) SetCollector(c *obsv.Collector) { db.obs = c }
 
 // WriteShapesTurtle serializes the annotated shapes graph as Turtle.
 func (db *DB) WriteShapesTurtle(w io.Writer) error {
-	return db.shapes.WriteTurtle(w, nil)
+	return db.Shapes().WriteTurtle(w, nil)
 }
 
 // exec executes a planned BGP with the DB's operation budget applied.
@@ -604,11 +801,12 @@ func (db *DB) WriteShapesTurtle(w io.Writer) error {
 // trace: per-pattern estimated (the plan's join estimates) vs. actual
 // (the engine's intermediate sizes) cardinalities, q-error, ops, and
 // wall time. Without a collector it is exactly the old fast path.
-func (db *DB) exec(src string, plan *core.Plan, opts engine.Options) (*engine.Result, error) {
+func (v view) exec(src string, plan *core.Plan, opts engine.Options) (*engine.Result, error) {
+	db := v.db
 	opts.MaxOps = db.maxOps
 	c := db.obs
 	if c == nil {
-		er, err := engine.Run(db.store, plan.Order(), opts)
+		er, err := engine.Run(v.snap, plan.Order(), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -621,7 +819,7 @@ func (db *DB) exec(src string, plan *core.Plan, opts engine.Options) (*engine.Re
 	var rep engine.ExecReport
 	var reported bool
 	opts.Observer = func(r engine.ExecReport) { rep, reported = r, true }
-	er, err := engine.Run(db.store, plan.Order(), opts)
+	er, err := engine.Run(v.snap, plan.Order(), opts)
 
 	t := obsv.QueryTrace{
 		Query:         src,
@@ -660,15 +858,15 @@ func (db *DB) exec(src string, plan *core.Plan, opts engine.Options) (*engine.Re
 	return er, nil
 }
 
-func (db *DB) plan(q *sparql.Query) *core.Plan {
-	return core.Optimize(q, db.estimatorFor(q))
+func (v view) plan(q *sparql.Query) *core.Plan {
+	return core.Optimize(q, v.estimatorFor(q))
 }
 
 // estimatorFor applies the paper's Section 6.1 rule: shape statistics
 // when the query has a type-defined triple pattern, global otherwise.
-func (db *DB) estimatorFor(q *sparql.Query) cardinality.Estimator {
-	if q.HasTypePattern() && db.shapes.Annotated() {
-		return db.ss
+func (v view) estimatorFor(q *sparql.Query) cardinality.Estimator {
+	if q.HasTypePattern() && v.ps.shapes.Annotated() {
+		return v.ps.ss
 	}
-	return db.gs
+	return v.ps.gs
 }

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Repo verification: static checks, the tier-1 suite, and the race
 # detector over the concurrency-sensitive packages (the observability
-# collector and the HTTP server). Run from the repo root.
+# collector, the live update layer, and the HTTP server). Run from the
+# repo root.
 set -eu
 
 echo "== go build =="
@@ -21,7 +22,7 @@ fi
 echo "== go test (tier-1) =="
 go test ./...
 
-echo "== go test -race (obsv, server) =="
-go test -race ./internal/obsv ./internal/server
+echo "== go test -race (obsv, live, server) =="
+go test -race ./internal/obsv ./internal/live ./internal/server
 
 echo "verify: all checks passed"
