@@ -18,11 +18,19 @@ import (
 // delta overlay. Readers call Snapshot and are wait-free; writers are
 // serialized by an internal mutex and publish a new snapshot per batch.
 type Store struct {
-	mu  sync.Mutex // serializes Apply, Compact, SetAutoCompact
+	mu  sync.Mutex // serializes Apply, SetAutoCompact, and Compact's publish phase
 	cur atomic.Pointer[Snapshot]
 
-	compactThreshold int // overlay size triggering background compaction; <=0 disables
-	compacting       atomic.Bool
+	// compactMu serializes whole compactions. Compact releases ls.mu
+	// during its build phase and rebases concurrent commits afterwards
+	// under the assumption that the base did not change in between — an
+	// overlapping Compact (background vs. a direct call from
+	// WriteSnapshot/Reannotate) would break that and publish an inverted
+	// residual, so every Compact holds compactMu start to finish.
+	compactMu sync.Mutex
+
+	compactThreshold int         // overlay size triggering background compaction; <=0 disables
+	compacting       atomic.Bool // guards scheduling, not execution: see compactMu
 	wg               sync.WaitGroup
 }
 
@@ -162,8 +170,15 @@ func (ls *Store) maybeCompact(s *Snapshot) {
 // snapshot over it. The bulk of the work (building and freezing the new
 // base) runs without blocking writers; commits that land meanwhile are
 // carried over as a residual overlay, so the merged view is unchanged.
-// Returns the published snapshot.
+// Concurrent Compact calls serialize against each other. Returns the
+// published snapshot.
 func (ls *Store) Compact() (*Snapshot, error) {
+	// Whole-compaction mutual exclusion: the phase-2 residual math below
+	// is only valid while the base stays the one captured in start, and
+	// only another compaction can replace the base.
+	ls.compactMu.Lock()
+	defer ls.compactMu.Unlock()
+
 	ls.mu.Lock()
 	start := ls.cur.Load()
 	ls.mu.Unlock()

@@ -236,6 +236,86 @@ func TestAutoCompact(t *testing.T) {
 	}
 }
 
+// TestConcurrentCompactionsDoNotRevertCommits exercises overlapping
+// Compact callers (the background compactor racing direct calls from
+// WriteSnapshot/Reannotate). Without whole-compaction serialization the
+// phase-2 rebase of a lagging Compact assumes the base it started from
+// is still current and publishes an inverted residual, silently
+// reverting commits; this asserts every committed insert survives. Run
+// under -race.
+func TestConcurrentCompactionsDoNotRevertCommits(t *testing.T) {
+	const (
+		writers    = 3
+		compactors = 3
+		commits    = 120
+	)
+	ls := Wrap(baseStore(triple("seed", "p", "o")))
+	done := make(chan struct{})
+
+	var compWG sync.WaitGroup
+	for c := 0; c < compactors; c++ {
+		compWG.Add(1)
+		go func() {
+			defer compWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					if _, err := ls.Compact(); err != nil {
+						t.Errorf("Compact: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < commits; i++ {
+				ls.Apply(Batch{Insert: []rdf.Triple{
+					triple(fmt.Sprintf("w%d", w), "p", fmt.Sprintf("o%d", i)),
+				}})
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(done)
+	compWG.Wait()
+	ls.Wait()
+
+	snap := ls.Snapshot()
+	if want := 1 + writers*commits; snap.Len() != want {
+		t.Errorf("Len = %d after concurrent compactions, want %d", snap.Len(), want)
+	}
+	d := snap.Dict()
+	for w := 0; w < writers; w++ {
+		for i := 0; i < commits; i++ {
+			it, ok := lookupTriple(d, triple(fmt.Sprintf("w%d", w), "p", fmt.Sprintf("o%d", i)))
+			if !ok || !snap.Contains(it) {
+				t.Fatalf("committed triple w%d o%d reverted by a concurrent compaction", w, i)
+			}
+		}
+	}
+}
+
+func TestSnapshotTypeIDFromOverlay(t *testing.T) {
+	ls := Wrap(baseStore(triple("a", "p", "b")))
+	if got := ls.Snapshot().TypeID(); got != 0 {
+		t.Fatalf("TypeID = %d with no rdf:type anywhere, want 0", got)
+	}
+	ls.Apply(Batch{Insert: []rdf.Triple{
+		rdf.NewTriple(iri("a"), rdf.NewIRI(rdf.RDFType), iri("C")),
+	}})
+	if ls.Snapshot().TypeID() == 0 {
+		t.Error("TypeID = 0 with a typed triple in the overlay")
+	}
+}
+
 // TestConcurrentReadersWritersNoTornBatches is the torn-batch race test:
 // every writer commit inserts or deletes a PAIR of triples for one
 // subject atomically, so any consistent snapshot contains 0 or 2 triples

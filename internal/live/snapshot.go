@@ -1,6 +1,9 @@
 package live
 
-import "rdfshapes/internal/store"
+import (
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/store"
+)
 
 // Snapshot is one immutable version of the dataset: a frozen base store
 // plus a delta overlay of added and deleted triples. It satisfies
@@ -30,6 +33,20 @@ func (s *Snapshot) Base() *store.Store { return s.base }
 // Gen returns the snapshot's generation number, incremented by every
 // commit and compaction.
 func (s *Snapshot) Gen() uint64 { return s.gen }
+
+// TypeID returns the dictionary ID of rdf:type, or 0 when the term is
+// unknown. The base's cached ID is 0 when no base triple uses rdf:type,
+// so fall back to the shared dictionary to cover typed triples that so
+// far exist only in the overlay.
+func (s *Snapshot) TypeID() store.ID {
+	if id := s.base.TypeID(); id != 0 {
+		return id
+	}
+	if id, ok := s.base.Dict().Lookup(rdf.NewIRI(rdf.RDFType)); ok {
+		return id
+	}
+	return 0
+}
 
 // Overlay returns the overlay's added and deleted triple counts.
 func (s *Snapshot) Overlay() (added, deleted int) {

@@ -26,6 +26,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -106,6 +107,36 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
 }
 
+// maxBodyBytes caps raw POST bodies. A body exceeding it is rejected
+// with 413 rather than truncated: a truncation landing on an operation
+// boundary would silently apply a partial update.
+const maxBodyBytes = 1 << 20
+
+// errBodyTooLarge marks a rejected oversized body; handlers map it to
+// 413 Request Entity Too Large via errorStatus.
+var errBodyTooLarge = fmt.Errorf("request body exceeds %d bytes", maxBodyBytes)
+
+// readBody reads a raw POST body up to maxBodyBytes, returning
+// errBodyTooLarge when the body is bigger.
+func readBody(r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > maxBodyBytes {
+		return nil, errBodyTooLarge
+	}
+	return body, nil
+}
+
+// errorStatus picks the HTTP status for a request-extraction error.
+func errorStatus(err error) int {
+	if errors.Is(err, errBodyTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // queryParam extracts the SPARQL query from a GET parameter, a form
 // field, or a raw application/sparql-query POST body.
 func queryParam(r *http.Request) (string, error) {
@@ -115,7 +146,7 @@ func queryParam(r *http.Request) (string, error) {
 	if r.Method == http.MethodPost {
 		ct := r.Header.Get("Content-Type")
 		if strings.HasPrefix(ct, "application/sparql-query") {
-			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			body, err := readBody(r)
 			if err != nil {
 				return "", err
 			}
@@ -157,7 +188,7 @@ type jsonResults struct {
 func updateParam(r *http.Request) (string, error) {
 	ct := r.Header.Get("Content-Type")
 	if strings.HasPrefix(ct, "application/sparql-update") {
-		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		body, err := readBody(r)
 		if err != nil {
 			return "", err
 		}
@@ -183,7 +214,7 @@ func (h *Handler) update(w http.ResponseWriter, r *http.Request) {
 	}
 	src, err := updateParam(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), errorStatus(err))
 		return
 	}
 	res, err := h.db.Update(src)
@@ -201,7 +232,7 @@ func (h *Handler) sparql(w http.ResponseWriter, r *http.Request) {
 	}
 	src, err := queryParam(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), errorStatus(err))
 		return
 	}
 	switch queryForm(src) {
@@ -307,7 +338,7 @@ func (h *Handler) explain(w http.ResponseWriter, r *http.Request) {
 	}
 	src, err := queryParam(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), errorStatus(err))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

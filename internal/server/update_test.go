@@ -105,6 +105,29 @@ func TestUpdateBadRequests(t *testing.T) {
 	}
 }
 
+// TestBodyTooLarge checks oversized raw POST bodies get 413 instead of
+// being truncated into a possibly well-formed partial request.
+func TestBodyTooLarge(t *testing.T) {
+	srv := newServer(t)
+	big := strings.Repeat("#", 1<<20+1)
+	for _, c := range []struct{ path, ct string }{
+		{"/update", "application/sparql-update"},
+		{"/sparql", "application/sparql-query"},
+	} {
+		resp, err := http.Post(srv.URL+c.path, c.ct, strings.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("POST %s with oversized body: status = %d, want 413", c.path, resp.StatusCode)
+		}
+	}
+	if n := countPersons(t, srv.URL); n != 2 {
+		t.Errorf("persons = %d after rejected updates, want 2 (no partial apply)", n)
+	}
+}
+
 // TestMethodNotAllowed checks the 405 + Allow hygiene across endpoints.
 func TestMethodNotAllowed(t *testing.T) {
 	srv := newServer(t)

@@ -27,13 +27,24 @@ func (v Violation) String() string {
 	return fmt.Sprintf("%s: %s @ %s", v.Shape, v.Message, v.FocusNode)
 }
 
+// Source is the read-only data view validation runs against. Both the
+// frozen *store.Store and the live overlay snapshot satisfy it, so
+// committed-but-uncompacted updates can be validated without forcing a
+// compaction.
+type Source interface {
+	Dict() *store.Dict
+	TypeID() store.ID
+	Scan(pat store.IDTriple, fn func(store.IDTriple) bool)
+	Contains(t store.IDTriple) bool
+}
+
 // Validate checks every instance of each node shape's target class
 // against the shape's property constraints (sh:datatype, sh:class,
 // sh:nodeKind). It returns the violations found, up to limit (0 = all).
 //
 // This is SHACL's original validation semantics, retained to demonstrate
 // that the statistics annotations do not interfere with it.
-func (sg *ShapesGraph) Validate(st *store.Store, limit int) []Violation {
+func (sg *ShapesGraph) Validate(st Source, limit int) []Violation {
 	var out []Violation
 	tid := st.TypeID()
 	if tid == 0 {
@@ -105,7 +116,7 @@ func checkCardinality(ps *PropertyShape, occurrences int64) (Violation, bool) {
 	return Violation{}, false
 }
 
-func checkObject(ps *PropertyShape, st *store.Store, obj rdf.Term) (Violation, bool) {
+func checkObject(ps *PropertyShape, st Source, obj rdf.Term) (Violation, bool) {
 	base := Violation{Shape: ps.IRI, Path: ps.Path}
 	switch ps.NodeKind {
 	case "IRI":

@@ -183,6 +183,32 @@ func TestReannotateZeroesDrift(t *testing.T) {
 	}
 }
 
+// TestValidateSeesUncompactedOverlay: Validate runs against the merged
+// snapshot view, so a violation committed via Update is reported while
+// it still lives in the overlay — and Validate leaves the overlay alone
+// instead of compacting it as a side effect.
+func TestValidateSeesUncompactedOverlay(t *testing.T) {
+	db := open(t)
+	if vs := db.Validate(0); len(vs) != 0 {
+		t.Fatalf("violations before update: %v", vs)
+	}
+	// ex:name is inferred as sh:nodeKind Literal; an IRI object violates it
+	if _, err := db.Update(`PREFIX ex: <http://ex/>
+		INSERT DATA { ex:carol a ex:Person . ex:carol ex:name ex:bob }`); err != nil {
+		t.Fatal(err)
+	}
+	vs := db.Validate(0)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want the overlay's nodeKind violation", vs)
+	}
+	if !strings.Contains(vs[0].Message, "not a literal") {
+		t.Errorf("violation = %v, want a nodeKind message", vs[0])
+	}
+	if a, d := db.OverlaySize(); a != 2 || d != 0 {
+		t.Errorf("overlay = +%d/-%d after Validate, want +2/-0 (no compaction side effect)", a, d)
+	}
+}
+
 func TestWriteSnapshotIncludesUpdates(t *testing.T) {
 	db := open(t)
 	if _, err := db.Update(`PREFIX ex: <http://ex/>

@@ -749,16 +749,11 @@ func (db *DB) Construct(src string) (rdf.Graph, error) {
 }
 
 // Validate checks the data against the shapes graph's constraints and
-// returns up to limit violations (0 = all). Any pending overlay is
-// compacted first so committed updates are validated too.
+// returns up to limit violations (0 = all). It runs against the current
+// merged snapshot — base plus any uncompacted overlay — so committed
+// updates are always validated, without triggering a compaction.
 func (db *DB) Validate(limit int) []shacl.Violation {
-	snap, err := db.live.Compact()
-	if err != nil {
-		// Compaction over an unfrozen rebuild cannot fail in practice;
-		// fall back to validating the current base.
-		snap = db.live.Snapshot()
-	}
-	return db.Shapes().Validate(snap.Base(), limit)
+	return db.Shapes().Validate(db.live.Snapshot(), limit)
 }
 
 // Shapes exposes the current annotated shapes graph. The returned graph
