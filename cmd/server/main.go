@@ -6,20 +6,32 @@
 // format) and /trace/recent (per-query traces with estimated vs. actual
 // cardinalities; see docs/OBSERVABILITY.md).
 //
+// Requests run under a query governor (docs/RESILIENCE.md): at most
+// -max-concurrent queries execute at once (overload answers 503 with
+// Retry-After), each query is bounded by -query-timeout or a client
+// timeout= parameter, and -max-rows/-max-intermediate budgets turn
+// runaway result sets into marked partial responses. SIGINT/SIGTERM
+// drains in-flight requests before exiting.
+//
 //	server -dataset lubm -scale 1 -addr :8080
 //	server -data graph.nt -addr :8080 -tracebuf 1024
-//	curl 'localhost:8080/sparql?query=SELECT...'
+//	server -dataset lubm -query-timeout 5s -max-concurrent 32
+//	curl 'localhost:8080/sparql?query=SELECT...&timeout=500ms'
 //	curl 'localhost:8080/update' -d 'update=INSERT DATA { <s> <p> <o> }'
 //	curl 'localhost:8080/metrics'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"rdfshapes"
 	"rdfshapes/internal/datagen/lubm"
@@ -41,25 +53,74 @@ func main() {
 		"overlay size triggering background compaction (0 = never)")
 	driftAt := flag.Int64("drift-threshold", rdfshapes.DefaultDriftThreshold,
 		"statistics drift triggering background re-annotation (0 = never)")
+	maxConcurrent := flag.Int("max-concurrent", server.DefaultMaxConcurrent,
+		"queries executing at once; excess requests wait -queue-wait then get 503 (<0 = unlimited)")
+	queueWait := flag.Duration("queue-wait", server.DefaultQueueWait,
+		"how long an arriving request waits for an execution slot before 503")
+	queryTimeout := flag.Duration("query-timeout", 30*time.Second,
+		"per-query deadline, and the ceiling for client timeout= parameters (0 = none)")
+	maxRows := flag.Int64("max-rows", 0,
+		"result-row budget per query; overruns return a partial result marked truncated (0 = unlimited)")
+	maxIntermediate := flag.Int64("max-intermediate", 0,
+		"intermediate-binding budget per query; overruns return a partial result marked truncated (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long shutdown waits for in-flight requests before giving up")
 	flag.Parse()
 
-	db, err := open(*dataset, *dataFile, *scale, *seed, *budget, *compactAt, *driftAt)
+	db, err := open(*dataset, *dataFile, *scale, *seed, *budget, *compactAt, *driftAt,
+		rdfshapes.Limits{MaxRows: *maxRows, MaxIntermediate: *maxIntermediate})
 	if err != nil {
 		log.Fatal("server: ", err)
 	}
 	db.SetCollector(obsv.NewCollector(*tracebuf))
+
+	handler := server.NewWithConfig(db, server.Config{
+		MaxConcurrent: *maxConcurrent,
+		QueueWait:     *queueWait,
+		QueryTimeout:  *queryTimeout,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		// No WriteTimeout: large CONSTRUCT/stats exports stream for longer
+		// than any sensible constant; query execution itself is already
+		// bounded by -query-timeout.
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("serving %d triples (%d node shapes) on %s (updates at /update, metrics at /metrics, traces at /trace/recent)",
 		db.NumTriples(), db.Shapes().Len(), *addr)
-	if err := http.ListenAndServe(*addr, server.New(db)); err != nil {
+
+	select {
+	case err := <-errc:
 		log.Fatal("server: ", err)
+	case <-ctx.Done():
 	}
+	stop() // a second signal kills immediately instead of waiting out the drain
+	log.Printf("shutting down: draining in-flight requests (up to %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("server: shutdown: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		log.Printf("server: close: %v", err)
+	}
+	log.Print("server: stopped")
 }
 
-func open(dataset, dataFile string, scale int, seed, budget int64, compactAt int, driftAt int64) (*rdfshapes.DB, error) {
+func open(dataset, dataFile string, scale int, seed, budget int64, compactAt int, driftAt int64, limits rdfshapes.Limits) (*rdfshapes.DB, error) {
 	opts := []rdfshapes.Option{
 		rdfshapes.WithOpsBudget(budget),
 		rdfshapes.WithAutoCompact(compactAt),
 		rdfshapes.WithDriftThreshold(driftAt),
+		rdfshapes.WithLimits(limits),
 	}
 	if dataFile != "" {
 		f, err := os.Open(dataFile)

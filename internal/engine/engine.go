@@ -10,6 +10,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -24,6 +25,29 @@ import (
 // timeout).
 var ErrBudgetExceeded = errors.New("engine: operation budget exceeded")
 
+// ErrCanceled aborts a Run whose Options.Ctx was canceled — typically a
+// client that disconnected mid-query.
+var ErrCanceled = errors.New("engine: query canceled")
+
+// ErrDeadline aborts a Run whose Options.Ctx deadline passed.
+var ErrDeadline = errors.New("engine: query deadline exceeded")
+
+// cancelCheckMask amortizes context checks: the context is consulted
+// once every 1024 index rows visited, so a mis-planned join notices
+// cancellation within microseconds while the no-context fast path pays
+// only a nil check per row.
+const cancelCheckMask = 1<<10 - 1
+
+// CtxError maps a context error to the engine's typed errors:
+// context.DeadlineExceeded becomes ErrDeadline, anything else (an
+// explicit cancel) becomes ErrCanceled.
+func CtxError(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrDeadline
+	}
+	return ErrCanceled
+}
+
 // Source is the read interface the engine executes against: a frozen
 // store.Store or a live.Snapshot (frozen base plus delta overlay). Scan
 // must enumerate matches of a pattern (store.Wildcard in a position
@@ -36,9 +60,24 @@ type Source interface {
 
 // Options configures a BGP execution.
 type Options struct {
+	// Ctx, when non-nil, is checked for cancellation once every ~1024
+	// index rows visited (cancelCheckMask): a canceled context aborts
+	// the run with ErrCanceled, an expired deadline with ErrDeadline.
+	// nil (the default) is the zero-cost path: no checks at all.
+	Ctx context.Context
 	// MaxOps caps the number of index rows visited; 0 means unlimited.
 	// When exceeded, execution stops and Result.TimedOut is set.
 	MaxOps int64
+	// MaxIntermediate caps the total intermediate bindings produced
+	// across all required join levels — the quantity a mis-ordered plan
+	// explodes (paper Eq. 1–3); 0 means unlimited. When exceeded,
+	// execution stops and the partial result is marked Truncated.
+	MaxIntermediate int64
+	// MaxRows caps result rows; 0 means unlimited. Unlike Limit, which
+	// models the query's LIMIT clause, MaxRows is a server-side budget:
+	// hitting it marks the result Truncated so callers can degrade
+	// gracefully instead of silently under-reporting.
+	MaxRows int64
 	// CountOnly suppresses row materialization; only counts are kept.
 	CountOnly bool
 	// Limit stops after this many result rows (0 = unlimited). Ignored
@@ -82,6 +121,9 @@ type ExecReport struct {
 	// LimitHit is true when Options.Limit stopped the run early, making
 	// Intermediate lower bounds of the full enumeration.
 	LimitHit bool
+	// Truncated is true when MaxIntermediate or MaxRows stopped the run
+	// early, making Count and Intermediate lower bounds.
+	Truncated bool
 }
 
 // Result holds the outcome of executing a BGP.
@@ -106,6 +148,11 @@ type Result struct {
 	// work performed, which is less than a full enumeration would
 	// produce (pinned by TestLimitIntermediateAccounting).
 	LimitHit bool
+	// Truncated is true when a MaxIntermediate or MaxRows budget stopped
+	// the run early: Rows holds the bindings produced so far, and Count
+	// and Intermediate are lower bounds. This is the partial-result
+	// contract — the run did not fail, it degraded.
+	Truncated bool
 }
 
 // compiledPattern precomputes, for one pattern, the constant IDs and the
@@ -120,6 +167,11 @@ type compiledPattern struct {
 func Run(st Source, patterns []sparql.TriplePattern, opts Options) (*Result, error) {
 	if len(patterns) == 0 {
 		return nil, fmt.Errorf("engine: empty pattern list")
+	}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, CtxError(err)
+		}
 	}
 	var start time.Time
 	if opts.Observer != nil {
@@ -136,6 +188,7 @@ func Run(st Source, patterns []sparql.TriplePattern, opts Options) (*Result, err
 			Intermediate: append([]int64(nil), res.Intermediate...),
 			TimedOut:     res.TimedOut,
 			LimitHit:     res.LimitHit,
+			Truncated:    res.Truncated,
 		})
 	}
 	res := &Result{Intermediate: make([]int64, len(patterns))}
@@ -186,12 +239,17 @@ func Run(st Source, patterns []sparql.TriplePattern, opts Options) (*Result, err
 		row:        row,
 		res:        res,
 		opts:       opts,
+		ctx:        opts.Ctx,
 	}
 	exec.level(0)
+	if exec.ctxErr != nil {
+		return nil, CtxError(exec.ctxErr)
+	}
 	if exec.stopped && exec.budgetHit {
 		res.TimedOut = true
 	}
 	res.LimitHit = exec.limitHit
+	res.Truncated = exec.truncated
 	report(res)
 	return res, nil
 }
@@ -224,17 +282,21 @@ func compilePatterns(st Source, patterns []sparql.TriplePattern, slots map[strin
 }
 
 type executor struct {
-	st         Source
-	compiled   []compiledPattern
-	groups     [][]compiledPattern // OPTIONAL groups
-	groupEmpty []bool              // group references a term absent from the data
-	filters    [][]compiledFilter  // per required level, applied once bound
-	row        []store.ID
-	res        *Result
-	opts       Options
-	stopped    bool
-	budgetHit  bool
-	limitHit   bool
+	st           Source
+	compiled     []compiledPattern
+	groups       [][]compiledPattern // OPTIONAL groups
+	groupEmpty   []bool              // group references a term absent from the data
+	filters      [][]compiledFilter  // per required level, applied once bound
+	row          []store.ID
+	res          *Result
+	opts         Options
+	ctx          context.Context // nil: no cancellation checks at all
+	ctxErr       error           // the context error that aborted the run
+	intermediate int64           // running total, maintained only under MaxIntermediate
+	stopped      bool
+	budgetHit    bool
+	limitHit     bool
+	truncated    bool
 }
 
 // emit records one complete solution.
@@ -246,6 +308,10 @@ func (e *executor) emit() {
 			e.stopped = true
 			e.limitHit = true
 		}
+	}
+	if e.opts.MaxRows > 0 && e.res.Count >= e.opts.MaxRows {
+		e.stopped = true
+		e.truncated = true
 	}
 }
 
@@ -260,6 +326,14 @@ func (e *executor) level(i int) {
 	}
 	e.scan(e.compiled[i], e.filters[i], func() {
 		e.res.Intermediate[i]++
+		if e.opts.MaxIntermediate > 0 {
+			e.intermediate++
+			if e.intermediate > e.opts.MaxIntermediate {
+				e.stopped = true
+				e.truncated = true
+				return
+			}
+		}
 		e.level(i + 1)
 	})
 }
@@ -331,6 +405,13 @@ func (e *executor) scan(cp compiledPattern, filters []compiledFilter, cont func(
 	}
 	e.st.Scan(pat, func(t store.IDTriple) bool {
 		e.res.Ops++
+		if e.ctx != nil && e.res.Ops&cancelCheckMask == 0 {
+			if err := e.ctx.Err(); err != nil {
+				e.stopped = true
+				e.ctxErr = err
+				return false
+			}
+		}
 		if e.opts.MaxOps > 0 && e.res.Ops > e.opts.MaxOps {
 			e.stopped = true
 			e.budgetHit = true

@@ -68,6 +68,15 @@ func (ls *Store) SetAutoCompact(n int) {
 // concurrent Apply can schedule new ones.
 func (ls *Store) Wait() { ls.wg.Wait() }
 
+// Close disables background compaction scheduling and waits for any
+// in-flight compaction to finish. The store stays readable and Apply
+// still commits (without triggering compaction); Close exists so owners
+// can guarantee no goroutine outlives them.
+func (ls *Store) Close() {
+	ls.SetAutoCompact(0)
+	ls.wg.Wait()
+}
+
 // Batch is one atomic set of changes. Deletions are applied before
 // insertions, so a triple appearing in both ends up present.
 type Batch struct {

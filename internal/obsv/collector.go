@@ -47,6 +47,7 @@ type Collector struct {
 
 	mu     sync.Mutex
 	gauges map[string]GaugeFunc
+	extra  map[string]*CounterVec // auxiliary counters (Counter), by name
 }
 
 // NewCollector returns a collector whose trace ring holds the last
@@ -71,6 +72,29 @@ func NewCollector(ringSize int) *Collector {
 			"Result rows produced by execution, before solution modifiers (LIMIT/OFFSET/DISTINCT)."),
 		gauges: map[string]GaugeFunc{},
 	}
+}
+
+// Counter returns the auxiliary counter family with the given name,
+// declaring it on first use; later calls with the same name return the
+// same family (the first call's help text and labels win). Auxiliary
+// counters render in WritePrometheus after the built-in query metrics,
+// sorted by name. On a nil collector it returns a detached counter, so
+// callers can Add unconditionally per the nil-collector convention.
+func (c *Collector) Counter(name, help string, labels ...string) *CounterVec {
+	if c == nil {
+		return NewCounterVec(name, help, labels...)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.extra == nil {
+		c.extra = map[string]*CounterVec{}
+	}
+	if cv, ok := c.extra[name]; ok {
+		return cv
+	}
+	cv := NewCounterVec(name, help, labels...)
+	c.extra[name] = cv
+	return cv
 }
 
 // RegisterGauge installs (or replaces) a scrape-time gauge.
@@ -160,6 +184,11 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	for _, n := range names {
 		gauges = append(gauges, c.gauges[n])
 	}
+	extraNames := sortedKeys(c.extra)
+	extras := make([]*CounterVec, 0, len(extraNames))
+	for _, n := range extraNames {
+		extras = append(extras, c.extra[n])
+	}
 	c.mu.Unlock()
 	for _, g := range gauges {
 		if err := g.write(w); err != nil {
@@ -176,6 +205,11 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		c.queries, c.duration, c.qerror, c.rowsVisited, c.intermediate, c.resultRows,
 	} {
 		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	for _, cv := range extras {
+		if err := cv.write(w); err != nil {
 			return err
 		}
 	}

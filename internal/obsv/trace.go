@@ -62,6 +62,13 @@ type QueryTrace struct {
 	// LimitHit is true when a result LIMIT stopped execution early, so
 	// the per-pattern actuals are lower bounds.
 	LimitHit bool `json:"limitHit,omitempty"`
+	// Truncated is true when an intermediate or row budget stopped
+	// execution early and a partial result was returned.
+	Truncated bool `json:"truncated,omitempty"`
+	// Termination names why execution ended before completing, one of
+	// "deadline", "canceled", "ops-budget", "truncated", "limit", or
+	// "error"; empty for a complete run.
+	Termination string `json:"termination,omitempty"`
 	// Err holds the error message for failed queries.
 	Err string `json:"error,omitempty"`
 }
@@ -83,7 +90,7 @@ func QError(estimated, actual float64) float64 {
 
 // Partial reports whether execution stopped before enumerating every
 // solution, making Actual values lower bounds.
-func (t *QueryTrace) Partial() bool { return t.TimedOut || t.LimitHit }
+func (t *QueryTrace) Partial() bool { return t.TimedOut || t.LimitHit || t.Truncated }
 
 // Finish computes the derived accounting fields — per-pattern q-errors,
 // the measured plan cost, and the final-cardinality q-error — from the

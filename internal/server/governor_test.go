@@ -1,0 +1,317 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rdfshapes"
+)
+
+// crossNT builds n unrelated triples per predicate, so the governed
+// cross-product query below enumerates n^3 bindings.
+func crossNT(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		for _, p := range []string{"p1", "p2", "p3"} {
+			fmt.Fprintf(&b, "<http://x/s%d> <http://x/%s> <http://x/o%d> .\n", i, p, i)
+		}
+	}
+	return b.String()
+}
+
+const crossQuery = `SELECT * WHERE {
+	?a <http://x/p1> ?b .
+	?c <http://x/p2> ?d .
+	?e <http://x/p3> ?f .
+}`
+
+func newGovernedServer(t *testing.T, n int, cfg Config, opts ...rdfshapes.Option) (*httptest.Server, *rdfshapes.DB) {
+	t.Helper()
+	db, err := rdfshapes.LoadNTriples(strings.NewReader(crossNT(n)), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewWithConfig(db, cfg))
+	t.Cleanup(func() { srv.Close(); db.Close() })
+	return srv, db
+}
+
+func metricsBody(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestQueryTimeoutE2E is the acceptance scenario: a pathological
+// cross-product with timeout=50ms comes back as 504 well under a
+// second, and the timeout counter moves.
+func TestQueryTimeoutE2E(t *testing.T) {
+	srv, _ := newGovernedServer(t, 200, Config{})
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/sparql?timeout=50ms&query=" + url.QueryEscape(crossQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("timed-out query took %v, want < 500ms", elapsed)
+	}
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	if body := metricsBody(t, srv.URL); !strings.Contains(body, MetricQueryTimeouts+" 1") {
+		t.Errorf("metrics missing %s 1", MetricQueryTimeouts)
+	}
+}
+
+func TestServerTimeoutCeilingClampsClientParam(t *testing.T) {
+	srv, _ := newGovernedServer(t, 200, Config{QueryTimeout: 30 * time.Millisecond})
+	// The client asks for a minute; the ceiling still cuts at 30ms.
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/sparql?timeout=1m&query=" + url.QueryEscape(crossQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("clamped query took %v", elapsed)
+	}
+}
+
+func TestInvalidTimeoutParam(t *testing.T) {
+	srv, _ := newGovernedServer(t, 2, Config{})
+	for _, bad := range []string{"nope", "-5s", "0s"} {
+		resp, err := http.Get(srv.URL + "/sparql?timeout=" + bad + "&query=" + url.QueryEscape(crossQuery))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("timeout=%q status = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestAdmissionControlRejects(t *testing.T) {
+	srv, _ := newGovernedServer(t, 120, Config{MaxConcurrent: 1, QueueWait: 20 * time.Millisecond})
+	// Occupy the single slot with a slow query.
+	slow := make(chan struct{})
+	go func() {
+		defer close(slow)
+		resp, err := http.Get(srv.URL + "/sparql?timeout=2s&query=" + url.QueryEscape(crossQuery))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	// Wait until the slot is actually held, not just the goroutine started.
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(metricsBody(t, srv.URL), MetricInFlight+" 1") {
+		if time.Now().After(deadline) {
+			t.Fatal("slow query never showed up in-flight")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(`SELECT * WHERE { ?a <http://x/p1> ?b }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 without Retry-After header")
+	}
+	<-slow
+	if body := metricsBody(t, srv.URL); !strings.Contains(body, MetricAdmissionRejected+" 1") {
+		t.Errorf("metrics missing %s 1", MetricAdmissionRejected)
+	}
+}
+
+func TestTruncatedResultOverHTTP(t *testing.T) {
+	srv, _ := newGovernedServer(t, 20, Config{}, rdfshapes.WithLimits(rdfshapes.Limits{MaxRows: 3}))
+	resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(crossQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (budget truncation is not an error)", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"truncated":true`) {
+		t.Fatalf("body missing truncated flag: %s", body)
+	}
+	if mb := metricsBody(t, srv.URL); !strings.Contains(mb, MetricResultTruncations+" 1") {
+		t.Errorf("metrics missing %s 1", MetricResultTruncations)
+	}
+}
+
+func TestCompleteResultOmitsTruncatedFlag(t *testing.T) {
+	srv, _ := newGovernedServer(t, 3, Config{})
+	resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(`SELECT * WHERE { ?a <http://x/p1> ?b }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(body), "truncated") {
+		t.Errorf("complete result carries truncated flag: %s", body)
+	}
+}
+
+func TestClientDisconnectCancelsQuery(t *testing.T) {
+	srv, _ := newGovernedServer(t, 200, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		srv.URL+"/sparql?query="+url.QueryEscape(crossQuery), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("request succeeded despite cancellation")
+	}
+	// The handler notices the dead client at its next amortized context
+	// check; poll the counter rather than sleeping a fixed amount.
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(metricsBody(t, srv.URL), MetricClientCancellations+" 1") {
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics missing %s 1", MetricClientCancellations)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	db, err := rdfshapes.LoadNTriples(strings.NewReader(crossNT(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	h := New(db)
+	h.mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) { panic("kaboom") })
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if body := metricsBody(t, srv.URL); !strings.Contains(body, MetricPanicsRecovered+" 1") {
+		t.Errorf("metrics missing %s 1", MetricPanicsRecovered)
+	}
+	// The server keeps serving after the panic.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz after panic = %d", resp.StatusCode)
+	}
+}
+
+func TestGovernorMetricNamesExposed(t *testing.T) {
+	srv, _ := newGovernedServer(t, 2, Config{})
+	body := metricsBody(t, srv.URL)
+	for _, name := range []string{
+		MetricInFlight, MetricAdmissionRejected, MetricQueryTimeouts,
+		MetricClientCancellations, MetricResultTruncations, MetricPanicsRecovered,
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("metrics missing %s", name)
+		}
+	}
+}
+
+// TestShutdownRacesInflightQueries drives concurrent queries and updates
+// against an http.Server being Shutdown and a DB being Closed, the
+// sequence cmd/server performs on SIGTERM. Run under -race by
+// scripts/verify.sh; correctness here is "no race, no hang, each request
+// ends in a well-formed response or a transport error".
+func TestShutdownRacesInflightQueries(t *testing.T) {
+	// The limits keep each racing query cheap to finish (a 30-row budget)
+	// so Shutdown's drain is bounded by execution, not by serializing a
+	// quarter-million-row JSON body.
+	db, err := rdfshapes.LoadNTriples(strings.NewReader(crossNT(60)),
+		rdfshapes.WithAutoCompact(4),
+		rdfshapes.WithLimits(rdfshapes.Limits{MaxRows: 30}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewWithConfig(db, Config{QueryTimeout: time.Second}))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				var resp *http.Response
+				var err error
+				if i%2 == 0 {
+					resp, err = http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(crossQuery))
+				} else {
+					up := fmt.Sprintf("INSERT DATA { <http://x/w%d> <http://x/q> <http://x/v%d> }", i, j)
+					resp, err = http.Post(srv.URL+"/update", "application/x-www-form-urlencoded",
+						strings.NewReader("update="+url.QueryEscape(up)))
+				}
+				if err != nil {
+					return // server already down: expected during shutdown
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Config.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	wg.Wait()
+	srv.Close()
+}

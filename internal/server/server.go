@@ -18,41 +18,130 @@
 // Requests with an unsupported method receive 405 Method Not Allowed
 // with an Allow header listing the supported methods.
 //
+// The query endpoints (/sparql, /update, /explain) run under a governor:
+// an admission semaphore bounds concurrent executions (excess requests
+// wait up to Config.QueueWait, then receive 503 with Retry-After), each
+// request carries a deadline from Config.QueryTimeout or a client
+// timeout= parameter (clamped to the server ceiling), and a disconnecting
+// client cancels its query through the request context. A panic in any
+// handler is recovered to a 500 and counted. docs/RESILIENCE.md documents
+// the governor; docs/OBSERVABILITY.md the metrics.
+//
 // New installs an obsv.Collector on the DB when none is present, so
-// every served query is traced by default. docs/OBSERVABILITY.md
-// documents each metric, label, and trace field; docs/LIVE_UPDATES.md
-// documents the /update endpoint and the live-update metrics.
+// every served query is traced by default.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"rdfshapes"
 	"rdfshapes/internal/obsv"
 	"rdfshapes/internal/rdf"
 )
 
+// Governor metric names, exported alongside the obsv package's inventory.
+const (
+	MetricInFlight            = "rdfshapes_http_in_flight_queries"
+	MetricAdmissionRejected   = "rdfshapes_admission_rejected_total"
+	MetricQueryTimeouts       = "rdfshapes_query_timeouts_total"
+	MetricClientCancellations = "rdfshapes_client_cancellations_total"
+	MetricResultTruncations   = "rdfshapes_result_truncations_total"
+	MetricPanicsRecovered     = "rdfshapes_panics_recovered_total"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxConcurrent = 64
+	DefaultQueueWait     = 100 * time.Millisecond
+)
+
+// statusClientClosedRequest is the de-facto status (nginx's 499) logged
+// when the client went away before the response; the client never sees
+// it, but it keeps access logs and tests honest about why the request
+// ended.
+const statusClientClosedRequest = 499
+
+// Config tunes the query governor.
+type Config struct {
+	// MaxConcurrent caps queries executing at once across /sparql,
+	// /update, and /explain. 0 selects DefaultMaxConcurrent; negative
+	// disables admission control.
+	MaxConcurrent int
+	// QueueWait bounds how long an arriving request waits for an
+	// execution slot before being rejected with 503. 0 selects
+	// DefaultQueueWait.
+	QueueWait time.Duration
+	// QueryTimeout is the per-request deadline, and the ceiling a client
+	// timeout= parameter is clamped to. 0 means no server-imposed
+	// deadline (clients may still set their own).
+	QueryTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = DefaultQueueWait
+	}
+	return c
+}
+
 // Handler routes the endpoints over a DB.
 type Handler struct {
 	db  *rdfshapes.DB
 	obs *obsv.Collector
 	mux *http.ServeMux
+	cfg Config
+	sem chan struct{} // admission semaphore; nil when disabled
+
+	inFlight    atomic.Int64
+	rejections  *obsv.CounterVec
+	timeouts    *obsv.CounterVec
+	cancels     *obsv.CounterVec
+	truncations *obsv.CounterVec
+	panics      *obsv.CounterVec
 }
 
-// New returns an http.Handler serving db. When db has no observability
-// collector yet, a default one (DefaultRingSize traces) is installed so
-// the /metrics and /trace/recent endpoints are live out of the box.
-func New(db *rdfshapes.DB) *Handler {
+// New returns an http.Handler serving db under the default governor
+// configuration. When db has no observability collector yet, a default
+// one (DefaultRingSize traces) is installed so the /metrics and
+// /trace/recent endpoints are live out of the box.
+func New(db *rdfshapes.DB) *Handler { return NewWithConfig(db, Config{}) }
+
+// NewWithConfig returns an http.Handler serving db under cfg.
+func NewWithConfig(db *rdfshapes.DB, cfg Config) *Handler {
 	if db.Collector() == nil {
 		db.SetCollector(obsv.NewCollector(0))
 	}
-	h := &Handler{db: db, obs: db.Collector(), mux: http.NewServeMux()}
+	cfg = cfg.withDefaults()
+	h := &Handler{db: db, obs: db.Collector(), mux: http.NewServeMux(), cfg: cfg}
+	if cfg.MaxConcurrent > 0 {
+		h.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	h.rejections = h.obs.Counter(MetricAdmissionRejected,
+		"Requests rejected with 503 because no execution slot freed up within the queue wait.")
+	h.timeouts = h.obs.Counter(MetricQueryTimeouts,
+		"Queries terminated by the per-request deadline (504).")
+	h.cancels = h.obs.Counter(MetricClientCancellations,
+		"Queries abandoned because the client disconnected mid-execution.")
+	h.truncations = h.obs.Counter(MetricResultTruncations,
+		"Query responses truncated by an intermediate- or row-budget (served with truncated=true).")
+	h.panics = h.obs.Counter(MetricPanicsRecovered,
+		"Handler panics recovered to a 500 response.")
+	h.obs.RegisterGauge(MetricInFlight,
+		"Governed HTTP queries currently executing.",
+		func() float64 { return float64(h.inFlight.Load()) })
 	h.obs.RegisterGauge("rdfshapes_dataset_triples",
 		"Triples in the served dataset.",
 		func() float64 { return float64(db.NumTriples()) })
@@ -77,9 +166,9 @@ func New(db *rdfshapes.DB) *Handler {
 	h.obs.RegisterGauge("rdfshapes_updates_applied",
 		"SPARQL UPDATE requests committed since startup.",
 		func() float64 { return float64(db.UpdatesApplied()) })
-	h.mux.HandleFunc("/sparql", h.sparql)
-	h.mux.HandleFunc("/update", h.update)
-	h.mux.HandleFunc("/explain", h.explain)
+	h.mux.HandleFunc("/sparql", h.govern(h.sparql))
+	h.mux.HandleFunc("/update", h.govern(h.update))
+	h.mux.HandleFunc("/explain", h.govern(h.explain))
 	h.mux.HandleFunc("/shapes", h.shapes)
 	h.mux.HandleFunc("/stats", h.stats)
 	h.mux.HandleFunc("/healthz", h.healthz)
@@ -102,9 +191,106 @@ func allow(w http.ResponseWriter, r *http.Request, methods ...string) bool {
 	return false
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Panics escape handlers only as
+// http.ErrAbortHandler (net/http's deliberate connection-abort signal);
+// anything else becomes a counted 500 so one bad request cannot take the
+// connection's served state down with it.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			h.panics.Add(1)
+			http.Error(w, "internal server error", http.StatusInternalServerError)
+		}
+	}()
 	h.mux.ServeHTTP(w, r)
+}
+
+// govern wraps a query handler with admission control and the
+// per-request deadline. Rejection paths respond before any query work
+// starts, so a saturated server stays cheap to say no with.
+func (h *Handler) govern(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if h.sem != nil {
+			select {
+			case h.sem <- struct{}{}:
+			default:
+				timer := time.NewTimer(h.cfg.QueueWait)
+				select {
+				case h.sem <- struct{}{}:
+					timer.Stop()
+				case <-timer.C:
+					h.rejections.Add(1)
+					w.Header().Set("Retry-After", "1")
+					http.Error(w, "server at capacity, retry later", http.StatusServiceUnavailable)
+					return
+				case <-r.Context().Done():
+					timer.Stop()
+					h.cancels.Add(1)
+					http.Error(w, "client closed request", statusClientClosedRequest)
+					return
+				}
+			}
+			defer func() { <-h.sem }()
+		}
+		h.inFlight.Add(1)
+		defer h.inFlight.Add(-1)
+
+		timeout, err := requestTimeout(r, h.cfg.QueryTimeout)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next(w, r)
+	}
+}
+
+// requestTimeout resolves the deadline for one request: the client's
+// timeout= parameter when present (clamped to the server ceiling),
+// otherwise the ceiling itself. 0 means no deadline.
+func requestTimeout(r *http.Request, ceiling time.Duration) (time.Duration, error) {
+	s := r.URL.Query().Get("timeout")
+	if s == "" {
+		return ceiling, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("invalid 'timeout' parameter %q (want a positive Go duration, e.g. 500ms)", s)
+	}
+	if ceiling > 0 && d > ceiling {
+		d = ceiling
+	}
+	return d, nil
+}
+
+// queryError maps a query execution error onto the HTTP status that
+// tells the client what actually happened: 504 for a deadline, the
+// 499 convention for a client that went away, 503 for a server that is
+// draining, 400 for everything else (parse errors, unsupported
+// features, the legacy ops budget).
+func (h *Handler) queryError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, rdfshapes.ErrDeadline):
+		// The deadline may be the client's own; only a genuinely gone
+		// client is a cancellation, everything else is a timeout.
+		h.timeouts.Add(1)
+		http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, rdfshapes.ErrCanceled):
+		h.cancels.Add(1)
+		http.Error(w, "client closed request", statusClientClosedRequest)
+	case errors.Is(err, rdfshapes.ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
 }
 
 // maxBodyBytes caps raw POST bodies. A body exceeding it is rejected
@@ -117,24 +303,56 @@ const maxBodyBytes = 1 << 20
 var errBodyTooLarge = fmt.Errorf("request body exceeds %d bytes", maxBodyBytes)
 
 // readBody reads a raw POST body up to maxBodyBytes, returning
-// errBodyTooLarge when the body is bigger.
+// errBodyTooLarge when the body is bigger. The read honors the request
+// context, so a client that disconnected (or a request whose deadline
+// passed) stops being read mid-body instead of at the next TCP stall.
 func readBody(r *http.Request) ([]byte, error) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
-	if err != nil {
-		return nil, err
+	type readResult struct {
+		body []byte
+		err  error
 	}
-	if len(body) > maxBodyBytes {
-		return nil, errBodyTooLarge
+	ch := make(chan readResult, 1)
+	go func() {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+		ch <- readResult{body, err}
+	}()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return nil, res.err
+		}
+		if len(res.body) > maxBodyBytes {
+			return nil, errBodyTooLarge
+		}
+		return res.body, nil
+	case <-r.Context().Done():
+		// net/http closes the body when the request ends, which unblocks
+		// the reader goroutine shortly after.
+		return nil, r.Context().Err()
 	}
-	return body, nil
 }
 
 // errorStatus picks the HTTP status for a request-extraction error.
 func errorStatus(err error) int {
-	if errors.Is(err, errBodyTooLarge) {
+	switch {
+	case errors.Is(err, errBodyTooLarge):
 		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
 	}
 	return http.StatusBadRequest
+}
+
+// formBody parses an application/x-www-form-urlencoded POST body via
+// readBody, so body reads stay context-aware (ParseForm would not be).
+func formBody(r *http.Request) (url.Values, error) {
+	body, err := readBody(r)
+	if err != nil {
+		return nil, err
+	}
+	return url.ParseQuery(string(body))
 }
 
 // queryParam extracts the SPARQL query from a GET parameter, a form
@@ -155,10 +373,11 @@ func queryParam(r *http.Request) (string, error) {
 			}
 			return string(body), nil
 		}
-		if err := r.ParseForm(); err != nil {
+		form, err := formBody(r)
+		if err != nil {
 			return "", err
 		}
-		if q := r.PostForm.Get("query"); q != "" {
+		if q := form.Get("query"); q != "" {
 			return q, nil
 		}
 	}
@@ -181,6 +400,10 @@ type jsonResults struct {
 		Bindings []map[string]jsonTerm `json:"bindings"`
 	} `json:"results,omitempty"`
 	Boolean *bool `json:"boolean,omitempty"`
+	// Truncated marks a 200 response whose bindings are a budget-cut
+	// prefix of the full solution set (docs/RESILIENCE.md). Absent on
+	// complete results.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // updateParam extracts the SPARQL UPDATE request from a form field or a
@@ -197,10 +420,11 @@ func updateParam(r *http.Request) (string, error) {
 		}
 		return string(body), nil
 	}
-	if err := r.ParseForm(); err != nil {
+	form, err := formBody(r)
+	if err != nil {
 		return "", err
 	}
-	if u := r.PostForm.Get("update"); u != "" {
+	if u := form.Get("update"); u != "" {
 		return u, nil
 	}
 	return "", fmt.Errorf("missing 'update' parameter")
@@ -217,9 +441,9 @@ func (h *Handler) update(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), errorStatus(err))
 		return
 	}
-	res, err := h.db.Update(src)
+	res, err := h.db.UpdateCtx(r.Context(), src)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		h.queryError(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -237,9 +461,9 @@ func (h *Handler) sparql(w http.ResponseWriter, r *http.Request) {
 	}
 	switch queryForm(src) {
 	case "ASK":
-		ok, err := h.db.Ask(src)
+		ok, err := h.db.AskCtx(r.Context(), src)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			h.queryError(w, r, err)
 			return
 		}
 		var out jsonResults
@@ -247,9 +471,9 @@ func (h *Handler) sparql(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, out)
 		return
 	case "CONSTRUCT":
-		g, err := h.db.Construct(src)
+		g, err := h.db.ConstructCtx(r.Context(), src)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			h.queryError(w, r, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/n-triples; charset=utf-8")
@@ -258,13 +482,17 @@ func (h *Handler) sparql(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	res, err := h.db.Query(src)
+	res, err := h.db.QueryCtx(r.Context(), src)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		h.queryError(w, r, err)
 		return
 	}
 	var out jsonResults
 	out.Head.Vars = res.Vars
+	out.Truncated = res.Truncated
+	if res.Truncated {
+		h.truncations.Add(1)
+	}
 	out.Results = &struct {
 		Bindings []map[string]jsonTerm `json:"bindings"`
 	}{Bindings: make([]map[string]jsonTerm, 0, len(res.Rows))}

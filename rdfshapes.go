@@ -22,11 +22,14 @@
 package rdfshapes
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rdfshapes/internal/annotator"
 	"rdfshapes/internal/cardinality"
@@ -68,8 +71,18 @@ type DB struct {
 	reannotating atomic.Bool
 	updates      atomic.Int64 // Update calls that committed
 
-	maxOps int64
-	obs    *obsv.Collector
+	// lifecycle: begin/end bracket every public operation; Close flips
+	// closed and waits for the in-flight count to drain, then stops the
+	// background compactor. Background re-annotations go through
+	// Reannotate, which brackets itself, so Close waits for those too.
+	lifeMu   sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+
+	maxOps         int64
+	defaultTimeout time.Duration
+	limits         Limits
+	obs            *obsv.Collector
 }
 
 // plannerState is one immutable version of the planning statistics and
@@ -81,25 +94,75 @@ type plannerState struct {
 	gs     *cardinality.GlobalEstimator
 }
 
-// view is the per-call execution context: one data snapshot and one
-// planner state, taken together at the start of a public call so every
-// branch of a query sees the same version.
+// view is the per-call execution context: one data snapshot, one
+// planner state, and the call's context, taken together at the start of
+// a public call so every branch of a query sees the same version and
+// honors the same deadline.
 type view struct {
 	db   *DB
 	snap *live.Snapshot
 	ps   *plannerState
+	ctx  context.Context
 }
 
-func (db *DB) view() view {
-	return view{db: db, snap: db.live.Snapshot(), ps: db.planner.Load()}
+func (db *DB) view() view { return db.viewCtx(context.Background()) }
+
+func (db *DB) viewCtx(ctx context.Context) view {
+	return view{db: db, snap: db.live.Snapshot(), ps: db.planner.Load(), ctx: ctx}
+}
+
+// begin registers one in-flight public operation; Close waits for every
+// begun operation to end before tearing the DB down.
+func (db *DB) begin() error {
+	db.lifeMu.Lock()
+	defer db.lifeMu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.inflight.Add(1)
+	return nil
+}
+
+func (db *DB) end() { db.inflight.Done() }
+
+// withTimeout applies the DB's default timeout to a context that does
+// not already carry a deadline. The returned cancel is never nil.
+func (db *DB) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if db.defaultTimeout <= 0 {
+		return ctx, func() {}
+	}
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, db.defaultTimeout)
+}
+
+// Close marks the DB closed, waits for in-flight queries, updates, and
+// background re-annotations to finish, then stops the background
+// compactor and waits for any running compaction. Operations started
+// after Close return ErrClosed. Close is idempotent and safe to call
+// concurrently.
+func (db *DB) Close() error {
+	db.lifeMu.Lock()
+	if db.closed {
+		db.lifeMu.Unlock()
+		return nil
+	}
+	db.closed = true
+	db.lifeMu.Unlock()
+	db.inflight.Wait()
+	db.live.Close()
+	return nil
 }
 
 type config struct {
-	shapes    *shacl.ShapesGraph
-	maxOps    int64
-	obs       *obsv.Collector
-	compactAt int
-	driftAt   int64
+	shapes         *shacl.ShapesGraph
+	maxOps         int64
+	defaultTimeout time.Duration
+	limits         Limits
+	obs            *obsv.Collector
+	compactAt      int
+	driftAt        int64
 }
 
 // Option customizes Load.
@@ -116,6 +179,34 @@ func WithShapesGraph(sg *shacl.ShapesGraph) Option {
 // the budget returns ErrBudgetExceeded. 0 (the default) means unlimited.
 func WithOpsBudget(n int64) Option {
 	return func(c *config) { c.maxOps = n }
+}
+
+// Limits are per-query execution budgets. Unlike WithOpsBudget, which
+// fails the query, exceeding a Limit degrades it: execution stops and
+// the partial result is returned with Result.Truncated set, so callers
+// can serve what was computed instead of nothing. The zero value means
+// unlimited.
+type Limits struct {
+	// MaxIntermediate caps the total intermediate bindings a query may
+	// produce across all join levels — the quantity a mis-estimated plan
+	// explodes, and the paper's plan-cost objective.
+	MaxIntermediate int64
+	// MaxRows caps the result rows a query may produce, before solution
+	// modifiers (DISTINCT/ORDER BY/OFFSET/LIMIT).
+	MaxRows int64
+}
+
+// WithLimits installs per-query budgets enforced during execution; see
+// Limits for the partial-result contract.
+func WithLimits(l Limits) Option {
+	return func(c *config) { c.limits = l }
+}
+
+// WithDefaultTimeout applies d as the wall-clock deadline of every query
+// whose context does not already carry one. Exceeding it returns
+// ErrDeadline. 0 (the default) means no implicit deadline.
+func WithDefaultTimeout(d time.Duration) Option {
+	return func(c *config) { c.defaultTimeout = d }
 }
 
 // WithAutoCompact sets the overlay size (added + deleted triples) past
@@ -147,6 +238,17 @@ func WithCollector(c *obsv.Collector) Option {
 // budget (WithOpsBudget).
 var ErrBudgetExceeded = engine.ErrBudgetExceeded
 
+// ErrCanceled is returned when a query's context is canceled mid-run —
+// typically a client that disconnected.
+var ErrCanceled = engine.ErrCanceled
+
+// ErrDeadline is returned when a query's context deadline (explicit or
+// WithDefaultTimeout) passes mid-run.
+var ErrDeadline = engine.ErrDeadline
+
+// ErrClosed is returned by every operation started after Close.
+var ErrClosed = errors.New("rdfshapes: database is closed")
+
 // Load builds a DB from parsed triples: it indexes the data, obtains a
 // shapes graph (supplied or inferred), and computes global and shape
 // statistics.
@@ -175,8 +277,10 @@ func fromStore(st *store.Store, opts ...Option) (*DB, error) {
 		}
 	}
 	db := &DB{
-		maxOps: cfg.maxOps,
-		obs:    cfg.obs,
+		maxOps:         cfg.maxOps,
+		defaultTimeout: cfg.defaultTimeout,
+		limits:         cfg.limits,
+		obs:            cfg.obs,
 	}
 	db.live = live.Wrap(st)
 	db.live.SetAutoCompact(cfg.compactAt)
@@ -220,6 +324,19 @@ type UpdateResult struct {
 // Statistics are maintained incrementally, so planner estimates reflect
 // the new state as soon as Update returns.
 func (db *DB) Update(src string) (*UpdateResult, error) {
+	return db.UpdateCtx(context.Background(), src)
+}
+
+// UpdateCtx is Update honoring a context: cancellation is checked
+// between the request's operations, so an aborted request stops applying
+// further operations — the ones already committed stay committed (each
+// is atomic on its own) and are reported in the returned UpdateResult
+// alongside ErrCanceled or ErrDeadline.
+func (db *DB) UpdateCtx(ctx context.Context, src string) (*UpdateResult, error) {
+	if err := db.begin(); err != nil {
+		return nil, err
+	}
+	defer db.end()
 	req, err := sparql.ParseUpdate(src)
 	if err != nil {
 		return nil, err
@@ -227,7 +344,15 @@ func (db *DB) Update(src string) (*UpdateResult, error) {
 	db.updateMu.Lock()
 	defer db.updateMu.Unlock()
 	res := &UpdateResult{}
+	committed := false
 	for _, op := range req.Ops {
+		if err := ctx.Err(); err != nil {
+			if committed {
+				db.refreshPlanner()
+				db.updates.Add(1)
+			}
+			return res, engine.CtxError(err)
+		}
 		var b live.Batch
 		if op.Insert {
 			b.Insert = op.Triples
@@ -236,6 +361,7 @@ func (db *DB) Update(src string) (*UpdateResult, error) {
 		}
 		ci := db.live.Apply(b)
 		db.maint.Apply(ci)
+		committed = true
 		res.Inserted += len(ci.Inserted)
 		res.Deleted += len(ci.Deleted)
 	}
@@ -251,6 +377,10 @@ func (db *DB) Update(src string) (*UpdateResult, error) {
 // refreshes and tests. Queries are never blocked; concurrent updates
 // wait for the recompute.
 func (db *DB) Reannotate() error {
+	if err := db.begin(); err != nil {
+		return err // closed: the drift trigger dies with the DB
+	}
+	defer db.end()
 	if !db.reannotating.CompareAndSwap(false, true) {
 		return nil // a re-annotation is already running
 	}
@@ -301,6 +431,10 @@ func LoadNTriples(r io.Reader, opts ...Option) (*DB, error) {
 // every committed update. Statistics are not stored; LoadSnapshot
 // recomputes them, which is cheap relative to parsing text formats.
 func (db *DB) WriteSnapshot(w io.Writer) error {
+	if err := db.begin(); err != nil {
+		return err
+	}
+	defer db.end()
 	snap, err := db.live.Compact()
 	if err != nil {
 		return err
@@ -328,6 +462,11 @@ type Result struct {
 	Rows []map[string]string
 	// Plan is the executed join order, for diagnostics.
 	Plan string
+	// Truncated is true when a WithLimits budget stopped execution
+	// early: Rows holds the solutions computed within budget — a valid
+	// subset, not a failure. Callers should surface the flag (the HTTP
+	// server adds "truncated":true to the JSON payload).
+	Truncated bool
 }
 
 // Query parses, optimizes (with shape statistics), executes, and
@@ -335,6 +474,21 @@ type Result struct {
 // LIMIT. For ASK queries, Rows is non-empty iff the pattern matches; use
 // Ask for a boolean answer.
 func (db *DB) Query(src string) (*Result, error) {
+	return db.QueryCtx(context.Background(), src)
+}
+
+// QueryCtx is Query honoring a context: execution checks for
+// cancellation every ~1024 index rows visited, returning ErrCanceled on
+// cancel and ErrDeadline when the deadline (the context's, or
+// WithDefaultTimeout's) passes — so even a pathologically mis-planned
+// join is interrupted within microseconds of the signal.
+func (db *DB) QueryCtx(ctx context.Context, src string) (*Result, error) {
+	if err := db.begin(); err != nil {
+		return nil, err
+	}
+	defer db.end()
+	ctx, cancel := db.withTimeout(ctx)
+	defer cancel()
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return nil, err
@@ -342,7 +496,7 @@ func (db *DB) Query(src string) (*Result, error) {
 	if len(q.Construct) > 0 {
 		return nil, fmt.Errorf("rdfshapes: CONSTRUCT queries go through Construct, not Query")
 	}
-	v := db.view()
+	v := db.viewCtx(ctx)
 	if q.Aggregate != nil {
 		return v.queryAggregate(src, q)
 	}
@@ -366,7 +520,7 @@ func (db *DB) Query(src string) (*Result, error) {
 	if len(proj) == 0 {
 		proj = q.AllVars()
 	}
-	return &Result{Vars: proj, Rows: rows, Plan: plan.String()}, nil
+	return &Result{Vars: proj, Rows: rows, Plan: plan.String(), Truncated: er.Truncated}, nil
 }
 
 // queryUnion evaluates a top-level UNION: every branch is planned and
@@ -380,6 +534,7 @@ func (v view) queryUnion(src string, q *sparql.Query) (*Result, error) {
 	}
 	var rows []map[string]string
 	var plans []string
+	truncated := false
 	for i := range q.UnionGroups {
 		bq := q.Branch(i)
 		bq.Projection = proj
@@ -396,10 +551,11 @@ func (v view) queryUnion(src string, q *sparql.Query) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		truncated = truncated || er.Truncated
 		rows = append(rows, branchRows...)
 	}
 	rows = applyRowModifiers(rows, proj, q.Distinct, q.Offset, q.Limit)
-	return &Result{Vars: proj, Rows: rows, Plan: strings.Join(plans, "")}, nil
+	return &Result{Vars: proj, Rows: rows, Plan: strings.Join(plans, ""), Truncated: truncated}, nil
 }
 
 // queryAggregate evaluates a COUNT projection.
@@ -408,12 +564,12 @@ func (v view) queryAggregate(src string, q *sparql.Query) (*Result, error) {
 	row := map[string]string{}
 	if agg.Var == "" && !q.Distinct {
 		// COUNT(*): counting needs no materialization
-		n, err := v.countSolutions(src, q)
+		n, truncated, err := v.countSolutions(src, q)
 		if err != nil {
 			return nil, err
 		}
 		row[agg.As] = rdf.NewInteger(n).String()
-		return &Result{Vars: []string{agg.As}, Rows: []map[string]string{row}}, nil
+		return &Result{Vars: []string{agg.As}, Rows: []map[string]string{row}, Truncated: truncated}, nil
 	}
 	// COUNT(?v) / COUNT(DISTINCT ?v): materialize the counted column
 	inner := q.Clone()
@@ -448,7 +604,7 @@ func (v view) queryAggregate(src string, q *sparql.Query) (*Result, error) {
 		n++
 	}
 	row[agg.As] = rdf.NewInteger(n).String()
-	return &Result{Vars: []string{agg.As}, Rows: []map[string]string{row}, Plan: res.Plan}, nil
+	return &Result{Vars: []string{agg.As}, Rows: []map[string]string{row}, Plan: res.Plan, Truncated: res.Truncated}, nil
 }
 
 // queryParsed runs an already-parsed non-aggregate query; src is the
@@ -470,19 +626,20 @@ func (v view) queryParsed(src string, q *sparql.Query) (*Result, error) {
 	if len(proj) == 0 {
 		proj = q.AllVars()
 	}
-	return &Result{Vars: proj, Rows: rows, Plan: plan.String()}, nil
+	return &Result{Vars: proj, Rows: rows, Plan: plan.String(), Truncated: er.Truncated}, nil
 }
 
 // countSolutions counts solutions of the (possibly UNION) BGP with its
-// filters, before projection and modifiers.
-func (v view) countSolutions(src string, q *sparql.Query) (int64, error) {
+// filters, before projection and modifiers. truncated reports that a
+// budget stopped enumeration, making the count a lower bound.
+func (v view) countSolutions(src string, q *sparql.Query) (n int64, truncated bool, err error) {
 	if len(q.UnionGroups) == 0 {
 		plan := v.plan(q)
 		er, err := v.exec(src, plan, engine.Options{CountOnly: true, Filters: q.Filters, Optionals: q.Optionals})
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
-		return er.Count, nil
+		return er.Count, er.Truncated, nil
 	}
 	var total int64
 	for i := range q.UnionGroups {
@@ -490,11 +647,12 @@ func (v view) countSolutions(src string, q *sparql.Query) (int64, error) {
 		plan := v.plan(bq)
 		er, err := v.exec(src, plan, engine.Options{CountOnly: true, Filters: bq.Filters})
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
+		truncated = truncated || er.Truncated
 		total += er.Count
 	}
-	return total, nil
+	return total, truncated, nil
 }
 
 // commonBranchVars returns the variables bound by every UNION branch, in
@@ -572,13 +730,25 @@ func applyRowModifiers(rows []map[string]string, proj []string, distinct bool, o
 // Ask answers an ASK query (or any query treated as an existence check):
 // true iff the BGP with its filters has at least one match.
 func (db *DB) Ask(src string) (bool, error) {
+	return db.AskCtx(context.Background(), src)
+}
+
+// AskCtx is Ask honoring a context; see QueryCtx for the cancellation
+// and deadline semantics.
+func (db *DB) AskCtx(ctx context.Context, src string) (bool, error) {
+	if err := db.begin(); err != nil {
+		return false, err
+	}
+	defer db.end()
+	ctx, cancel := db.withTimeout(ctx)
+	defer cancel()
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return false, err
 	}
-	v := db.view()
+	v := db.viewCtx(ctx)
 	if len(q.UnionGroups) > 0 {
-		n, err := v.countSolutions(src, q)
+		n, _, err := v.countSolutions(src, q)
 		return n > 0, err
 	}
 	plan := v.plan(q)
@@ -592,11 +762,24 @@ func (db *DB) Ask(src string) (bool, error) {
 // Count executes the query and returns the number of filtered results
 // before projection, DISTINCT, and LIMIT — the BGP's true cardinality.
 func (db *DB) Count(src string) (int64, error) {
+	return db.CountCtx(context.Background(), src)
+}
+
+// CountCtx is Count honoring a context; see QueryCtx for the
+// cancellation and deadline semantics.
+func (db *DB) CountCtx(ctx context.Context, src string) (int64, error) {
+	if err := db.begin(); err != nil {
+		return 0, err
+	}
+	defer db.end()
+	ctx, cancel := db.withTimeout(ctx)
+	defer cancel()
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return 0, err
 	}
-	return db.view().countSolutions(src, q)
+	n, _, err := db.viewCtx(ctx).countSolutions(src, q)
+	return n, err
 }
 
 // Explain returns the query plan built with the requested statistics:
@@ -636,6 +819,10 @@ func (db *DB) EstimateCount(src string) (float64, error) {
 // whole result (DISTINCT, ORDER BY, OFFSET) and the UNION/aggregate
 // forms are not streamable and fall back to Query internally.
 func (db *DB) QueryEach(src string, fn func(row map[string]string) bool) error {
+	if err := db.begin(); err != nil {
+		return err
+	}
+	defer db.end()
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return err
@@ -688,6 +875,18 @@ func (db *DB) QueryEach(src string, fn func(row map[string]string) bool) error {
 // Blank nodes in the template are minted fresh per solution. The result
 // graph is deduplicated.
 func (db *DB) Construct(src string) (rdf.Graph, error) {
+	return db.ConstructCtx(context.Background(), src)
+}
+
+// ConstructCtx is Construct honoring a context; see QueryCtx for the
+// cancellation and deadline semantics.
+func (db *DB) ConstructCtx(ctx context.Context, src string) (rdf.Graph, error) {
+	if err := db.begin(); err != nil {
+		return nil, err
+	}
+	defer db.end()
+	ctx, cancel := db.withTimeout(ctx)
+	defer cancel()
 	q, err := sparql.Parse(src)
 	if err != nil {
 		return nil, err
@@ -699,7 +898,7 @@ func (db *DB) Construct(src string) (rdf.Graph, error) {
 	inner.Construct = nil
 	inner.Projection = nil // bind everything the template may need
 	inner.Distinct = false
-	res, err := db.view().queryParsed(src, inner)
+	res, err := db.viewCtx(ctx).queryParsed(src, inner)
 	if err != nil {
 		return nil, err
 	}
@@ -791,14 +990,22 @@ func (db *DB) WriteShapesTurtle(w io.Writer) error {
 	return db.Shapes().WriteTurtle(w, nil)
 }
 
-// exec executes a planned BGP with the DB's operation budget applied.
-// When a collector is installed it also assembles and records a query
-// trace: per-pattern estimated (the plan's join estimates) vs. actual
-// (the engine's intermediate sizes) cardinalities, q-error, ops, and
-// wall time. Without a collector it is exactly the old fast path.
+// exec executes a planned BGP with the DB's governor applied: the
+// operation budget (WithOpsBudget), the intermediate/row budgets
+// (WithLimits), and the call context's cancellation and deadline. When a
+// collector is installed it also assembles and records a query trace:
+// per-pattern estimated (the plan's join estimates) vs. actual (the
+// engine's intermediate sizes) cardinalities, q-error, ops, wall time,
+// and the termination reason. Without a collector it is exactly the old
+// fast path.
 func (v view) exec(src string, plan *core.Plan, opts engine.Options) (*engine.Result, error) {
 	db := v.db
 	opts.MaxOps = db.maxOps
+	opts.MaxIntermediate = db.limits.MaxIntermediate
+	opts.MaxRows = db.limits.MaxRows
+	if v.ctx != nil && v.ctx != context.Background() {
+		opts.Ctx = v.ctx
+	}
 	c := db.obs
 	if c == nil {
 		er, err := engine.Run(v.snap, plan.Order(), opts)
@@ -824,12 +1031,29 @@ func (v view) exec(src string, plan *core.Plan, opts engine.Options) (*engine.Re
 	}
 	if err != nil {
 		t.Err = err.Error()
+		switch {
+		case errors.Is(err, ErrDeadline):
+			t.Termination = "deadline"
+		case errors.Is(err, ErrCanceled):
+			t.Termination = "canceled"
+		default:
+			t.Termination = "error"
+		}
 	} else if reported {
 		t.Rows = rep.Count
 		t.Ops = rep.Ops
 		t.WallNanos = rep.Wall.Nanoseconds()
 		t.TimedOut = rep.TimedOut
 		t.LimitHit = rep.LimitHit
+		t.Truncated = rep.Truncated
+		switch {
+		case rep.TimedOut:
+			t.Termination = "ops-budget"
+		case rep.Truncated:
+			t.Termination = "truncated"
+		case rep.LimitHit:
+			t.Termination = "limit"
+		}
 		for i, actual := range rep.Intermediate {
 			if i >= len(plan.Steps) {
 				break

@@ -1,0 +1,224 @@
+package rdfshapes
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// crossProductNT builds n unrelated triples per predicate so a query
+// over all three predicates is an unavoidable cross product.
+func crossProductNT(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		for _, p := range []string{"p1", "p2", "p3"} {
+			fmt.Fprintf(&b, "<http://x/s%d> <http://x/%s> <http://x/o%d> .\n", i, p, i)
+		}
+	}
+	return b.String()
+}
+
+const crossQuery = `SELECT * WHERE {
+	?a <http://x/p1> ?b .
+	?c <http://x/p2> ?d .
+	?e <http://x/p3> ?f .
+}`
+
+func TestQueryCtxDeadline(t *testing.T) {
+	db, err := LoadNTriples(strings.NewReader(crossProductNT(200)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = db.QueryCtx(ctx, crossQuery)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 400*time.Millisecond {
+		t.Errorf("deadline noticed after %v", elapsed)
+	}
+}
+
+func TestWithDefaultTimeout(t *testing.T) {
+	db, err := LoadNTriples(strings.NewReader(crossProductNT(200)),
+		WithDefaultTimeout(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Query(crossQuery); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	// An explicit context deadline wins over the default.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := db.QueryCtx(ctx, `SELECT * WHERE { ?a <http://x/p1> ?b }`); err != nil {
+		t.Fatalf("fast query under explicit deadline: %v", err)
+	}
+}
+
+func TestWithLimitsRowBudgetTruncates(t *testing.T) {
+	db, err := LoadNTriples(strings.NewReader(crossProductNT(20)),
+		WithLimits(Limits{MaxRows: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	res, err := db.Query(crossQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("result not marked Truncated")
+	}
+	if len(res.Rows) != 5 {
+		t.Errorf("rows = %d, want 5", len(res.Rows))
+	}
+}
+
+func TestWithLimitsIntermediateBudgetTruncates(t *testing.T) {
+	db, err := LoadNTriples(strings.NewReader(crossProductNT(20)),
+		WithLimits(Limits{MaxIntermediate: 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	res, err := db.Query(crossQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("result not marked Truncated")
+	}
+}
+
+func TestWithLimitsDoesNotFlagCompleteRuns(t *testing.T) {
+	db, err := LoadNTriples(strings.NewReader(crossProductNT(3)),
+		WithLimits(Limits{MaxIntermediate: 1 << 20, MaxRows: 1 << 20}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	res, err := db.Query(`SELECT * WHERE { ?a <http://x/p1> ?b }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Error("complete run marked Truncated")
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("rows = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestCloseRejectsNewWork(t *testing.T) {
+	db, err := LoadNTriples(strings.NewReader(crossProductNT(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+	if _, err := db.Query(`SELECT * WHERE { ?s ?p ?o }`); !errors.Is(err, ErrClosed) {
+		t.Errorf("Query after Close = %v, want ErrClosed", err)
+	}
+	if _, err := db.Update(`INSERT DATA { <http://x/a> <http://x/b> <http://x/c> }`); !errors.Is(err, ErrClosed) {
+		t.Errorf("Update after Close = %v, want ErrClosed", err)
+	}
+	if _, err := db.Ask(`ASK { ?s ?p ?o }`); !errors.Is(err, ErrClosed) {
+		t.Errorf("Ask after Close = %v, want ErrClosed", err)
+	}
+	if err := db.Reannotate(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Reannotate after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestUpdateCtxCanceled(t *testing.T) {
+	db, err := LoadNTriples(strings.NewReader(crossProductNT(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := db.UpdateCtx(ctx, `INSERT DATA { <http://x/a> <http://x/b> <http://x/c> }`)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if res.Inserted != 0 {
+		t.Errorf("inserted = %d, want 0 (canceled before the first op)", res.Inserted)
+	}
+}
+
+// TestOpenCloseLeaksNoGoroutines pins the graceful-lifecycle contract:
+// a DB that compacted and re-annotated in the background leaves no
+// goroutine behind after Close.
+func TestOpenCloseLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	db, err := LoadNTriples(strings.NewReader(crossProductNT(10)),
+		WithAutoCompact(4),    // force background compactions
+		WithDriftThreshold(1)) // force background re-annotations
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		up := fmt.Sprintf("INSERT DATA { <http://x/u%d> <http://x/q> <http://x/v%d> }", i, i)
+		if _, err := db.Update(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A drift-trigger goroutine may still be between spawn and its
+	// ErrClosed exit; give the scheduler a moment before comparing.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d after Close, want <= %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCloseWaitsForInflightQueries races Close against a long query and
+// a background compaction; run under -race by scripts/verify.sh.
+func TestCloseWaitsForInflightQueries(t *testing.T) {
+	db, err := LoadNTriples(strings.NewReader(crossProductNT(100)), WithAutoCompact(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := db.Query(crossQuery)
+		done <- err
+	}()
+	<-started
+	time.Sleep(5 * time.Millisecond) // let the query get past begin()
+	if _, err := db.Update(`INSERT DATA { <http://x/a> <http://x/b> <http://x/c> }`); err != nil && !errors.Is(err, ErrClosed) {
+		t.Errorf("update: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The query either completed before Close finished or was begun
+	// before closed flipped; both must return a well-formed outcome.
+	if err := <-done; err != nil && !errors.Is(err, ErrClosed) {
+		t.Errorf("in-flight query after Close: %v", err)
+	}
+}

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Repo verification: static checks, the tier-1 suite, and the race
 # detector over the concurrency-sensitive packages (the observability
-# collector, the live update layer, and the HTTP server). Run from the
-# repo root.
+# collector, the live update layer, the engine's cancellation paths, the
+# HTTP server's governor, and the facade lifecycle). Run from the repo
+# root.
 set -eu
 
 echo "== go build =="
@@ -22,7 +23,10 @@ fi
 echo "== go test (tier-1) =="
 go test ./...
 
-echo "== go test -race (obsv, live, server) =="
-go test -race ./internal/obsv ./internal/live ./internal/server
+echo "== go test -race (obsv, live, engine, server) =="
+go test -race ./internal/obsv ./internal/live ./internal/engine ./internal/server
+
+echo "== go test -race (facade governor: lifecycle, budgets, deadlines) =="
+go test -race -run 'TestQueryCtx|TestWithDefault|TestWithLimits|TestClose|TestUpdateCtx|TestOpenClose' .
 
 echo "verify: all checks passed"
