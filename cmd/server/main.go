@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -65,9 +66,11 @@ func main() {
 		"intermediate-binding budget per query; overruns return a partial result marked truncated (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long shutdown waits for in-flight requests before giving up")
+	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0),
+		"workers per query BGP (1 = serial execution; see docs/PERFORMANCE.md)")
 	flag.Parse()
 
-	db, err := open(*dataset, *dataFile, *scale, *seed, *budget, *compactAt, *driftAt,
+	db, err := open(*dataset, *dataFile, *scale, *seed, *budget, *compactAt, *driftAt, *parallelism,
 		rdfshapes.Limits{MaxRows: *maxRows, MaxIntermediate: *maxIntermediate})
 	if err != nil {
 		log.Fatal("server: ", err)
@@ -115,12 +118,13 @@ func main() {
 	log.Print("server: stopped")
 }
 
-func open(dataset, dataFile string, scale int, seed, budget int64, compactAt int, driftAt int64, limits rdfshapes.Limits) (*rdfshapes.DB, error) {
+func open(dataset, dataFile string, scale int, seed, budget int64, compactAt int, driftAt int64, parallelism int, limits rdfshapes.Limits) (*rdfshapes.DB, error) {
 	opts := []rdfshapes.Option{
 		rdfshapes.WithOpsBudget(budget),
 		rdfshapes.WithAutoCompact(compactAt),
 		rdfshapes.WithDriftThreshold(driftAt),
 		rdfshapes.WithLimits(limits),
+		rdfshapes.WithParallelism(parallelism),
 	}
 	if dataFile != "" {
 		f, err := os.Open(dataFile)

@@ -78,6 +78,17 @@ type Options struct {
 	// hitting it marks the result Truncated so callers can degrade
 	// gracefully instead of silently under-reporting.
 	MaxRows int64
+	// Parallelism is the number of workers executing the BGP, using
+	// morsel-style parallelism over the driver (first) pattern's index
+	// range. Values <= 1 (including the zero value) select the serial
+	// executor — the exact code path all earlier behavior pins. Parallel
+	// execution requires the Source to implement ChunkedSource and is
+	// skipped when Limit applies (early termination is inherently
+	// serial); chunk results are merged deterministically in range
+	// order, so row order, Count, Ops, and per-pattern Intermediate are
+	// identical to a serial run. Budgets and cancellation keep their
+	// serial semantics via shared counters (see parallel.go).
+	Parallelism int
 	// CountOnly suppresses row materialization; only counts are kept.
 	CountOnly bool
 	// Limit stops after this many result rows (0 = unlimited). Ignored
@@ -241,6 +252,13 @@ func Run(st Source, patterns []sparql.TriplePattern, opts Options) (*Result, err
 		opts:       opts,
 		ctx:        opts.Ctx,
 	}
+	if cs, ok := st.(ChunkedSource); ok && opts.Parallelism > 1 && (opts.Limit == 0 || opts.CountOnly) {
+		if err := runParallel(cs, exec, res); err != nil {
+			return nil, CtxError(err)
+		}
+		report(res)
+		return res, nil
+	}
 	exec.level(0)
 	if exec.ctxErr != nil {
 		return nil, CtxError(exec.ctxErr)
@@ -297,6 +315,19 @@ type executor struct {
 	budgetHit    bool
 	limitHit     bool
 	truncated    bool
+
+	// nops drives the amortized cancellation cadence. It equals res.Ops
+	// in a serial run, but in a parallel run it is worker-lifetime state:
+	// res is replaced per morsel while nops keeps counting, so every
+	// worker checks for cancellation every ~1024 rows it visits even when
+	// individual morsels are smaller than the check interval.
+	nops int64
+	// sh is the cross-worker governor state of a parallel run; nil in
+	// serial runs, whose budget checks stay on the local fields above.
+	sh *shared
+	// chunk, when non-nil, enumerates the driver pattern's morsel in
+	// place of a full Scan; consumed by the next scan call (level 0).
+	chunk func(fn func(store.IDTriple) bool)
 }
 
 // emit records one complete solution.
@@ -309,9 +340,27 @@ func (e *executor) emit() {
 			e.limitHit = true
 		}
 	}
-	if e.opts.MaxRows > 0 && e.res.Count >= e.opts.MaxRows {
-		e.stopped = true
-		e.truncated = true
+	if e.opts.MaxRows > 0 {
+		if e.sh != nil {
+			n := e.sh.rows.Add(1)
+			if n > e.opts.MaxRows {
+				// Other workers already produced the budget's worth:
+				// retract this row so the merged total is exactly MaxRows,
+				// matching the serial contract.
+				e.res.Count--
+				if !e.opts.CountOnly {
+					e.res.Rows = e.res.Rows[:len(e.res.Rows)-1]
+				}
+			}
+			if n >= e.opts.MaxRows {
+				e.stopped = true
+				e.truncated = true
+				e.sh.stop.Store(true)
+			}
+		} else if e.res.Count >= e.opts.MaxRows {
+			e.stopped = true
+			e.truncated = true
+		}
 	}
 }
 
@@ -327,11 +376,20 @@ func (e *executor) level(i int) {
 	e.scan(e.compiled[i], e.filters[i], func() {
 		e.res.Intermediate[i]++
 		if e.opts.MaxIntermediate > 0 {
-			e.intermediate++
-			if e.intermediate > e.opts.MaxIntermediate {
-				e.stopped = true
-				e.truncated = true
-				return
+			if e.sh != nil {
+				if e.sh.inter.Add(1) > e.opts.MaxIntermediate {
+					e.stopped = true
+					e.truncated = true
+					e.sh.stop.Store(true)
+					return
+				}
+			} else {
+				e.intermediate++
+				if e.intermediate > e.opts.MaxIntermediate {
+					e.stopped = true
+					e.truncated = true
+					return
+				}
 			}
 		}
 		e.level(i + 1)
@@ -403,19 +461,38 @@ func (e *executor) scan(cp compiledPattern, filters []compiledFilter, cont func(
 			newO = true
 		}
 	}
-	e.st.Scan(pat, func(t store.IDTriple) bool {
+	body := func(t store.IDTriple) bool {
 		e.res.Ops++
-		if e.ctx != nil && e.res.Ops&cancelCheckMask == 0 {
-			if err := e.ctx.Err(); err != nil {
+		e.nops++
+		if e.nops&cancelCheckMask == 0 && (e.ctx != nil || e.sh != nil) {
+			if e.sh != nil && e.sh.stop.Load() {
 				e.stopped = true
-				e.ctxErr = err
 				return false
 			}
+			if e.ctx != nil {
+				if err := e.ctx.Err(); err != nil {
+					e.stopped = true
+					e.ctxErr = err
+					if e.sh != nil {
+						e.sh.fail(err)
+					}
+					return false
+				}
+			}
 		}
-		if e.opts.MaxOps > 0 && e.res.Ops > e.opts.MaxOps {
-			e.stopped = true
-			e.budgetHit = true
-			return false
+		if e.opts.MaxOps > 0 {
+			if e.sh != nil {
+				if e.sh.ops.Add(1) > e.opts.MaxOps {
+					e.stopped = true
+					e.budgetHit = true
+					e.sh.stop.Store(true)
+					return false
+				}
+			} else if e.res.Ops > e.opts.MaxOps {
+				e.stopped = true
+				e.budgetHit = true
+				return false
+			}
 		}
 		// Bind the new positions, checking intra-pattern repeats such as
 		// <?x p ?x>: the same slot may be "new" in two positions, in
@@ -446,7 +523,16 @@ func (e *executor) scan(cp compiledPattern, filters []compiledFilter, cont func(
 		cont()
 		e.unbind(cp, newS, newP, newO)
 		return !e.stopped
-	})
+	}
+	if chunk := e.chunk; chunk != nil {
+		// Parallel driver level: enumerate this worker's morsel instead
+		// of the full index range. Consumed here so nested levels scan
+		// normally.
+		e.chunk = nil
+		chunk(body)
+		return
+	}
+	e.st.Scan(pat, body)
 }
 
 func (e *executor) unbind(cp compiledPattern, s, p, o bool) {
@@ -516,33 +602,66 @@ func Materialize(st Source, q *sparql.Query, res *Result) ([]map[string]string, 
 		})
 	}
 
+	cols := make([]int, len(proj))
+	for i, v := range proj {
+		c, ok := col[v]
+		if !ok {
+			if len(rows) == 0 {
+				return nil, nil
+			}
+			return nil, fmt.Errorf("engine: projected variable ?%s not bound by the BGP", v)
+		}
+		cols[i] = c
+	}
+
+	// Duplicate-heavy results decode the same ID over and over; memoize
+	// the rendered form per call (IDs are canonical per term, so the
+	// cache is exact). ID 0 is an unbound OPTIONAL variable.
+	dict := st.Dict()
+	rendered := make(map[store.ID]string)
+	render := func(id store.ID) string {
+		if id == 0 {
+			return ""
+		}
+		if s, ok := rendered[id]; ok {
+			return s
+		}
+		s := dict.Term(id).String()
+		rendered[id] = s
+		return s
+	}
+
 	var out []map[string]string
-	seen := map[string]bool{}
+	var seen map[string]bool
+	var keyBuf []byte
+	if q.Distinct {
+		seen = make(map[string]bool, len(rows))
+		keyBuf = make([]byte, 0, 4*len(cols))
+	}
 	skipped := 0
 	for _, row := range rows {
-		m := make(map[string]string, len(proj))
-		key := ""
-		for _, v := range proj {
-			c, ok := col[v]
-			if !ok {
-				return nil, fmt.Errorf("engine: projected variable ?%s not bound by the BGP", v)
-			}
-			s := "" // unbound OPTIONAL variable
-			if row[c] != 0 {
-				s = st.Dict().Term(row[c]).String()
-			}
-			m[v] = s
-			key += s + "\x00"
-		}
 		if q.Distinct {
-			if seen[key] {
+			// Key on the projected ID tuple, fixed-width encoded: rendered
+			// terms may contain any byte (including a separator), so
+			// string concatenation can collide distinct rows; canonical
+			// IDs cannot, and 0 (unbound) differs from every real term.
+			keyBuf = keyBuf[:0]
+			for _, c := range cols {
+				id := row[c]
+				keyBuf = append(keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+			}
+			if seen[string(keyBuf)] {
 				continue
 			}
-			seen[key] = true
+			seen[string(keyBuf)] = true
 		}
 		if skipped < q.Offset {
 			skipped++
 			continue
+		}
+		m := make(map[string]string, len(proj))
+		for i, v := range proj {
+			m[v] = render(row[cols[i]])
 		}
 		out = append(out, m)
 		if q.Limit > 0 && len(out) >= q.Limit {

@@ -1,0 +1,90 @@
+package integration
+
+import (
+	"reflect"
+	"testing"
+
+	"rdfshapes/internal/bench"
+	"rdfshapes/internal/engine"
+)
+
+// maxDiffRows bounds full row-set comparison: queries whose result is
+// larger (the unbounded cross-product categories) are still compared on
+// Count, Ops, and Intermediate, which the counting run establishes.
+const maxDiffRows = 50000
+
+// TestParallelDifferentialWorkloads is the equivalence proof for the
+// parallel executor: for every workload query of every dataset, a K=4
+// parallel run and a serial run produce identical Count, identical Ops,
+// identical per-pattern Intermediate sums, and (for results up to
+// maxDiffRows) identical rows in identical order — which subsumes the
+// sorted-multiset equality the morsel merge guarantees by construction.
+// scripts/verify.sh runs this under -race to also catch worker-state
+// sharing bugs.
+func TestParallelDifferentialWorkloads(t *testing.T) {
+	builders := []func() (*bench.Dataset, error){
+		func() (*bench.Dataset, error) { return bench.LUBMDataset(bench.Small) },
+		func() (*bench.Dataset, error) { return bench.WatDivDataset(bench.Small) },
+		func() (*bench.Dataset, error) { return bench.YAGODataset(bench.Small) },
+	}
+	for _, build := range builders {
+		d, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := d.Planner("SS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(d.Name, func(t *testing.T) {
+			for _, wq := range d.Queries {
+				q, err := wq.Parse()
+				if err != nil {
+					t.Fatalf("%s: %v", wq.Name, err)
+				}
+				order := pl.Plan(q).Order()
+				base := engine.Options{Filters: q.Filters, Optionals: q.Optionals}
+
+				countOpts := base
+				countOpts.CountOnly = true
+				serialCount, err := engine.Run(d.Store, order, countOpts)
+				if err != nil {
+					t.Fatalf("%s serial: %v", wq.Name, err)
+				}
+				parCountOpts := countOpts
+				parCountOpts.Parallelism = 4
+				parCount, err := engine.Run(d.Store, order, parCountOpts)
+				if err != nil {
+					t.Fatalf("%s parallel: %v", wq.Name, err)
+				}
+				if serialCount.Count != parCount.Count {
+					t.Errorf("%s: Count %d (serial) != %d (parallel)", wq.Name, serialCount.Count, parCount.Count)
+				}
+				if serialCount.Ops != parCount.Ops {
+					t.Errorf("%s: Ops %d (serial) != %d (parallel)", wq.Name, serialCount.Ops, parCount.Ops)
+				}
+				if !reflect.DeepEqual(serialCount.Intermediate, parCount.Intermediate) {
+					t.Errorf("%s: Intermediate %v (serial) != %v (parallel)",
+						wq.Name, serialCount.Intermediate, parCount.Intermediate)
+				}
+
+				if serialCount.Count > maxDiffRows {
+					continue
+				}
+				serial, err := engine.Run(d.Store, order, base)
+				if err != nil {
+					t.Fatalf("%s serial rows: %v", wq.Name, err)
+				}
+				parOpts := base
+				parOpts.Parallelism = 4
+				par, err := engine.Run(d.Store, order, parOpts)
+				if err != nil {
+					t.Fatalf("%s parallel rows: %v", wq.Name, err)
+				}
+				if !reflect.DeepEqual(serial, par) {
+					t.Errorf("%s: materialized parallel result differs from serial", wq.Name)
+				}
+			}
+		})
+	}
+}

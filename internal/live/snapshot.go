@@ -94,6 +94,37 @@ func (s *Snapshot) Scan(pat store.IDTriple, fn func(store.IDTriple) bool) {
 	s.added.Scan(pat, fn)
 }
 
+// ScanChunks splits the merged view's matches of pat into contiguous
+// chunks for morsel-parallel execution: the base chunks (each filtered
+// against the deleted fragment) followed by one chunk for the overlay
+// additions. Running the closures in slice order enumerates exactly the
+// triples Scan(pat) would, in the same order. With an empty overlay this
+// delegates directly to the base store.
+func (s *Snapshot) ScanChunks(pat store.IDTriple, n int) []func(fn func(store.IDTriple) bool) {
+	chunks := s.base.ScanChunks(pat, n)
+	if s.deleted != nil {
+		del := s.deleted
+		for i, base := range chunks {
+			base := base
+			chunks[i] = func(fn func(store.IDTriple) bool) {
+				base(func(t store.IDTriple) bool {
+					if del.Contains(t) {
+						return true
+					}
+					return fn(t)
+				})
+			}
+		}
+	}
+	if s.added != nil {
+		add := s.added
+		chunks = append(chunks, func(fn func(store.IDTriple) bool) {
+			add.Scan(pat, fn)
+		})
+	}
+	return chunks
+}
+
 // Count returns the number of merged-view triples matching pat. Exact by
 // the disjoint-union invariants; three O(log n) lookups.
 func (s *Snapshot) Count(pat store.IDTriple) int {

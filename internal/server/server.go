@@ -166,6 +166,12 @@ func NewWithConfig(db *rdfshapes.DB, cfg Config) *Handler {
 	h.obs.RegisterGauge("rdfshapes_updates_applied",
 		"SPARQL UPDATE requests committed since startup.",
 		func() float64 { return float64(db.UpdatesApplied()) })
+	h.obs.RegisterGauge("rdfshapes_parallelism",
+		"Configured per-query BGP worker count (1 = serial execution).",
+		func() float64 { return float64(db.Parallelism()) })
+	h.obs.RegisterGauge("rdfshapes_parallel_workers_active",
+		"Parallel BGP worker goroutines executing at scrape time.",
+		func() float64 { return float64(rdfshapes.ActiveParallelWorkers()) })
 	h.mux.HandleFunc("/sparql", h.govern(h.sparql))
 	h.mux.HandleFunc("/update", h.govern(h.update))
 	h.mux.HandleFunc("/explain", h.govern(h.explain))

@@ -62,6 +62,17 @@ func (f *Fragment) Scan(pat IDTriple, fn func(IDTriple) bool) {
 	}
 }
 
+// ScanChunks splits the rows matching pat into at most n contiguous
+// chunks; running the closures in order is equivalent to one Scan. Nil
+// receivers and empty matches return nil.
+func (f *Fragment) ScanChunks(pat IDTriple, n int) []func(fn func(IDTriple) bool) {
+	if f == nil {
+		return nil
+	}
+	idx, lo, hi := matchIn(f.spo, f.pso, f.pos, f.osp, pat)
+	return chunkRange(idx, lo, hi, n)
+}
+
 // Count returns the number of triples matching pat in O(log n).
 func (f *Fragment) Count(pat IDTriple) int {
 	if f == nil {

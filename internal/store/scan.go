@@ -24,6 +24,44 @@ func (s *Store) Scan(pat IDTriple, fn func(IDTriple) bool) {
 	}
 }
 
+// ScanChunks splits the rows matching pat into at most n contiguous
+// chunks of near-equal size and returns one scan closure per chunk.
+// Running the closures in slice order enumerates exactly the triples
+// Scan(pat) would, in the same order — the contract morsel-parallel
+// execution relies on for deterministic merges. An empty match returns
+// nil.
+func (s *Store) ScanChunks(pat IDTriple, n int) []func(fn func(IDTriple) bool) {
+	s.mustBeFrozen()
+	idx, lo, hi := s.match(pat)
+	return chunkRange(idx, lo, hi, n)
+}
+
+// chunkRange splits idx[lo:hi] into at most n contiguous scan closures.
+func chunkRange(idx []IDTriple, lo, hi, n int) []func(fn func(IDTriple) bool) {
+	total := hi - lo
+	if total == 0 {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > total {
+		n = total
+	}
+	chunks := make([]func(fn func(IDTriple) bool), n)
+	for i := 0; i < n; i++ {
+		rows := idx[lo+total*i/n : lo+total*(i+1)/n]
+		chunks[i] = func(fn func(IDTriple) bool) {
+			for _, t := range rows {
+				if !fn(t) {
+					return
+				}
+			}
+		}
+	}
+	return chunks
+}
+
 // Count returns the number of triples matching the pattern in O(log n).
 func (s *Store) Count(pat IDTriple) int {
 	s.mustBeFrozen()

@@ -26,6 +26,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -82,6 +84,7 @@ type DB struct {
 	maxOps         int64
 	defaultTimeout time.Duration
 	limits         Limits
+	parallelism    int
 	obs            *obsv.Collector
 }
 
@@ -160,6 +163,7 @@ type config struct {
 	maxOps         int64
 	defaultTimeout time.Duration
 	limits         Limits
+	parallelism    int
 	obs            *obsv.Collector
 	compactAt      int
 	driftAt        int64
@@ -208,6 +212,26 @@ func WithLimits(l Limits) Option {
 func WithDefaultTimeout(d time.Duration) Option {
 	return func(c *config) { c.defaultTimeout = d }
 }
+
+// WithParallelism sets the number of workers executing each query's
+// BGP (morsel parallelism over the driver pattern's index range —
+// docs/PERFORMANCE.md). 1 forces the serial executor; values < 1 reset
+// to the default, runtime.GOMAXPROCS(0). Results are bit-identical to a
+// serial run — same rows in the same order, same Count, Ops, and
+// intermediate-size accounting — and all budgets and deadlines keep
+// their serial semantics.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
+// Parallelism returns the per-query worker count in effect
+// (WithParallelism, default runtime.GOMAXPROCS(0)).
+func (db *DB) Parallelism() int { return db.parallelism }
+
+// ActiveParallelWorkers returns the number of parallel BGP worker
+// goroutines currently executing across the process — the
+// worker-utilization gauge exported at /metrics.
+func ActiveParallelWorkers() int64 { return engine.ActiveParallelWorkers() }
 
 // WithAutoCompact sets the overlay size (added + deleted triples) past
 // which a committed update schedules background compaction into a new
@@ -262,6 +286,9 @@ func fromStore(st *store.Store, opts ...Option) (*DB, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.parallelism < 1 {
+		cfg.parallelism = runtime.GOMAXPROCS(0)
+	}
 	shapes := cfg.shapes
 	if shapes == nil {
 		inferred, err := shacl.InferShapes(st)
@@ -280,6 +307,7 @@ func fromStore(st *store.Store, opts ...Option) (*DB, error) {
 		maxOps:         cfg.maxOps,
 		defaultTimeout: cfg.defaultTimeout,
 		limits:         cfg.limits,
+		parallelism:    cfg.parallelism,
 		obs:            cfg.obs,
 	}
 	db.live = live.Wrap(st)
@@ -703,13 +731,21 @@ func contains(xs []string, v string) bool {
 func applyRowModifiers(rows []map[string]string, proj []string, distinct bool, offset, limit int) []map[string]string {
 	var out []map[string]string
 	seen := map[string]bool{}
+	var keyBuf []byte
 	skipped := 0
 	for _, r := range rows {
 		if distinct {
-			key := ""
+			// Length-prefix every field: rendered terms may contain any
+			// byte (blank-node labels are not escaped), so no separator
+			// is collision-free on its own.
+			keyBuf = keyBuf[:0]
 			for _, v := range proj {
-				key += r[v] + "\x00"
+				s := r[v]
+				keyBuf = strconv.AppendInt(keyBuf, int64(len(s)), 10)
+				keyBuf = append(keyBuf, ':')
+				keyBuf = append(keyBuf, s...)
 			}
+			key := string(keyBuf)
 			if seen[key] {
 				continue
 			}
@@ -1003,6 +1039,7 @@ func (v view) exec(src string, plan *core.Plan, opts engine.Options) (*engine.Re
 	opts.MaxOps = db.maxOps
 	opts.MaxIntermediate = db.limits.MaxIntermediate
 	opts.MaxRows = db.limits.MaxRows
+	opts.Parallelism = db.parallelism
 	if v.ctx != nil && v.ctx != context.Background() {
 		opts.Ctx = v.ctx
 	}

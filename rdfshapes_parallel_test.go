@@ -1,0 +1,112 @@
+package rdfshapes
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestApplyRowModifiersDistinctNoCollision is the UNION-dedup regression
+// test: rendered terms can contain any byte (blank-node labels are not
+// escaped), so the old "\x00"-joined keys collided the two distinct rows
+// below — both produced "_:b\x00_:c\x00\x00". Length-prefixed keys keep
+// them apart.
+func TestApplyRowModifiersDistinctNoCollision(t *testing.T) {
+	rows := []map[string]string{
+		{"x": "_:b\x00_:c", "y": ""},
+		{"x": "_:b", "y": "_:c\x00"},
+	}
+	out := applyRowModifiers(rows, []string{"x", "y"}, true, 0, 0)
+	if len(out) != 2 {
+		t.Fatalf("DISTINCT collapsed %d distinct rows to %d — separator collision", len(rows), len(out))
+	}
+}
+
+// TestApplyRowModifiersDistinctStillDedupes pins that genuinely equal
+// rows still collapse after the key change.
+func TestApplyRowModifiersDistinctStillDedupes(t *testing.T) {
+	rows := []map[string]string{
+		{"x": "<http://x/a>", "y": `"v"`},
+		{"x": "<http://x/a>", "y": `"v"`},
+		{"x": "<http://x/a>", "y": `"w"`},
+	}
+	out := applyRowModifiers(rows, []string{"x", "y"}, true, 0, 0)
+	if len(out) != 2 {
+		t.Fatalf("rows = %d, want 2", len(out))
+	}
+}
+
+// TestWithParallelismMatchesSerial pins the facade determinism contract:
+// the same query under WithParallelism(4) and WithParallelism(1) returns
+// identical rows in identical order.
+func TestWithParallelismMatchesSerial(t *testing.T) {
+	nt := crossProductNT(12)
+	serialDB, err := LoadNTriples(strings.NewReader(nt), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serialDB.Close()
+	parDB, err := LoadNTriples(strings.NewReader(nt), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parDB.Close()
+	if got := parDB.Parallelism(); got != 4 {
+		t.Fatalf("Parallelism() = %d, want 4", got)
+	}
+
+	for _, src := range []string{
+		crossQuery,
+		`SELECT * WHERE { ?a <http://x/p1> ?b }`,
+		`SELECT ?a WHERE { { ?a <http://x/p1> ?b } UNION { ?a <http://x/p2> ?b } }`,
+	} {
+		want, err := serialDB.Query(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := parDB.Query(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Rows, got.Rows) {
+			t.Errorf("query %q: parallel rows differ from serial (%d vs %d rows)",
+				src, len(got.Rows), len(want.Rows))
+		}
+	}
+
+	n, err := parDB.Count(crossQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 12*12*12 {
+		t.Errorf("Count = %d, want %d", n, 12*12*12)
+	}
+}
+
+// TestWithParallelismRowBudgetTruncates mirrors the serial MaxRows
+// contract under parallel execution: exactly MaxRows rows, Truncated.
+func TestWithParallelismRowBudgetTruncates(t *testing.T) {
+	db, err := LoadNTriples(strings.NewReader(crossProductNT(20)),
+		WithParallelism(4), WithLimits(Limits{MaxRows: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	res, err := db.Query(crossQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("result not marked Truncated")
+	}
+	if len(res.Rows) != 5 {
+		t.Errorf("rows = %d, want 5", len(res.Rows))
+	}
+}
+
+// TestActiveParallelWorkersIdle pins the gauge's idle value.
+func TestActiveParallelWorkersIdle(t *testing.T) {
+	if n := ActiveParallelWorkers(); n != 0 {
+		t.Errorf("ActiveParallelWorkers = %d while idle, want 0", n)
+	}
+}

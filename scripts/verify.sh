@@ -27,6 +27,12 @@ echo "== go test -race (obsv, live, engine, server) =="
 go test -race ./internal/obsv ./internal/live ./internal/engine ./internal/server
 
 echo "== go test -race (facade governor: lifecycle, budgets, deadlines) =="
-go test -race -run 'TestQueryCtx|TestWithDefault|TestWithLimits|TestClose|TestUpdateCtx|TestOpenClose' .
+go test -race -run 'TestQueryCtx|TestWithDefault|TestWithLimits|TestClose|TestUpdateCtx|TestOpenClose|TestWithParallelism' .
+
+echo "== go test -race (parallel-vs-serial differential over all workloads) =="
+go test -race -run 'TestParallelDifferentialWorkloads' ./internal/integration
+
+echo "== benchmark bit-rot smoke (compile and run every benchmark once) =="
+go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
 
 echo "verify: all checks passed"
