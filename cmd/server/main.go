@@ -11,13 +11,24 @@
 // Retry-After), each query is bounded by -query-timeout or a client
 // timeout= parameter, and -max-rows/-max-intermediate budgets turn
 // runaway result sets into marked partial responses. SIGINT/SIGTERM
-// drains in-flight requests before exiting.
+// flips /readyz to 503, drains in-flight requests, and — when a data
+// directory is attached — checkpoints before exiting.
+//
+// With -data-dir the dataset is durable (docs/DURABILITY.md): every
+// committed update is written to a checksummed write-ahead log before it
+// is acknowledged (fsync policy under -fsync), POST /admin/checkpoint
+// rotates the log into a fresh snapshot, and a restart recovers the
+// directory — replaying the log and truncating any torn tail. An empty
+// directory combined with -data/-dataset seeds it; a directory that
+// already holds state is recovered, and the seed source is ignored.
 //
 //	server -dataset lubm -scale 1 -addr :8080
-//	server -data graph.nt -addr :8080 -tracebuf 1024
+//	server -data graph.nt -data-dir /var/lib/rdfshapes -addr :8080
+//	server -data-dir /var/lib/rdfshapes -fsync never
 //	server -dataset lubm -query-timeout 5s -max-concurrent 32
 //	curl 'localhost:8080/sparql?query=SELECT...&timeout=500ms'
 //	curl 'localhost:8080/update' -d 'update=INSERT DATA { <s> <p> <o> }'
+//	curl -X POST 'localhost:8080/admin/checkpoint'
 //	curl 'localhost:8080/metrics'
 package main
 
@@ -40,6 +51,7 @@ import (
 	"rdfshapes/internal/datagen/yago"
 	"rdfshapes/internal/obsv"
 	"rdfshapes/internal/server"
+	"rdfshapes/internal/wal"
 )
 
 func main() {
@@ -68,14 +80,29 @@ func main() {
 		"how long shutdown waits for in-flight requests before giving up")
 	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0),
 		"workers per query BGP (1 = serial execution; see docs/PERFORMANCE.md)")
+	dataDir := flag.String("data-dir", "",
+		"durability directory: WAL + snapshots; recovered on start, seeded from -data/-dataset when empty (see docs/DURABILITY.md)")
+	fsyncMode := flag.String("fsync", "always",
+		"WAL sync policy: always (acknowledged commits survive crashes) or never (faster, may lose recent commits)")
 	flag.Parse()
 
-	db, err := open(*dataset, *dataFile, *scale, *seed, *budget, *compactAt, *driftAt, *parallelism,
-		rdfshapes.Limits{MaxRows: *maxRows, MaxIntermediate: *maxIntermediate})
+	syncPolicy, err := rdfshapes.ParseSyncPolicy(*fsyncMode)
 	if err != nil {
 		log.Fatal("server: ", err)
 	}
-	db.SetCollector(obsv.NewCollector(*tracebuf))
+	// The collector goes in as an open-time option so that recovery
+	// counters (replayed records, torn-tail truncations, snapshot
+	// fallbacks) land in the same registry /metrics serves.
+	collector := obsv.NewCollector(*tracebuf)
+	db, err := open(*dataset, *dataFile, *dataDir, syncPolicy, *scale, *seed, *budget, *compactAt, *driftAt, *parallelism,
+		rdfshapes.Limits{MaxRows: *maxRows, MaxIntermediate: *maxIntermediate}, collector)
+	if err != nil {
+		log.Fatal("server: ", err)
+	}
+	if s, ok := db.DurabilityStats(); ok && s.Recovered {
+		log.Printf("recovered %s: generation %d, %d WAL records replayed, %d torn tails truncated, %d snapshot fallbacks",
+			*dataDir, s.Generation, s.RecordsReplayed, s.TornTruncations, s.SnapshotFallbacks)
+	}
 
 	handler := server.NewWithConfig(db, server.Config{
 		MaxConcurrent: *maxConcurrent,
@@ -105,12 +132,22 @@ func main() {
 		log.Fatal("server: ", err)
 	case <-ctx.Done():
 	}
-	stop() // a second signal kills immediately instead of waiting out the drain
+	stop()                  // a second signal kills immediately instead of waiting out the drain
+	handler.SetReady(false) // /readyz answers 503 so load balancers stop routing
 	log.Printf("shutting down: draining in-flight requests (up to %v)", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		log.Printf("server: shutdown: %v", err)
+	}
+	if db.Durable() {
+		// Checkpoint after the drain so the snapshot includes every
+		// acknowledged commit and the next start replays an empty log.
+		if st, err := db.Checkpoint(); err != nil {
+			log.Printf("server: final checkpoint: %v", err)
+		} else {
+			log.Printf("checkpointed generation %d (%d triples) in %v", st.Generation, st.Triples, st.Duration)
+		}
 	}
 	if err := db.Close(); err != nil {
 		log.Printf("server: close: %v", err)
@@ -118,13 +155,32 @@ func main() {
 	log.Print("server: stopped")
 }
 
-func open(dataset, dataFile string, scale int, seed, budget int64, compactAt int, driftAt int64, parallelism int, limits rdfshapes.Limits) (*rdfshapes.DB, error) {
+func open(dataset, dataFile, dataDir string, syncPolicy rdfshapes.SyncPolicy, scale int, seed, budget int64, compactAt int, driftAt int64, parallelism int, limits rdfshapes.Limits, collector *obsv.Collector) (*rdfshapes.DB, error) {
 	opts := []rdfshapes.Option{
 		rdfshapes.WithOpsBudget(budget),
 		rdfshapes.WithAutoCompact(compactAt),
 		rdfshapes.WithDriftThreshold(driftAt),
 		rdfshapes.WithLimits(limits),
 		rdfshapes.WithParallelism(parallelism),
+		rdfshapes.WithCollector(collector),
+		rdfshapes.WithSyncPolicy(syncPolicy),
+	}
+	if dataDir != "" {
+		has, err := wal.HasState(dataDir, nil)
+		if err != nil {
+			return nil, err
+		}
+		if has || (dataFile == "" && dataset == "") {
+			// Existing state wins over any seed source: silently
+			// re-seeding a live directory would shadow durable data.
+			if dataFile != "" || dataset != "" {
+				log.Printf("%s already holds durable state; recovering it and ignoring the seed source", dataDir)
+			}
+			return rdfshapes.Open(dataDir, opts...)
+		}
+		// Empty directory with a seed source: load it and attach
+		// durability, writing the loaded dataset as generation one.
+		opts = append(opts, rdfshapes.WithDurability(dataDir))
 	}
 	if dataFile != "" {
 		f, err := os.Open(dataFile)
@@ -147,7 +203,7 @@ func open(dataset, dataFile string, scale int, seed, budget int64, compactAt int
 	case "yago":
 		return rdfshapes.Load(yago.Generate(yago.Config{Entities: scale * 1000, Seed: seed}), opts...)
 	case "":
-		return nil, fmt.Errorf("either -dataset or -data is required")
+		return nil, fmt.Errorf("either -dataset, -data, or -data-dir is required")
 	default:
 		return nil, fmt.Errorf("unknown dataset %q", dataset)
 	}

@@ -1,0 +1,10 @@
+package rdfshapes
+
+import "rdfshapes/internal/wal"
+
+// WithWALFS substitutes the durability layer's filesystem — the
+// fault-injection hook the crash-matrix tests drive the whole facade
+// through. Test-only.
+func WithWALFS(fs wal.FS) Option {
+	return func(c *config) { c.walFS = fs }
+}

@@ -18,6 +18,23 @@ const (
 	MetricTracesWritten = "rdfshapes_traces_recorded_total"
 )
 
+// Durability metric names (counted by the facade around internal/wal).
+const (
+	MetricRecoveries         = "rdfshapes_recoveries_total"
+	MetricRecordsReplayed    = "rdfshapes_wal_records_replayed_total"
+	MetricTornTruncations    = "rdfshapes_wal_torn_truncations_total"
+	MetricSnapshotFallbacks  = "rdfshapes_snapshot_fallbacks_total"
+	MetricCheckpoints        = "rdfshapes_checkpoints_total"
+	MetricCheckpointDuration = "rdfshapes_checkpoint_duration_seconds"
+)
+
+// CheckpointDurationBuckets are the checkpoint-latency histogram upper
+// bounds in seconds: checkpoints write a full snapshot, so the range
+// sits well above query latencies.
+var CheckpointDurationBuckets = []float64{
+	0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
 // DurationBuckets are the latency histogram upper bounds in seconds,
 // spanning sub-millisecond index lookups to the multi-second budget
 // region.
@@ -47,7 +64,8 @@ type Collector struct {
 
 	mu     sync.Mutex
 	gauges map[string]GaugeFunc
-	extra  map[string]*CounterVec // auxiliary counters (Counter), by name
+	extra  map[string]*CounterVec   // auxiliary counters (Counter), by name
+	extraH map[string]*HistogramVec // auxiliary histograms (Histogram), by name
 }
 
 // NewCollector returns a collector whose trace ring holds the last
@@ -95,6 +113,29 @@ func (c *Collector) Counter(name, help string, labels ...string) *CounterVec {
 	cv := NewCounterVec(name, help, labels...)
 	c.extra[name] = cv
 	return cv
+}
+
+// Histogram returns the auxiliary histogram family with the given name,
+// declaring it on first use with the given bucket bounds; later calls
+// with the same name return the same family (the first call's help,
+// buckets, and labels win). Auxiliary histograms render after auxiliary
+// counters, sorted by name. On a nil collector it returns a detached
+// histogram, so callers can Observe unconditionally.
+func (c *Collector) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if c == nil {
+		return NewHistogramVec(name, help, buckets, labels...)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.extraH == nil {
+		c.extraH = map[string]*HistogramVec{}
+	}
+	if hv, ok := c.extraH[name]; ok {
+		return hv
+	}
+	hv := NewHistogramVec(name, help, buckets, labels...)
+	c.extraH[name] = hv
+	return hv
 }
 
 // RegisterGauge installs (or replaces) a scrape-time gauge.
@@ -189,6 +230,11 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	for _, n := range extraNames {
 		extras = append(extras, c.extra[n])
 	}
+	extraHNames := sortedKeys(c.extraH)
+	extraHs := make([]*HistogramVec, 0, len(extraHNames))
+	for _, n := range extraHNames {
+		extraHs = append(extraHs, c.extraH[n])
+	}
 	c.mu.Unlock()
 	for _, g := range gauges {
 		if err := g.write(w); err != nil {
@@ -210,6 +256,11 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	}
 	for _, cv := range extras {
 		if err := cv.write(w); err != nil {
+			return err
+		}
+	}
+	for _, hv := range extraHs {
+		if err := hv.write(w); err != nil {
 			return err
 		}
 	}

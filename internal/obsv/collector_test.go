@@ -204,3 +204,39 @@ func TestCollectorConcurrent(t *testing.T) {
 		t.Errorf("TraceCount = %d, want 400", got)
 	}
 }
+
+// TestAuxiliaryHistogram covers the Histogram aux API: declaration on
+// first use, same-family reuse, nil-collector detachment, and rendering
+// after the auxiliary counters.
+func TestAuxiliaryHistogram(t *testing.T) {
+	c := NewCollector(4)
+	h := c.Histogram(MetricCheckpointDuration,
+		"Checkpoint wall time in seconds.", CheckpointDurationBuckets)
+	h.Observe(0.2)
+	h.Observe(7)
+	if again := c.Histogram(MetricCheckpointDuration, "other", nil); again != h {
+		t.Error("second Histogram call returned a different family")
+	}
+	c.Counter("rdfshapes_zzz_total", "Sorts after histograms alphabetically but renders first.").Add(1)
+	var b strings.Builder
+	if err := c.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE " + MetricCheckpointDuration + " histogram",
+		MetricCheckpointDuration + `_bucket{le="0.25"} 1`,
+		MetricCheckpointDuration + `_bucket{le="+Inf"} 2`,
+		MetricCheckpointDuration + "_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "rdfshapes_zzz_total") > strings.Index(out, MetricCheckpointDuration+"_count") {
+		t.Error("auxiliary counter rendered after auxiliary histogram")
+	}
+	// nil collector: detached but usable
+	var nc *Collector
+	nc.Histogram("x", "y", nil).Observe(1)
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rdfshapes"
+)
+
+func newDurableServer(t *testing.T) (*httptest.Server, *Handler, *rdfshapes.DB) {
+	t.Helper()
+	db, err := rdfshapes.LoadNTriples(strings.NewReader(testNT),
+		rdfshapes.WithDurability(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	h := New(db)
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, h, db
+}
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	srv := newServer(t)
+	var out struct {
+		Status  string `json:"status"`
+		Triples int    `json:"triples"`
+	}
+	resp := getJSON(t, srv.URL+"/healthz", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Status != "ok" || out.Triples != 6 {
+		t.Errorf("healthz = %+v", out)
+	}
+}
+
+func TestReadyzFollowsSetReady(t *testing.T) {
+	srv, h, _ := newDurableServer(t)
+	var out struct {
+		Ready bool `json:"ready"`
+	}
+	resp := getJSON(t, srv.URL+"/readyz", &out)
+	if resp.StatusCode != http.StatusOK || !out.Ready {
+		t.Fatalf("fresh handler: status = %d ready = %v, want 200 true", resp.StatusCode, out.Ready)
+	}
+
+	h.SetReady(false)
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining: status = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"ready":false`) {
+		t.Errorf("draining body = %q", body)
+	}
+	// healthz must stay green while draining: the process is alive.
+	hr, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining: status = %d, want 200", hr.StatusCode)
+	}
+
+	h.SetReady(true)
+	resp = getJSON(t, srv.URL+"/readyz", &out)
+	if resp.StatusCode != http.StatusOK || !out.Ready {
+		t.Errorf("restored: status = %d ready = %v, want 200 true", resp.StatusCode, out.Ready)
+	}
+}
+
+func TestReadyzMethodNotAllowed(t *testing.T) {
+	srv, _, _ := newDurableServer(t)
+	resp, err := http.Post(srv.URL+"/readyz", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodGet {
+		t.Errorf("Allow = %q, want GET", allow)
+	}
+}
+
+func TestAdminCheckpoint(t *testing.T) {
+	srv, _, db := newDurableServer(t)
+	resp, err := http.Post(srv.URL+"/admin/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d body = %q", resp.StatusCode, body)
+	}
+	var out checkpointResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Generation != 2 {
+		t.Errorf("generation = %d, want 2 (seeded at 1, first checkpoint rotates)", out.Generation)
+	}
+	if out.Triples != 6 {
+		t.Errorf("triples = %d, want 6", out.Triples)
+	}
+	if out.DurationSeconds < 0 {
+		t.Errorf("durationSeconds = %v", out.DurationSeconds)
+	}
+	if s, ok := db.DurabilityStats(); !ok || s.Generation != 2 || s.Checkpoints != 1 {
+		t.Errorf("durability stats after checkpoint = %+v ok=%v", s, ok)
+	}
+}
+
+func TestAdminCheckpointNotDurable(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.Post(srv.URL+"/admin/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status = %d body = %q, want 409", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "not durable") {
+		t.Errorf("body = %q, want mention of not durable", body)
+	}
+}
+
+func TestAdminCheckpointMethodNotAllowed(t *testing.T) {
+	srv, _, _ := newDurableServer(t)
+	resp, err := http.Get(srv.URL + "/admin/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Errorf("Allow = %q, want POST", allow)
+	}
+}
+
+func TestWALGaugesExposedWhenDurable(t *testing.T) {
+	srv, _, _ := newDurableServer(t)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(body)
+	for _, want := range []string{
+		"rdfshapes_wal_size_bytes",
+		"rdfshapes_wal_generation 1",
+		"rdfshapes_wal_failed 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestWALGaugesAbsentWhenNotDurable(t *testing.T) {
+	srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "rdfshapes_wal_") {
+		t.Errorf("metrics expose WAL gauges on a non-durable DB")
+	}
+}

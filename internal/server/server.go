@@ -12,6 +12,8 @@
 //	GET      /shapes             annotated SHACL shapes graph as Turtle
 //	GET      /stats              extended-VoID statistics as N-Triples
 //	GET      /healthz            liveness and dataset size
+//	GET      /readyz             readiness: 200 after recovery, 503 while draining
+//	POST     /admin/checkpoint   snapshot + WAL rotation; 409 when not durable
 //	GET      /metrics            cumulative counters/histograms, Prometheus text format
 //	GET      /trace/recent?n=N   the last N query traces as JSON
 //
@@ -105,6 +107,12 @@ type Handler struct {
 	cfg Config
 	sem chan struct{} // admission semaphore; nil when disabled
 
+	// ready gates /readyz: set true once construction (and therefore any
+	// durability recovery) is complete, set false by SetReady(false) when
+	// the server starts draining, so load balancers stop routing before
+	// in-flight queries are waited out.
+	ready atomic.Bool
+
 	inFlight    atomic.Int64
 	rejections  *obsv.CounterVec
 	timeouts    *obsv.CounterVec
@@ -172,16 +180,41 @@ func NewWithConfig(db *rdfshapes.DB, cfg Config) *Handler {
 	h.obs.RegisterGauge("rdfshapes_parallel_workers_active",
 		"Parallel BGP worker goroutines executing at scrape time.",
 		func() float64 { return float64(rdfshapes.ActiveParallelWorkers()) })
+	if db.Durable() {
+		h.obs.RegisterGauge("rdfshapes_wal_size_bytes",
+			"Active write-ahead log file size in bytes, header included.",
+			func() float64 { s, _ := db.DurabilityStats(); return float64(s.WALSizeBytes) })
+		h.obs.RegisterGauge("rdfshapes_wal_generation",
+			"Current snapshot/WAL generation number.",
+			func() float64 { s, _ := db.DurabilityStats(); return float64(s.Generation) })
+		h.obs.RegisterGauge("rdfshapes_wal_failed",
+			"1 while the WAL is poisoned (updates refused until a checkpoint succeeds), else 0.",
+			func() float64 {
+				if s, _ := db.DurabilityStats(); s.Failed {
+					return 1
+				}
+				return 0
+			})
+	}
 	h.mux.HandleFunc("/sparql", h.govern(h.sparql))
 	h.mux.HandleFunc("/update", h.govern(h.update))
 	h.mux.HandleFunc("/explain", h.govern(h.explain))
 	h.mux.HandleFunc("/shapes", h.shapes)
 	h.mux.HandleFunc("/stats", h.stats)
 	h.mux.HandleFunc("/healthz", h.healthz)
+	h.mux.HandleFunc("/readyz", h.readyz)
+	h.mux.HandleFunc("/admin/checkpoint", h.adminCheckpoint)
 	h.mux.HandleFunc("/metrics", h.metrics)
 	h.mux.HandleFunc("/trace/recent", h.traceRecent)
+	h.ready.Store(true)
 	return h
 }
+
+// SetReady flips the /readyz readiness gate. The server process sets it
+// false when it begins draining (SIGTERM), so orchestrators stop routing
+// new traffic while in-flight requests finish; /healthz stays green the
+// whole time (the process is alive, just not accepting work).
+func (h *Handler) SetReady(ready bool) { h.ready.Store(ready) }
 
 // allow enforces the supported methods for a handler. When the request
 // method is not listed it writes 405 Method Not Allowed with an Allow
@@ -665,4 +698,57 @@ func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"status":"ok","triples":%d,"nodeShapes":%d,"propertyShapes":%d}`+"\n",
 		h.db.NumTriples(), h.db.Shapes().Len(), h.db.Shapes().PropertyShapeCount())
+}
+
+// readyz reports readiness to take traffic: 200 once recovery is done
+// and the handler is constructed, 503 after SetReady(false) (draining).
+// Distinct from /healthz, which stays 200 for the process's whole life.
+func (h *Handler) readyz(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !h.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"ready":false}`)
+		return
+	}
+	fmt.Fprintln(w, `{"ready":true}`)
+}
+
+// checkpointResponse is the JSON shape of POST /admin/checkpoint.
+type checkpointResponse struct {
+	// Generation is the newly installed snapshot/WAL generation.
+	Generation uint64 `json:"generation"`
+	// Triples is the dataset size the snapshot captured.
+	Triples int `json:"triples"`
+	// DurationSeconds is the checkpoint wall time.
+	DurationSeconds float64 `json:"durationSeconds"`
+}
+
+// adminCheckpoint triggers a synchronous checkpoint: snapshot the
+// dataset, rotate the WAL, prune old generations. 409 when the DB has no
+// durability directory attached.
+func (h *Handler) adminCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodPost) {
+		return
+	}
+	st, err := h.db.Checkpoint()
+	if err != nil {
+		if errors.Is(err, rdfshapes.ErrNotDurable) {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	resp := checkpointResponse{
+		Generation:      st.Generation,
+		Triples:         st.Triples,
+		DurationSeconds: st.Duration.Seconds(),
+	}
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		return
+	}
 }

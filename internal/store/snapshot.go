@@ -3,31 +3,53 @@ package store
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 
 	"rdfshapes/internal/rdf"
 )
 
-// snapshotMagic identifies the snapshot format and its version.
-const snapshotMagic = "RDFSNAP1"
+// Snapshot format magics. Version 2 appends a CRC32C (Castagnoli) of the
+// payload — everything between the magic and the trailing 4 checksum
+// bytes — so a torn or bit-flipped file is rejected instead of decoded as
+// if it were valid data. Version 1 files (written before the durability
+// subsystem) are still accepted on read.
+const (
+	snapshotMagicV1 = "RDFSNAP1"
+	snapshotMagic   = "RDFSNAP2"
+)
 
 // maxSnapshotString bounds string lengths read from snapshots, guarding
 // against corrupted or hostile inputs.
 const maxSnapshotString = 64 << 20
 
+// ErrCorrupt marks a snapshot whose integrity check failed: a trailing
+// checksum mismatch, a truncated body, or structurally invalid contents
+// in a checksummed (v2) file. Callers holding an older checkpoint can
+// match it with errors.Is and fall back instead of serving garbage.
+var ErrCorrupt = errors.New("store: snapshot corrupt")
+
+// castagnoli is the CRC32C polynomial table shared with internal/wal.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // WriteSnapshot serializes the frozen store — dictionary plus triples —
-// in a compact binary format readable by ReadSnapshot. Only the SPO
-// ordering is written; the other indexes are rebuilt on load.
+// in a compact binary format readable by ReadSnapshot, protected by a
+// trailing CRC32C. Only the SPO ordering is written; the other indexes
+// are rebuilt on load.
 func (s *Store) WriteSnapshot(w io.Writer) error {
 	s.mustBeFrozen()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return fmt.Errorf("store: writing snapshot: %w", err)
 	}
+	crc := crc32.New(castagnoli)
 	var scratch [binary.MaxVarintLen64]byte
 	writeUvarint := func(v uint64) error {
 		n := binary.PutUvarint(scratch[:], v)
+		crc.Write(scratch[:n])
 		_, err := bw.Write(scratch[:n])
 		return err
 	}
@@ -35,6 +57,7 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 		if err := writeUvarint(uint64(len(v))); err != nil {
 			return err
 		}
+		crc.Write([]byte(v))
 		_, err := bw.WriteString(v)
 		return err
 	}
@@ -45,6 +68,7 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 	}
 	for id := ID(1); int(id) <= s.dict.Len(); id++ {
 		t := s.dict.Term(id)
+		crc.Write([]byte{byte(t.Kind)})
 		if err := bw.WriteByte(byte(t.Kind)); err != nil {
 			return fmt.Errorf("store: writing snapshot: %w", err)
 		}
@@ -73,22 +97,89 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 			return fmt.Errorf("store: writing snapshot: %w", err)
 		}
 	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := bw.Write(sum[:]); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("store: writing snapshot: %w", err)
 	}
 	return nil
 }
 
+// crcReader hashes every payload byte as it is consumed, so the decoder
+// can compare its running checksum against the trailing CRC32C without
+// buffering the whole snapshot.
+type crcReader struct {
+	br  *bufio.Reader
+	crc hash.Hash32
+}
+
+func (r *crcReader) Read(p []byte) (int, error) {
+	n, err := r.br.Read(p)
+	if n > 0 {
+		r.crc.Write(p[:n])
+	}
+	return n, err
+}
+
+func (r *crcReader) ReadByte() (byte, error) {
+	b, err := r.br.ReadByte()
+	if err == nil {
+		r.crc.Write([]byte{b})
+	}
+	return b, err
+}
+
 // ReadSnapshot reconstructs a frozen store from WriteSnapshot output.
+// Both format versions are accepted; a v2 file that fails its checksum
+// (or is otherwise structurally invalid) returns an error matching
+// ErrCorrupt.
 func ReadSnapshot(r io.Reader) (*Store, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("store: reading snapshot header: %w", err)
 	}
-	if string(magic) != snapshotMagic {
+	switch string(magic) {
+	case snapshotMagicV1:
+		s, err := readSnapshotBody(br, br)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := br.ReadByte(); err != io.EOF {
+			return nil, fmt.Errorf("store: trailing data after snapshot")
+		}
+		return s, nil
+	case snapshotMagic:
+		cr := &crcReader{br: br, crc: crc32.New(castagnoli)}
+		s, err := readSnapshotBody(cr, cr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+		}
+		want := cr.crc.Sum32()
+		var sum [4]byte
+		if _, err := io.ReadFull(br, sum[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated checksum: %w", ErrCorrupt, err)
+		}
+		if got := binary.LittleEndian.Uint32(sum[:]); got != want {
+			return nil, fmt.Errorf("%w: checksum mismatch (file %08x, computed %08x)", ErrCorrupt, got, want)
+		}
+		if _, err := br.ReadByte(); err != io.EOF {
+			return nil, fmt.Errorf("%w: trailing data after checksum", ErrCorrupt)
+		}
+		return s, nil
+	default:
 		return nil, fmt.Errorf("store: not a snapshot (bad magic %q)", magic)
 	}
+}
+
+// readSnapshotBody decodes the dictionary and triple sections common to
+// both format versions and returns the frozen store. br supplies byte
+// reads (for uvarints) and r bulk reads; v2 passes a checksumming
+// wrapper for both.
+func readSnapshotBody(br io.ByteReader, r io.Reader) (*Store, error) {
 	readString := func() (string, error) {
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -98,7 +189,7 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 			return "", fmt.Errorf("string length %d exceeds limit", n)
 		}
 		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
+		if _, err := io.ReadFull(r, buf); err != nil {
 			return "", err
 		}
 		return string(buf), nil
@@ -153,9 +244,6 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 			return nil, fmt.Errorf("store: snapshot triple %d references unknown term", i)
 		}
 		s.staged = append(s.staged, IDTriple{S: ID(subj), P: ID(vals[1]), O: ID(vals[2])})
-	}
-	if _, err := br.ReadByte(); err != io.EOF {
-		return nil, fmt.Errorf("store: trailing data after snapshot")
 	}
 	s.Freeze()
 	return s, nil

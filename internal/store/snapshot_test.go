@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -119,13 +120,98 @@ func TestSnapshotErrors(t *testing.T) {
 	cases := map[string]string{
 		"empty":        "",
 		"bad magic":    "NOTASNAP",
-		"truncated":    "RDFSNAP1",
+		"truncated v1": "RDFSNAP1",
+		"truncated v2": "RDFSNAP2",
 		"short header": "RDF",
 	}
 	for name, input := range cases {
 		if _, err := ReadSnapshot(strings.NewReader(input)); err == nil {
 			t.Errorf("%s: ReadSnapshot succeeded", name)
 		}
+	}
+}
+
+// TestSnapshotV1StillAccepted pins backward compatibility: a handcrafted
+// v1 file (no trailing checksum) must still load.
+func TestSnapshotV1StillAccepted(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("RDFSNAP1")
+	buf.WriteByte(2)             // 2 terms
+	buf.WriteByte(byte(rdf.IRI)) // term 1: <abc>
+	buf.WriteByte(3)
+	buf.WriteString("abc")
+	buf.WriteByte(0)             // datatype ""
+	buf.WriteByte(0)             // lang ""
+	buf.WriteByte(byte(rdf.IRI)) // term 2: <def>
+	buf.WriteByte(3)
+	buf.WriteString("def")
+	buf.WriteByte(0)
+	buf.WriteByte(0)
+	buf.WriteByte(1) // 1 triple
+	buf.WriteByte(1) // S delta = 1
+	buf.WriteByte(2) // P
+	buf.WriteByte(2) // O
+	st, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatalf("v1 snapshot rejected: %v", err)
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len = %d, want 1", st.Len())
+	}
+	if !st.Contains(IDTriple{S: 1, P: 2, O: 2}) {
+		t.Error("triple missing from decoded v1 snapshot")
+	}
+}
+
+// TestSnapshotChecksumRejectsBitFlips flips every byte of a valid v2
+// snapshot in turn; each mutation must be rejected (CRC32C detects all
+// single-byte errors) and CRC failures must match ErrCorrupt.
+func TestSnapshotChecksumRejectsBitFlips(t *testing.T) {
+	st := Load(testGraph())
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	sawCorrupt := false
+	for i := range valid {
+		mutated := append([]byte(nil), valid...)
+		mutated[i] ^= 0x40
+		_, err := ReadSnapshot(bytes.NewReader(mutated))
+		if err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+		if errors.Is(err, ErrCorrupt) {
+			sawCorrupt = true
+		}
+	}
+	if !sawCorrupt {
+		t.Error("no bit flip produced ErrCorrupt")
+	}
+	// flips past the magic are always integrity failures
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)-1] ^= 0x01 // checksum byte
+	if _, err := ReadSnapshot(bytes.NewReader(mutated)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("checksum flip: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSnapshotTruncationsRejected truncates a valid v2 snapshot at every
+// byte boundary; every proper prefix must fail cleanly (no panic).
+func TestSnapshotTruncationsRejected(t *testing.T) {
+	st := Load(testGraph())
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for i := 0; i < len(valid); i++ {
+		if _, err := ReadSnapshot(bytes.NewReader(valid[:i])); err == nil {
+			t.Fatalf("truncation at byte %d/%d accepted", i, len(valid))
+		}
+	}
+	if _, err := ReadSnapshot(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("full snapshot rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,186 @@
+package wal
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/store"
+)
+
+// The crash matrix: a fixed workload of appends and checkpoints runs
+// against a MemFS that cuts power at operation k, for every k up to the
+// clean run's operation count, under every CrashMode. Recovering the
+// resulting disk image must always yield a state equal to some prefix of
+// the attempted commit sequence, at least as long as the acknowledged
+// one (under SyncAlways an acknowledgement means the record was fsynced,
+// so it can never be lost). This is the subsystem's contract, proved by
+// enumeration over every failure point the FS abstraction exposes.
+
+// crashWorkload drives a deterministic sequence of commits: six inserts,
+// one delete, with checkpoints after the third and sixth. It returns how
+// many commits were acknowledged before the first failure.
+func crashWorkload(fs *MemFS) (acked int) {
+	attempted := crashAttempts()
+	m, base, batches, err := Open(testDir, Options{FS: fs})
+	if err != nil {
+		return 0
+	}
+	defer m.Close()
+	cur := storeTriples(base)
+	for _, b := range batches {
+		applyBatch(cur, b)
+	}
+	for i, b := range attempted {
+		if err := m.Append(b); err != nil {
+			return acked
+		}
+		acked++
+		applyBatch(cur, b)
+		if i == 2 || i == 5 {
+			// checkpoint failures are retryable, not fatal: the commit
+			// was already acknowledged
+			_, _ = m.Checkpoint(store.Load(graphOf(cur)).WriteSnapshot)
+		}
+	}
+	return acked
+}
+
+// crashAttempts is the commit sequence crashWorkload attempts, in order.
+func crashAttempts() []Batch {
+	attempts := make([]Batch, 0, 7)
+	for i := 0; i < 6; i++ {
+		attempts = append(attempts, batchN(i))
+	}
+	attempts = append(attempts, Batch{Delete: batchN(1).Insert})
+	return attempts
+}
+
+// prefixStates returns the triple set after each prefix of the attempts:
+// states[k] is the state once the first k commits have applied.
+func prefixStates(attempts []Batch) []map[rdf.Triple]bool {
+	states := []map[rdf.Triple]bool{{}}
+	cur := map[rdf.Triple]bool{}
+	for _, b := range attempts {
+		applyBatch(cur, b)
+		next := make(map[rdf.Triple]bool, len(cur))
+		for tr := range cur {
+			next[tr] = true
+		}
+		states = append(states, next)
+	}
+	return states
+}
+
+// recoverAndCheck opens a crash image and asserts the recovered state is
+// a prefix of the attempted sequence no shorter than the acknowledged
+// one. It returns the recovered manager for follow-up writes.
+func recoverAndCheck(t *testing.T, img *MemFS, acked int, label string) *Manager {
+	t.Helper()
+	m, base, batches, err := Open(testDir, Options{FS: img})
+	if err != nil {
+		t.Fatalf("%s: recovery failed: %v", label, err)
+	}
+	got := storeTriples(base)
+	for _, b := range batches {
+		applyBatch(got, b)
+	}
+	states := prefixStates(crashAttempts())
+	matched := -1
+	for k := len(states) - 1; k >= 0; k-- {
+		if reflect.DeepEqual(got, states[k]) {
+			matched = k
+			break
+		}
+	}
+	if matched < 0 {
+		t.Fatalf("%s: recovered state (%d triples) matches no prefix of the commit sequence", label, len(got))
+	}
+	if matched < acked {
+		t.Fatalf("%s: recovered prefix %d shorter than %d acknowledged commits", label, matched, acked)
+	}
+	return m
+}
+
+func TestCrashMatrix(t *testing.T) {
+	clean := NewMemFS()
+	ackedClean := crashWorkload(clean)
+	if want := len(crashAttempts()); ackedClean != want {
+		t.Fatalf("clean run acknowledged %d/%d commits", ackedClean, want)
+	}
+	total := clean.Ops()
+	if total < 30 {
+		t.Fatalf("workload only exercises %d filesystem operations", total)
+	}
+	recoverAndCheck(t, clean.CrashImage(CrashKeepAll), ackedClean, "clean run")
+
+	for _, mode := range []CrashMode{CrashSyncedOnly, CrashPartialTail, CrashKeepAll} {
+		for k := 0; k < total; k++ {
+			label := fmt.Sprintf("crash at op %d/%d, mode %s", k, total, mode)
+			fs := NewMemFS()
+			fs.StopAfter(k)
+			acked := crashWorkload(fs)
+			img := fs.CrashImage(mode)
+			m := recoverAndCheck(t, img, acked, label)
+			// the recovered directory must be fully writable: one more
+			// commit, a checkpoint, and a second recovery round-trip
+			extra := Batch{Insert: []rdf.Triple{rdf.NewTriple(
+				rdf.NewIRI("http://x/post-crash"), rdf.NewIRI("http://x/p"), rdf.NewLiteral("ok"),
+			)}}
+			if err := m.Append(extra); err != nil {
+				t.Fatalf("%s: post-recovery append: %v", label, err)
+			}
+			m.Close()
+			m2, base, batches, err := Open(testDir, Options{FS: img})
+			if err != nil {
+				t.Fatalf("%s: second recovery: %v", label, err)
+			}
+			got := storeTriples(base)
+			for _, b := range batches {
+				applyBatch(got, b)
+			}
+			if !got[extra.Insert[0]] {
+				t.Fatalf("%s: post-recovery commit lost on reopen", label)
+			}
+			m2.Close()
+		}
+	}
+}
+
+// TestCrashDuringRecovery re-runs recovery itself under the crash
+// matrix: a crash while Open is repairing the directory (removing
+// leftovers, truncating torn tails, recreating the WAL) must leave it
+// recoverable by the next attempt with the same guarantee.
+func TestCrashDuringRecovery(t *testing.T) {
+	// build a messy-but-recoverable image: crash mid-checkpoint with a
+	// torn tail, the hardest directory shape recovery handles
+	fs := NewMemFS()
+	fs.StopAfter(25)
+	acked := crashWorkload(fs)
+	img := fs.CrashImage(CrashPartialTail)
+
+	// count recovery's own mutating ops
+	probe := img.CrashImage(CrashKeepAll)
+	before := probe.Ops()
+	if m := recoverAndCheck(t, probe, acked, "probe recovery"); m != nil {
+		m.Close()
+	}
+	recOps := probe.Ops() - before
+
+	for k := 0; k < recOps; k++ {
+		attempt := img.CrashImage(CrashKeepAll)
+		attempt.StopAfter(k)
+		m, _, _, _ := Open(testDir, Options{FS: attempt})
+		if m != nil {
+			m.Close()
+		}
+		for _, mode := range []CrashMode{CrashSyncedOnly, CrashKeepAll} {
+			second := attempt.CrashImage(mode)
+			label := fmt.Sprintf("crash at recovery op %d/%d, mode %s", k, recOps, mode)
+			if m := recoverAndCheck(t, second, acked, label); m != nil {
+				m.Close()
+			}
+		}
+	}
+}

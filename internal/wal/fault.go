@@ -1,0 +1,368 @@
+package wal
+
+import (
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// This file is the fault-injection harness: an in-memory FS that models
+// what a real disk guarantees (and, more importantly, what it does not).
+// File bytes become durable only on Sync; directory entries — creations,
+// renames, removals — become durable only on SyncDir. A simulated crash
+// (CrashImage) discards everything else, which is exactly the adversary
+// the recovery code has to beat. It is exported (not _test.go) so the
+// facade's crash-matrix tests can drive the whole stack through it.
+
+// ErrPowerLost is returned by every filesystem operation at and after
+// the injected crash point.
+var ErrPowerLost = fmt.Errorf("wal: simulated power loss")
+
+// CrashMode selects how much non-durable state survives a simulated
+// crash. Real crashes land anywhere in this range, so the crash matrix
+// runs every failure point under all three.
+type CrashMode int
+
+const (
+	// CrashSyncedOnly keeps only fsynced bytes and dir-synced names:
+	// the worst permitted outcome.
+	CrashSyncedOnly CrashMode = iota
+	// CrashPartialTail keeps dir-synced names and half of each file's
+	// unsynced tail: torn records.
+	CrashPartialTail
+	// CrashKeepAll keeps everything in memory: the OS flushed caches
+	// before power died.
+	CrashKeepAll
+)
+
+func (m CrashMode) String() string {
+	switch m {
+	case CrashSyncedOnly:
+		return "synced-only"
+	case CrashPartialTail:
+		return "partial-tail"
+	default:
+		return "keep-all"
+	}
+}
+
+// memNode is one file's contents plus its durable prefix.
+type memNode struct {
+	data      []byte
+	syncedLen int
+}
+
+// MemFS is an in-memory FS with fault injection. Zero value is not
+// usable; call NewMemFS.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memNode // current (in-memory) namespace
+	dirst map[string]*memNode // dir-synced namespace: what a crash keeps
+	dirs  map[string]bool
+
+	ops       int // mutating operations performed so far
+	stopAfter int // ops at index >= stopAfter fail with ErrPowerLost; -1 = never
+	stopped   bool
+
+	// FailOn, when set, is consulted before every mutating operation
+	// (after the crash-point check); a non-nil return fails that
+	// operation with the returned error. op is one of create, append,
+	// write, sync, rename, remove, truncate, syncdir.
+	FailOn func(op, name string) error
+}
+
+// NewMemFS returns an empty in-memory filesystem with no faults armed.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:     map[string]*memNode{},
+		dirst:     map[string]*memNode{},
+		dirs:      map[string]bool{},
+		stopAfter: -1,
+	}
+}
+
+// StopAfter arms a crash point: the n-th mutating operation (0-indexed)
+// and everything after it fail with ErrPowerLost. Pass -1 to disarm.
+func (m *MemFS) StopAfter(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stopAfter = n
+	m.stopped = false
+}
+
+// Ops returns how many mutating operations have executed, so a clean run
+// can size the crash matrix.
+func (m *MemFS) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// check gates a mutating operation: crash point first, then the
+// per-operation fault hook. Callers hold m.mu.
+func (m *MemFS) check(op, name string) error {
+	if m.stopped || (m.stopAfter >= 0 && m.ops >= m.stopAfter) {
+		m.stopped = true
+		return ErrPowerLost
+	}
+	m.ops++
+	if m.FailOn != nil {
+		if err := m.FailOn(op, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CrashImage returns a fresh MemFS holding what a crash at this moment
+// leaves on disk under the given mode. The original is not modified.
+func (m *MemFS) CrashImage(mode CrashMode) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	src := m.dirst
+	if mode == CrashKeepAll {
+		src = m.files
+	}
+	img := NewMemFS()
+	for d := range m.dirs {
+		img.dirs[d] = true
+	}
+	for name, node := range src {
+		keep := node.syncedLen
+		switch mode {
+		case CrashPartialTail:
+			keep = node.syncedLen + (len(node.data)-node.syncedLen)/2
+		case CrashKeepAll:
+			keep = len(node.data)
+		}
+		n := &memNode{data: append([]byte(nil), node.data[:keep]...), syncedLen: keep}
+		img.files[name] = n
+		img.dirst[name] = n
+	}
+	return img
+}
+
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[filepath.Clean(dir)] = true
+	return nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = filepath.Clean(dir)
+	var names []string
+	for name := range m.files {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	if names == nil && !m.dirs[dir] {
+		return nil, &fs.PathError{Op: "readdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	node, ok := m.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), node.data...), nil
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check("create", name); err != nil {
+		return nil, err
+	}
+	node := &memNode{}
+	m.files[name] = node
+	return &memHandle{fs: m, name: name, node: node}, nil
+}
+
+func (m *MemFS) Append(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check("append", name); err != nil {
+		return nil, err
+	}
+	node, ok := m.files[name]
+	if !ok {
+		node = &memNode{}
+		m.files[name] = node
+	}
+	return &memHandle{fs: m, name: name, node: node}, nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check("rename", oldname); err != nil {
+		return err
+	}
+	node, ok := m.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	delete(m.files, oldname)
+	m.files[newname] = node
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check("remove", name); err != nil {
+		return err
+	}
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check("truncate", name); err != nil {
+		return err
+	}
+	node, ok := m.files[name]
+	if !ok {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrNotExist}
+	}
+	if size < 0 || size > int64(len(node.data)) {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrInvalid}
+	}
+	node.data = node.data[:size]
+	if node.syncedLen > int(size) {
+		node.syncedLen = int(size)
+	}
+	return nil
+}
+
+// SyncDir commits the current namespace: after it, a crash keeps exactly
+// today's names (creations, renames, and removals all become durable).
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.check("syncdir", dir); err != nil {
+		return err
+	}
+	dir = filepath.Clean(dir)
+	for name := range m.dirst {
+		if filepath.Dir(name) == dir {
+			delete(m.dirst, name)
+		}
+	}
+	for name, node := range m.files {
+		if filepath.Dir(name) == dir {
+			m.dirst[name] = node
+		}
+	}
+	return nil
+}
+
+// Names returns the current in-memory file names, for test assertions.
+func (m *MemFS) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	for name := range m.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Corrupt flips one byte of a file in place (both in the current and the
+// durable view, since they share the node), simulating media corruption.
+func (m *MemFS) Corrupt(name string, offset int, mask byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	node, ok := m.files[name]
+	if !ok {
+		return &fs.PathError{Op: "corrupt", Path: name, Err: fs.ErrNotExist}
+	}
+	if offset < 0 {
+		offset += len(node.data)
+	}
+	if offset < 0 || offset >= len(node.data) {
+		return &fs.PathError{Op: "corrupt", Path: name, Err: fs.ErrInvalid}
+	}
+	node.data[offset] ^= mask
+	return nil
+}
+
+// memHandle is a writable handle onto a memNode.
+type memHandle struct {
+	fs     *MemFS
+	name   string
+	node   *memNode
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if err := h.fs.check("write", h.name); err != nil {
+		// A write interrupted by power loss may still land a prefix of
+		// its bytes in the page cache; model that so torn frames appear
+		// even at the crashing operation itself.
+		if err == ErrPowerLost && len(p) > 0 {
+			h.node.data = append(h.node.data, p[:len(p)/2]...)
+		}
+		return 0, err
+	}
+	h.node.data = append(h.node.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if err := h.fs.check("sync", h.name); err != nil {
+		return err
+	}
+	h.node.syncedLen = len(h.node.data)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+// FailNth is a FailOn helper: it fails the n-th (0-indexed) operation of
+// the given kind with err, and lets everything else through.
+func FailNth(n int, op string, err error) func(string, string) error {
+	seen := 0
+	return func(gotOp, _ string) error {
+		if op != "" && gotOp != op {
+			return nil
+		}
+		seen++
+		if seen-1 == n {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,88 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS abstracts the handful of filesystem operations the durability layer
+// performs, so tests can substitute an error- and crash-injecting
+// implementation (MemFS) and drive the recovery code through every
+// failure point a real disk has. Production code uses OsFS.
+//
+// The durability layer only ever works inside one directory; paths are
+// passed fully joined.
+type FS interface {
+	// MkdirAll creates the directory (and parents) if missing.
+	MkdirAll(dir string) error
+	// ReadDir returns the entry names of dir, in any order.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the full contents of a file.
+	ReadFile(name string) ([]byte, error)
+	// Create opens a file for writing, truncating any previous contents.
+	Create(name string) (File, error)
+	// Append opens a file for appending, creating it if missing.
+	Append(name string) (File, error)
+	// Rename atomically replaces newname with oldname's file.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate cuts a file to size bytes.
+	Truncate(name string, size int64) error
+	// SyncDir flushes directory metadata (created/renamed/removed
+	// entries) to stable storage.
+	SyncDir(dir string) error
+}
+
+// File is a writable file handle. Sync must not return until previously
+// written bytes are on stable storage.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OsFS is the operating-system filesystem.
+type OsFS struct{}
+
+func (OsFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OsFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+func (OsFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OsFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (OsFS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (OsFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (OsFS) Remove(name string) error { return os.Remove(name) }
+
+func (OsFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir fsyncs the directory so entry changes (renames, creations)
+// survive a power failure, not just the file contents.
+func (OsFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

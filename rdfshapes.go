@@ -44,6 +44,7 @@ import (
 	"rdfshapes/internal/shacl"
 	"rdfshapes/internal/sparql"
 	"rdfshapes/internal/store"
+	"rdfshapes/internal/wal"
 )
 
 // DefaultCompactThreshold is the overlay size (added + deleted triples)
@@ -86,6 +87,10 @@ type DB struct {
 	limits         Limits
 	parallelism    int
 	obs            *obsv.Collector
+
+	// durable, when non-nil, write-ahead-logs every commit before it is
+	// applied and acknowledged; see durability.go and docs/DURABILITY.md.
+	durable *wal.Manager
 }
 
 // plannerState is one immutable version of the planning statistics and
@@ -155,6 +160,9 @@ func (db *DB) Close() error {
 	db.lifeMu.Unlock()
 	db.inflight.Wait()
 	db.live.Close()
+	if db.durable != nil {
+		return db.durable.Close() // flushes any SyncNever tail
+	}
 	return nil
 }
 
@@ -167,6 +175,9 @@ type config struct {
 	obs            *obsv.Collector
 	compactAt      int
 	driftAt        int64
+	walDir         string
+	walSync        SyncPolicy
+	walFS          wal.FS // test hook; nil selects the real filesystem
 }
 
 // Option customizes Load.
@@ -280,8 +291,8 @@ func Load(g rdf.Graph, opts ...Option) (*DB, error) {
 	return fromStore(store.Load(g), opts...)
 }
 
-// fromStore finishes DB construction over an already-indexed store.
-func fromStore(st *store.Store, opts ...Option) (*DB, error) {
+// newConfig folds the options over the defaults.
+func newConfig(opts []Option) config {
 	cfg := config{compactAt: DefaultCompactThreshold, driftAt: DefaultDriftThreshold}
 	for _, o := range opts {
 		o(&cfg)
@@ -289,6 +300,29 @@ func fromStore(st *store.Store, opts ...Option) (*DB, error) {
 	if cfg.parallelism < 1 {
 		cfg.parallelism = runtime.GOMAXPROCS(0)
 	}
+	return cfg
+}
+
+// fromStore finishes DB construction over an already-indexed store,
+// seeding a durability directory when WithDurability asked for one.
+func fromStore(st *store.Store, opts ...Option) (*DB, error) {
+	cfg := newConfig(opts)
+	db, err := fromStoreCfg(st, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.walDir != "" {
+		if err := db.attachDurability(cfg); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// fromStoreCfg builds the DB core (statistics, planner, live overlay)
+// without touching durability; Open and fromStore layer that on top.
+func fromStoreCfg(st *store.Store, cfg config) (*DB, error) {
 	shapes := cfg.shapes
 	if shapes == nil {
 		inferred, err := shacl.InferShapes(st)
@@ -386,6 +420,19 @@ func (db *DB) UpdateCtx(ctx context.Context, src string) (*UpdateResult, error) 
 			b.Insert = op.Triples
 		} else {
 			b.Delete = op.Triples
+		}
+		// Write-ahead: the operation is logged and (under SyncAlways)
+		// fsynced before it is applied or acknowledged, so recovery can
+		// never miss an acknowledged commit. A WAL failure refuses the
+		// operation — already-committed earlier operations stand.
+		if db.durable != nil {
+			if err := db.durable.Append(wal.Batch{Insert: b.Insert, Delete: b.Delete}); err != nil {
+				if committed {
+					db.refreshPlanner()
+					db.updates.Add(1)
+				}
+				return res, err
+			}
 		}
 		ci := db.live.Apply(b)
 		db.maint.Apply(ci)

@@ -32,6 +32,15 @@ go test -race -run 'TestQueryCtx|TestWithDefault|TestWithLimits|TestClose|TestUp
 echo "== go test -race (parallel-vs-serial differential over all workloads) =="
 go test -race -run 'TestParallelDifferentialWorkloads' ./internal/integration
 
+echo "== go test -race (durability: WAL crash matrix, fault injection) =="
+go test -race ./internal/wal
+
+echo "== go test -race (facade durability: recovery, stats oracle, crash matrix) =="
+go test -race -run 'TestDurability|TestOpen|TestWithDurability|TestCheckpoint|TestWALFailure|TestFacadeCrashMatrix' .
+
+echo "== snapshot corruption fuzz smoke =="
+go test -run=NONE -fuzz=FuzzReadSnapshot -fuzztime=10s ./internal/store
+
 echo "== benchmark bit-rot smoke (compile and run every benchmark once) =="
 go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
 
