@@ -1,0 +1,163 @@
+// Command loadgen replays a weighted, templated query mix at a target
+// QPS against a running cmd/server, optionally interleaved with a SPARQL
+// UPDATE stream, and writes a machine-readable BENCH_<n>.json report —
+// the repo's perf-trajectory format. docs/BENCHMARKING.md documents the
+// mix file format, the report schema, and methodology.
+//
+//	loadgen -url http://localhost:8080 -mix lubm -scale 1 -qps 200 -duration 30s
+//	loadgen -mix watdiv -qps 500 -update-interval 100ms -out BENCH_2.json
+//	loadgen -mix custom.json -zipf 1.0 -seed 42
+//	loadgen -check BENCH_1.json BENCH_2.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rdfshapes/internal/loadgen"
+)
+
+func main() {
+	baseURL := flag.String("url", "http://localhost:8080", "server base URL")
+	mixName := flag.String("mix", "lubm", "query mix: lubm, watdiv, or a JSON mix file path")
+	scale := flag.Int("scale", 1, "generator scale of the served dataset (bounds built-in mix parameter spaces)")
+	qps := flag.Float64("qps", 100, "target dispatch rate (open loop)")
+	duration := flag.Duration("duration", 30*time.Second, "measurement window")
+	warmup := flag.Duration("warmup", 2*time.Second, "warmup before measurement (requests run but are not counted)")
+	concurrency := flag.Int("concurrency", 16, "in-flight query cap; saturated ticks are counted as skipped, not queued")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-query deadline (passed to the server as timeout=)")
+	zipfS := flag.Float64("zipf", 0.8, "template-selection rank-skew exponent (0 = uniform by weight)")
+	seed := flag.Int64("seed", 1, "PRNG seed; equal seeds replay equal request sequences")
+	updateInterval := flag.Duration("update-interval", 0, "cadence of the concurrent SPARQL UPDATE stream (0 = no updates)")
+	updateBatch := flag.Int("update-batch", 50, "triples per INSERT DATA operation in the update stream")
+	out := flag.String("out", "", "report path; empty auto-numbers BENCH_<n>.json in the current directory")
+	wait := flag.Duration("wait", 10*time.Second, "how long to poll /readyz for the server before starting")
+	max5xx := flag.Int64("max-5xx", -1, "exit non-zero when 5xx responses exceed this count (<0 = don't check)")
+	check := flag.Bool("check", false, "validate BENCH report files given as arguments instead of running")
+	flag.Parse()
+
+	if *check {
+		if flag.NArg() == 0 {
+			log.Fatal("loadgen: -check needs report file arguments")
+		}
+		failed := false
+		for _, path := range flag.Args() {
+			if err := loadgen.CheckFile(path); err != nil {
+				log.Printf("loadgen: %v", err)
+				failed = true
+			} else {
+				fmt.Printf("%s: ok\n", path)
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	mix, err := loadMix(*mixName, *scale)
+	if err != nil {
+		log.Fatal("loadgen: ", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := waitReady(ctx, *baseURL, *wait); err != nil {
+		log.Fatal("loadgen: ", err)
+	}
+
+	report, err := loadgen.Run(ctx, loadgen.Options{
+		BaseURL:        strings.TrimRight(*baseURL, "/"),
+		Mix:            mix,
+		QPS:            *qps,
+		Duration:       *duration,
+		Warmup:         *warmup,
+		Concurrency:    *concurrency,
+		Timeout:        *timeout,
+		Seed:           *seed,
+		ZipfS:          *zipfS,
+		UpdateInterval: *updateInterval,
+		UpdateBatch:    *updateBatch,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		log.Fatal("loadgen: ", err)
+	}
+	if err := report.Validate(); err != nil {
+		log.Fatal("loadgen: produced an invalid report: ", err)
+	}
+
+	path := *out
+	if path == "" {
+		path, err = loadgen.NextBenchPath(".")
+		if err != nil {
+			log.Fatal("loadgen: ", err)
+		}
+	}
+	if err := report.WriteFile(path); err != nil {
+		log.Fatal("loadgen: ", err)
+	}
+
+	c := report.Counts
+	log.Printf("wrote %s: %d requests at %.1f qps (target %.0f), ok %d (truncated %d), rejected %d, timeouts %d, 4xx %d, 5xx %d, transport %d, skipped %d",
+		path, c.Requests, report.AchievedQPS, report.TargetQPS,
+		c.OK, c.Truncated, c.Rejected, c.Timeouts, c.ClientErrors, c.ServerErrors, c.TransportErrors, c.Skipped)
+	log.Printf("latency ms: p50 %.2f p95 %.2f p99 %.2f max %.2f; trace q-error: p50 %.2f p95 %.2f over %d samples; adaptive replans %g",
+		report.Latency.P50MS, report.Latency.P95MS, report.Latency.P99MS, report.Latency.MaxMS,
+		report.QError.TraceP50, report.QError.TraceP95, report.QError.TraceSamples, report.AdaptiveReplans)
+	if report.Updates.Requests > 0 {
+		log.Printf("updates: %d requests (%d errors), %d triples inserted, %d deleted",
+			report.Updates.Requests, report.Updates.Errors, report.Updates.Inserted, report.Updates.Deleted)
+	}
+	if *max5xx >= 0 && c.ServerErrors > *max5xx {
+		log.Fatalf("loadgen: %d 5xx responses exceed -max-5xx %d", c.ServerErrors, *max5xx)
+	}
+}
+
+// loadMix resolves -mix: a built-in name or a JSON mix file path.
+func loadMix(name string, scale int) (*loadgen.Mix, error) {
+	if strings.HasSuffix(name, ".json") {
+		return loadgen.ReadMixFile(name)
+	}
+	return loadgen.BuiltinMix(name, scale)
+}
+
+// waitReady polls /readyz until the server answers 200 or the budget
+// runs out, so scripts can start server and loadgen back to back.
+func waitReady(ctx context.Context, baseURL string, budget time.Duration) error {
+	if budget <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(budget)
+	client := &http.Client{Timeout: 2 * time.Second}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %v", baseURL, budget)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}

@@ -66,6 +66,8 @@ func main() {
 		"overlay size triggering background compaction (0 = never)")
 	driftAt := flag.Int64("drift-threshold", rdfshapes.DefaultDriftThreshold,
 		"statistics drift triggering background re-annotation (0 = never)")
+	adaptiveAt := flag.Float64("adaptive-qerror", 0,
+		"rolling q-error threshold past which a cached template plan is re-optimized against current statistics (<= 1 disables; see docs/BENCHMARKING.md)")
 	maxConcurrent := flag.Int("max-concurrent", server.DefaultMaxConcurrent,
 		"queries executing at once; excess requests wait -queue-wait then get 503 (<0 = unlimited)")
 	queueWait := flag.Duration("queue-wait", server.DefaultQueueWait,
@@ -94,7 +96,7 @@ func main() {
 	// counters (replayed records, torn-tail truncations, snapshot
 	// fallbacks) land in the same registry /metrics serves.
 	collector := obsv.NewCollector(*tracebuf)
-	db, err := open(*dataset, *dataFile, *dataDir, syncPolicy, *scale, *seed, *budget, *compactAt, *driftAt, *parallelism,
+	db, err := open(*dataset, *dataFile, *dataDir, syncPolicy, *scale, *seed, *budget, *compactAt, *driftAt, *adaptiveAt, *parallelism,
 		rdfshapes.Limits{MaxRows: *maxRows, MaxIntermediate: *maxIntermediate}, collector)
 	if err != nil {
 		log.Fatal("server: ", err)
@@ -155,11 +157,12 @@ func main() {
 	log.Print("server: stopped")
 }
 
-func open(dataset, dataFile, dataDir string, syncPolicy rdfshapes.SyncPolicy, scale int, seed, budget int64, compactAt int, driftAt int64, parallelism int, limits rdfshapes.Limits, collector *obsv.Collector) (*rdfshapes.DB, error) {
+func open(dataset, dataFile, dataDir string, syncPolicy rdfshapes.SyncPolicy, scale int, seed, budget int64, compactAt int, driftAt int64, adaptiveAt float64, parallelism int, limits rdfshapes.Limits, collector *obsv.Collector) (*rdfshapes.DB, error) {
 	opts := []rdfshapes.Option{
 		rdfshapes.WithOpsBudget(budget),
 		rdfshapes.WithAutoCompact(compactAt),
 		rdfshapes.WithDriftThreshold(driftAt),
+		rdfshapes.WithAdaptiveReplan(adaptiveAt),
 		rdfshapes.WithLimits(limits),
 		rdfshapes.WithParallelism(parallelism),
 		rdfshapes.WithCollector(collector),

@@ -1,10 +1,34 @@
 package rdfshapes
 
-import "rdfshapes/internal/wal"
+import (
+	"time"
+
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/wal"
+)
 
 // WithWALFS substitutes the durability layer's filesystem — the
 // fault-injection hook the crash-matrix tests drive the whole facade
 // through. Test-only.
 func WithWALFS(fs wal.FS) Option {
 	return func(c *config) { c.walFS = fs }
+}
+
+// SetAdaptiveClock substitutes the adaptive replan layer's clock and
+// tuning, so tests can drive the replan cooldown without sleeping.
+// Test-only; panics when adaptive replan is not enabled.
+func (db *DB) SetAdaptiveClock(now func() time.Time, window int, cooldown time.Duration) {
+	if db.adaptive == nil {
+		panic("SetAdaptiveClock: adaptive replan not enabled")
+	}
+	db.adaptive.now = now
+	if window > 0 {
+		db.adaptive.window = window
+	}
+	db.adaptive.cooldown = cooldown
+}
+
+// TemplateKey exposes the template normalization for tests.
+func TemplateKey(patterns []sparql.TriplePattern) (string, string) {
+	return templateKey(patterns)
 }

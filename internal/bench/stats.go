@@ -1,0 +1,23 @@
+package bench
+
+import "math"
+
+// Quantile returns the q-quantile of an ascending-sorted sample using
+// the nearest-rank method (q in (0, 1]; q = 0.5 is the median). It is
+// the single quantile definition shared by the paper-experiment
+// summaries and the load-generator reports (internal/loadgen), so
+// latency and q-error percentiles mean the same thing in
+// EXPERIMENTS.md and BENCH_<n>.json. Returns 0 for an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

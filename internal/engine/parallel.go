@@ -1,3 +1,29 @@
+// Morsel-parallel BGP execution: the driver (first) pattern's index
+// range is split into contiguous chunks, K workers each run the full
+// join pipeline over the chunks they draw, and per-worker outputs are
+// concatenated in chunk order. Three contracts hold regardless of K:
+//
+//   - Bit-identical merge: rows, their order, Ops, and the per-step
+//     intermediate counts in ExecReport are exactly those of the serial
+//     executor. Chunks partition the driver scan without overlap, every
+//     worker applies the same deterministic pipeline, and the merge is a
+//     stable in-order concatenation — no hash partitioning, no
+//     nondeterministic interleave. Tests diff parallel against serial
+//     output byte for byte over all workloads.
+//
+//   - Work-stealing cadence: the range is over-partitioned by
+//     morselFactor relative to the worker count and chunks are drawn
+//     from a shared counter, so a worker that got cheap chunks pulls
+//     more instead of idling behind a skewed one.
+//
+//   - Governor transparency: budgets (ops, rows, intermediates) and
+//     cancellation are checked inside every worker against shared
+//     atomics; a trip anywhere stops all workers and the partial-result
+//     flags (TimedOut/LimitHit/Truncated) surface exactly as in the
+//     serial path.
+//
+// See docs/PERFORMANCE.md for measurements and tuning.
+
 package engine
 
 import (

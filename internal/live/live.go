@@ -4,6 +4,28 @@
 // queries always see one consistent version, and background compaction
 // that folds the overlay into a new frozen base once it grows past a
 // threshold. See docs/LIVE_UPDATES.md for the design.
+//
+// The layer maintains three invariants:
+//
+//   - Snapshot consistency: a Snapshot is immutable once obtained — it
+//     pins one (base, overlay) pair, so a query that runs for seconds
+//     never observes a commit that landed mid-scan. Readers are
+//     wait-free; only the pointer swap publishing a new snapshot is
+//     synchronized.
+//
+//   - Compaction serialization: at most one compaction runs at a time
+//     (compactMu, held start to finish). Compact releases the writer
+//     mutex during its O(n) build phase and afterwards rebases commits
+//     that landed meanwhile, assuming the base it built from is still
+//     current; two overlapping compactions would break that assumption
+//     and publish an inverted residual overlay. The compacting flag only
+//     dedupes *scheduling* of background runs, never guards execution.
+//
+//   - Equivalent visibility: scans over (base + overlay) enumerate
+//     exactly the triples a from-scratch frozen store holding the same
+//     logical set would — adds merged in sort order, deletes masked —
+//     so the engine, the statistics maintainer, and the WAL see one
+//     truth regardless of compaction timing.
 package live
 
 import (

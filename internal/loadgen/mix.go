@@ -1,0 +1,282 @@
+// Package loadgen is the sustained-load benchmark rig: it replays
+// weighted, templated query mixes at a target QPS against a running
+// server (cmd/server), optionally interleaved with a SPARQL UPDATE
+// stream, and emits a machine-readable BENCH_<n>.json report — the
+// repo's perf trajectory format (docs/BENCHMARKING.md).
+//
+// Template selection is Zipf-skewed: the query-log studies the repo
+// tracks (PAPERS.md: "On the Statistical Analysis of Practical SPARQL
+// Queries", "An Empirical Study of Real-World SPARQL Queries") show real
+// SPARQL traffic is dominated by a small number of templated shapes, so
+// the sampler draws template i with weight w_i / (rank_i+1)^s. Sampling,
+// parameter substitution, and the update stream are all driven by one
+// seeded PRNG, so a run is reproducible given (mix, seed, duration).
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"rdfshapes/internal/workloads"
+)
+
+// Param describes one substitutable parameter of a template.
+type Param struct {
+	// Kind is "int" (uniform integer in [Min, Max]) or "choice" (uniform
+	// pick from Choices).
+	Kind string `json:"kind"`
+	// Min and Max bound "int" parameters, inclusive.
+	Min int `json:"min,omitempty"`
+	Max int `json:"max,omitempty"`
+	// Choices lists the values of a "choice" parameter.
+	Choices []string `json:"choices,omitempty"`
+}
+
+// Template is one templated query of a mix. Occurrences of ${name} in
+// Query are replaced by a fresh draw of the parameter named name on
+// every instantiation.
+type Template struct {
+	// Name labels the template in reports (e.g. "Q2", "S1").
+	Name string `json:"name"`
+	// Query is the SPARQL text with ${param} placeholders.
+	Query string `json:"query"`
+	// Weight is the template's relative selection weight before the Zipf
+	// rank skew; 0 means 1.
+	Weight float64 `json:"weight,omitempty"`
+	// Params declares the placeholders used by Query.
+	Params map[string]Param `json:"params,omitempty"`
+}
+
+// Mix is a named set of weighted templates — the input of a load run.
+type Mix struct {
+	Name      string     `json:"name"`
+	Templates []Template `json:"templates"`
+}
+
+// Validate checks the mix is usable: at least one template, every
+// template named with non-empty query, weights non-negative, every
+// ${placeholder} declared, and every declared parameter well-formed.
+func (m *Mix) Validate() error {
+	if len(m.Templates) == 0 {
+		return fmt.Errorf("loadgen: mix %q has no templates", m.Name)
+	}
+	for i, t := range m.Templates {
+		if t.Name == "" {
+			return fmt.Errorf("loadgen: template %d has no name", i)
+		}
+		if strings.TrimSpace(t.Query) == "" {
+			return fmt.Errorf("loadgen: template %q has an empty query", t.Name)
+		}
+		if t.Weight < 0 {
+			return fmt.Errorf("loadgen: template %q has negative weight", t.Name)
+		}
+		for name, p := range t.Params {
+			switch p.Kind {
+			case "int":
+				if p.Max < p.Min {
+					return fmt.Errorf("loadgen: template %q param %q: max < min", t.Name, name)
+				}
+			case "choice":
+				if len(p.Choices) == 0 {
+					return fmt.Errorf("loadgen: template %q param %q: no choices", t.Name, name)
+				}
+			default:
+				return fmt.Errorf("loadgen: template %q param %q: unknown kind %q (want int or choice)", t.Name, name, p.Kind)
+			}
+		}
+		for _, ph := range placeholders(t.Query) {
+			if _, ok := t.Params[ph]; !ok {
+				return fmt.Errorf("loadgen: template %q uses ${%s} but does not declare it", t.Name, ph)
+			}
+		}
+	}
+	return nil
+}
+
+// placeholders returns the distinct ${name} placeholders of a query in
+// first-use order.
+func placeholders(query string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for i := 0; i+1 < len(query); i++ {
+		if query[i] != '$' || query[i+1] != '{' {
+			continue
+		}
+		end := strings.IndexByte(query[i+2:], '}')
+		if end < 0 {
+			break
+		}
+		name := query[i+2 : i+2+end]
+		if name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+		i += 2 + end
+	}
+	return out
+}
+
+// Instantiate substitutes every placeholder of template t with a fresh
+// draw from rng.
+func (t Template) Instantiate(rng *rand.Rand) string {
+	if len(t.Params) == 0 {
+		return t.Query
+	}
+	q := t.Query
+	for _, name := range placeholders(t.Query) {
+		p := t.Params[name]
+		var v string
+		switch p.Kind {
+		case "int":
+			v = strconv.Itoa(p.Min + rng.Intn(p.Max-p.Min+1))
+		case "choice":
+			v = p.Choices[rng.Intn(len(p.Choices))]
+		}
+		q = strings.ReplaceAll(q, "${"+name+"}", v)
+	}
+	return q
+}
+
+// ReadMixFile loads and validates a JSON mix file (docs/BENCHMARKING.md
+// documents the format).
+func ReadMixFile(path string) (*Mix, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Mix
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing mix %s: %w", path, err)
+	}
+	if m.Name == "" {
+		m.Name = path
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// BuiltinMix returns the named built-in mix: "lubm" or "watdiv",
+// parameterized from the paper workloads in internal/workloads. scale is
+// the generator scale of the dataset the server holds (cmd/server
+// -scale), bounding the entity index parameter spaces.
+func BuiltinMix(name string, scale int) (*Mix, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	switch name {
+	case "lubm":
+		return lubmMix(scale), nil
+	case "watdiv":
+		return watdivMix(), nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown built-in mix %q (want lubm or watdiv)", name)
+	}
+}
+
+// lubmMix templates the LUBM workload. The point-lookup queries (Q4, Q8,
+// Q12) carry university/department constants in the generator's IRI
+// scheme; those are parameterized so repeated instances hit different
+// entities, the way a templated query log would. Every university has at
+// least 12 departments, so the dept index space is always valid.
+func lubmMix(scale int) *Mix {
+	uParam := Param{Kind: "int", Min: 0, Max: scale - 1}
+	dParam := Param{Kind: "int", Min: 0, Max: 11}
+	m := &Mix{Name: "lubm"}
+	for _, q := range workloads.LUBM() {
+		t := Template{Name: q.Name, Query: q.Text, Weight: 1}
+		switch q.Name {
+		case "Q4":
+			t.Query = strings.ReplaceAll(t.Query,
+				"<http://www.lubm.example/U0/Dept0>",
+				"<http://www.lubm.example/U${u}/Dept${d}>")
+			t.Params = map[string]Param{"u": uParam, "d": dParam}
+		case "Q8", "Q12":
+			t.Query = strings.ReplaceAll(t.Query,
+				"<http://www.lubm.example/University0>",
+				"<http://www.lubm.example/University${u}>")
+			t.Params = map[string]Param{"u": uParam}
+		}
+		m.Templates = append(m.Templates, t)
+	}
+	return m
+}
+
+// watdivMix templates the WatDiv workload; C2's rating constant is
+// parameterized over the generator's 1..5 rating range.
+func watdivMix() *Mix {
+	m := &Mix{Name: "watdiv"}
+	for _, q := range workloads.WatDiv() {
+		t := Template{Name: q.Name, Query: q.Text, Weight: 1}
+		if q.Name == "C2" {
+			t.Query = strings.ReplaceAll(t.Query, "wsdbm:rating 5", "wsdbm:rating ${r}")
+			t.Params = map[string]Param{"r": {Kind: "int", Min: 1, Max: 5}}
+		}
+		m.Templates = append(m.Templates, t)
+	}
+	return m
+}
+
+// Sampler draws template indices with Zipf-skewed weighted sampling:
+// template i (0-based rank in mix order) is drawn with probability
+// proportional to Weight_i / (i+1)^s. s = 0 disables the rank skew.
+type Sampler struct {
+	rng *rand.Rand
+	cum []float64 // cumulative effective weights
+}
+
+// NewSampler builds a sampler over the mix with Zipf exponent s, driven
+// by rng (which the caller seeds for reproducibility).
+func NewSampler(m *Mix, s float64, rng *rand.Rand) (*Sampler, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("loadgen: negative zipf exponent %v", s)
+	}
+	cum := make([]float64, len(m.Templates))
+	total := 0.0
+	for i, t := range m.Templates {
+		w := t.Weight
+		if w == 0 {
+			w = 1
+		}
+		w /= math.Pow(float64(i+1), s)
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("loadgen: mix %q has zero total weight", m.Name)
+	}
+	return &Sampler{rng: rng, cum: cum}, nil
+}
+
+// Next draws the next template index.
+func (s *Sampler) Next() int {
+	x := s.rng.Float64() * s.cum[len(s.cum)-1]
+	for i, c := range s.cum {
+		if x < c {
+			return i
+		}
+	}
+	return len(s.cum) - 1
+}
+
+// Probabilities returns each template's selection probability, for tests
+// and report metadata.
+func (s *Sampler) Probabilities() []float64 {
+	out := make([]float64, len(s.cum))
+	prev := 0.0
+	total := s.cum[len(s.cum)-1]
+	for i, c := range s.cum {
+		out[i] = (c - prev) / total
+		prev = c
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package loadgen
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMixValidate(t *testing.T) {
+	bad := []Mix{
+		{Name: "empty"},
+		{Name: "noname", Templates: []Template{{Query: "SELECT * WHERE { ?s ?p ?o }"}}},
+		{Name: "noquery", Templates: []Template{{Name: "q"}}},
+		{Name: "negweight", Templates: []Template{{Name: "q", Query: "SELECT", Weight: -1}}},
+		{Name: "undeclared", Templates: []Template{{Name: "q", Query: "SELECT ${x}"}}},
+		{Name: "badkind", Templates: []Template{{Name: "q", Query: "SELECT ${x}",
+			Params: map[string]Param{"x": {Kind: "float"}}}}},
+		{Name: "badrange", Templates: []Template{{Name: "q", Query: "SELECT ${x}",
+			Params: map[string]Param{"x": {Kind: "int", Min: 5, Max: 1}}}}},
+		{Name: "nochoices", Templates: []Template{{Name: "q", Query: "SELECT ${x}",
+			Params: map[string]Param{"x": {Kind: "choice"}}}}},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("mix %q validated", m.Name)
+		}
+	}
+	good := Mix{Name: "ok", Templates: []Template{{
+		Name:  "q",
+		Query: "SELECT ?s WHERE { ?s <http://ex/p> ${v} . } LIMIT ${n}",
+		Params: map[string]Param{
+			"v": {Kind: "choice", Choices: []string{`"a"`, `"b"`}},
+			"n": {Kind: "int", Min: 1, Max: 10},
+		},
+	}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good mix rejected: %v", err)
+	}
+}
+
+func TestPlaceholders(t *testing.T) {
+	got := placeholders("x ${a} y ${b} ${a} ${} z ${c")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("placeholders = %v, want [a b]", got)
+	}
+}
+
+func TestInstantiateDeterministic(t *testing.T) {
+	tmpl := Template{
+		Name:  "q",
+		Query: "SELECT ?s WHERE { ?s <http://ex/p> ${v} . } LIMIT ${n}",
+		Params: map[string]Param{
+			"v": {Kind: "choice", Choices: []string{`"a"`, `"b"`, `"c"`}},
+			"n": {Kind: "int", Min: 1, Max: 100},
+		},
+	}
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		qa, qb := tmpl.Instantiate(a), tmpl.Instantiate(b)
+		if qa != qb {
+			t.Fatalf("instance %d diverged under equal seeds:\n%s\n%s", i, qa, qb)
+		}
+		if strings.Contains(qa, "${") {
+			t.Fatalf("unsubstituted placeholder: %s", qa)
+		}
+	}
+}
+
+func TestSamplerDeterministicAndSkewed(t *testing.T) {
+	m := &Mix{Name: "m", Templates: []Template{
+		{Name: "t0", Query: "SELECT 0", Weight: 1},
+		{Name: "t1", Query: "SELECT 1", Weight: 1},
+		{Name: "t2", Query: "SELECT 2", Weight: 1},
+		{Name: "t3", Query: "SELECT 3", Weight: 1},
+	}}
+
+	// Equal seeds draw identical index sequences.
+	s1, err := NewSampler(m, 1.0, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := NewSampler(m, 1.0, rand.New(rand.NewSource(42)))
+	for i := 0; i < 200; i++ {
+		if a, b := s1.Next(), s2.Next(); a != b {
+			t.Fatalf("draw %d diverged: %d vs %d", i, a, b)
+		}
+	}
+
+	// With s=1 and equal weights, expected proportions are 1/(i+1)
+	// normalized: 12/25, 6/25, 4/25, 3/25. Check the empirical counts
+	// land near them, and that probabilities report the exact values.
+	s3, _ := NewSampler(m, 1.0, rand.New(rand.NewSource(7)))
+	p := s3.Probabilities()
+	want := []float64{12.0 / 25, 6.0 / 25, 4.0 / 25, 3.0 / 25}
+	for i := range want {
+		if diff := p[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("probability[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+	const draws = 20000
+	counts := make([]int, len(m.Templates))
+	for i := 0; i < draws; i++ {
+		counts[s3.Next()]++
+	}
+	for i, w := range want {
+		got := float64(counts[i]) / draws
+		if got < w-0.02 || got > w+0.02 {
+			t.Errorf("template %d drawn %.3f of the time, want ~%.3f", i, got, w)
+		}
+	}
+	if counts[0] <= counts[3] {
+		t.Errorf("rank skew missing: counts = %v", counts)
+	}
+
+	// s=0 disables the rank skew: uniform over equal weights.
+	s4, _ := NewSampler(m, 0, rand.New(rand.NewSource(7)))
+	for i, p := range s4.Probabilities() {
+		if p != 0.25 {
+			t.Errorf("unskewed probability[%d] = %v, want 0.25", i, p)
+		}
+	}
+}
+
+func TestReadMixFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mix.json")
+	body := `{
+		"name": "custom",
+		"templates": [
+			{"name": "q1", "query": "SELECT ?s WHERE { ?s <http://ex/p> ${v} . }",
+			 "weight": 2,
+			 "params": {"v": {"kind": "int", "min": 1, "max": 3}}}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMixFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "custom" || len(m.Templates) != 1 || m.Templates[0].Weight != 2 {
+		t.Errorf("mix = %+v", m)
+	}
+	if _, err := ReadMixFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := os.WriteFile(path, []byte(`{"templates": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMixFile(path); err == nil {
+		t.Error("invalid mix accepted")
+	}
+}
+
+func TestBuiltinMixes(t *testing.T) {
+	for _, name := range []string{"lubm", "watdiv"} {
+		m, err := BuiltinMix(name, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		// Every parameterized template must instantiate into concrete
+		// SPARQL with no placeholder residue.
+		rng := rand.New(rand.NewSource(1))
+		params := 0
+		for _, tm := range m.Templates {
+			if len(tm.Params) > 0 {
+				params++
+			}
+			q := tm.Instantiate(rng)
+			if strings.Contains(q, "${") {
+				t.Errorf("%s/%s: unsubstituted placeholder in %q", name, tm.Name, q)
+			}
+		}
+		if params == 0 {
+			t.Errorf("%s: no parameterized templates", name)
+		}
+	}
+	if _, err := BuiltinMix("nope", 1); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}

@@ -1,0 +1,401 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"rdfshapes/internal/bench"
+)
+
+// SchemaVersion is the BENCH_<n>.json schema this package writes and
+// validates. Bump it when the report shape changes incompatibly;
+// Validate rejects files from other versions so the perf trajectory
+// stays machine-readable end to end.
+const SchemaVersion = 1
+
+// Report is the machine-readable result of one load run — the schema of
+// the committed BENCH_<n>.json perf-trajectory files. All latencies are
+// milliseconds.
+type Report struct {
+	// Schema is the report schema version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Mix names the query mix replayed.
+	Mix string `json:"mix"`
+	// Seed is the PRNG seed the run was driven by.
+	Seed int64 `json:"seed"`
+	// ZipfS is the template-selection rank-skew exponent.
+	ZipfS float64 `json:"zipfS"`
+	// Start is the wall-clock start of the measurement window (RFC3339).
+	Start string `json:"start"`
+	// WarmupSeconds and DurationSeconds are the configured warmup and
+	// measurement windows.
+	WarmupSeconds   float64 `json:"warmupSeconds"`
+	DurationSeconds float64 `json:"durationSeconds"`
+	// TargetQPS is the configured request rate; AchievedQPS the measured
+	// rate of dispatched requests in the measurement window.
+	TargetQPS   float64 `json:"targetQPS"`
+	AchievedQPS float64 `json:"achievedQPS"`
+	// Concurrency is the in-flight request cap.
+	Concurrency int `json:"concurrency"`
+
+	// Counts aggregates request outcomes over the measurement window.
+	Counts Counts `json:"counts"`
+	// Latency summarizes OK-response latency over all templates.
+	Latency LatencySummary `json:"latency"`
+	// Templates holds the per-template breakdown, in mix order.
+	Templates []TemplateReport `json:"templates"`
+	// Updates reports the concurrent SPARQL UPDATE stream (zero value
+	// when the stream was disabled).
+	Updates UpdateReport `json:"updates"`
+	// QError is the server-side estimate-quality distribution scraped
+	// after the run.
+	QError QErrorReport `json:"qerror"`
+	// AdaptiveReplans is rdfshapes_adaptive_replans_total summed over
+	// templates at scrape time (0 when the server runs without
+	// -adaptive-qerror).
+	AdaptiveReplans float64 `json:"adaptiveReplans"`
+}
+
+// Counts are request outcomes: every dispatched request lands in exactly
+// one bucket (Truncated additionally marks a subset of OK).
+type Counts struct {
+	// Requests is the total dispatched in the measurement window.
+	Requests int64 `json:"requests"`
+	// OK counts 200 responses; Truncated the subset whose body carried
+	// "truncated":true (a budget-cut partial result).
+	OK        int64 `json:"ok"`
+	Truncated int64 `json:"truncated"`
+	// Rejected counts 503 admission rejections, Timeouts 504 deadline
+	// exceedances, ClientErrors other 4xx, ServerErrors 5xx, and
+	// TransportErrors requests that failed below HTTP.
+	Rejected        int64 `json:"rejected"`
+	Timeouts        int64 `json:"timeouts"`
+	ClientErrors    int64 `json:"clientErrors"`
+	ServerErrors    int64 `json:"serverErrors"`
+	TransportErrors int64 `json:"transportErrors"`
+	// Skipped counts ticks dropped because all Concurrency slots were
+	// busy — the open-loop rig refuses to queue unboundedly, so a
+	// saturated server shows up here instead of as coordinated omission.
+	Skipped int64 `json:"skipped"`
+}
+
+// sum returns the dispatched-outcome total (Skipped excluded: skipped
+// ticks never became requests).
+func (c Counts) sum() int64 {
+	return c.OK + c.Rejected + c.Timeouts + c.ClientErrors + c.ServerErrors + c.TransportErrors
+}
+
+// LatencySummary summarizes a latency sample in milliseconds.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"meanMS"`
+	P50MS  float64 `json:"p50MS"`
+	P95MS  float64 `json:"p95MS"`
+	P99MS  float64 `json:"p99MS"`
+	MaxMS  float64 `json:"maxMS"`
+}
+
+// TemplateReport is one template's share of the run.
+type TemplateReport struct {
+	Name    string         `json:"name"`
+	Counts  Counts         `json:"counts"`
+	Latency LatencySummary `json:"latency"`
+}
+
+// UpdateReport summarizes the concurrent update stream.
+type UpdateReport struct {
+	// Requests counts update POSTs issued; Errors those that failed.
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// Inserted and Deleted are the committed triple counts acknowledged
+	// by the server.
+	Inserted int64 `json:"inserted"`
+	Deleted  int64 `json:"deleted"`
+	// IntervalSeconds is the configured stream cadence; 0 means the
+	// stream was disabled.
+	IntervalSeconds float64 `json:"intervalSeconds"`
+	// Batch is the triples per INSERT DATA operation.
+	Batch int `json:"batch"`
+}
+
+// QErrorReport is the server-side estimate-quality distribution after
+// the run, from two sources: the cumulative rdfshapes_plan_qerror
+// histogram in /metrics (summed over planners) and the final q-errors of
+// the recent complete traces in /trace/recent.
+type QErrorReport struct {
+	// Buckets are the histogram's cumulative bucket counts keyed by
+	// upper bound ("1.5", "250", ..., "+Inf"), summed over planners.
+	Buckets map[string]float64 `json:"buckets,omitempty"`
+	// Count and Sum mirror the histogram series.
+	Count float64 `json:"count"`
+	Sum   float64 `json:"sum"`
+	// TraceP50, TraceP95, and TraceMax summarize the q-errors of the
+	// complete traces sampled from /trace/recent (0 when none).
+	TraceP50 float64 `json:"traceP50"`
+	TraceP95 float64 `json:"traceP95"`
+	TraceMax float64 `json:"traceMax"`
+	// TraceSamples is the number of traces the Trace* quantiles cover.
+	TraceSamples int `json:"traceSamples"`
+}
+
+// summarize computes a LatencySummary from a millisecond sample.
+func summarize(ms []float64) LatencySummary {
+	s := LatencySummary{Count: int64(len(ms))}
+	if len(ms) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	s.MeanMS = sum / float64(len(sorted))
+	s.P50MS = quantile(sorted, 0.50)
+	s.P95MS = quantile(sorted, 0.95)
+	s.P99MS = quantile(sorted, 0.99)
+	s.MaxMS = sorted[len(sorted)-1]
+	return s
+}
+
+// quantile is the repo-wide nearest-rank quantile (internal/bench), so
+// BENCH report percentiles match the paper-harness definition.
+func quantile(sorted []float64, q float64) float64 {
+	return bench.Quantile(sorted, q)
+}
+
+// Validate checks that r is a well-formed SchemaVersion report: version
+// match, consistent counts, ordered latency quantiles, and named
+// templates. It is what `loadgen -check` and the verify script run over
+// every committed BENCH_<n>.json.
+func (r *Report) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("loadgen: schema %d, want %d", r.Schema, SchemaVersion)
+	}
+	if r.Mix == "" {
+		return fmt.Errorf("loadgen: report has no mix name")
+	}
+	if r.DurationSeconds <= 0 {
+		return fmt.Errorf("loadgen: non-positive duration %v", r.DurationSeconds)
+	}
+	if r.TargetQPS <= 0 || r.AchievedQPS < 0 {
+		return fmt.Errorf("loadgen: bad QPS (target %v, achieved %v)", r.TargetQPS, r.AchievedQPS)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, r.Start); err != nil {
+		return fmt.Errorf("loadgen: bad start timestamp %q: %v", r.Start, err)
+	}
+	if err := validateCounts("aggregate", r.Counts); err != nil {
+		return err
+	}
+	if err := validateLatency("aggregate", r.Counts, r.Latency); err != nil {
+		return err
+	}
+	if len(r.Templates) == 0 {
+		return fmt.Errorf("loadgen: report has no templates")
+	}
+	var sum Counts
+	for _, t := range r.Templates {
+		if t.Name == "" {
+			return fmt.Errorf("loadgen: template with empty name")
+		}
+		if err := validateCounts(t.Name, t.Counts); err != nil {
+			return err
+		}
+		if err := validateLatency(t.Name, t.Counts, t.Latency); err != nil {
+			return err
+		}
+		sum.Requests += t.Counts.Requests
+		sum.OK += t.Counts.OK
+	}
+	if sum.Requests != r.Counts.Requests || sum.OK != r.Counts.OK {
+		return fmt.Errorf("loadgen: template counts (%d requests, %d ok) disagree with aggregate (%d, %d)",
+			sum.Requests, sum.OK, r.Counts.Requests, r.Counts.OK)
+	}
+	if r.Updates.Errors > r.Updates.Requests {
+		return fmt.Errorf("loadgen: update errors %d exceed requests %d", r.Updates.Errors, r.Updates.Requests)
+	}
+	return nil
+}
+
+func validateCounts(name string, c Counts) error {
+	for _, v := range []int64{c.Requests, c.OK, c.Truncated, c.Rejected, c.Timeouts,
+		c.ClientErrors, c.ServerErrors, c.TransportErrors, c.Skipped} {
+		if v < 0 {
+			return fmt.Errorf("loadgen: %s: negative count", name)
+		}
+	}
+	if c.sum() != c.Requests {
+		return fmt.Errorf("loadgen: %s: outcomes sum to %d, requests %d", name, c.sum(), c.Requests)
+	}
+	if c.Truncated > c.OK {
+		return fmt.Errorf("loadgen: %s: truncated %d exceeds ok %d", name, c.Truncated, c.OK)
+	}
+	return nil
+}
+
+func validateLatency(name string, c Counts, l LatencySummary) error {
+	if l.Count != c.OK {
+		return fmt.Errorf("loadgen: %s: latency count %d, ok count %d", name, l.Count, c.OK)
+	}
+	if l.P50MS < 0 || l.P50MS > l.P95MS || l.P95MS > l.P99MS || l.P99MS > l.MaxMS {
+		return fmt.Errorf("loadgen: %s: latency quantiles out of order (%v/%v/%v/%v)",
+			name, l.P50MS, l.P95MS, l.P99MS, l.MaxMS)
+	}
+	return nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a report without validating it; callers that care run
+// Validate.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CheckFile loads and validates one BENCH file.
+func CheckFile(path string) error {
+	r, err := ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// NextBenchPath returns dir/BENCH_<n>.json with n one past the highest
+// existing number (starting at 1), so successive runs append to the perf
+// trajectory without clobbering it.
+func NextBenchPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 1
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, err := strconv.Atoi(m[1]); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
+}
+
+// parsePromLine splits one Prometheus text-format sample into name,
+// labels, and value. Returns ok=false for comments, blanks, and
+// malformed lines.
+func parsePromLine(line string) (name string, labels map[string]string, value float64, ok bool) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return "", nil, 0, false
+	}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	space := strings.IndexByte(rest, ' ')
+	labels = map[string]string{}
+	if brace >= 0 && (space < 0 || brace < space) {
+		name = rest[:brace]
+		rest = rest[brace+1:]
+		// label values are quoted and may contain escaped quotes,
+		// braces, and spaces — scan, don't split.
+		for {
+			rest = strings.TrimLeft(rest, ",")
+			if strings.HasPrefix(rest, "}") {
+				rest = strings.TrimSpace(rest[1:])
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return "", nil, 0, false
+			}
+			key := rest[:eq]
+			i := eq + 2
+			var val strings.Builder
+			for i < len(rest) && rest[i] != '"' {
+				if rest[i] == '\\' && i+1 < len(rest) {
+					i++
+					switch rest[i] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[i])
+					}
+				} else {
+					val.WriteByte(rest[i])
+				}
+				i++
+			}
+			if i >= len(rest) {
+				return "", nil, 0, false
+			}
+			labels[key] = val.String()
+			rest = rest[i+1:]
+		}
+	} else {
+		if space < 0 {
+			return "", nil, 0, false
+		}
+		name = rest[:space]
+		rest = strings.TrimSpace(rest[space:])
+	}
+	v, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+	if err != nil {
+		return "", nil, 0, false
+	}
+	return name, labels, v, true
+}
+
+// scrapeQError extracts the QErrorReport's histogram half from a
+// /metrics payload: rdfshapes_plan_qerror buckets summed over planner
+// labels, plus the adaptive replan total.
+func scrapeQError(metrics string) (q QErrorReport, adaptiveReplans float64) {
+	q.Buckets = map[string]float64{}
+	for _, line := range strings.Split(metrics, "\n") {
+		name, labels, v, ok := parsePromLine(line)
+		if !ok {
+			continue
+		}
+		switch name {
+		case "rdfshapes_plan_qerror_bucket":
+			q.Buckets[labels["le"]] += v
+		case "rdfshapes_plan_qerror_count":
+			q.Count += v
+		case "rdfshapes_plan_qerror_sum":
+			q.Sum += v
+		case "rdfshapes_adaptive_replans_total":
+			adaptiveReplans += v
+		}
+	}
+	if len(q.Buckets) == 0 {
+		q.Buckets = nil
+	}
+	return q, adaptiveReplans
+}

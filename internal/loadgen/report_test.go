@@ -1,0 +1,183 @@
+package loadgen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// validReport builds a minimal report that passes Validate.
+func validReport() *Report {
+	c := Counts{Requests: 10, OK: 8, Truncated: 1, Rejected: 1, Timeouts: 1}
+	l := LatencySummary{Count: 8, MeanMS: 2, P50MS: 1, P95MS: 3, P99MS: 4, MaxMS: 5}
+	return &Report{
+		Schema:          SchemaVersion,
+		Mix:             "lubm",
+		Seed:            1,
+		Start:           time.Now().UTC().Format(time.RFC3339Nano),
+		DurationSeconds: 1,
+		TargetQPS:       10,
+		AchievedQPS:     9.5,
+		Counts:          c,
+		Latency:         l,
+		Templates:       []TemplateReport{{Name: "Q1", Counts: c, Latency: l}},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := validReport()
+	r.QError = QErrorReport{
+		Buckets:      map[string]float64{"1.5": 3, "+Inf": 5},
+		Count:        5,
+		Sum:          12.5,
+		TraceP50:     1.1,
+		TraceP95:     2.2,
+		TraceMax:     3.3,
+		TraceSamples: 5,
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Mix != r.Mix || got.Counts != r.Counts || got.Latency != r.Latency ||
+		got.QError.TraceP95 != r.QError.TraceP95 || got.QError.Buckets["+Inf"] != 5 {
+		t.Errorf("round trip changed the report:\n%+v\n%+v", got, r)
+	}
+	if err := CheckFile(path); err != nil {
+		t.Errorf("CheckFile: %v", err)
+	}
+}
+
+func TestReportValidateRejects(t *testing.T) {
+	cases := map[string]func(*Report){
+		"wrong schema":      func(r *Report) { r.Schema = 99 },
+		"no mix":            func(r *Report) { r.Mix = "" },
+		"bad start":         func(r *Report) { r.Start = "yesterday" },
+		"zero duration":     func(r *Report) { r.DurationSeconds = 0 },
+		"zero qps":          func(r *Report) { r.TargetQPS = 0 },
+		"counts mismatch":   func(r *Report) { r.Counts.OK++ },
+		"latency mismatch":  func(r *Report) { r.Latency.Count++ },
+		"quantile disorder": func(r *Report) { r.Latency.P95MS = r.Latency.P50MS - 1 },
+		"no templates":      func(r *Report) { r.Templates = nil },
+		"unnamed template":  func(r *Report) { r.Templates[0].Name = "" },
+		"template drift": func(r *Report) {
+			r.Templates[0].Counts.Requests++
+			r.Templates[0].Counts.OK++
+			r.Templates[0].Latency.Count++
+		},
+		"truncated exceeds ok": func(r *Report) {
+			r.Counts.Truncated = r.Counts.OK + 1
+			r.Templates[0].Counts.Truncated = r.Templates[0].Counts.OK + 1
+		},
+		"update errors exceed requests": func(r *Report) { r.Updates.Errors = 1 },
+	}
+	for name, mutate := range cases {
+		r := validReport()
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestNextBenchPath(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "BENCH_1.json" {
+		t.Errorf("empty dir: %s", p)
+	}
+	for _, name := range []string{"BENCH_1.json", "BENCH_7.json", "BENCH_x.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err = NextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "BENCH_8.json" {
+		t.Errorf("numbered dir: %s", p)
+	}
+}
+
+func TestParsePromLine(t *testing.T) {
+	name, labels, v, ok := parsePromLine(`rdfshapes_plan_qerror_bucket{planner="SS",le="1.5"} 42`)
+	if !ok || name != "rdfshapes_plan_qerror_bucket" || labels["planner"] != "SS" || labels["le"] != "1.5" || v != 42 {
+		t.Errorf("parsed %q %v %v %v", name, labels, v, ok)
+	}
+	// Escaped quotes, braces, and spaces inside label values must not
+	// derail the scan — template labels contain all three.
+	name, labels, v, ok = parsePromLine(`rdfshapes_adaptive_replans_total{template="?v0 <http://ex/p> \"x\" . { }"} 2`)
+	if !ok || name != "rdfshapes_adaptive_replans_total" || v != 2 {
+		t.Fatalf("parsed %q %v %v %v", name, labels, v, ok)
+	}
+	if labels["template"] != `?v0 <http://ex/p> "x" . { }` {
+		t.Errorf("label = %q", labels["template"])
+	}
+	name, _, v, ok = parsePromLine("rdfshapes_queries_total 7")
+	if !ok || name != "rdfshapes_queries_total" || v != 7 {
+		t.Errorf("bare sample: %q %v %v", name, v, ok)
+	}
+	for _, line := range []string{"", "# HELP x y", "x", `x{a=b} 1`, "x notanumber"} {
+		if _, _, _, ok := parsePromLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestScrapeQError(t *testing.T) {
+	metrics := `# HELP rdfshapes_plan_qerror q-error
+# TYPE rdfshapes_plan_qerror histogram
+rdfshapes_plan_qerror_bucket{planner="SS",le="1.5"} 3
+rdfshapes_plan_qerror_bucket{planner="SS",le="+Inf"} 4
+rdfshapes_plan_qerror_bucket{planner="GS",le="1.5"} 1
+rdfshapes_plan_qerror_bucket{planner="GS",le="+Inf"} 2
+rdfshapes_plan_qerror_count{planner="SS"} 4
+rdfshapes_plan_qerror_count{planner="GS"} 2
+rdfshapes_plan_qerror_sum{planner="SS"} 8
+rdfshapes_plan_qerror_sum{planner="GS"} 3
+rdfshapes_adaptive_replans_total{template="?v0 a <http://ex/T> ."} 5
+`
+	q, replans := scrapeQError(metrics)
+	if q.Buckets["1.5"] != 4 || q.Buckets["+Inf"] != 6 {
+		t.Errorf("buckets = %v", q.Buckets)
+	}
+	if q.Count != 6 || q.Sum != 11 {
+		t.Errorf("count/sum = %v/%v", q.Count, q.Sum)
+	}
+	if replans != 5 {
+		t.Errorf("replans = %v", replans)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := summarize(nil)
+	if s.Count != 0 || s.MaxMS != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	ms := make([]float64, 100)
+	for i := range ms {
+		ms[i] = float64(i + 1) // 1..100
+	}
+	s = summarize(ms)
+	if s.Count != 100 || s.P50MS != 50 || s.P95MS != 95 || s.P99MS != 99 || s.MaxMS != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.MeanMS != 50.5 {
+		t.Errorf("mean = %v", s.MeanMS)
+	}
+}

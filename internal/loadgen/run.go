@@ -1,0 +1,444 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options configures one load run.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Mix is the validated query mix to replay.
+	Mix *Mix
+	// QPS is the target dispatch rate (open loop: the rig ticks at this
+	// rate regardless of response latency).
+	QPS float64
+	// Warmup runs before measurement starts; its requests execute but are
+	// not counted. Duration is the measurement window.
+	Warmup   time.Duration
+	Duration time.Duration
+	// Concurrency caps in-flight queries. A tick arriving with every slot
+	// busy is counted as Skipped instead of queueing — the rig refuses to
+	// hide saturation behind coordinated omission.
+	Concurrency int
+	// Timeout is the per-query deadline, passed to the server as the
+	// timeout= parameter and enforced client-side with headroom.
+	Timeout time.Duration
+	// Seed drives template selection and parameter substitution; equal
+	// seeds give equal request sequences.
+	Seed int64
+	// ZipfS is the rank-skew exponent of template selection (see Sampler).
+	ZipfS float64
+	// UpdateInterval is the cadence of the concurrent SPARQL UPDATE
+	// stream; 0 disables it. UpdateBatch is triples per INSERT DATA, and
+	// UpdateKeep how many batches live before the stream deletes the
+	// oldest (so the dataset churns instead of growing without bound).
+	UpdateInterval time.Duration
+	UpdateBatch    int
+	UpdateKeep     int
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// DefaultUpdateKeep is the update stream's live-batch window.
+const DefaultUpdateKeep = 8
+
+// templateStats accumulates one template's outcomes under Runner.mu.
+type templateStats struct {
+	counts    Counts
+	latencies []float64 // ms, OK responses in the measurement window
+}
+
+// Run executes one load run against a live server and returns its
+// report. The context cancels the run early (the report then covers the
+// elapsed part of the measurement window).
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	if opts.Mix == nil {
+		return nil, fmt.Errorf("loadgen: no mix")
+	}
+	if err := opts.Mix.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.QPS <= 0 {
+		return nil, fmt.Errorf("loadgen: non-positive QPS %v", opts.QPS)
+	}
+	if opts.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: non-positive duration %v", opts.Duration)
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 16
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	if opts.UpdateBatch <= 0 {
+		opts.UpdateBatch = 50
+	}
+	if opts.UpdateKeep <= 0 {
+		opts.UpdateKeep = DefaultUpdateKeep
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	sampler, err := NewSampler(opts.Mix, opts.ZipfS, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	client := &http.Client{
+		// Client deadline sits above the server's so 504s arrive as real
+		// responses; it only fires when the server itself is wedged.
+		Timeout: opts.Timeout + 5*time.Second,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: opts.Concurrency + 2,
+		},
+	}
+
+	stats := make([]*templateStats, len(opts.Mix.Templates))
+	for i := range stats {
+		stats[i] = &templateStats{}
+	}
+	var mu sync.Mutex
+
+	// Update stream: its own goroutine, its own cadence.
+	var updates UpdateReport
+	updCtx, updCancel := context.WithCancel(ctx)
+	var updWG sync.WaitGroup
+	if opts.UpdateInterval > 0 {
+		updates.IntervalSeconds = opts.UpdateInterval.Seconds()
+		updates.Batch = opts.UpdateBatch
+		updWG.Add(1)
+		go func() {
+			defer updWG.Done()
+			runUpdateStream(updCtx, client, opts, &mu, &updates)
+		}()
+	}
+
+	sem := make(chan struct{}, opts.Concurrency)
+	var reqWG sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / opts.QPS)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	start := time.Now()
+	measureStart := start.Add(opts.Warmup)
+	end := measureStart.Add(opts.Duration)
+	logf("loadgen: %s mix, %d templates, target %.0f qps, warmup %v, measuring %v",
+		opts.Mix.Name, len(opts.Mix.Templates), opts.QPS, opts.Warmup, opts.Duration)
+
+dispatch:
+	for {
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case now := <-ticker.C:
+			if now.After(end) {
+				break dispatch
+			}
+			measured := !now.Before(measureStart)
+			idx := sampler.Next()
+			query := opts.Mix.Templates[idx].Instantiate(rng)
+			select {
+			case sem <- struct{}{}:
+			default:
+				if measured {
+					mu.Lock()
+					stats[idx].counts.Skipped++
+					mu.Unlock()
+				}
+				continue
+			}
+			reqWG.Add(1)
+			go func() {
+				defer reqWG.Done()
+				defer func() { <-sem }()
+				outcome, truncated, latency := doQuery(ctx, client, opts, query)
+				if !measured {
+					return
+				}
+				mu.Lock()
+				st := stats[idx]
+				st.counts.Requests++
+				switch outcome {
+				case outcomeOK:
+					st.counts.OK++
+					if truncated {
+						st.counts.Truncated++
+					}
+					st.latencies = append(st.latencies, float64(latency)/float64(time.Millisecond))
+				case outcomeRejected:
+					st.counts.Rejected++
+				case outcomeTimeout:
+					st.counts.Timeouts++
+				case outcomeClientError:
+					st.counts.ClientErrors++
+				case outcomeServerError:
+					st.counts.ServerErrors++
+				case outcomeTransport:
+					st.counts.TransportErrors++
+				}
+				mu.Unlock()
+			}()
+		}
+	}
+	measureEnd := time.Now()
+	if measureEnd.After(end) {
+		measureEnd = end
+	}
+	reqWG.Wait()
+	updCancel()
+	updWG.Wait()
+
+	elapsed := measureEnd.Sub(measureStart).Seconds()
+	if elapsed <= 0 {
+		elapsed = opts.Duration.Seconds()
+	}
+
+	r := &Report{
+		Schema:          SchemaVersion,
+		Mix:             opts.Mix.Name,
+		Seed:            opts.Seed,
+		ZipfS:           opts.ZipfS,
+		Start:           measureStart.UTC().Format(time.RFC3339Nano),
+		WarmupSeconds:   opts.Warmup.Seconds(),
+		DurationSeconds: opts.Duration.Seconds(),
+		TargetQPS:       opts.QPS,
+		Concurrency:     opts.Concurrency,
+		Updates:         updates,
+	}
+	var allLat []float64
+	for i, t := range opts.Mix.Templates {
+		st := stats[i]
+		r.Templates = append(r.Templates, TemplateReport{
+			Name:    t.Name,
+			Counts:  st.counts,
+			Latency: summarize(st.latencies),
+		})
+		r.Counts.Requests += st.counts.Requests
+		r.Counts.OK += st.counts.OK
+		r.Counts.Truncated += st.counts.Truncated
+		r.Counts.Rejected += st.counts.Rejected
+		r.Counts.Timeouts += st.counts.Timeouts
+		r.Counts.ClientErrors += st.counts.ClientErrors
+		r.Counts.ServerErrors += st.counts.ServerErrors
+		r.Counts.TransportErrors += st.counts.TransportErrors
+		r.Counts.Skipped += st.counts.Skipped
+		allLat = append(allLat, st.latencies...)
+	}
+	r.Latency = summarize(allLat)
+	r.AchievedQPS = float64(r.Counts.Requests) / elapsed
+
+	// Post-run scrape: server-side estimate quality. Failures degrade the
+	// report rather than failing the run — the server may already be
+	// shutting down.
+	if err := scrapeServer(ctx, client, opts.BaseURL, r); err != nil {
+		logf("loadgen: post-run scrape: %v", err)
+	}
+	return r, nil
+}
+
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeRejected
+	outcomeTimeout
+	outcomeClientError
+	outcomeServerError
+	outcomeTransport
+)
+
+// doQuery issues one query and classifies the result. The body is read
+// fully even on error status so connections are reused.
+func doQuery(ctx context.Context, client *http.Client, opts Options, query string) (outcome, bool, time.Duration) {
+	u := opts.BaseURL + "/sparql?query=" + url.QueryEscape(query) +
+		"&timeout=" + url.QueryEscape(opts.Timeout.String())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return outcomeTransport, false, 0
+	}
+	begin := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return outcomeTransport, false, 0
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	latency := time.Since(begin)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var res struct {
+			Truncated bool `json:"truncated"`
+		}
+		_ = json.Unmarshal(body, &res)
+		return outcomeOK, res.Truncated, latency
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return outcomeRejected, false, latency
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		return outcomeTimeout, false, latency
+	case resp.StatusCode >= 500:
+		return outcomeServerError, false, latency
+	default:
+		return outcomeClientError, false, latency
+	}
+}
+
+// runUpdateStream POSTs INSERT DATA batches on a fixed cadence, deleting
+// the oldest batch once more than opts.UpdateKeep are live. Batch
+// contents are deterministic in the batch counter, so update runs are as
+// reproducible as query runs.
+func runUpdateStream(ctx context.Context, client *http.Client, opts Options, mu *sync.Mutex, rep *UpdateReport) {
+	ticker := time.NewTicker(opts.UpdateInterval)
+	defer ticker.Stop()
+	batch := 0
+	var live []int
+	post := func(body string) (inserted, deleted int64, err error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.BaseURL+"/update",
+			strings.NewReader("update="+url.QueryEscape(body)))
+		if err != nil {
+			return 0, 0, err
+		}
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, 0, err
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, 0, fmt.Errorf("update: status %d", resp.StatusCode)
+		}
+		var ack struct {
+			Inserted int64 `json:"inserted"`
+			Deleted  int64 `json:"deleted"`
+		}
+		if err := json.Unmarshal(data, &ack); err != nil {
+			return 0, 0, err
+		}
+		return ack.Inserted, ack.Deleted, nil
+	}
+	record := func(ins, del int64, err error) {
+		if err != nil && ctx.Err() != nil {
+			return // killed by run teardown, not a server failure
+		}
+		mu.Lock()
+		rep.Requests++
+		if err != nil {
+			rep.Errors++
+		}
+		rep.Inserted += ins
+		rep.Deleted += del
+		mu.Unlock()
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		ins, del, err := post(updateBatchOp("INSERT DATA", batch, opts.UpdateBatch))
+		record(ins, del, err)
+		if err == nil {
+			live = append(live, batch)
+		}
+		batch++
+		if len(live) > opts.UpdateKeep {
+			oldest := live[0]
+			ins, del, err := post(updateBatchOp("DELETE DATA", oldest, opts.UpdateBatch))
+			record(ins, del, err)
+			if err == nil {
+				live = live[1:]
+			}
+		}
+	}
+}
+
+// updateBatchOp builds the INSERT DATA / DELETE DATA operation for batch
+// b: n triples under distinct subjects in a reserved namespace, typed so
+// they register in the shape statistics.
+func updateBatchOp(op string, b, n int) string {
+	var sb strings.Builder
+	sb.WriteString(op)
+	sb.WriteString(" {\n")
+	for j := 0; j < n; j++ {
+		fmt.Fprintf(&sb, "<http://loadgen.example/b%d/s%d> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://loadgen.example/Churn> .\n", b, j)
+		fmt.Fprintf(&sb, "<http://loadgen.example/b%d/s%d> <http://loadgen.example/batch> \"%d\" .\n", b, j, b)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// scrapeServer fills the report's QError and AdaptiveReplans fields from
+// /metrics and /trace/recent.
+func scrapeServer(ctx context.Context, client *http.Client, baseURL string, r *Report) error {
+	get := func(path string) ([]byte, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		return io.ReadAll(resp.Body)
+	}
+	metrics, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	r.QError, r.AdaptiveReplans = scrapeQError(string(metrics))
+
+	traces, err := get("/trace/recent?n=512")
+	if err != nil {
+		return err
+	}
+	var tr struct {
+		Traces []struct {
+			QError    float64 `json:"qerror"`
+			TimedOut  bool    `json:"timedOut"`
+			LimitHit  bool    `json:"limitHit"`
+			Truncated bool    `json:"truncated"`
+			Err       string  `json:"error"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(traces, &tr); err != nil {
+		return err
+	}
+	var qes []float64
+	for _, t := range tr.Traces {
+		// Partial executions observe lower-bound actuals; their q-errors
+		// are not estimate-quality evidence.
+		if t.TimedOut || t.LimitHit || t.Truncated || t.Err != "" || t.QError <= 0 {
+			continue
+		}
+		qes = append(qes, t.QError)
+	}
+	if len(qes) > 0 {
+		sort.Float64s(qes)
+		r.QError.TraceP50 = quantile(qes, 0.50)
+		r.QError.TraceP95 = quantile(qes, 0.95)
+		r.QError.TraceMax = qes[len(qes)-1]
+		r.QError.TraceSamples = len(qes)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfshapes"
+	"rdfshapes/internal/obsv"
+	"rdfshapes/internal/server"
+)
+
+// TestRunEndToEnd drives the full rig — open-loop dispatch, update
+// stream, post-run scrape — against a real in-process server handler.
+func TestRunEndToEnd(t *testing.T) {
+	var data strings.Builder
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&data, "<http://ex/p%d> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Person> .\n", i)
+		fmt.Fprintf(&data, "<http://ex/p%d> <http://ex/knows> <http://ex/p%d> .\n", i, (i+1)%20)
+	}
+	db, err := rdfshapes.LoadNTriples(strings.NewReader(data.String()),
+		rdfshapes.WithCollector(obsv.NewCollector(64)),
+		rdfshapes.WithAdaptiveReplan(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := httptest.NewServer(server.New(db))
+	defer srv.Close()
+
+	mix := &Mix{Name: "mini", Templates: []Template{
+		{Name: "people", Query: `SELECT ?x WHERE { ?x a <http://ex/Person> . ?x <http://ex/knows> ?y . }`, Weight: 3},
+		{Name: "byindex", Query: `SELECT ?x WHERE { ?x <http://ex/knows> <http://ex/p${i}> . }`,
+			Params: map[string]Param{"i": {Kind: "int", Min: 0, Max: 19}}},
+		{Name: "broken", Query: `SELECT WHERE garbage`},
+	}}
+
+	r, err := Run(context.Background(), Options{
+		BaseURL:        srv.URL,
+		Mix:            mix,
+		QPS:            300,
+		Warmup:         100 * time.Millisecond,
+		Duration:       700 * time.Millisecond,
+		Concurrency:    8,
+		Timeout:        2 * time.Second,
+		Seed:           42,
+		ZipfS:          0.5,
+		UpdateInterval: 50 * time.Millisecond,
+		UpdateBatch:    5,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("report invalid: %v\n%+v", err, r)
+	}
+	if r.Counts.Requests == 0 || r.Counts.OK == 0 {
+		t.Fatalf("no traffic measured: %+v", r.Counts)
+	}
+	// The malformed template must classify as client errors, never kill
+	// the run or leak into OK latencies.
+	var broken, ok TemplateReport
+	for _, tr := range r.Templates {
+		switch tr.Name {
+		case "broken":
+			broken = tr
+		case "people":
+			ok = tr
+		}
+	}
+	if broken.Counts.Requests > 0 && broken.Counts.ClientErrors != broken.Counts.Requests {
+		t.Errorf("broken template counts = %+v", broken.Counts)
+	}
+	if ok.Counts.OK == 0 {
+		t.Errorf("people template never succeeded: %+v", ok.Counts)
+	}
+	if ok.Latency.P50MS <= 0 {
+		t.Errorf("no latency recorded: %+v", ok.Latency)
+	}
+	if r.AchievedQPS <= 0 {
+		t.Errorf("achieved qps = %v", r.AchievedQPS)
+	}
+	// The update stream ran and committed triples.
+	if r.Updates.Requests == 0 || r.Updates.Inserted == 0 {
+		t.Errorf("update stream idle: %+v", r.Updates)
+	}
+	if r.Updates.Errors != 0 {
+		t.Errorf("update errors: %+v", r.Updates)
+	}
+	// The post-run scrape found the server's q-error histogram.
+	if r.QError.Count == 0 || len(r.QError.Buckets) == 0 {
+		t.Errorf("q-error scrape empty: %+v", r.QError)
+	}
+	if r.QError.TraceSamples == 0 || r.QError.TraceMax < 1 {
+		t.Errorf("trace scrape empty: %+v", r.QError)
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	mix := &Mix{Name: "m", Templates: []Template{{Name: "q", Query: "SELECT 1"}}}
+	for name, opts := range map[string]Options{
+		"no mix":   {QPS: 1, Duration: time.Second},
+		"zero qps": {Mix: mix, Duration: time.Second},
+		"zero dur": {Mix: mix, QPS: 1},
+	} {
+		if _, err := Run(context.Background(), opts); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestUpdateBatchOp(t *testing.T) {
+	op := updateBatchOp("INSERT DATA", 3, 2)
+	if !strings.HasPrefix(op, "INSERT DATA {") || !strings.HasSuffix(op, "}") {
+		t.Errorf("malformed op: %q", op)
+	}
+	for _, want := range []string{"b3/s0", "b3/s1", "rdf-syntax-ns#type"} {
+		if !strings.Contains(op, want) {
+			t.Errorf("op missing %q", want)
+		}
+	}
+	// Deterministic in (batch, n): the delete of batch 3 names exactly
+	// the triples its insert created.
+	if op != updateBatchOp("INSERT DATA", 3, 2) {
+		t.Error("op not deterministic")
+	}
+	del := updateBatchOp("DELETE DATA", 3, 2)
+	if strings.TrimPrefix(del, "DELETE DATA") != strings.TrimPrefix(op, "INSERT DATA") {
+		t.Error("insert and delete bodies differ")
+	}
+}

@@ -18,6 +18,13 @@ const (
 	MetricTracesWritten = "rdfshapes_traces_recorded_total"
 )
 
+// Adaptive re-optimization metric names (counted by the facade's
+// per-template plan cache; see WithAdaptiveReplan in the root package).
+const (
+	MetricAdaptiveReplans = "rdfshapes_adaptive_replans_total"
+	MetricTemplateQError  = "rdfshapes_template_qerror"
+)
+
 // Durability metric names (counted by the facade around internal/wal).
 const (
 	MetricRecoveries         = "rdfshapes_recoveries_total"
@@ -62,10 +69,11 @@ type Collector struct {
 	intermediate *CounterVec
 	resultRows   *CounterVec
 
-	mu     sync.Mutex
-	gauges map[string]GaugeFunc
-	extra  map[string]*CounterVec   // auxiliary counters (Counter), by name
-	extraH map[string]*HistogramVec // auxiliary histograms (Histogram), by name
+	mu        sync.Mutex
+	gauges    map[string]GaugeFunc
+	gaugeVecs map[string]GaugeVecFunc  // labeled scrape-time gauges, by name
+	extra     map[string]*CounterVec   // auxiliary counters (Counter), by name
+	extraH    map[string]*HistogramVec // auxiliary histograms (Histogram), by name
 }
 
 // NewCollector returns a collector whose trace ring holds the last
@@ -148,6 +156,23 @@ func (c *Collector) RegisterGauge(name, help string, fn func() float64) {
 	c.gauges[name] = GaugeFunc{name: name, help: help, fn: fn}
 }
 
+// RegisterGaugeVec installs (or replaces) a labeled scrape-time gauge:
+// at scrape time fn is called once and one series is written per map
+// entry, the key becoming the value of the single label. Used for
+// per-template facts whose key space is dynamic (the adaptive replan
+// layer's per-template q-error).
+func (c *Collector) RegisterGaugeVec(name, help, label string, fn func() map[string]float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gaugeVecs == nil {
+		c.gaugeVecs = map[string]GaugeVecFunc{}
+	}
+	c.gaugeVecs[name] = GaugeVecFunc{name: name, help: help, label: label, fn: fn}
+}
+
 // Record finalizes t (via Finish, when the caller has not already),
 // stamps its time, stores it in the trace ring, and folds it into every
 // cumulative metric. Safe on a nil receiver.
@@ -225,6 +250,11 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	for _, n := range names {
 		gauges = append(gauges, c.gauges[n])
 	}
+	gvNames := sortedKeys(c.gaugeVecs)
+	gaugeVecs := make([]GaugeVecFunc, 0, len(gvNames))
+	for _, n := range gvNames {
+		gaugeVecs = append(gaugeVecs, c.gaugeVecs[n])
+	}
 	extraNames := sortedKeys(c.extra)
 	extras := make([]*CounterVec, 0, len(extraNames))
 	for _, n := range extraNames {
@@ -237,6 +267,11 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	}
 	c.mu.Unlock()
 	for _, g := range gauges {
+		if err := g.write(w); err != nil {
+			return err
+		}
+	}
+	for _, g := range gaugeVecs {
 		if err := g.write(w); err != nil {
 			return err
 		}

@@ -240,3 +240,36 @@ func TestAuxiliaryHistogram(t *testing.T) {
 	var nc *Collector
 	nc.Histogram("x", "y", nil).Observe(1)
 }
+
+// TestRegisterGaugeVec checks labeled read-at-scrape gauges: one series
+// per map key, sorted, label values escaped, nil-safe registration.
+func TestRegisterGaugeVec(t *testing.T) {
+	c := NewCollector(4)
+	c.RegisterGaugeVec("rdfshapes_template_qerror", "Per-template q-error.", "template",
+		func() map[string]float64 {
+			return map[string]float64{
+				`?v0 a <http://ex/T> .`: 2.5,
+				"with \"quote\"":        1,
+			}
+		})
+	var b strings.Builder
+	if err := c.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE rdfshapes_template_qerror gauge",
+		`rdfshapes_template_qerror{template="?v0 a <http://ex/T> ."} 2.5`,
+		`rdfshapes_template_qerror{template="with \"quote\""} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "?v0 a") > strings.Index(out, "with") {
+		t.Error("gauge-vec series not sorted by label value")
+	}
+
+	var nilC *Collector
+	nilC.RegisterGaugeVec("x", "X.", "l", func() map[string]float64 { return nil })
+}

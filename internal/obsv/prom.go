@@ -263,3 +263,26 @@ func (g GaugeFunc) write(w io.Writer) error {
 	_, err := fmt.Fprintf(w, "%s %s\n", g.name, formatValue(g.fn()))
 	return err
 }
+
+// GaugeVecFunc is a labeled gauge family whose series are read at scrape
+// time: fn returns one value per label value, so the series set can grow
+// and shrink with the underlying state (e.g. one series per live query
+// template).
+type GaugeVecFunc struct {
+	name, help, label string
+	fn                func() map[string]float64
+}
+
+func (g GaugeVecFunc) write(w io.Writer) error {
+	if err := writeHeader(w, g.name, g.help, "gauge"); err != nil {
+		return err
+	}
+	vals := g.fn()
+	for _, k := range sortedKeys(vals) {
+		name := seriesName(g.name, []string{g.label}, []string{k})
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, formatValue(vals[k])); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -179,3 +179,19 @@ func TestServerInstallsDefaultCollector(t *testing.T) {
 		t.Errorf("default ring size = %d, want %d", c.RingSize(), obsv.DefaultRingSize)
 	}
 }
+
+// TestAdaptiveMetricsExposed checks that enabling adaptive replan on the
+// DB surfaces its gauges in /metrics: the tracked-template count and the
+// per-template rolling q-error series.
+func TestAdaptiveMetricsExposed(t *testing.T) {
+	srv, _ := newGovernedServer(t, 4, Config{}, rdfshapes.WithAdaptiveReplan(10))
+	getBody(t, srv.URL+"/sparql?query="+url.QueryEscape(crossQuery))
+	getBody(t, srv.URL+"/sparql?query="+url.QueryEscape(crossQuery))
+	body := metricsBody(t, srv.URL)
+	if !strings.Contains(body, "rdfshapes_adaptive_templates 1") {
+		t.Errorf("metrics missing adaptive template count:\n%s", body)
+	}
+	if !strings.Contains(body, obsv.MetricTemplateQError+`{template="`) {
+		t.Errorf("metrics missing %s series:\n%s", obsv.MetricTemplateQError, body)
+	}
+}

@@ -180,6 +180,23 @@ func NewWithConfig(db *rdfshapes.DB, cfg Config) *Handler {
 	h.obs.RegisterGauge("rdfshapes_parallel_workers_active",
 		"Parallel BGP worker goroutines executing at scrape time.",
 		func() float64 { return float64(rdfshapes.ActiveParallelWorkers()) })
+	if db.AdaptiveEnabled() {
+		h.obs.RegisterGauge("rdfshapes_adaptive_templates",
+			"Query templates tracked by the adaptive replan layer.",
+			func() float64 { return float64(len(db.AdaptiveTemplates())) })
+		h.obs.RegisterGaugeVec(obsv.MetricTemplateQError,
+			"Rolling median observed q-error per query template (complete executions since the template's last replan).",
+			"template",
+			func() map[string]float64 {
+				out := map[string]float64{}
+				for _, st := range db.AdaptiveTemplates() {
+					if st.Observations > 0 {
+						out[st.Template] = st.QError
+					}
+				}
+				return out
+			})
+	}
 	if db.Durable() {
 		h.obs.RegisterGauge("rdfshapes_wal_size_bytes",
 			"Active write-ahead log file size in bytes, header included.",

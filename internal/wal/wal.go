@@ -18,6 +18,19 @@
 // snapshot that passes its checksum, replays the WAL generations from
 // there, and truncates the log at the first torn or corrupt record
 // instead of failing the boot.
+//
+// Generation pairing is the core invariant: wal-<gen>.log contains
+// exactly the commits applied after snap-<gen>.snap was taken and
+// before snap-<gen+1> existed, so (snapshot gen, logs ≥ gen in order)
+// is always a replayable prefix of the acknowledged commit sequence.
+// The pairing is what makes the snapshot fallback safe — falling back
+// from a corrupt snap-<g> to snap-<g-1> just extends the replay to
+// wal-<g-1> followed by wal-<g>, reproducing the same logical state.
+// Two corollaries the code and the fault-injection tests enforce:
+// the snapshot rename is the *only* operation that advances the
+// generation (a crash on either side leaves the old pairing intact),
+// and a log is never deleted before the snapshot that supersedes it is
+// durable in the directory.
 package wal
 
 import (

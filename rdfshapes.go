@@ -88,6 +88,10 @@ type DB struct {
 	parallelism    int
 	obs            *obsv.Collector
 
+	// adaptive, when non-nil, caches plans per query template and
+	// invalidates them on observed q-error drift; see adaptive.go.
+	adaptive *adaptive
+
 	// durable, when non-nil, write-ahead-logs every commit before it is
 	// applied and acknowledged; see durability.go and docs/DURABILITY.md.
 	durable *wal.Manager
@@ -175,6 +179,7 @@ type config struct {
 	obs            *obsv.Collector
 	compactAt      int
 	driftAt        int64
+	adaptiveAt     float64 // adaptive replan q-error threshold; <= 1 disables
 	walDir         string
 	walSync        SyncPolicy
 	walFS          wal.FS // test hook; nil selects the real filesystem
@@ -343,6 +348,10 @@ func fromStoreCfg(st *store.Store, cfg config) (*DB, error) {
 		limits:         cfg.limits,
 		parallelism:    cfg.parallelism,
 		obs:            cfg.obs,
+	}
+	if cfg.adaptiveAt > 1 {
+		db.adaptive = newAdaptive(cfg.adaptiveAt)
+		db.adaptive.attachCollector(db.obs)
 	}
 	db.live = live.Wrap(st)
 	db.live.SetAutoCompact(cfg.compactAt)
@@ -1066,7 +1075,10 @@ func (db *DB) Collector() *obsv.Collector { return db.obs }
 // SetCollector installs (or removes, with nil) the observability
 // collector. Not safe to call concurrently with queries; set it up
 // before serving traffic.
-func (db *DB) SetCollector(c *obsv.Collector) { db.obs = c }
+func (db *DB) SetCollector(c *obsv.Collector) {
+	db.obs = c
+	db.adaptive.attachCollector(c)
+}
 
 // WriteShapesTurtle serializes the annotated shapes graph as Turtle.
 func (db *DB) WriteShapesTurtle(w io.Writer) error {
@@ -1091,7 +1103,7 @@ func (v view) exec(src string, plan *core.Plan, opts engine.Options) (*engine.Re
 		opts.Ctx = v.ctx
 	}
 	c := db.obs
-	if c == nil {
+	if c == nil && db.adaptive == nil {
 		er, err := engine.Run(v.snap, plan.Order(), opts)
 		if err != nil {
 			return nil, err
@@ -1106,6 +1118,22 @@ func (v view) exec(src string, plan *core.Plan, opts engine.Options) (*engine.Re
 	var reported bool
 	opts.Observer = func(r engine.ExecReport) { rep, reported = r, true }
 	er, err := engine.Run(v.snap, plan.Order(), opts)
+
+	// Only complete executions feed the adaptive replan tracker: partial
+	// actuals are lower bounds and would register as fake drift.
+	if db.adaptive != nil && err == nil && reported &&
+		!rep.TimedOut && !rep.LimitHit && !rep.Truncated {
+		db.adaptive.observe(plan, rep.Intermediate)
+	}
+	if c == nil {
+		if err != nil {
+			return nil, err
+		}
+		if er.TimedOut {
+			return nil, fmt.Errorf("rdfshapes: %w (budget %d)", ErrBudgetExceeded, db.maxOps)
+		}
+		return er, nil
+	}
 
 	t := obsv.QueryTrace{
 		Query:         src,
@@ -1162,6 +1190,9 @@ func (v view) exec(src string, plan *core.Plan, opts engine.Options) (*engine.Re
 }
 
 func (v view) plan(q *sparql.Query) *core.Plan {
+	if a := v.db.adaptive; a != nil && len(q.Patterns) > 0 {
+		return a.plan(q, v.estimatorFor(q))
+	}
 	return core.Optimize(q, v.estimatorFor(q))
 }
 

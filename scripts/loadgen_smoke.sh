@@ -1,0 +1,38 @@
+#!/bin/sh
+# Loadgen smoke: build cmd/server and cmd/loadgen, start a small LUBM
+# server with adaptive replan enabled, run a ~2s load with a concurrent
+# update stream, and fail on any 5xx or an invalid report. Run from the
+# repo root; the report lands in a temp directory and is discarded —
+# committed BENCH_<n>.json files come from longer, deliberate runs
+# (docs/BENCHMARKING.md).
+set -eu
+
+PORT="${LOADGEN_SMOKE_PORT:-18095}"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build server + loadgen =="
+go build -o "$TMP/server" ./cmd/server
+go build -o "$TMP/loadgen" ./cmd/loadgen
+
+echo "== start server (lubm scale 1, adaptive replan on) =="
+"$TMP/server" -dataset lubm -scale 1 -addr "localhost:$PORT" \
+    -adaptive-qerror 10 -query-timeout 5s >"$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+
+echo "== loadgen (2s measured, update stream, zero 5xx allowed) =="
+"$TMP/loadgen" -url "http://localhost:$PORT" -mix lubm -scale 1 \
+    -qps 100 -warmup 500ms -duration 2s -concurrency 8 \
+    -update-interval 100ms -update-batch 20 \
+    -seed 1 -wait 15s -max-5xx 0 -out "$TMP/BENCH_smoke.json"
+
+echo "== validate the report =="
+"$TMP/loadgen" -check "$TMP/BENCH_smoke.json"
+
+echo "loadgen smoke: passed"

@@ -44,4 +44,15 @@ go test -run=NONE -fuzz=FuzzReadSnapshot -fuzztime=10s ./internal/store
 echo "== benchmark bit-rot smoke (compile and run every benchmark once) =="
 go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
 
+echo "== committed BENCH reports schema-valid =="
+set -- BENCH_*.json
+if [ -e "$1" ]; then
+    go run ./cmd/loadgen -check "$@"
+else
+    echo "(none committed yet)"
+fi
+
+echo "== loadgen smoke (live server, ~2s run, zero 5xx) =="
+sh scripts/loadgen_smoke.sh
+
 echo "verify: all checks passed"
