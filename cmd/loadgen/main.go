@@ -42,7 +42,34 @@ func main() {
 	wait := flag.Duration("wait", 10*time.Second, "how long to poll /readyz for the server before starting")
 	max5xx := flag.Int64("max-5xx", -1, "exit non-zero when 5xx responses exceed this count (<0 = don't check)")
 	check := flag.Bool("check", false, "validate BENCH report files given as arguments instead of running")
+	compare := flag.Bool("compare", false, "compare two BENCH report arguments (baseline, candidate): print per-template p50/p95 deltas, exit non-zero on regressions beyond -noise")
+	noise := flag.Float64("noise", 0.15, "relative latency-regression threshold for -compare (0.15 = +15%; movement under 0.5ms never counts)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("loadgen: -compare needs exactly two report files: baseline candidate")
+		}
+		deltas, err := loadgen.CompareFiles(flag.Arg(0), flag.Arg(1), *noise)
+		if err != nil {
+			log.Fatal("loadgen: ", err)
+		}
+		fmt.Printf("%-24s %10s %10s %8s %10s %10s %8s\n",
+			"template", "p50 base", "p50 cand", "Δp50", "p95 base", "p95 cand", "Δp95")
+		for _, d := range deltas {
+			mark := ""
+			if d.Regressed {
+				mark = "  REGRESSED"
+			}
+			fmt.Printf("%-24s %9.2fms %9.2fms %+7.1f%% %9.2fms %9.2fms %+7.1f%%%s\n",
+				d.Name, d.BaseP50, d.CandP50, d.P50Pct, d.BaseP95, d.CandP95, d.P95Pct, mark)
+		}
+		if regs := loadgen.Regressions(deltas); len(regs) > 0 {
+			log.Printf("loadgen: %d regression(s) beyond the %.0f%% noise threshold", len(regs), *noise*100)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *check {
 		if flag.NArg() == 0 {

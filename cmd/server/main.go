@@ -82,6 +82,8 @@ func main() {
 		"how long shutdown waits for in-flight requests before giving up")
 	parallelism := flag.Int("parallelism", runtime.GOMAXPROCS(0),
 		"workers per query BGP (1 = serial execution; see docs/PERFORMANCE.md)")
+	shards := flag.Int("shards", 0,
+		"partition the dataset into N subject-hash shards with per-shard statistics and statistics-driven shard pruning (<= 1 = unsharded; see docs/SHARDING.md)")
 	dataDir := flag.String("data-dir", "",
 		"durability directory: WAL + snapshots; recovered on start, seeded from -data/-dataset when empty (see docs/DURABILITY.md)")
 	fsyncMode := flag.String("fsync", "always",
@@ -96,7 +98,7 @@ func main() {
 	// counters (replayed records, torn-tail truncations, snapshot
 	// fallbacks) land in the same registry /metrics serves.
 	collector := obsv.NewCollector(*tracebuf)
-	db, err := open(*dataset, *dataFile, *dataDir, syncPolicy, *scale, *seed, *budget, *compactAt, *driftAt, *adaptiveAt, *parallelism,
+	db, err := open(*dataset, *dataFile, *dataDir, syncPolicy, *scale, *seed, *budget, *compactAt, *driftAt, *adaptiveAt, *parallelism, *shards,
 		rdfshapes.Limits{MaxRows: *maxRows, MaxIntermediate: *maxIntermediate}, collector)
 	if err != nil {
 		log.Fatal("server: ", err)
@@ -157,8 +159,9 @@ func main() {
 	log.Print("server: stopped")
 }
 
-func open(dataset, dataFile, dataDir string, syncPolicy rdfshapes.SyncPolicy, scale int, seed, budget int64, compactAt int, driftAt int64, adaptiveAt float64, parallelism int, limits rdfshapes.Limits, collector *obsv.Collector) (*rdfshapes.DB, error) {
+func open(dataset, dataFile, dataDir string, syncPolicy rdfshapes.SyncPolicy, scale int, seed, budget int64, compactAt int, driftAt int64, adaptiveAt float64, parallelism, shards int, limits rdfshapes.Limits, collector *obsv.Collector) (*rdfshapes.DB, error) {
 	opts := []rdfshapes.Option{
+		rdfshapes.WithShards(shards),
 		rdfshapes.WithOpsBudget(budget),
 		rdfshapes.WithAutoCompact(compactAt),
 		rdfshapes.WithDriftThreshold(driftAt),

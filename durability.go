@@ -3,10 +3,12 @@ package rdfshapes
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"rdfshapes/internal/live"
 	"rdfshapes/internal/obsv"
+	"rdfshapes/internal/store"
 	"rdfshapes/internal/wal"
 )
 
@@ -101,8 +103,7 @@ func Open(dir string, opts ...Option) (*DB, error) {
 	// re-logging, so recovered statistics match a from-scratch recompute
 	// exactly for the maintained quantities.
 	for _, b := range batches {
-		ci := db.live.Apply(live.Batch{Insert: b.Insert, Delete: b.Delete})
-		db.maint.Apply(ci)
+		db.applyBatch(live.Batch{Insert: b.Insert, Delete: b.Delete})
 	}
 	if len(batches) > 0 {
 		db.refreshPlanner()
@@ -127,7 +128,7 @@ func Open(dir string, opts ...Option) (*DB, error) {
 // LoadSnapshot).
 func (db *DB) attachDurability(cfg config) error {
 	mgr, err := wal.Create(cfg.walDir, wal.Options{FS: cfg.walFS, Sync: cfg.walSync.wal()},
-		db.live.Base().WriteSnapshot)
+		db.writeBaseSnapshot)
 	if err != nil {
 		if errors.Is(err, wal.ErrExists) {
 			return fmt.Errorf("rdfshapes: %s holds existing durable state; recover it with Open instead of re-seeding: %w", cfg.walDir, err)
@@ -136,6 +137,21 @@ func (db *DB) attachDurability(cfg config) error {
 	}
 	db.durable = mgr
 	return nil
+}
+
+// writeBaseSnapshot writes the just-loaded dataset in the store's
+// binary snapshot format — the frozen base on an unsharded DB, the
+// merged shard contents on a sharded one (no updates have been applied
+// yet when the durability directory is seeded).
+func (db *DB) writeBaseSnapshot(w io.Writer) error {
+	if db.shards != nil {
+		merged, err := db.shards.Merged()
+		if err != nil {
+			return err
+		}
+		return merged.WriteSnapshot(w)
+	}
+	return db.live.Base().WriteSnapshot(w)
 }
 
 // CheckpointStats reports one completed checkpoint.
@@ -165,11 +181,20 @@ func (db *DB) Checkpoint() (*CheckpointStats, error) {
 	}
 	db.updateMu.Lock()
 	defer db.updateMu.Unlock()
-	snap, err := db.live.Compact()
-	if err != nil {
-		return nil, err
+	var base *store.Store
+	if db.shards != nil {
+		merged, err := db.shards.Merged()
+		if err != nil {
+			return nil, err
+		}
+		base = merged
+	} else {
+		snap, err := db.live.Compact()
+		if err != nil {
+			return nil, err
+		}
+		base = snap.Base()
 	}
-	base := snap.Base()
 	start := time.Now()
 	gen, err := db.durable.Checkpoint(base.WriteSnapshot)
 	if err != nil {

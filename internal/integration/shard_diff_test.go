@@ -1,0 +1,113 @@
+package integration
+
+import (
+	"reflect"
+	"testing"
+
+	"rdfshapes"
+	"rdfshapes/internal/datagen/lubm"
+	"rdfshapes/internal/datagen/watdiv"
+	"rdfshapes/internal/datagen/yago"
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/shacl"
+	"rdfshapes/internal/workloads"
+)
+
+// TestShardedDifferentialWorkloads is the equivalence proof for the
+// shard coordinator: for every workload query of every dataset, a
+// WithShards(4) DB and an unsharded DB over the same data produce the
+// same plan, identical Count, and (for results up to maxDiffRows)
+// identical rows in identical order. It also pins that statistics-driven
+// shard pruning actually fires across the workloads — the source
+// selection the subsystem exists for. scripts/verify.sh runs this under
+// -race.
+func TestShardedDifferentialWorkloads(t *testing.T) {
+	cases := []struct {
+		name   string
+		data   func() rdf.Graph
+		shapes func() *shacl.ShapesGraph // nil: infer from the data
+		qs     []workloads.Query
+	}{
+		{
+			name:   "LUBM",
+			data:   func() rdf.Graph { return lubm.Generate(lubm.Config{Universities: 1, Seed: 7}) },
+			shapes: lubm.Shapes,
+			qs:     workloads.LUBM(),
+		},
+		{
+			name:   "WatDiv",
+			data:   func() rdf.Graph { return watdiv.Generate(watdiv.Config{Products: 1500, Seed: 11}) },
+			shapes: watdiv.Shapes,
+			qs:     workloads.WatDiv(),
+		},
+		{
+			name: "YAGO-4",
+			data: func() rdf.Graph { return yago.Generate(yago.Config{Entities: 8000, Seed: 13}) },
+			qs:   workloads.YAGO(),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Annotation mutates the shapes graph, so each DB gets its own.
+			mkOpts := func(extra ...rdfshapes.Option) []rdfshapes.Option {
+				if tc.shapes != nil {
+					extra = append(extra, rdfshapes.WithShapesGraph(tc.shapes()))
+				}
+				return extra
+			}
+			plain, err := rdfshapes.Load(tc.data(), mkOpts()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer plain.Close()
+			sharded, err := rdfshapes.Load(tc.data(), mkOpts(rdfshapes.WithShards(4))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sharded.Close()
+			if got := sharded.Sharded(); got != 4 {
+				t.Fatalf("Sharded() = %d, want 4", got)
+			}
+
+			for _, wq := range tc.qs {
+				wantCount, err := plain.Count(wq.Text)
+				if err != nil {
+					t.Fatalf("%s unsharded count: %v", wq.Name, err)
+				}
+				gotCount, err := sharded.Count(wq.Text)
+				if err != nil {
+					t.Fatalf("%s sharded count: %v", wq.Name, err)
+				}
+				if gotCount != wantCount {
+					t.Errorf("%s: Count %d (sharded) != %d (unsharded)", wq.Name, gotCount, wantCount)
+				}
+				if wantCount > maxDiffRows {
+					continue
+				}
+				want, err := plain.Query(wq.Text)
+				if err != nil {
+					t.Fatalf("%s unsharded: %v", wq.Name, err)
+				}
+				got, err := sharded.Query(wq.Text)
+				if err != nil {
+					t.Fatalf("%s sharded: %v", wq.Name, err)
+				}
+				if got.Plan != want.Plan {
+					t.Errorf("%s: plan diverged:\nsharded:   %s\nunsharded: %s", wq.Name, got.Plan, want.Plan)
+				}
+				if !reflect.DeepEqual(got.Vars, want.Vars) {
+					t.Errorf("%s: Vars %v (sharded) != %v (unsharded)", wq.Name, got.Vars, want.Vars)
+				}
+				if !reflect.DeepEqual(got.Rows, want.Rows) {
+					t.Errorf("%s: sharded rows differ from unsharded (%d vs %d rows)",
+						wq.Name, len(got.Rows), len(want.Rows))
+				}
+			}
+
+			own, stats := sharded.Shards().Pruned()
+			if own+stats == 0 {
+				t.Errorf("no shard scans pruned across the %s workload", tc.name)
+			}
+		})
+	}
+}

@@ -106,13 +106,24 @@ type Batch struct {
 	Delete []rdf.Triple
 }
 
+// View is a consistent read view of a dataset version: the subset of
+// Snapshot the statistics maintainer needs. Snapshot implements it; so
+// does the shard coordinator's cross-shard view, which is what lets one
+// whole-dataset Maintainer run on top of a sharded store (per-shard
+// counts sum exactly because shards partition the data).
+type View interface {
+	Dict() *store.Dict
+	Count(pat store.IDTriple) int
+	Scan(pat store.IDTriple, fn func(store.IDTriple) bool)
+}
+
 // CommitInfo describes the effective changes of one committed batch:
 // Inserted triples were absent from Prev and are present in Next, and
 // symmetrically for Deleted. Requested no-ops (inserting an existing
 // triple, deleting a missing one) are excluded, which is what lets the
 // statistics maintainer apply exact deltas.
 type CommitInfo struct {
-	Prev, Next *Snapshot
+	Prev, Next View
 	Inserted   []store.IDTriple
 	Deleted    []store.IDTriple
 }

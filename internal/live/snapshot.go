@@ -125,6 +125,18 @@ func (s *Snapshot) ScanChunks(pat store.IDTriple, n int) []func(fn func(store.ID
 	return chunks
 }
 
+// Ranges returns the merged view's matches of pat as raw sorted runs:
+// the base rows and overlay-added rows each as a subslice of their
+// serving index (key-ordered by store.KeyOrder(pat), shared storage —
+// do not modify), plus the deletion mask to filter base rows through
+// (nil when nothing is deleted). The shard coordinator merges these
+// runs across shards into one globally key-ordered stream; unlike Scan,
+// whose base-then-additions order is not globally sorted, every run
+// here is.
+func (s *Snapshot) Ranges(pat store.IDTriple) (base, added []store.IDTriple, deleted *store.Fragment) {
+	return s.base.Range(pat), s.added.Range(pat), s.deleted
+}
+
 // Count returns the number of merged-view triples matching pat. Exact by
 // the disjoint-union invariants; three O(log n) lookups.
 func (s *Snapshot) Count(pat store.IDTriple) int {

@@ -344,8 +344,8 @@ type runStat struct {
 }
 
 // subjectRuns returns, for every non-type predicate of s, the triple
-// count and distinct object count in the given snapshot.
-func subjectRuns(v *Snapshot, tid, s store.ID) map[store.ID]runStat {
+// count and distinct object count in the given view.
+func subjectRuns(v View, tid, s store.ID) map[store.ID]runStat {
 	runs := map[store.ID]runStat{}
 	objs := map[pair]bool{}
 	v.Scan(store.IDTriple{S: s}, func(t store.IDTriple) bool {
@@ -365,8 +365,8 @@ func subjectRuns(v *Snapshot, tid, s store.ID) map[store.ID]runStat {
 }
 
 // shapesOf returns the node shapes whose target classes s is an instance
-// of in the given snapshot.
-func shapesOf(v *Snapshot, sg *shacl.ShapesGraph, dict *store.Dict, tid, s store.ID) []*shacl.NodeShape {
+// of in the given view.
+func shapesOf(v View, sg *shacl.ShapesGraph, dict *store.Dict, tid, s store.ID) []*shacl.NodeShape {
 	var out []*shacl.NodeShape
 	v.Scan(store.IDTriple{S: s, P: tid}, func(t store.IDTriple) bool {
 		if ns := sg.ByClass(dict.Term(t.O).Value); ns != nil {

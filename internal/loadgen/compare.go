@@ -1,0 +1,136 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+)
+
+// Comparing BENCH reports: `loadgen -compare A.json B.json` diffs two
+// points of the perf trajectory — per-template and aggregate p50/p95
+// movement from a baseline report to a candidate — and fails (non-zero
+// exit) when a latency regression exceeds the noise threshold. CI uses
+// it to keep committed BENCH files honest; docs/BENCHMARKING.md has the
+// methodology.
+
+// MinCompareMS is the absolute regression floor in milliseconds:
+// quantile movement below it is scheduler noise regardless of its
+// relative size, so it never counts as a regression.
+const MinCompareMS = 0.5
+
+// Delta is one row of a report comparison: the latency movement of a
+// template (or the "aggregate" pseudo-template) between the baseline
+// and candidate reports.
+type Delta struct {
+	// Name is the template name, or "aggregate" for the whole-run row.
+	Name string
+	// BaseP50/BaseP95 and CandP50/CandP95 are the two reports' quantiles
+	// in milliseconds.
+	BaseP50, CandP50 float64
+	BaseP95, CandP95 float64
+	// P50Pct and P95Pct are the relative changes in percent (positive =
+	// slower in the candidate). Zero baselines yield 0 when the
+	// candidate is also zero and +Inf otherwise.
+	P50Pct, P95Pct float64
+	// Samples are the OK-request counts the quantiles are computed over.
+	BaseSamples, CandSamples int64
+	// Regressed marks a delta beyond the noise threshold (relative
+	// change past the threshold AND absolute change past MinCompareMS,
+	// on either quantile).
+	Regressed bool
+}
+
+// pctChange returns the relative change from base to cand in percent.
+func pctChange(base, cand float64) float64 {
+	if base == 0 {
+		if cand == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cand - base) / base * 100
+}
+
+// exceeds reports whether the base→cand movement is a regression beyond
+// the noise threshold (a fraction: 0.15 = +15%).
+func exceeds(base, cand, noise float64) bool {
+	return cand-base > MinCompareMS && cand > base*(1+noise)
+}
+
+// Compare diffs the candidate report against the baseline: one Delta
+// per template present in either report (aggregate first), with
+// regressions marked per the noise threshold. Templates missing from
+// one side, or without OK samples on both sides, are reported with the
+// available numbers but never marked regressed — there is nothing sound
+// to compare. Reports from different mixes are an error: their template
+// populations are incomparable.
+func Compare(base, cand *Report, noise float64) ([]Delta, error) {
+	if noise < 0 {
+		return nil, fmt.Errorf("loadgen: negative noise threshold %v", noise)
+	}
+	if base.Mix != cand.Mix {
+		return nil, fmt.Errorf("loadgen: comparing different mixes (%q vs %q)", base.Mix, cand.Mix)
+	}
+	mk := func(name string, b, c LatencySummary) Delta {
+		d := Delta{
+			Name:        name,
+			BaseP50:     b.P50MS,
+			CandP50:     c.P50MS,
+			BaseP95:     b.P95MS,
+			CandP95:     c.P95MS,
+			P50Pct:      pctChange(b.P50MS, c.P50MS),
+			P95Pct:      pctChange(b.P95MS, c.P95MS),
+			BaseSamples: b.Count,
+			CandSamples: c.Count,
+		}
+		if b.Count > 0 && c.Count > 0 {
+			d.Regressed = exceeds(b.P50MS, c.P50MS, noise) || exceeds(b.P95MS, c.P95MS, noise)
+		}
+		return d
+	}
+	out := []Delta{mk("aggregate", base.Latency, cand.Latency)}
+	baseByName := map[string]TemplateReport{}
+	for _, t := range base.Templates {
+		baseByName[t.Name] = t
+	}
+	seen := map[string]bool{}
+	for _, c := range cand.Templates {
+		seen[c.Name] = true
+		out = append(out, mk(c.Name, baseByName[c.Name].Latency, c.Latency))
+	}
+	for _, b := range base.Templates {
+		if !seen[b.Name] {
+			out = append(out, mk(b.Name, b.Latency, LatencySummary{}))
+		}
+	}
+	return out, nil
+}
+
+// CompareFiles loads, validates, and compares two BENCH files.
+func CompareFiles(basePath, candPath string, noise float64) ([]Delta, error) {
+	if err := CheckFile(basePath); err != nil {
+		return nil, err
+	}
+	if err := CheckFile(candPath); err != nil {
+		return nil, err
+	}
+	base, err := ReadFile(basePath)
+	if err != nil {
+		return nil, err
+	}
+	cand, err := ReadFile(candPath)
+	if err != nil {
+		return nil, err
+	}
+	return Compare(base, cand, noise)
+}
+
+// Regressions filters a comparison down to the regressed rows.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

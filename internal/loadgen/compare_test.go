@@ -1,0 +1,130 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+)
+
+func mkReport(mix string, tmpl map[string][2]float64) *Report {
+	r := &Report{Mix: mix}
+	for name, q := range tmpl {
+		r.Templates = append(r.Templates, TemplateReport{
+			Name:    name,
+			Latency: LatencySummary{Count: 100, P50MS: q[0], P95MS: q[1]},
+		})
+		r.Latency.Count += 100
+	}
+	// A crude aggregate: the max of the template quantiles.
+	for _, q := range tmpl {
+		r.Latency.P50MS = math.Max(r.Latency.P50MS, q[0])
+		r.Latency.P95MS = math.Max(r.Latency.P95MS, q[1])
+	}
+	return r
+}
+
+func TestCompareIdentical(t *testing.T) {
+	a := mkReport("lubm", map[string][2]float64{"Q1": {1, 5}, "Q2": {2, 8}})
+	deltas, err := Compare(a, a, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 3 { // aggregate + 2 templates
+		t.Fatalf("got %d deltas, want 3", len(deltas))
+	}
+	if deltas[0].Name != "aggregate" {
+		t.Errorf("first delta %q, want aggregate", deltas[0].Name)
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Errorf("identical reports regressed: %+v", regs)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := mkReport("lubm", map[string][2]float64{"Q1": {1, 5}, "Q2": {2, 8}})
+	cand := mkReport("lubm", map[string][2]float64{"Q1": {1, 5}, "Q2": {2, 20}})
+	deltas, err := Compare(base, cand, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, d := range Regressions(deltas) {
+		names[d.Name] = true
+	}
+	if !names["Q2"] {
+		t.Errorf("Q2 p95 2.5x not flagged: %+v", deltas)
+	}
+	if names["Q1"] {
+		t.Errorf("unchanged Q1 flagged")
+	}
+	// The aggregate row moved 8 → 20 too.
+	if !names["aggregate"] {
+		t.Errorf("aggregate movement not flagged")
+	}
+}
+
+func TestCompareNoiseFloor(t *testing.T) {
+	// 0.1ms → 0.3ms is a 200% relative change but under the absolute
+	// floor — noise, not regression.
+	base := mkReport("lubm", map[string][2]float64{"Q1": {0.1, 0.1}})
+	cand := mkReport("lubm", map[string][2]float64{"Q1": {0.3, 0.3}})
+	deltas, err := Compare(base, cand, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Errorf("sub-floor movement regressed: %+v", regs)
+	}
+}
+
+func TestCompareThreshold(t *testing.T) {
+	// +10% with a 15% threshold: fine. +30%: regression.
+	base := mkReport("lubm", map[string][2]float64{"Q1": {10, 50}})
+	within := mkReport("lubm", map[string][2]float64{"Q1": {11, 55}})
+	beyond := mkReport("lubm", map[string][2]float64{"Q1": {13, 65}})
+	deltas, err := Compare(base, within, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(deltas); len(regs) != 0 {
+		t.Errorf("+10%% under a 15%% threshold regressed: %+v", regs)
+	}
+	deltas, err = Compare(base, beyond, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Regressions(deltas); len(regs) == 0 {
+		t.Errorf("+30%% under a 15%% threshold not flagged")
+	}
+}
+
+func TestCompareMixMismatch(t *testing.T) {
+	a := mkReport("lubm", map[string][2]float64{"Q1": {1, 5}})
+	b := mkReport("watdiv", map[string][2]float64{"Q1": {1, 5}})
+	if _, err := Compare(a, b, 0.15); err == nil {
+		t.Fatal("different mixes compared without error")
+	}
+}
+
+func TestCompareMissingTemplate(t *testing.T) {
+	base := mkReport("lubm", map[string][2]float64{"Q1": {1, 5}, "Q2": {2, 8}})
+	cand := mkReport("lubm", map[string][2]float64{"Q1": {1, 5}})
+	deltas, err := Compare(base, cand, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q2 *Delta
+	for i := range deltas {
+		if deltas[i].Name == "Q2" {
+			q2 = &deltas[i]
+		}
+	}
+	if q2 == nil {
+		t.Fatal("template missing from the candidate dropped from the comparison")
+	}
+	if q2.Regressed {
+		t.Error("one-sided template marked regressed")
+	}
+	if q2.CandSamples != 0 {
+		t.Errorf("missing template has %d candidate samples", q2.CandSamples)
+	}
+}

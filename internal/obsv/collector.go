@@ -25,6 +25,13 @@ const (
 	MetricTemplateQError  = "rdfshapes_template_qerror"
 )
 
+// Sharded-execution metric names (maintained as atomics by the shard
+// coordinator, exported at scrape time by the server).
+const (
+	MetricShardRowsScanned = "rdfshapes_shard_rows_scanned_total"
+	MetricShardsPruned     = "rdfshapes_shards_pruned_total"
+)
+
 // Durability metric names (counted by the facade around internal/wal).
 const (
 	MetricRecoveries         = "rdfshapes_recoveries_total"
@@ -69,11 +76,12 @@ type Collector struct {
 	intermediate *CounterVec
 	resultRows   *CounterVec
 
-	mu        sync.Mutex
-	gauges    map[string]GaugeFunc
-	gaugeVecs map[string]GaugeVecFunc  // labeled scrape-time gauges, by name
-	extra     map[string]*CounterVec   // auxiliary counters (Counter), by name
-	extraH    map[string]*HistogramVec // auxiliary histograms (Histogram), by name
+	mu          sync.Mutex
+	gauges      map[string]GaugeFunc
+	gaugeVecs   map[string]GaugeVecFunc   // labeled scrape-time gauges, by name
+	counterVecs map[string]CounterVecFunc // labeled scrape-time counters, by name
+	extra       map[string]*CounterVec    // auxiliary counters (Counter), by name
+	extraH      map[string]*HistogramVec  // auxiliary histograms (Histogram), by name
 }
 
 // NewCollector returns a collector whose trace ring holds the last
@@ -173,6 +181,24 @@ func (c *Collector) RegisterGaugeVec(name, help, label string, fn func() map[str
 	c.gaugeVecs[name] = GaugeVecFunc{name: name, help: help, label: label, fn: fn}
 }
 
+// RegisterCounterVec installs (or replaces) a labeled scrape-time
+// counter: at scrape time fn is called once and one series is written
+// per map entry, the key becoming the value of the single label. Used
+// for cumulative counts maintained in hot-path atomics outside the
+// collector (the shard coordinator's scanned-rows and pruning
+// counters); fn must be monotonically non-decreasing per key.
+func (c *Collector) RegisterCounterVec(name, help, label string, fn func() map[string]float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.counterVecs == nil {
+		c.counterVecs = map[string]CounterVecFunc{}
+	}
+	c.counterVecs[name] = CounterVecFunc{name: name, help: help, label: label, fn: fn}
+}
+
 // Record finalizes t (via Finish, when the caller has not already),
 // stamps its time, stores it in the trace ring, and folds it into every
 // cumulative metric. Safe on a nil receiver.
@@ -255,6 +281,11 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	for _, n := range gvNames {
 		gaugeVecs = append(gaugeVecs, c.gaugeVecs[n])
 	}
+	cvNames := sortedKeys(c.counterVecs)
+	counterVecs := make([]CounterVecFunc, 0, len(cvNames))
+	for _, n := range cvNames {
+		counterVecs = append(counterVecs, c.counterVecs[n])
+	}
 	extraNames := sortedKeys(c.extra)
 	extras := make([]*CounterVec, 0, len(extraNames))
 	for _, n := range extraNames {
@@ -273,6 +304,11 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	}
 	for _, g := range gaugeVecs {
 		if err := g.write(w); err != nil {
+			return err
+		}
+	}
+	for _, cv := range counterVecs {
+		if err := cv.write(w); err != nil {
 			return err
 		}
 	}

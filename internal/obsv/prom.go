@@ -264,6 +264,30 @@ func (g GaugeFunc) write(w io.Writer) error {
 	return err
 }
 
+// CounterVecFunc is a labeled counter family whose series are read at
+// scrape time: the underlying values live in hot-path-friendly state
+// (e.g. atomics in the shard coordinator) and are only sampled when
+// /metrics is scraped. fn must return monotonically non-decreasing
+// values per key.
+type CounterVecFunc struct {
+	name, help, label string
+	fn                func() map[string]float64
+}
+
+func (c CounterVecFunc) write(w io.Writer) error {
+	if err := writeHeader(w, c.name, c.help, "counter"); err != nil {
+		return err
+	}
+	vals := c.fn()
+	for _, k := range sortedKeys(vals) {
+		name := seriesName(c.name, []string{c.label}, []string{k})
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, formatValue(vals[k])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // GaugeVecFunc is a labeled gauge family whose series are read at scrape
 // time: fn returns one value per label value, so the series set can grow
 // and shrink with the underlying state (e.g. one series per live query

@@ -49,6 +49,7 @@ import (
 	"rdfshapes"
 	"rdfshapes/internal/obsv"
 	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/shard"
 )
 
 // Governor metric names, exported alongside the obsv package's inventory.
@@ -197,6 +198,28 @@ func NewWithConfig(db *rdfshapes.DB, cfg Config) *Handler {
 				return out
 			})
 	}
+	if db.Sharded() > 0 {
+		h.obs.RegisterGauge("rdfshapes_shards",
+			"Configured shard count (subject-hash partitions).",
+			func() float64 { return float64(db.Sharded()) })
+		h.obs.RegisterCounterVec(obsv.MetricShardRowsScanned,
+			"Index rows scanned per shard through cross-shard query execution (deletion-masked rows included).",
+			"shard",
+			func() map[string]float64 {
+				out := map[string]float64{}
+				for i, n := range db.Shards().RowsScanned() {
+					out[strconv.Itoa(i)] = float64(n)
+				}
+				return out
+			})
+		h.obs.RegisterCounterVec(obsv.MetricShardsPruned,
+			"Per-pattern shard scans skipped, by reason: ownership (a bound subject routes to its hash owner alone) or stats (the shard's exact statistics prove the pattern empty there).",
+			"reason",
+			func() map[string]float64 {
+				own, stats := db.Shards().Pruned()
+				return map[string]float64{"ownership": float64(own), "stats": float64(stats)}
+			})
+	}
 	if db.Durable() {
 		h.obs.RegisterGauge("rdfshapes_wal_size_bytes",
 			"Active write-ahead log file size in bytes, header included.",
@@ -223,6 +246,13 @@ func NewWithConfig(db *rdfshapes.DB, cfg Config) *Handler {
 	h.mux.HandleFunc("/admin/checkpoint", h.adminCheckpoint)
 	h.mux.HandleFunc("/metrics", h.metrics)
 	h.mux.HandleFunc("/trace/recent", h.traceRecent)
+	if db.Sharded() > 0 {
+		// Shard-over-HTTP scan endpoint: lets a remote coordinator read
+		// this server's shards as an engine source (shard.Remote).
+		h.mux.Handle("/shard/scan", shard.Handler(func() shard.Source {
+			return db.Shards().Snapshot()
+		}))
+	}
 	h.ready.Store(true)
 	return h
 }

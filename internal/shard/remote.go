@@ -1,0 +1,162 @@
+// Shard-over-HTTP source stub: the wire seam that lets cmd/server
+// instances later compose into a cluster. A server exposes its local
+// matches at /shard/scan (Handler); a coordinator wraps a peer's
+// endpoint as an engine.Source (Remote). The protocol is term-level
+// N-Triples — dictionary IDs are process-local, so triples cross the
+// wire as terms and the client interns them into the coordinator's own
+// dictionary. Experimental: the in-process Group does not use it yet,
+// and Scan buffers the full response rather than streaming.
+
+package shard
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/store"
+)
+
+// Source is the read surface the scan endpoint serves and the client
+// reproduces: the engine.Source contract.
+type Source interface {
+	Dict() *store.Dict
+	Scan(pat store.IDTriple, fn func(store.IDTriple) bool)
+}
+
+// Handler serves the shard-scan wire protocol over src. src is invoked
+// once per request so every response reads one consistent snapshot.
+// Pattern positions arrive as N-Triples-encoded terms in the s, p, and
+// o query parameters; an empty or absent parameter is a wildcard, and a
+// term unknown to the dictionary yields an empty result (it cannot
+// match anything). The response body is N-Triples.
+func Handler(src func() Source) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		view := src()
+		dict := view.Dict()
+		var pat store.IDTriple
+		for _, pos := range []struct {
+			param string
+			id    *store.ID
+		}{
+			{"s", &pat.S}, {"p", &pat.P}, {"o", &pat.O},
+		} {
+			raw := r.URL.Query().Get(pos.param)
+			if raw == "" {
+				continue
+			}
+			term, err := rdf.ParseTerm(raw)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad %s term: %v", pos.param, err), http.StatusBadRequest)
+				return
+			}
+			id, ok := dict.Lookup(term)
+			if !ok {
+				w.Header().Set("Content-Type", "application/n-triples")
+				return // unknown term: provably no matches
+			}
+			*pos.id = id
+		}
+		w.Header().Set("Content-Type", "application/n-triples")
+		view.Scan(pat, func(t store.IDTriple) bool {
+			_, err := fmt.Fprintf(w, "%s %s %s .\n",
+				dict.Term(t.S), dict.Term(t.P), dict.Term(t.O))
+			return err == nil
+		})
+	})
+}
+
+// Remote is an engine.Source reading a peer server's /shard/scan
+// endpoint. Terms are interned into the coordinator's dictionary on
+// arrival, so IDs handed to fn are locally valid. Scan itself cannot
+// return an error (the Source contract); transport and decode failures
+// surface as an empty scan and are retained for Err.
+type Remote struct {
+	base string
+	c    *http.Client
+	dict *store.Dict
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewRemote wraps the server at baseURL (scheme://host[:port], no
+// trailing path) as a Source interning into dict. A nil client selects
+// http.DefaultClient.
+func NewRemote(baseURL string, client *http.Client, dict *store.Dict) *Remote {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Remote{base: strings.TrimRight(baseURL, "/"), c: client, dict: dict}
+}
+
+// Dict returns the coordinator-side dictionary remote triples intern
+// into.
+func (r *Remote) Dict() *store.Dict { return r.dict }
+
+// Err returns the first transport or decode error since the last call,
+// clearing it. Callers check it after a scan whose emptiness matters.
+func (r *Remote) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	err := r.err
+	r.err = nil
+	return err
+}
+
+func (r *Remote) setErr(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+}
+
+// Scan fetches the peer's matches of pat and replays them to fn. IDs in
+// pat are resolved against the local dictionary; a zero ID is a
+// wildcard.
+func (r *Remote) Scan(pat store.IDTriple, fn func(store.IDTriple) bool) {
+	q := url.Values{}
+	for _, pos := range []struct {
+		param string
+		id    store.ID
+	}{
+		{"s", pat.S}, {"p", pat.P}, {"o", pat.O},
+	} {
+		if pos.id != 0 {
+			q.Set(pos.param, r.dict.Term(pos.id).String())
+		}
+	}
+	resp, err := r.c.Get(r.base + "/shard/scan?" + q.Encode())
+	if err != nil {
+		r.setErr(err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		r.setErr(fmt.Errorf("shard: remote scan: %s", resp.Status))
+		return
+	}
+	g, err := rdf.ParseNTriples(resp.Body)
+	if err != nil {
+		r.setErr(fmt.Errorf("shard: remote scan decode: %w", err))
+		return
+	}
+	for _, t := range g {
+		it := store.IDTriple{
+			S: r.dict.Intern(t.S),
+			P: r.dict.Intern(t.P),
+			O: r.dict.Intern(t.O),
+		}
+		if !fn(it) {
+			return
+		}
+	}
+}

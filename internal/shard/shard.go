@@ -1,0 +1,296 @@
+// Package shard partitions the dataset into N shards hashed on the
+// subject's dictionary ID and coordinates query execution across them
+// with per-shard statistics — the single-process seam of the scale-out
+// story (docs/SHARDING.md).
+//
+// Design in one paragraph: every shard is a full live.Store (frozen
+// base + delta overlay, own WAL-free apply path) over the *shared* term
+// dictionary, paired with its own live.Maintainer holding that shard's
+// gstats.Global and annotated shapes graph. Because shards partition
+// triples by subject, per-shard counts sum to whole-dataset counts
+// exactly, which yields two things at once: a whole-dataset
+// live.Maintainer can run on top of the group (planning statistics stay
+// identical to an unsharded store, so plans — and therefore row order —
+// do too), and the per-shard statistics are sound for source selection
+// the way Odyssey selects federation endpoints: a shard whose exact
+// statistics say a pattern's predicate or class has no instances there
+// provably contributes nothing and is pruned from the scan.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rdfshapes/internal/annotator"
+	"rdfshapes/internal/gstats"
+	"rdfshapes/internal/live"
+	"rdfshapes/internal/shacl"
+	"rdfshapes/internal/store"
+)
+
+// Group is a set of shards over one shared dictionary plus the
+// coordinator state: per-shard statistics maintainers and the pruning /
+// scan counters exported as metrics. Readers obtain a consistent
+// cross-shard View via Snapshot and are then wait-free; Apply serializes
+// writers and keeps every shard's snapshot paired with its statistics.
+type Group struct {
+	dict   *store.Dict
+	shards []*live.Store
+	maints []*live.Maintainer
+
+	// mu orders commits against view capture: Apply holds it exclusively
+	// while applying the routed batch to every owning shard and its
+	// maintainer, Snapshot holds it shared while collecting the
+	// (snapshot, statistics) pair of every shard — so a View never mixes
+	// shard versions from different commits.
+	mu sync.RWMutex
+
+	// Scan-effort and pruning counters, exported as
+	// rdfshapes_shard_rows_scanned_total{shard} and
+	// rdfshapes_shards_pruned_total{reason}.
+	rows            []atomic.Int64
+	prunedOwnership atomic.Int64
+	prunedStats     atomic.Int64
+}
+
+// New partitions the frozen base store into n shards (hash on subject
+// dictionary ID) sharing base's dictionary, computes each shard's
+// global statistics and annotated shapes clone from scratch, and wires
+// a statistics maintainer per shard. shapes may be nil or empty, in
+// which case shards carry global statistics only.
+func New(base *store.Store, n int, shapes *shacl.ShapesGraph) (*Group, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: shard count %d < 1", n)
+	}
+	g := &Group{
+		dict:   base.Dict(),
+		shards: make([]*live.Store, n),
+		maints: make([]*live.Maintainer, n),
+		rows:   make([]atomic.Int64, n),
+	}
+	parts := make([]*store.Store, n)
+	for i := range parts {
+		parts[i] = store.NewWithDict(g.dict)
+	}
+	var addErr error
+	base.Scan(store.IDTriple{}, func(t store.IDTriple) bool {
+		addErr = parts[g.owner(t.S)].TryAddID(t)
+		return addErr == nil
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+	for i, p := range parts {
+		p.Freeze()
+		st, err := shardStats(p, shapes)
+		if err != nil {
+			return nil, err
+		}
+		g.maints[i] = live.NewMaintainer(st, 0, nil)
+		g.shards[i] = live.Wrap(p)
+	}
+	return g, nil
+}
+
+// shardStats computes one shard's statistics from scratch: its global
+// statistics plus a clone of the shapes graph annotated against the
+// shard's data alone.
+func shardStats(base *store.Store, shapes *shacl.ShapesGraph) (live.Stats, error) {
+	global := gstats.Compute(base)
+	sh := shacl.NewShapesGraph()
+	if shapes != nil {
+		sh = shapes.Clone()
+		if sh.Len() > 0 {
+			if err := annotator.Annotate(sh, base); err != nil {
+				return live.Stats{}, fmt.Errorf("shard: annotating shard shapes: %w", err)
+			}
+		}
+	}
+	return live.Stats{Global: global, Shapes: sh}, nil
+}
+
+// N returns the shard count.
+func (g *Group) N() int { return len(g.shards) }
+
+// Dict returns the shared term dictionary.
+func (g *Group) Dict() *store.Dict { return g.dict }
+
+// owner maps a subject ID to its shard: a Fibonacci multiplicative hash
+// so consecutive dictionary IDs (loaders intern subjects in clusters)
+// spread evenly instead of striping.
+func (g *Group) owner(s store.ID) int {
+	return int((uint64(s) * 0x9E3779B97F4A7C15 >> 32) % uint64(len(g.shards)))
+}
+
+// Owner exposes the subject-to-shard mapping (tests, routing).
+func (g *Group) Owner(s store.ID) int { return g.owner(s) }
+
+// SetAutoCompact forwards the per-shard background compaction threshold
+// (applied to each shard's own overlay size).
+func (g *Group) SetAutoCompact(n int) {
+	for _, s := range g.shards {
+		s.SetAutoCompact(n)
+	}
+}
+
+// Close stops every shard's background compaction and waits for
+// in-flight ones.
+func (g *Group) Close() {
+	for _, s := range g.shards {
+		s.Close()
+	}
+}
+
+// OverlaySize returns the summed added and deleted overlay counts
+// across shards.
+func (g *Group) OverlaySize() (added, deleted int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, s := range g.shards {
+		a, d := s.OverlaySize()
+		added += a
+		deleted += d
+	}
+	return added, deleted
+}
+
+// Snapshot returns a consistent cross-shard read view: every shard's
+// current snapshot paired with the statistics maintained for exactly
+// that snapshot's contents (the pairing Apply's write lock guarantees).
+func (g *Group) Snapshot() *View {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	v := &View{
+		g:     g,
+		snaps: make([]*live.Snapshot, len(g.shards)),
+		stats: make([]live.Stats, len(g.shards)),
+	}
+	for i, s := range g.shards {
+		v.snaps[i] = s.Snapshot()
+		v.stats[i] = g.maints[i].Current()
+	}
+	return v
+}
+
+// snapshotsLocked collects the current per-shard snapshots; callers
+// hold g.mu.
+func (g *Group) snapshotsLocked() []*live.Snapshot {
+	out := make([]*live.Snapshot, len(g.shards))
+	for i, s := range g.shards {
+		out[i] = s.Snapshot()
+	}
+	return out
+}
+
+// Apply routes one batch to the owning shards (inserts intern the
+// subject, deletes that name an unknown subject are no-ops everywhere),
+// commits each sub-batch atomically, feeds each shard's statistics
+// maintainer, and returns a combined CommitInfo whose Prev/Next are
+// cross-shard views — the input the whole-dataset maintainer needs to
+// stay exact on top of the group.
+func (g *Group) Apply(b live.Batch) live.CommitInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	n := len(g.shards)
+	sub := make([]live.Batch, n)
+	for _, t := range b.Delete {
+		if sid, ok := g.dict.Lookup(t.S); ok {
+			i := g.owner(sid)
+			sub[i].Delete = append(sub[i].Delete, t)
+		}
+	}
+	for _, t := range b.Insert {
+		i := g.owner(g.dict.Intern(t.S))
+		sub[i].Insert = append(sub[i].Insert, t)
+	}
+
+	prev := &View{g: g, snaps: g.snapshotsLocked()}
+	var ins, del []store.IDTriple
+	for i, sb := range sub {
+		if len(sb.Insert) == 0 && len(sb.Delete) == 0 {
+			continue
+		}
+		ci := g.shards[i].Apply(sb)
+		g.maints[i].Apply(ci)
+		ins = append(ins, ci.Inserted...)
+		del = append(del, ci.Deleted...)
+	}
+	next := &View{g: g, snaps: g.snapshotsLocked()}
+	return live.CommitInfo{Prev: prev, Next: next, Inserted: ins, Deleted: del}
+}
+
+// ShardStats returns shard i's current maintained statistics.
+func (g *Group) ShardStats(i int) live.Stats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.maints[i].Current()
+}
+
+// Refresh compacts every shard and recomputes its statistics from
+// scratch (global statistics plus a re-annotated clone of the shard's
+// shapes), resetting the per-shard maintainers. It returns the
+// compacted shard bases, which the facade merges to recompute
+// whole-dataset statistics. Callers must not run it concurrently with
+// Apply on the same dataset version expectations (the facade serializes
+// it under its update mutex); the group lock is held across the reset
+// so views never pair a shard snapshot with foreign statistics.
+func (g *Group) Refresh() ([]*store.Store, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	bases := make([]*store.Store, len(g.shards))
+	for i, s := range g.shards {
+		snap, err := s.Compact()
+		if err != nil {
+			return nil, err
+		}
+		bases[i] = snap.Base()
+	}
+	for i, base := range bases {
+		st, err := shardStats(base, g.maints[i].Current().Shapes)
+		if err != nil {
+			return nil, err
+		}
+		g.maints[i].Reset(st)
+	}
+	return bases, nil
+}
+
+// Merged materializes the group's current merged view as one frozen
+// store sharing the dictionary — the bridge back to single-store
+// consumers (binary snapshots, checkpoints, whole-dataset
+// re-annotation). O(dataset); not on any query path.
+func (g *Group) Merged() (*store.Store, error) {
+	v := g.Snapshot()
+	nb := store.NewWithDict(g.dict)
+	var addErr error
+	v.Scan(store.IDTriple{}, func(t store.IDTriple) bool {
+		addErr = nb.TryAddID(t)
+		return addErr == nil
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+	nb.Freeze()
+	return nb, nil
+}
+
+// RowsScanned returns the cumulative per-shard scanned-row counters
+// (index rows visited through cross-shard scans, deletion-masked rows
+// included).
+func (g *Group) RowsScanned() []int64 {
+	out := make([]int64, len(g.rows))
+	for i := range g.rows {
+		out[i] = g.rows[i].Load()
+	}
+	return out
+}
+
+// Pruned returns the cumulative count of per-pattern shard scans
+// skipped, by reason: ownership (the pattern binds a subject, so only
+// its hash owner can hold matches) and stats (the shard's exact
+// statistics prove the pattern empty there).
+func (g *Group) Pruned() (ownership, stats int64) {
+	return g.prunedOwnership.Load(), g.prunedStats.Load()
+}

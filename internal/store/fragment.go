@@ -73,6 +73,17 @@ func (f *Fragment) ScanChunks(pat IDTriple, n int) []func(fn func(IDTriple) bool
 	return chunkRange(idx, lo, hi, n)
 }
 
+// Range returns the rows matching pat as a subslice of the serving
+// index, sorted by KeyOrder(pat) and shared with the fragment. Nil
+// receivers return nil.
+func (f *Fragment) Range(pat IDTriple) []IDTriple {
+	if f == nil {
+		return nil
+	}
+	idx, lo, hi := matchIn(f.spo, f.pso, f.pos, f.osp, pat)
+	return idx[lo:hi]
+}
+
 // Count returns the number of triples matching pat in O(log n).
 func (f *Fragment) Count(pat IDTriple) int {
 	if f == nil {

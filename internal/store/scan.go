@@ -62,6 +62,16 @@ func chunkRange(idx []IDTriple, lo, hi, n int) []func(fn func(IDTriple) bool) {
 	return chunks
 }
 
+// Range returns the rows matching pat as a subslice of the serving
+// index: sorted by that index's key order (KeyOrder(pat)) and shared
+// with the store, so callers must not modify it. The shard coordinator
+// merges per-shard ranges into one globally key-ordered stream.
+func (s *Store) Range(pat IDTriple) []IDTriple {
+	s.mustBeFrozen()
+	idx, lo, hi := s.match(pat)
+	return idx[lo:hi]
+}
+
 // Count returns the number of triples matching the pattern in O(log n).
 func (s *Store) Count(pat IDTriple) int {
 	s.mustBeFrozen()
@@ -106,6 +116,32 @@ func matchIn(spo, pso, pos, osp []IDTriple, pat IDTriple) (idx []IDTriple, lo, h
 		return osp, lo, hi
 	default:
 		return spo, 0, len(spo)
+	}
+}
+
+// KeyOrder returns the strict total order in which Scan(pat) and
+// Range(pat) enumerate matching triples: the full three-component key
+// comparison of the index that serves pat (the table above). Because a
+// key is a permutation of the whole triple, distinct triples never
+// compare equal — which is what makes cross-shard merges deterministic.
+func KeyOrder(pat IDTriple) func(a, b IDTriple) bool {
+	switch {
+	case pat.S != 0 && pat.P != 0 && pat.O != 0:
+		return cmpSPO
+	case pat.S != 0 && pat.P != 0:
+		return cmpSPO
+	case pat.S != 0 && pat.O != 0:
+		return cmpOSP
+	case pat.S != 0:
+		return cmpSPO
+	case pat.P != 0 && pat.O != 0:
+		return cmpPOS
+	case pat.P != 0:
+		return cmpPSO
+	case pat.O != 0:
+		return cmpOSP
+	default:
+		return cmpSPO
 	}
 }
 

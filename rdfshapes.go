@@ -42,6 +42,7 @@ import (
 	"rdfshapes/internal/obsv"
 	"rdfshapes/internal/rdf"
 	"rdfshapes/internal/shacl"
+	"rdfshapes/internal/shard"
 	"rdfshapes/internal/sparql"
 	"rdfshapes/internal/store"
 	"rdfshapes/internal/wal"
@@ -62,8 +63,14 @@ const DefaultDriftThreshold = 1 << 12
 // doc): queries are wait-free against immutable snapshots, updates are
 // serialized internally.
 type DB struct {
-	live  *live.Store
-	maint *live.Maintainer
+	// Exactly one of live and shards is non-nil: live is the unsharded
+	// dataset, shards the partitioned one (WithShards). The statistics
+	// maintainer below is whole-dataset either way — in sharded mode it
+	// consumes the group's combined commits, so planning statistics (and
+	// therefore plans and row order) are identical to unsharded.
+	live   *live.Store
+	shards *shard.Group
+	maint  *live.Maintainer
 
 	// planner holds the current estimator pair built from the latest
 	// maintained statistics; refreshed after every committed update.
@@ -106,13 +113,28 @@ type plannerState struct {
 	gs     *cardinality.GlobalEstimator
 }
 
+// dataView is the read surface a per-call view executes against: one
+// consistent, immutable version of the dataset. An unsharded DB hands
+// out *live.Snapshot, a sharded one *shard.View; both satisfy
+// engine.Source and shacl.Source here, and both also implement
+// engine.ChunkedSource (detected by assertion in the engine) so
+// morsel-parallel execution works identically.
+type dataView interface {
+	Dict() *store.Dict
+	Scan(pat store.IDTriple, fn func(store.IDTriple) bool)
+	Count(pat store.IDTriple) int
+	Contains(t store.IDTriple) bool
+	TypeID() store.ID
+	Len() int
+}
+
 // view is the per-call execution context: one data snapshot, one
 // planner state, and the call's context, taken together at the start of
 // a public call so every branch of a query sees the same version and
 // honors the same deadline.
 type view struct {
 	db   *DB
-	snap *live.Snapshot
+	snap dataView
 	ps   *plannerState
 	ctx  context.Context
 }
@@ -120,7 +142,15 @@ type view struct {
 func (db *DB) view() view { return db.viewCtx(context.Background()) }
 
 func (db *DB) viewCtx(ctx context.Context) view {
-	return view{db: db, snap: db.live.Snapshot(), ps: db.planner.Load(), ctx: ctx}
+	return view{db: db, snap: db.snapshotView(), ps: db.planner.Load(), ctx: ctx}
+}
+
+// snapshotView pins one consistent version of the dataset.
+func (db *DB) snapshotView() dataView {
+	if db.shards != nil {
+		return db.shards.Snapshot()
+	}
+	return db.live.Snapshot()
 }
 
 // begin registers one in-flight public operation; Close waits for every
@@ -163,7 +193,11 @@ func (db *DB) Close() error {
 	db.closed = true
 	db.lifeMu.Unlock()
 	db.inflight.Wait()
-	db.live.Close()
+	if db.shards != nil {
+		db.shards.Close()
+	} else {
+		db.live.Close()
+	}
 	if db.durable != nil {
 		return db.durable.Close() // flushes any SyncNever tail
 	}
@@ -172,6 +206,7 @@ func (db *DB) Close() error {
 
 type config struct {
 	shapes         *shacl.ShapesGraph
+	shards         int
 	maxOps         int64
 	defaultTimeout time.Duration
 	limits         Limits
@@ -192,6 +227,17 @@ type Option func(*config)
 // instead of inferring one from the data.
 func WithShapesGraph(sg *shacl.ShapesGraph) Option {
 	return func(c *config) { c.shapes = sg }
+}
+
+// WithShards partitions the dataset into n shards hashed on the
+// subject's dictionary ID (internal/shard, docs/SHARDING.md). Each
+// shard maintains its own exact statistics under live updates, and the
+// coordinator uses them to prune shards that provably hold no matches
+// of a pattern. Planning statistics stay whole-dataset, so plans —
+// and query results — are identical to an unsharded DB. n <= 1 (the
+// default) keeps the single-store layout.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
 }
 
 // WithOpsBudget caps the work of every Query/Count/Ask call at n index
@@ -353,8 +399,17 @@ func fromStoreCfg(st *store.Store, cfg config) (*DB, error) {
 		db.adaptive = newAdaptive(cfg.adaptiveAt)
 		db.adaptive.attachCollector(db.obs)
 	}
-	db.live = live.Wrap(st)
-	db.live.SetAutoCompact(cfg.compactAt)
+	if cfg.shards > 1 {
+		g, err := shard.New(st, cfg.shards, shapes)
+		if err != nil {
+			return nil, fmt.Errorf("rdfshapes: sharding: %w", err)
+		}
+		g.SetAutoCompact(cfg.compactAt)
+		db.shards = g
+	} else {
+		db.live = live.Wrap(st)
+		db.live.SetAutoCompact(cfg.compactAt)
+	}
 	db.maint = live.NewMaintainer(
 		live.Stats{Global: global, Shapes: shapes},
 		cfg.driftAt,
@@ -379,6 +434,21 @@ func (db *DB) refreshPlanner() {
 		ss:     cardinality.NewShapeEstimator(s.Shapes, s.Global),
 		gs:     cardinality.NewGlobalEstimator(s.Global),
 	})
+}
+
+// applyBatch commits one batch through the layout in effect — the
+// single live store, or the shard group routing sub-batches to owning
+// shards — and feeds the whole-dataset statistics maintainer. Both the
+// update path and WAL replay go through it. Callers hold updateMu.
+func (db *DB) applyBatch(b live.Batch) live.CommitInfo {
+	var ci live.CommitInfo
+	if db.shards != nil {
+		ci = db.shards.Apply(b)
+	} else {
+		ci = db.live.Apply(b)
+	}
+	db.maint.Apply(ci)
+	return ci
 }
 
 // UpdateResult reports the effective changes of one Update call:
@@ -443,8 +513,7 @@ func (db *DB) UpdateCtx(ctx context.Context, src string) (*UpdateResult, error) 
 				return res, err
 			}
 		}
-		ci := db.live.Apply(b)
-		db.maint.Apply(ci)
+		ci := db.applyBatch(b)
 		committed = true
 		res.Inserted += len(ci.Inserted)
 		res.Deleted += len(ci.Deleted)
@@ -471,11 +540,25 @@ func (db *DB) Reannotate() error {
 	defer db.reannotating.Store(false)
 	db.updateMu.Lock()
 	defer db.updateMu.Unlock()
-	snap, err := db.live.Compact()
-	if err != nil {
-		return err
+	var base *store.Store
+	if db.shards != nil {
+		// Compact every shard and recompute its statistics from scratch,
+		// then rebuild the whole-dataset statistics over the merged view.
+		if _, err := db.shards.Refresh(); err != nil {
+			return err
+		}
+		merged, err := db.shards.Merged()
+		if err != nil {
+			return err
+		}
+		base = merged
+	} else {
+		snap, err := db.live.Compact()
+		if err != nil {
+			return err
+		}
+		base = snap.Base()
 	}
-	base := snap.Base()
 	global := gstats.Compute(base)
 	shapes := db.planner.Load().shapes.Clone()
 	if shapes.Len() > 0 {
@@ -495,8 +578,14 @@ func (db *DB) Reannotate() error {
 // incrementally maintained statistics since the last (re-)annotation.
 func (db *DB) StatsDrift() int64 { return db.maint.Drift() }
 
-// OverlaySize returns the live overlay's added and deleted triple counts.
-func (db *DB) OverlaySize() (added, deleted int) { return db.live.OverlaySize() }
+// OverlaySize returns the live overlay's added and deleted triple
+// counts — summed across shards on a sharded DB.
+func (db *DB) OverlaySize() (added, deleted int) {
+	if db.shards != nil {
+		return db.shards.OverlaySize()
+	}
+	return db.live.OverlaySize()
+}
 
 // UpdatesApplied returns the number of committed Update calls.
 func (db *DB) UpdatesApplied() int64 { return db.updates.Load() }
@@ -519,6 +608,13 @@ func (db *DB) WriteSnapshot(w io.Writer) error {
 		return err
 	}
 	defer db.end()
+	if db.shards != nil {
+		merged, err := db.shards.Merged()
+		if err != nil {
+			return err
+		}
+		return merged.WriteSnapshot(w)
+	}
 	snap, err := db.live.Compact()
 	if err != nil {
 		return err
@@ -1044,7 +1140,7 @@ func (db *DB) ConstructCtx(ctx context.Context, src string) (rdf.Graph, error) {
 // merged snapshot — base plus any uncompacted overlay — so committed
 // updates are always validated, without triggering a compaction.
 func (db *DB) Validate(limit int) []shacl.Violation {
-	return db.Shapes().Validate(db.live.Snapshot(), limit)
+	return db.Shapes().Validate(db.snapshotView(), limit)
 }
 
 // Shapes exposes the current annotated shapes graph. The returned graph
@@ -1058,16 +1154,37 @@ func (db *DB) Shapes() *shacl.ShapesGraph { return db.planner.Load().shapes }
 func (db *DB) Stats() *gstats.Global { return db.planner.Load().global }
 
 // Store exposes the current frozen base store, excluding any
-// uncompacted overlay. Tools that need the full committed dataset as a
-// *store.Store should call WriteSnapshot or Validate semantics instead;
-// query paths use consistent snapshots internally.
-func (db *DB) Store() *store.Store { return db.live.Base() }
+// uncompacted overlay. On a sharded DB it materializes the merged
+// dataset (O(n)) instead. Tools that need the full committed dataset as
+// a *store.Store should call WriteSnapshot or Validate semantics
+// instead; query paths use consistent snapshots internally.
+func (db *DB) Store() *store.Store {
+	if db.shards != nil {
+		// Merged only fails on dictionary exhaustion, impossible when
+		// re-adding IDs the dictionary already holds.
+		merged, _ := db.shards.Merged()
+		return merged
+	}
+	return db.live.Base()
+}
 
-// Live exposes the live overlay store for advanced integrations.
+// Live exposes the live overlay store for advanced integrations; nil on
+// a sharded DB (use Shards).
 func (db *DB) Live() *live.Store { return db.live }
 
+// Shards exposes the shard group of a WithShards DB; nil otherwise.
+func (db *DB) Shards() *shard.Group { return db.shards }
+
+// Sharded returns the shard count, or 0 for a single-store DB.
+func (db *DB) Sharded() int {
+	if db.shards == nil {
+		return 0
+	}
+	return db.shards.N()
+}
+
 // NumTriples returns the dataset size, including committed updates.
-func (db *DB) NumTriples() int { return db.live.Snapshot().Len() }
+func (db *DB) NumTriples() int { return db.snapshotView().Len() }
 
 // Collector returns the installed observability collector, or nil.
 func (db *DB) Collector() *obsv.Collector { return db.obs }

@@ -2,8 +2,8 @@
 # Repo verification: static checks, the tier-1 suite, and the race
 # detector over the concurrency-sensitive packages (the observability
 # collector, the live update layer, the engine's cancellation paths, the
-# HTTP server's governor, and the facade lifecycle). Run from the repo
-# root.
+# HTTP server's governor, the shard coordinator, and the facade
+# lifecycle). Run from the repo root.
 set -eu
 
 echo "== go build =="
@@ -31,6 +31,12 @@ go test -race -run 'TestQueryCtx|TestWithDefault|TestWithLimits|TestClose|TestUp
 
 echo "== go test -race (parallel-vs-serial differential over all workloads) =="
 go test -race -run 'TestParallelDifferentialWorkloads' ./internal/integration
+
+echo "== go test -race (shard coordinator: merge, pruning, per-shard stats) =="
+go test -race ./internal/shard
+
+echo "== go test -race (sharded-vs-unsharded differential over all workloads) =="
+go test -race -run 'TestShardedDifferentialWorkloads' ./internal/integration
 
 echo "== go test -race (durability: WAL crash matrix, fault injection) =="
 go test -race ./internal/wal
