@@ -7,6 +7,7 @@
 //	loadgen -url http://localhost:8080 -mix lubm -scale 1 -qps 200 -duration 30s
 //	loadgen -mix watdiv -qps 500 -update-interval 100ms -out BENCH_2.json
 //	loadgen -mix custom.json -zipf 1.0 -seed 42
+//	loadgen -url http://primary:8080,http://replica1:8081,http://replica2:8082 -qps 300
 //	loadgen -check BENCH_1.json BENCH_2.json
 package main
 
@@ -26,7 +27,8 @@ import (
 )
 
 func main() {
-	baseURL := flag.String("url", "http://localhost:8080", "server base URL")
+	baseURL := flag.String("url", "http://localhost:8080",
+		"server base URL, or a comma-separated list; reads round-robin across all, writes and metric scrapes go to the first (the primary)")
 	mixName := flag.String("mix", "lubm", "query mix: lubm, watdiv, or a JSON mix file path")
 	scale := flag.Int("scale", 1, "generator scale of the served dataset (bounds built-in mix parameter spaces)")
 	qps := flag.Float64("qps", 100, "target dispatch rate (open loop)")
@@ -98,12 +100,24 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := waitReady(ctx, *baseURL, *wait); err != nil {
-		log.Fatal("loadgen: ", err)
+	var urls []string
+	for _, u := range strings.Split(*baseURL, ",") {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("loadgen: -url lists no servers")
+	}
+	for _, u := range urls {
+		if err := waitReady(ctx, u, *wait); err != nil {
+			log.Fatal("loadgen: ", err)
+		}
 	}
 
 	report, err := loadgen.Run(ctx, loadgen.Options{
-		BaseURL:        strings.TrimRight(*baseURL, "/"),
+		BaseURL:        urls[0],
+		BaseURLs:       urls,
 		Mix:            mix,
 		QPS:            *qps,
 		Duration:       *duration,

@@ -89,6 +89,9 @@ func WithSyncPolicy(p SyncPolicy) Option {
 // WithShapesGraph shapes are annotated against the recovered data.
 func Open(dir string, opts ...Option) (*DB, error) {
 	cfg := newConfig(opts)
+	if cfg.replicaOf != "" {
+		return nil, errors.New("rdfshapes: a durable primary cannot also be a replica; use OpenReplica")
+	}
 	mgr, base, batches, err := wal.Open(dir, wal.Options{FS: cfg.walFS, Sync: cfg.walSync.wal()})
 	if err != nil {
 		return nil, err
@@ -254,3 +257,8 @@ func (db *DB) DurabilityStats() (s DurabilityStats, ok bool) {
 
 // Durable reports whether the DB has a durability directory attached.
 func (db *DB) Durable() bool { return db.durable != nil }
+
+// WAL exposes the write-ahead-log manager of a durable DB — the
+// log-shipping source replicas tail (internal/server mounts the
+// /repl/wal and /repl/snapshot endpoints over it); nil otherwise.
+func (db *DB) WAL() *wal.Manager { return db.durable }

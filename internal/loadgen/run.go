@@ -16,8 +16,14 @@ import (
 
 // Options configures one load run.
 type Options struct {
-	// BaseURL is the server root, e.g. "http://localhost:8080".
+	// BaseURL is the server root, e.g. "http://localhost:8080". The
+	// update stream and the post-run scrape always target it (in a
+	// replicated deployment it is the primary, the only writable node).
 	BaseURL string
+	// BaseURLs, when non-empty, is the read-dispatch list: queries
+	// round-robin across these roots — a replica fleet — while BaseURL
+	// keeps the writes. Empty sends all traffic to BaseURL.
+	BaseURLs []string
 	// Mix is the validated query mix to replay.
 	Mix *Mix
 	// QPS is the target dispatch rate (open loop: the rig ticks at this
@@ -127,6 +133,14 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		}()
 	}
 
+	// Read-dispatch targets: round-robin in dispatch order, so a given
+	// seed sends the same request sequence to the same nodes.
+	readURLs := opts.BaseURLs
+	if len(readURLs) == 0 {
+		readURLs = []string{opts.BaseURL}
+	}
+	nextRead := 0
+
 	sem := make(chan struct{}, opts.Concurrency)
 	var reqWG sync.WaitGroup
 	interval := time.Duration(float64(time.Second) / opts.QPS)
@@ -154,6 +168,8 @@ dispatch:
 			measured := !now.Before(measureStart)
 			idx := sampler.Next()
 			query := opts.Mix.Templates[idx].Instantiate(rng)
+			base := readURLs[nextRead]
+			nextRead = (nextRead + 1) % len(readURLs)
 			select {
 			case sem <- struct{}{}:
 			default:
@@ -168,7 +184,7 @@ dispatch:
 			go func() {
 				defer reqWG.Done()
 				defer func() { <-sem }()
-				outcome, truncated, latency := doQuery(ctx, client, opts, query)
+				outcome, truncated, latency := doQuery(ctx, client, opts, base, query)
 				if !measured {
 					return
 				}
@@ -264,10 +280,10 @@ const (
 	outcomeTransport
 )
 
-// doQuery issues one query and classifies the result. The body is read
-// fully even on error status so connections are reused.
-func doQuery(ctx context.Context, client *http.Client, opts Options, query string) (outcome, bool, time.Duration) {
-	u := opts.BaseURL + "/sparql?query=" + url.QueryEscape(query) +
+// doQuery issues one query against base and classifies the result. The
+// body is read fully even on error status so connections are reused.
+func doQuery(ctx context.Context, client *http.Client, opts Options, base, query string) (outcome, bool, time.Duration) {
+	u := base + "/sparql?query=" + url.QueryEscape(query) +
 		"&timeout=" + url.QueryEscape(opts.Timeout.String())
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {

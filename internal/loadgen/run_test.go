@@ -3,8 +3,10 @@ package loadgen
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -131,5 +133,78 @@ func TestUpdateBatchOp(t *testing.T) {
 	del := updateBatchOp("DELETE DATA", 3, 2)
 	if strings.TrimPrefix(del, "DELETE DATA") != strings.TrimPrefix(op, "INSERT DATA") {
 		t.Error("insert and delete bodies differ")
+	}
+}
+
+// TestRunRoundRobinReads pins the fleet-dispatch contract: queries
+// round-robin evenly across BaseURLs while the update stream and the
+// post-run scrape stay on BaseURL, the primary.
+func TestRunRoundRobinReads(t *testing.T) {
+	db, err := rdfshapes.LoadNTriples(strings.NewReader(
+		"<http://ex/a> <http://ex/p> <http://ex/b> .\n"),
+		rdfshapes.WithCollector(obsv.NewCollector(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	real := server.New(db)
+
+	type counters struct {
+		mu               sync.Mutex
+		queries, updates int
+	}
+	node := func(c *counters) *httptest.Server {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			c.mu.Lock()
+			switch r.URL.Path {
+			case "/sparql":
+				c.queries++
+			case "/update":
+				c.updates++
+			}
+			c.mu.Unlock()
+			real.ServeHTTP(w, r)
+		}))
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	var pc, r1c, r2c counters
+	primary, rep1, rep2 := node(&pc), node(&r1c), node(&r2c)
+
+	mix := &Mix{Name: "rr", Templates: []Template{
+		{Name: "probe", Query: `SELECT ?o WHERE { <http://ex/a> <http://ex/p> ?o . }`},
+	}}
+	r, err := Run(context.Background(), Options{
+		BaseURL:        primary.URL,
+		BaseURLs:       []string{rep1.URL, rep2.URL},
+		Mix:            mix,
+		QPS:            200,
+		Duration:       500 * time.Millisecond,
+		Concurrency:    8,
+		Timeout:        2 * time.Second,
+		Seed:           7,
+		UpdateInterval: 20 * time.Millisecond,
+		UpdateBatch:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Counts.OK == 0 {
+		t.Fatalf("no successful reads: %+v", r.Counts)
+	}
+	if pc.queries != 0 {
+		t.Errorf("primary served %d queries; reads must stay on the replica list", pc.queries)
+	}
+	if r1c.queries == 0 || r2c.queries == 0 {
+		t.Errorf("round-robin skipped a replica: %d vs %d queries", r1c.queries, r2c.queries)
+	}
+	if diff := r1c.queries - r2c.queries; diff < -1 || diff > 1 {
+		t.Errorf("round-robin imbalance: %d vs %d queries", r1c.queries, r2c.queries)
+	}
+	if r1c.updates != 0 || r2c.updates != 0 {
+		t.Errorf("replicas received updates (%d, %d); writes must stay on the primary", r1c.updates, r2c.updates)
+	}
+	if pc.updates == 0 || r.Updates.Requests == 0 {
+		t.Errorf("primary saw no updates (stream report %+v)", r.Updates)
 	}
 }

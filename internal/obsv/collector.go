@@ -42,6 +42,22 @@ const (
 	MetricCheckpointDuration = "rdfshapes_checkpoint_duration_seconds"
 )
 
+// Replication metric names (maintained by the follower and router in
+// internal/repl, exported at scrape time by the server).
+const (
+	MetricReplLagRecords   = "rdfshapes_repl_lag_records"
+	MetricReplStaleness    = "rdfshapes_repl_staleness_seconds"
+	MetricReplConnected    = "rdfshapes_repl_connected"
+	MetricReplApplied      = "rdfshapes_repl_records_applied_total"
+	MetricReplReconnects   = "rdfshapes_repl_reconnects_total"
+	MetricReplBootstraps   = "rdfshapes_repl_bootstraps_total"
+	MetricReplTornStreams  = "rdfshapes_repl_torn_streams_total"
+	MetricRouterEjections  = "rdfshapes_router_ejections_total"
+	MetricRouterStaleReads = "rdfshapes_router_stale_reads_total"
+	MetricRouterReadsPrim  = "rdfshapes_router_primary_reads_total"
+	MetricRouterReadsRepl  = "rdfshapes_router_replica_reads_total"
+)
+
 // CheckpointDurationBuckets are the checkpoint-latency histogram upper
 // bounds in seconds: checkpoints write a full snapshot, so the range
 // sits well above query latencies.

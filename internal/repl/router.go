@@ -1,0 +1,372 @@
+package repl
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Router defaults.
+const (
+	DefaultMaxStaleness  = 5 * time.Second
+	DefaultCheckInterval = 500 * time.Millisecond
+)
+
+// RouterConfig configures a read router.
+type RouterConfig struct {
+	// Primary is the primary's base URL; writes always go here.
+	Primary string
+	// Replicas are the replica base URLs reads are spread over.
+	Replicas []string
+	// MaxStaleness ejects a replica whose reported staleness exceeds it
+	// (default DefaultMaxStaleness).
+	MaxStaleness time.Duration
+	// CheckInterval is the health-check cadence (default
+	// DefaultCheckInterval).
+	CheckInterval time.Duration
+	// Client performs health checks; nil selects a 2-second-timeout
+	// default.
+	Client *http.Client
+	// Logf, when set, receives ejection/readmission messages.
+	Logf func(format string, args ...any)
+}
+
+// backend is one routed server plus its latest health verdict.
+type backend struct {
+	url   *url.URL
+	proxy *httputil.ReverseProxy
+
+	mu        sync.Mutex
+	checked   bool // at least one health check has completed
+	healthy   bool // ready, reachable, and within the staleness bound
+	reachable bool // answered the status check at all
+	staleness float64
+	lag       uint64
+}
+
+func (b *backend) state() (checked, healthy, reachable bool, staleness float64, lag uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.checked, b.healthy, b.reachable, b.staleness, b.lag
+}
+
+// Router routes reads across health-checked replicas with primary
+// failover; see the package comment for the policy. ServeHTTP is safe
+// for concurrent use with Run.
+type Router struct {
+	cfg      RouterConfig
+	primary  *backend
+	replicas []*backend
+	client   *http.Client
+	next     atomic.Uint64
+
+	ejections    atomic.Int64
+	staleReads   atomic.Int64
+	primaryReads atomic.Int64
+	replicaReads atomic.Int64
+}
+
+// BackendStatus is one backend's health in RouterStatus.
+type BackendStatus struct {
+	URL              string  `json:"url"`
+	Role             string  `json:"role"` // "primary" | "replica"
+	Healthy          bool    `json:"healthy"`
+	Reachable        bool    `json:"reachable"`
+	StalenessSeconds float64 `json:"stalenessSeconds"`
+	LagRecords       uint64  `json:"lagRecords"`
+}
+
+// RouterStatus is the JSON shape of the router's /repl/status.
+type RouterStatus struct {
+	Role         string          `json:"role"`
+	Backends     []BackendStatus `json:"backends"`
+	Ejections    int64           `json:"ejections"`
+	StaleReads   int64           `json:"staleReads"`
+	PrimaryReads int64           `json:"primaryReads"`
+	ReplicaReads int64           `json:"replicaReads"`
+}
+
+// NewRouter builds a Router over a primary and its replicas.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.MaxStaleness <= 0 {
+		cfg.MaxStaleness = DefaultMaxStaleness
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = DefaultCheckInterval
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Second}
+	}
+	rt := &Router{cfg: cfg, client: client}
+	var err error
+	if rt.primary, err = newBackend(cfg.Primary); err != nil {
+		return nil, fmt.Errorf("repl: router primary: %w", err)
+	}
+	for _, raw := range cfg.Replicas {
+		b, err := newBackend(raw)
+		if err != nil {
+			return nil, fmt.Errorf("repl: router replica %s: %w", raw, err)
+		}
+		rt.replicas = append(rt.replicas, b)
+	}
+	return rt, nil
+}
+
+func newBackend(raw string) (*backend, error) {
+	u, err := url.Parse(strings.TrimRight(raw, "/"))
+	if err != nil {
+		return nil, err
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("not an absolute URL: %q", raw)
+	}
+	return &backend{url: u, proxy: httputil.NewSingleHostReverseProxy(u)}, nil
+}
+
+// Run health-checks the fleet until ctx is done. An immediate first
+// sweep runs before the ticker so the router can route as soon as Run
+// starts.
+func (rt *Router) Run(ctx context.Context) error {
+	rt.checkAll(ctx)
+	ticker := time.NewTicker(rt.cfg.CheckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			rt.checkAll(ctx)
+		}
+	}
+}
+
+func (rt *Router) checkAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range append([]*backend{rt.primary}, rt.replicas...) {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			rt.check(ctx, b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// check probes one backend: /readyz for willingness to take traffic,
+// /repl/status for replication lag. Verdict transitions are counted and
+// logged.
+func (rt *Router) check(ctx context.Context, b *backend) {
+	ready, st, err := rt.probe(ctx, b)
+	healthy := err == nil && ready
+	var staleness float64
+	var lag uint64
+	if st != nil {
+		staleness = st.StalenessSeconds
+		lag = st.LagRecords
+		// A replica within its staleness bound counts as fresh even when
+		// momentarily behind on records; the bound is the contract.
+		if st.Role == "replica" && staleness > rt.cfg.MaxStaleness.Seconds() {
+			healthy = false
+		}
+	}
+	b.mu.Lock()
+	was, hadVerdict := b.healthy, b.checked
+	b.checked = true
+	b.healthy = healthy
+	b.reachable = err == nil
+	b.staleness = staleness
+	b.lag = lag
+	b.mu.Unlock()
+	if hadVerdict && was && !healthy {
+		rt.ejections.Add(1)
+		rt.logf("repl: router ejecting %s (ready=%v staleness=%.2fs err=%v)", b.url, ready, staleness, err)
+	}
+	if hadVerdict && !was && healthy {
+		rt.logf("repl: router readmitting %s", b.url)
+	}
+}
+
+func (rt *Router) probe(ctx context.Context, b *backend) (ready bool, st *StatusResponse, err error) {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url.String()+"/readyz", nil)
+	if err != nil {
+		return false, nil, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false, nil, err
+	}
+	resp.Body.Close()
+	ready = resp.StatusCode == http.StatusOK
+	req, err = http.NewRequestWithContext(ctx, http.MethodGet, b.url.String()+StatusPath, nil)
+	if err != nil {
+		return ready, nil, err
+	}
+	resp, err = rt.client.Do(req)
+	if err != nil {
+		return ready, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// No status endpoint is not a failure — a plain primary without
+		// durability still serves reads.
+		return ready, nil, nil
+	}
+	var s StatusResponse
+	if derr := json.NewDecoder(resp.Body).Decode(&s); derr != nil {
+		return ready, nil, derr
+	}
+	return ready, &s, nil
+}
+
+// isWrite classifies requests that must reach the primary.
+func isWrite(r *http.Request) bool {
+	return r.URL.Path == "/update" || strings.HasPrefix(r.URL.Path, "/admin/")
+}
+
+// ServeHTTP routes one request: writes to the primary; reads
+// round-robin over healthy replicas, failing over to the primary, then
+// degrading to the least-stale reachable replica with HeaderStale set.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == StatusPath {
+		rt.serveStatus(w, r)
+		return
+	}
+	if isWrite(r) {
+		rt.primary.proxy.ServeHTTP(w, r)
+		return
+	}
+	b, stale := rt.pickRead()
+	if b == nil {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "no backend available", http.StatusServiceUnavailable)
+		return
+	}
+	if stale {
+		rt.staleReads.Add(1)
+		_, _, _, staleness, _ := b.state()
+		w.Header().Set(HeaderStale, fmt.Sprintf("%.3f", staleness))
+	}
+	if b == rt.primary {
+		rt.primaryReads.Add(1)
+		b.proxy.ServeHTTP(w, r)
+		return
+	}
+	rt.replicaReads.Add(1)
+	rt.proxyReplica(b, w, r)
+}
+
+// proxyReplica forwards a read to a replica, failing over to the
+// primary when the replica dies between health checks — for
+// body-less requests the failover is transparent, which is what lets a
+// replica be killed mid-run without a single failed read.
+func (rt *Router) proxyReplica(b *backend, w http.ResponseWriter, r *http.Request) {
+	canRetry := r.Body == nil || r.Body == http.NoBody || r.Method == http.MethodGet
+	if !canRetry {
+		b.proxy.ServeHTTP(w, r)
+		return
+	}
+	proxy := *b.proxy // shallow copy so the ErrorHandler is per-request
+	proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		b.mu.Lock()
+		was := b.healthy
+		b.healthy = false
+		b.reachable = false
+		b.mu.Unlock()
+		if was {
+			rt.ejections.Add(1)
+		}
+		rt.logf("repl: router failover %s -> primary (%v)", b.url, err)
+		rt.primaryReads.Add(1)
+		rt.primary.proxy.ServeHTTP(w, r)
+	}
+	proxy.ServeHTTP(w, r)
+}
+
+// pickRead selects the read backend. stale reports the selection is
+// beyond the staleness bound (degraded).
+func (rt *Router) pickRead() (b *backend, stale bool) {
+	// 1. Round-robin over healthy replicas.
+	if n := len(rt.replicas); n > 0 {
+		start := int(rt.next.Add(1))
+		for i := 0; i < n; i++ {
+			cand := rt.replicas[(start+i)%n]
+			if _, healthy, _, _, _ := cand.state(); healthy {
+				return cand, false
+			}
+		}
+	}
+	// 2. Fail over to a healthy (or never-yet-checked) primary.
+	checked, healthy, _, _, _ := rt.primary.state()
+	if healthy || !checked {
+		return rt.primary, false
+	}
+	// 3. Everything is behind: serve the least-stale reachable replica,
+	// flagged as degraded.
+	var best *backend
+	bestStale := 0.0
+	for _, cand := range rt.replicas {
+		_, _, reachable, staleness, _ := cand.state()
+		if !reachable {
+			continue
+		}
+		if best == nil || staleness < bestStale {
+			best, bestStale = cand, staleness
+		}
+	}
+	if best != nil {
+		return best, true
+	}
+	// 4. Last resort: the primary may still answer even though its
+	// readiness probe failed.
+	return rt.primary, false
+}
+
+// serveStatus answers the router's own /repl/status.
+func (rt *Router) serveStatus(w http.ResponseWriter, r *http.Request) {
+	st := rt.Status()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(st)
+}
+
+// Status snapshots the router's view of the fleet.
+func (rt *Router) Status() RouterStatus {
+	st := RouterStatus{
+		Role:         "router",
+		Ejections:    rt.ejections.Load(),
+		StaleReads:   rt.staleReads.Load(),
+		PrimaryReads: rt.primaryReads.Load(),
+		ReplicaReads: rt.replicaReads.Load(),
+	}
+	add := func(b *backend, role string) {
+		_, healthy, reachable, staleness, lag := b.state()
+		st.Backends = append(st.Backends, BackendStatus{
+			URL:              b.url.String(),
+			Role:             role,
+			Healthy:          healthy,
+			Reachable:        reachable,
+			StalenessSeconds: staleness,
+			LagRecords:       lag,
+		})
+	}
+	add(rt.primary, "primary")
+	for _, b := range rt.replicas {
+		add(b, "replica")
+	}
+	return st
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.cfg.Logf != nil {
+		rt.cfg.Logf(format, args...)
+	}
+}

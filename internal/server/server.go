@@ -16,6 +16,15 @@
 //	POST     /admin/checkpoint   snapshot + WAL rotation; 409 when not durable
 //	GET      /metrics            cumulative counters/histograms, Prometheus text format
 //	GET      /trace/recent?n=N   the last N query traces as JSON
+//	GET      /repl/wal           WAL log-shipping stream (durable primaries)
+//	GET      /repl/snapshot      checkpoint snapshot for replica bootstrap
+//	GET      /repl/status        replication role, cursor, lag, staleness
+//
+// A durable DB additionally serves the replication-primary endpoints; a
+// replica (rdfshapes.OpenReplica) serves its follower status and answers
+// /update with 403 — writes belong on the primary. A WAL-poisoned
+// primary refuses writes with 503 + Retry-After until a checkpoint
+// clears the poison (docs/REPLICATION.md, docs/DURABILITY.md).
 //
 // Requests with an unsupported method receive 405 Method Not Allowed
 // with an Allow header listing the supported methods.
@@ -49,6 +58,7 @@ import (
 	"rdfshapes"
 	"rdfshapes/internal/obsv"
 	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/repl"
 	"rdfshapes/internal/shard"
 )
 
@@ -236,6 +246,34 @@ func NewWithConfig(db *rdfshapes.DB, cfg Config) *Handler {
 				return 0
 			})
 	}
+	if db.Replica() {
+		h.obs.RegisterGauge(obsv.MetricReplLagRecords,
+			"Log records the replica is behind the primary as of the last poll.",
+			func() float64 { s, _ := db.ReplicaStatus(); return float64(s.LagRecords) })
+		h.obs.RegisterGauge(obsv.MetricReplStaleness,
+			"Seconds since the replica last observed itself fully caught up.",
+			func() float64 { s, _ := db.ReplicaStatus(); return s.StalenessSeconds })
+		h.obs.RegisterGauge(obsv.MetricReplConnected,
+			"1 while the last exchange with the primary succeeded, else 0.",
+			func() float64 {
+				if s, _ := db.ReplicaStatus(); s.Connected {
+					return 1
+				}
+				return 0
+			})
+		h.obs.RegisterGauge(obsv.MetricReplApplied,
+			"Shipped WAL records applied since the replica started.",
+			func() float64 { s, _ := db.ReplicaStatus(); return float64(s.RecordsApplied) })
+		h.obs.RegisterGauge(obsv.MetricReplReconnects,
+			"Times the follower lost its connection to the primary and reconnected with backoff.",
+			func() float64 { s, _ := db.ReplicaStatus(); return float64(s.Reconnects) })
+		h.obs.RegisterGauge(obsv.MetricReplBootstraps,
+			"Times the replica re-bootstrapped from a fresh primary snapshot (pruned generation or diverged primary).",
+			func() float64 { s, _ := db.ReplicaStatus(); return float64(s.Bootstraps) })
+		h.obs.RegisterGauge(obsv.MetricReplTornStreams,
+			"Log streams that arrived torn mid-record; the intact prefix was applied and the rest re-requested.",
+			func() float64 { s, _ := db.ReplicaStatus(); return float64(s.TornStreams) })
+	}
 	h.mux.HandleFunc("/sparql", h.govern(h.sparql))
 	h.mux.HandleFunc("/update", h.govern(h.update))
 	h.mux.HandleFunc("/explain", h.govern(h.explain))
@@ -252,6 +290,16 @@ func NewWithConfig(db *rdfshapes.DB, cfg Config) *Handler {
 		h.mux.Handle("/shard/scan", shard.Handler(func() shard.Source {
 			return db.Shards().Snapshot()
 		}))
+	}
+	if db.Durable() {
+		// Log-shipping endpoints: a durable DB is a replication primary
+		// replicas can bootstrap from and tail.
+		pr := repl.NewPrimary(db.WAL())
+		h.mux.HandleFunc(repl.WALPath, pr.ServeWAL)
+		h.mux.HandleFunc(repl.SnapshotPath, pr.ServeSnapshot)
+	}
+	if db.Durable() || db.Replica() {
+		h.mux.HandleFunc(repl.StatusPath, h.replStatus)
 	}
 	h.ready.Store(true)
 	return h
@@ -374,6 +422,14 @@ func (h *Handler) queryError(w http.ResponseWriter, r *http.Request, err error) 
 	case errors.Is(err, rdfshapes.ErrClosed):
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+	case errors.Is(err, rdfshapes.ErrWALFailed):
+		// A poisoned WAL is a transient server condition — the data
+		// directory may recover and a checkpoint clears the poison — so
+		// the client should retry, not treat its request as malformed.
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, rdfshapes.ErrReadOnlyReplica):
+		http.Error(w, err.Error(), http.StatusForbidden)
 	default:
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	}
@@ -761,6 +817,35 @@ func (h *Handler) readyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintln(w, `{"ready":true}`)
+}
+
+// replStatus serves GET /repl/status: the follower's own status on a
+// replica, a synthesized primary status on a durable DB. The router
+// consumes it for health checks and staleness-based ejection.
+func (h *Handler) replStatus(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	var st repl.StatusResponse
+	if s, ok := h.db.ReplicaStatus(); ok {
+		st = s
+	} else if ds, ok := h.db.DurabilityStats(); ok {
+		st = repl.StatusResponse{
+			Role:       "primary",
+			Generation: ds.Generation,
+			AppliedSeq: ds.LastSeq,
+			PrimarySeq: ds.LastSeq,
+			Connected:  true,
+		}
+	} else {
+		http.Error(w, "replication status unavailable", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(st); err != nil {
+		return
+	}
 }
 
 // checkpointResponse is the JSON shape of POST /admin/checkpoint.

@@ -10,11 +10,15 @@
 package shard
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
 	"sync"
+	"time"
 
 	"rdfshapes/internal/rdf"
 	"rdfshapes/internal/store"
@@ -73,28 +77,122 @@ func Handler(src func() Source) http.Handler {
 	})
 }
 
+// Remote scan-hardening defaults. A scan makes 1+DefaultMaxRetries
+// attempts before giving up; each attempt carries its own context
+// deadline so a hung peer cannot stall the coordinator indefinitely.
+const (
+	DefaultRequestTimeout = 10 * time.Second
+	DefaultMaxRetries     = 2
+	DefaultBackoffBase    = 25 * time.Millisecond
+	DefaultBackoffMax     = 500 * time.Millisecond
+)
+
+// Error is the typed failure a remote scan retains. Retryable marks
+// faults a retry may clear — transport errors, 5xx/429 responses, and
+// torn response bodies; permanent faults (any other non-200 status) are
+// not retried because the peer affirmatively rejected the request.
+type Error struct {
+	Op        string // "scan"
+	Attempts  int    // requests actually made
+	Retryable bool
+	Err       error
+}
+
+func (e *Error) Error() string {
+	kind := "permanent"
+	if e.Retryable {
+		kind = "retryable"
+	}
+	return fmt.Sprintf("shard: remote %s: %s failure after %d attempt(s): %v",
+		e.Op, kind, e.Attempts, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// IsRetryable reports whether err is a remote-scan failure that a
+// later retry (with the peer recovered) could clear.
+func IsRetryable(err error) bool {
+	var re *Error
+	return errors.As(err, &re) && re.Retryable
+}
+
 // Remote is an engine.Source reading a peer server's /shard/scan
 // endpoint. Terms are interned into the coordinator's dictionary on
 // arrival, so IDs handed to fn are locally valid. Scan itself cannot
 // return an error (the Source contract); transport and decode failures
-// surface as an empty scan and are retained for Err.
+// surface as an empty scan and are retained for Err as a typed *Error.
+//
+// Each request runs under its own deadline (Timeout), and retryable
+// failures are retried up to MaxRetries times with jittered exponential
+// backoff before the scan gives up. Retries happen strictly before any
+// triple reaches the caller — the response is decoded in full first —
+// so fn never sees duplicates from a retried attempt.
 type Remote struct {
 	base string
 	c    *http.Client
 	dict *store.Dict
 
+	// Tunables, fixed at construction. Zero values select the defaults
+	// above; a negative MaxRetries disables retries entirely.
+	timeout     time.Duration
+	maxRetries  int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+
 	mu  sync.Mutex
 	err error
+	rng *rand.Rand
+}
+
+// RemoteConfig tunes the hardened client. The zero value selects the
+// Default* constants; MaxRetries < 0 means no retries.
+type RemoteConfig struct {
+	Timeout     time.Duration // per-request context deadline
+	MaxRetries  int           // retries after the first attempt
+	BackoffBase time.Duration // first retry delay (jittered)
+	BackoffMax  time.Duration // backoff growth cap
+	Seed        int64         // jitter seed; 0 derives from the clock
 }
 
 // NewRemote wraps the server at baseURL (scheme://host[:port], no
-// trailing path) as a Source interning into dict. A nil client selects
-// http.DefaultClient.
+// trailing path) as a Source interning into dict, with default
+// hardening. A nil client selects http.DefaultClient.
 func NewRemote(baseURL string, client *http.Client, dict *store.Dict) *Remote {
+	return NewRemoteConfig(baseURL, client, dict, RemoteConfig{})
+}
+
+// NewRemoteConfig is NewRemote with explicit retry and deadline tuning.
+func NewRemoteConfig(baseURL string, client *http.Client, dict *store.Dict, cfg RemoteConfig) *Remote {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return &Remote{base: strings.TrimRight(baseURL, "/"), c: client, dict: dict}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultRequestTimeout
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = DefaultBackoffBase
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = DefaultBackoffMax
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = time.Now().UnixNano()
+	}
+	return &Remote{
+		base:        strings.TrimRight(baseURL, "/"),
+		c:           client,
+		dict:        dict,
+		timeout:     cfg.Timeout,
+		maxRetries:  cfg.MaxRetries,
+		backoffBase: cfg.BackoffBase,
+		backoffMax:  cfg.BackoffMax,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+	}
 }
 
 // Dict returns the coordinator-side dictionary remote triples intern
@@ -119,9 +217,49 @@ func (r *Remote) setErr(err error) {
 	r.mu.Unlock()
 }
 
+// jitter returns a uniform duration in [d/2, d], like the replication
+// follower's backoff: desynchronized but never shorter than half the
+// nominal delay.
+func (r *Remote) jitter(d time.Duration) time.Duration {
+	r.mu.Lock()
+	f := r.rng.Float64()
+	r.mu.Unlock()
+	return d/2 + time.Duration(f*float64(d/2))
+}
+
+// fetch makes one attempt under its own deadline and returns the
+// decoded body. Failures come back as (retryable, err).
+func (r *Remote) fetch(rawURL string) ([]rdf.Triple, bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := r.c.Do(req)
+	if err != nil {
+		return nil, true, err // transport-level: the retryable class
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// The peer answered: 5xx and throttling are transient, anything
+		// else is an affirmative rejection retrying cannot fix.
+		retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+		return nil, retryable, fmt.Errorf("status %s", resp.Status)
+	}
+	g, err := rdf.ParseNTriples(resp.Body)
+	if err != nil {
+		// A body that stops parsing mid-stream is a torn transfer, not a
+		// peer rejection — retry it.
+		return nil, true, fmt.Errorf("decode: %w", err)
+	}
+	return g, false, nil
+}
+
 // Scan fetches the peer's matches of pat and replays them to fn. IDs in
 // pat are resolved against the local dictionary; a zero ID is a
-// wildcard.
+// wildcard. Retryable failures are retried with jittered exponential
+// backoff before any triple is emitted.
 func (r *Remote) Scan(pat store.IDTriple, fn func(store.IDTriple) bool) {
 	q := url.Values{}
 	for _, pos := range []struct {
@@ -134,19 +272,37 @@ func (r *Remote) Scan(pat store.IDTriple, fn func(store.IDTriple) bool) {
 			q.Set(pos.param, r.dict.Term(pos.id).String())
 		}
 	}
-	resp, err := r.c.Get(r.base + "/shard/scan?" + q.Encode())
-	if err != nil {
-		r.setErr(err)
-		return
+	rawURL := r.base + "/shard/scan?" + q.Encode()
+
+	var (
+		g        []rdf.Triple
+		lastErr  error
+		lastRetr bool
+	)
+	delay := r.backoffBase
+	attempts := 0
+	for try := 0; try <= r.maxRetries; try++ {
+		if try > 0 {
+			time.Sleep(r.jitter(delay))
+			if delay *= 2; delay > r.backoffMax {
+				delay = r.backoffMax
+			}
+		}
+		attempts++
+		var retryable bool
+		var err error
+		g, retryable, err = r.fetch(rawURL)
+		if err == nil {
+			lastErr = nil
+			break
+		}
+		lastErr, lastRetr = err, retryable
+		if !retryable {
+			break
+		}
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		r.setErr(fmt.Errorf("shard: remote scan: %s", resp.Status))
-		return
-	}
-	g, err := rdf.ParseNTriples(resp.Body)
-	if err != nil {
-		r.setErr(fmt.Errorf("shard: remote scan decode: %w", err))
+	if lastErr != nil {
+		r.setErr(&Error{Op: "scan", Attempts: attempts, Retryable: lastRetr, Err: lastErr})
 		return
 	}
 	for _, t := range g {

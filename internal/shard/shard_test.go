@@ -1,12 +1,15 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"sort"
 	"testing"
+	"time"
 
 	"rdfshapes/internal/annotator"
 	"rdfshapes/internal/gstats"
@@ -518,5 +521,143 @@ func TestRemoteRoundTrip(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Fatalf("unknown-term scan returned %d rows", len(got))
+	}
+}
+
+// flakyHandler fails the first failN requests in mode ("drop" kills the
+// connection, "503"/"400" answer with that status, "torn" truncates the
+// body mid-triple), then delegates to the real handler.
+func flakyHandler(t *testing.T, g *Group, failN int, mode string) (*httptest.Server, *int) {
+	t.Helper()
+	real := Handler(func() Source { return g.Snapshot() })
+	hits := new(int)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		*hits++
+		if *hits <= failN {
+			switch mode {
+			case "drop":
+				hj, ok := w.(http.Hijacker)
+				if !ok {
+					t.Fatal("response writer cannot hijack")
+				}
+				conn, _, err := hj.Hijack()
+				if err != nil {
+					t.Fatalf("hijack: %v", err)
+				}
+				conn.Close()
+			case "torn":
+				w.Header().Set("Content-Length", "500")
+				fmt.Fprint(w, "<http://ex.org/a> <http://ex.org/b> ")
+			default:
+				code := http.StatusServiceUnavailable
+				if mode == "400" {
+					code = http.StatusBadRequest
+				}
+				http.Error(w, "induced "+mode, code)
+			}
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, hits
+}
+
+func hardenedRemote(t *testing.T, srv *httptest.Server, retries int) (*Remote, *store.Dict) {
+	t.Helper()
+	rd := store.NewDict()
+	return NewRemoteConfig(srv.URL, srv.Client(), rd, RemoteConfig{
+		MaxRetries:  retries,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		Seed:        42,
+	}), rd
+}
+
+// TestRemoteRetriesTransientFaults pins the hardening: a scan survives
+// transient faults — dropped connections, 503s, torn bodies — within
+// its retry budget, returns the full result exactly once, and leaves
+// Err clean.
+func TestRemoteRetriesTransientFaults(t *testing.T) {
+	st := store.Load(seedGraph())
+	g, err := New(st, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collect(st.Scan, store.IDTriple{})
+
+	for _, mode := range []string{"drop", "503", "torn"} {
+		t.Run(mode, func(t *testing.T) {
+			srv, hits := flakyHandler(t, g, 2, mode)
+			remote, _ := hardenedRemote(t, srv, 2)
+			got := collect(remote.Scan, store.IDTriple{})
+			if err := remote.Err(); err != nil {
+				t.Fatalf("scan after transient %s faults: %v", mode, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("scan returned %d rows, want %d (duplicates or loss across retries)",
+					len(got), len(want))
+			}
+			if *hits != 3 {
+				t.Errorf("server saw %d requests, want 3 (2 failures + 1 success)", *hits)
+			}
+		})
+	}
+}
+
+// TestRemoteRetryExhaustion pins the typed error when every attempt
+// fails: retryable, with the attempt count, and the scan stays empty.
+func TestRemoteRetryExhaustion(t *testing.T) {
+	st := store.Load(seedGraph())
+	g, err := New(st, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, hits := flakyHandler(t, g, 100, "503")
+	remote, _ := hardenedRemote(t, srv, 2)
+	got := collect(remote.Scan, store.IDTriple{})
+	if len(got) != 0 {
+		t.Fatalf("failed scan emitted %d rows", len(got))
+	}
+	scanErr := remote.Err()
+	if scanErr == nil {
+		t.Fatal("Err() = nil after exhausting retries")
+	}
+	var re *Error
+	if !errors.As(scanErr, &re) {
+		t.Fatalf("Err() = %T %v, want *shard.Error", scanErr, scanErr)
+	}
+	if !IsRetryable(scanErr) || re.Attempts != 3 {
+		t.Errorf("error = %+v, want retryable with 3 attempts", re)
+	}
+	if *hits != 3 {
+		t.Errorf("server saw %d requests, want 3", *hits)
+	}
+}
+
+// TestRemotePermanentFailureNoRetry pins that an affirmative peer
+// rejection (400) is not retried and is typed permanent.
+func TestRemotePermanentFailureNoRetry(t *testing.T) {
+	st := store.Load(seedGraph())
+	g, err := New(st, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, hits := flakyHandler(t, g, 100, "400")
+	remote, _ := hardenedRemote(t, srv, 5)
+	collect(remote.Scan, store.IDTriple{})
+	scanErr := remote.Err()
+	if scanErr == nil {
+		t.Fatal("Err() = nil after a 400 response")
+	}
+	if IsRetryable(scanErr) {
+		t.Errorf("400 classified retryable: %v", scanErr)
+	}
+	var re *Error
+	if !errors.As(scanErr, &re) || re.Attempts != 1 {
+		t.Errorf("error = %v, want exactly 1 attempt", scanErr)
+	}
+	if *hits != 1 {
+		t.Errorf("server saw %d requests, want 1 (no retry on permanent failure)", *hits)
 	}
 }

@@ -102,6 +102,10 @@ type DB struct {
 	// durable, when non-nil, write-ahead-logs every commit before it is
 	// applied and acknowledged; see durability.go and docs/DURABILITY.md.
 	durable *wal.Manager
+
+	// replica, when non-nil, marks a read-only replica tailing a durable
+	// primary; see replica.go and docs/REPLICATION.md.
+	replica *replicaState
 }
 
 // plannerState is one immutable version of the planning statistics and
@@ -192,6 +196,12 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	db.lifeMu.Unlock()
+	if db.replica != nil {
+		// Stop tailing before draining: an in-flight apply finishes (it
+		// holds an inflight slot), then the follower goroutine exits.
+		db.replica.cancel()
+		<-db.replica.done
+	}
 	db.inflight.Wait()
 	if db.shards != nil {
 		db.shards.Close()
@@ -218,6 +228,8 @@ type config struct {
 	walDir         string
 	walSync        SyncPolicy
 	walFS          wal.FS // test hook; nil selects the real filesystem
+	replicaOf      string
+	replPoll       time.Duration
 }
 
 // Option customizes Load.
@@ -358,6 +370,9 @@ func newConfig(opts []Option) config {
 // seeding a durability directory when WithDurability asked for one.
 func fromStore(st *store.Store, opts ...Option) (*DB, error) {
 	cfg := newConfig(opts)
+	if cfg.replicaOf != "" {
+		return nil, errors.New("rdfshapes: a replica bootstraps from its primary, not local data; use OpenReplica")
+	}
 	db, err := fromStoreCfg(st, cfg)
 	if err != nil {
 		return nil, err
@@ -478,6 +493,9 @@ func (db *DB) UpdateCtx(ctx context.Context, src string) (*UpdateResult, error) 
 		return nil, err
 	}
 	defer db.end()
+	if db.replica != nil {
+		return nil, ErrReadOnlyReplica
+	}
 	req, err := sparql.ParseUpdate(src)
 	if err != nil {
 		return nil, err

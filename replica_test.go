@@ -1,0 +1,253 @@
+package rdfshapes_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rdfshapes"
+	"rdfshapes/internal/repl"
+)
+
+// replicaPrimary builds a durable primary over the durability seed and
+// serves its replication endpoints the way internal/server mounts them.
+func replicaPrimary(t *testing.T) (*rdfshapes.DB, *httptest.Server) {
+	t.Helper()
+	db, err := rdfshapes.Load(durabilitySeed(), rdfshapes.WithDurability(t.TempDir()))
+	if err != nil {
+		t.Fatalf("loading primary: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	p := repl.NewPrimary(db.WAL())
+	mux := http.NewServeMux()
+	mux.HandleFunc(repl.WALPath, p.ServeWAL)
+	mux.HandleFunc(repl.SnapshotPath, p.ServeSnapshot)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return db, srv
+}
+
+// manualReplica opens a replica whose background poller is effectively
+// disabled, so every replication round is driven by ReplicaSync — fully
+// deterministic.
+func manualReplica(t *testing.T, primaryURL string) *rdfshapes.DB {
+	t.Helper()
+	rep, err := rdfshapes.OpenReplica(primaryURL,
+		rdfshapes.WithReplicaPollInterval(time.Hour))
+	if err != nil {
+		t.Fatalf("opening replica: %v", err)
+	}
+	t.Cleanup(func() { rep.Close() })
+	if !rep.Replica() {
+		t.Fatal("Replica() = false on OpenReplica result")
+	}
+	return rep
+}
+
+// replicaWorkload is the plan-equality workload: a shape-statistics
+// query (type-defined pattern) and a global-statistics query, each
+// planned on both sides with both estimators.
+var replicaWorkload = []string{
+	`SELECT ?x ?n WHERE { ?x a <http://x/Person> . ?x <http://x/knows> ?y . ?y <http://x/name> ?n }`,
+	`SELECT ?s ?o WHERE { ?s <http://x/knows> ?o . ?o <http://x/name> ?n }`,
+	`SELECT ?r WHERE { ?r a <http://x/Robot> . ?r <http://x/serial> ?s }`,
+}
+
+// assertReplicaMirrors pins the replica against the primary: identical
+// triple sets, exact statistics versus a from-scratch oracle, identical
+// plans for the workload under both estimators, identical query rows.
+func assertReplicaMirrors(t *testing.T, primary, rep *rdfshapes.DB, label string) {
+	t.Helper()
+	want := dbTriples(t, primary)
+	got := dbTriples(t, rep)
+	if len(got) != len(want) {
+		t.Fatalf("%s: replica holds %d triples, primary %d", label, len(got), len(want))
+	}
+	for tr := range want {
+		if !got[tr] {
+			t.Fatalf("%s: replica is missing %s", label, tr)
+		}
+	}
+	assertStatsOracle(t, rep, want, label+": replica stats")
+	for _, q := range replicaWorkload {
+		for _, approach := range []string{"SS", "GS"} {
+			pp, err := primary.Explain(q, approach)
+			if err != nil {
+				t.Fatalf("%s: primary explain(%s): %v", label, approach, err)
+			}
+			rp, err := rep.Explain(q, approach)
+			if err != nil {
+				t.Fatalf("%s: replica explain(%s): %v", label, approach, err)
+			}
+			if pp != rp {
+				t.Errorf("%s: %s plan diverged for %q:\nprimary: %s\nreplica: %s",
+					label, approach, q, pp, rp)
+			}
+		}
+		pres, err := primary.Query(q)
+		if err != nil {
+			t.Fatalf("%s: primary query: %v", label, err)
+		}
+		rres, err := rep.Query(q)
+		if err != nil {
+			t.Fatalf("%s: replica query: %v", label, err)
+		}
+		if len(pres.Rows) != len(rres.Rows) {
+			t.Errorf("%s: %q returned %d rows on replica, %d on primary",
+				label, q, len(rres.Rows), len(pres.Rows))
+		}
+	}
+}
+
+// TestReplicaBootstrapTailAndOracle is the statistics-exactness pin:
+// after bootstrap and after tailing every update, the replica's
+// maintained statistics equal a from-scratch recompute and its plans
+// equal the primary's.
+func TestReplicaBootstrapTailAndOracle(t *testing.T) {
+	primary, srv := replicaPrimary(t)
+	rep := manualReplica(t, srv.URL)
+	assertReplicaMirrors(t, primary, rep, "after bootstrap")
+
+	for i, u := range durabilityUpdates() {
+		if _, err := primary.Update(u.sparql()); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	if err := rep.ReplicaSync(context.Background()); err != nil {
+		t.Fatalf("sync after updates: %v", err)
+	}
+	assertReplicaMirrors(t, primary, rep, "after tailing updates")
+
+	st, ok := rep.ReplicaStatus()
+	if !ok {
+		t.Fatal("ReplicaStatus not ok on a replica")
+	}
+	ds, _ := primary.DurabilityStats()
+	if st.AppliedSeq != ds.LastSeq || st.LagRecords != 0 {
+		t.Errorf("replica status = %+v, want applied %d with zero lag", st, ds.LastSeq)
+	}
+	if st.Bootstraps != 0 {
+		t.Errorf("bootstraps = %d; the open-time snapshot load should not count", st.Bootstraps)
+	}
+	if rep.ReplicaPrimary() != srv.URL {
+		t.Errorf("ReplicaPrimary() = %q, want %q", rep.ReplicaPrimary(), srv.URL)
+	}
+}
+
+// TestReplicaRejectsWrites pins the read-only contract.
+func TestReplicaRejectsWrites(t *testing.T) {
+	_, srv := replicaPrimary(t)
+	rep := manualReplica(t, srv.URL)
+	if _, err := rep.Update(`INSERT DATA { <http://x/z> <http://x/p> "v" }`); !errors.Is(err, rdfshapes.ErrReadOnlyReplica) {
+		t.Fatalf("Update on replica = %v, want ErrReadOnlyReplica", err)
+	}
+	if _, err := rep.Checkpoint(); !errors.Is(err, rdfshapes.ErrNotDurable) {
+		t.Fatalf("Checkpoint on replica = %v, want ErrNotDurable", err)
+	}
+}
+
+// TestReplicaRebootstrapAfterPrune drives the 410 path end to end: the
+// primary checkpoints twice while the replica is stalled, pruning the
+// replica's cursor generation; the next sync re-bootstraps by
+// diff-applying the fresh snapshot in place and resumes tailing — and
+// the statistics oracle still holds afterwards.
+func TestReplicaRebootstrapAfterPrune(t *testing.T) {
+	primary, srv := replicaPrimary(t)
+	rep := manualReplica(t, srv.URL)
+
+	updates := durabilityUpdates()
+	for i, u := range updates[:4] {
+		if _, err := primary.Update(u.sparql()); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := primary.Checkpoint(); err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+	}
+	for i, u := range updates[4:] {
+		if _, err := primary.Update(u.sparql()); err != nil {
+			t.Fatalf("post-checkpoint update %d: %v", i, err)
+		}
+	}
+	if err := rep.ReplicaSync(context.Background()); err != nil {
+		t.Fatalf("sync across pruned generation: %v", err)
+	}
+	st, _ := rep.ReplicaStatus()
+	if st.Bootstraps != 1 {
+		t.Errorf("bootstraps = %d, want exactly 1 re-bootstrap", st.Bootstraps)
+	}
+	if st.Generation < 3 {
+		t.Errorf("cursor generation = %d, want >= 3 after two checkpoints", st.Generation)
+	}
+	assertReplicaMirrors(t, primary, rep, "after pruned-generation re-bootstrap")
+}
+
+// TestReplicaBackgroundTail exercises the real poller: with a short
+// poll interval the replica converges on its own, no manual syncs.
+func TestReplicaBackgroundTail(t *testing.T) {
+	primary, srv := replicaPrimary(t)
+	rep, err := rdfshapes.OpenReplica(srv.URL,
+		rdfshapes.WithReplicaPollInterval(2*time.Millisecond))
+	if err != nil {
+		t.Fatalf("opening replica: %v", err)
+	}
+	defer rep.Close()
+
+	for i, u := range durabilityUpdates() {
+		if _, err := primary.Update(u.sparql()); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	ds, _ := primary.DurabilityStats()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, _ := rep.ReplicaStatus()
+		if st.PrimarySeq >= ds.LastSeq && st.LagRecords == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never caught up: %+v (want seq %d)", st, ds.LastSeq)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	assertReplicaMirrors(t, primary, rep, "after background tail")
+}
+
+// TestReplicaCloseStopsFollower pins the shutdown order: Close cancels
+// the follower, waits for it, and later operations fail ErrClosed.
+func TestReplicaCloseStopsFollower(t *testing.T) {
+	_, srv := replicaPrimary(t)
+	rep, err := rdfshapes.OpenReplica(srv.URL,
+		rdfshapes.WithReplicaPollInterval(time.Millisecond))
+	if err != nil {
+		t.Fatalf("opening replica: %v", err)
+	}
+	if err := rep.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := rep.Query(`SELECT ?s WHERE { ?s ?p ?o }`); !errors.Is(err, rdfshapes.ErrClosed) {
+		t.Fatalf("query after close = %v, want ErrClosed", err)
+	}
+	if err := rep.ReplicaSync(context.Background()); err == nil {
+		t.Fatal("ReplicaSync after close succeeded")
+	}
+}
+
+// TestReplicaOptionRejectedElsewhere pins that local-data entry points
+// refuse WithReplicaOf instead of silently ignoring it.
+func TestReplicaOptionRejectedElsewhere(t *testing.T) {
+	if _, err := rdfshapes.Load(durabilitySeed(), rdfshapes.WithReplicaOf("http://p")); err == nil {
+		t.Fatal("Load accepted WithReplicaOf")
+	}
+	if _, err := rdfshapes.Open(t.TempDir(), rdfshapes.WithReplicaOf("http://p")); err == nil {
+		t.Fatal("Open accepted WithReplicaOf")
+	}
+	if _, err := rdfshapes.OpenReplica("http://p", rdfshapes.WithDurability(t.TempDir())); err == nil {
+		t.Fatal("OpenReplica accepted WithDurability")
+	}
+}

@@ -1,0 +1,187 @@
+package rdfshapes_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfshapes"
+	"rdfshapes/internal/repl"
+	"rdfshapes/internal/server"
+	"rdfshapes/internal/wal"
+)
+
+func postUpdate(t *testing.T, base, update string) *http.Response {
+	t.Helper()
+	resp, err := http.PostForm(base+"/update", url.Values{"update": {update}})
+	if err != nil {
+		t.Fatalf("POST /update: %v", err)
+	}
+	return resp
+}
+
+func drainClose(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading response body: %v", err)
+	}
+	return string(body)
+}
+
+// TestServerWALPoisoned503 is the satellite regression: once the WAL is
+// poisoned by an append failure, HTTP writes answer 503 with Retry-After
+// — a transient server condition, not a client error (500/400) — and a
+// successful checkpoint restores writability through the same API.
+func TestServerWALPoisoned503(t *testing.T) {
+	fs := wal.NewMemFS()
+	db, err := rdfshapes.Load(durabilitySeed(),
+		rdfshapes.WithDurability("/data"), rdfshapes.WithWALFS(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := httptest.NewServer(server.New(db))
+	defer srv.Close()
+
+	ins := `INSERT DATA { <http://x/n1> <http://x/name> "N1" }`
+	if resp := postUpdate(t, srv.URL, ins); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy update status = %d: %s", resp.StatusCode, drainClose(t, resp))
+	} else {
+		drainClose(t, resp)
+	}
+
+	// Every mutating filesystem operation now fails: the next append
+	// poisons the WAL.
+	fs.StopAfter(0)
+	for i, upd := range []string{
+		`INSERT DATA { <http://x/n2> <http://x/name> "N2" }`,
+		`INSERT DATA { <http://x/n3> <http://x/name> "N3" }`, // already-poisoned path
+	} {
+		resp := postUpdate(t, srv.URL, upd)
+		body := drainClose(t, resp)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("poisoned update %d status = %d, want 503 (%s)", i, resp.StatusCode, body)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("poisoned update %d: missing Retry-After header", i)
+		}
+		if !strings.Contains(body, "read-only until a successful checkpoint") {
+			t.Errorf("poisoned update %d body %q does not explain the poison", i, body)
+		}
+	}
+	// Reads stay healthy while writes are refused.
+	resp, err := http.Get(srv.URL + `/sparql?query=` + url.QueryEscape(`SELECT ?s WHERE { ?s <http://x/name> ?n }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := drainClose(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("read on poisoned server = %d: %s", resp.StatusCode, body)
+	}
+
+	// Heal the filesystem; a checkpoint over the admin API clears the
+	// poison and writes flow again.
+	fs.StopAfter(-1)
+	resp, err = http.Post(srv.URL+"/admin/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := drainClose(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint = %d: %s", resp.StatusCode, body)
+	}
+	resp = postUpdate(t, srv.URL, `INSERT DATA { <http://x/n4> <http://x/name> "N4" }`)
+	if body := drainClose(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("update after checkpoint = %d, want 200: %s", resp.StatusCode, body)
+	}
+}
+
+// TestServerReplicationEndpoints wires primary and replica through the
+// real HTTP handler end to end: the replica bootstraps from the served
+// /repl/snapshot, tails the served /repl/wal, answers /repl/status with
+// its follower state, and refuses /update with 403.
+func TestServerReplicationEndpoints(t *testing.T) {
+	primary, err := rdfshapes.Load(durabilitySeed(), rdfshapes.WithDurability(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	psrv := httptest.NewServer(server.New(primary))
+	defer psrv.Close()
+
+	rep, err := rdfshapes.OpenReplica(psrv.URL, rdfshapes.WithReplicaPollInterval(time.Hour))
+	if err != nil {
+		t.Fatalf("opening replica against the served primary: %v", err)
+	}
+	defer rep.Close()
+	rsrv := httptest.NewServer(server.New(rep))
+	defer rsrv.Close()
+
+	var status repl.StatusResponse
+	for _, tc := range []struct {
+		base, role string
+	}{{psrv.URL, "primary"}, {rsrv.URL, "replica"}} {
+		resp, err := http.Get(tc.base + repl.StatusPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := drainClose(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status = %d: %s", tc.role, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal([]byte(body), &status); err != nil {
+			t.Fatalf("%s status JSON: %v", tc.role, err)
+		}
+		if status.Role != tc.role {
+			t.Errorf("role = %q, want %q", status.Role, tc.role)
+		}
+	}
+
+	// Writes to the replica are refused with 403; the write lands on the
+	// primary and arrives at the replica through the log stream.
+	ins := `INSERT DATA { <http://x/p9> <http://x/name> "P9" }`
+	resp := postUpdate(t, rsrv.URL, ins)
+	if body := drainClose(t, resp); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("update on replica = %d, want 403: %s", resp.StatusCode, body)
+	}
+	resp = postUpdate(t, psrv.URL, ins)
+	if body := drainClose(t, resp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("update on primary = %d: %s", resp.StatusCode, body)
+	}
+	if err := rep.ReplicaSync(t.Context()); err != nil {
+		t.Fatalf("replica sync: %v", err)
+	}
+	q := `SELECT ?s WHERE { ?s <http://x/name> "P9" }`
+	resp, err = http.Get(rsrv.URL + "/sparql?query=" + url.QueryEscape(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := drainClose(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "http://x/p9") {
+		t.Fatalf("replica read after sync = %d: %s", resp.StatusCode, body)
+	}
+
+	// A non-durable, non-replica server mounts none of the replication
+	// endpoints.
+	plain, err := rdfshapes.Load(durabilitySeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	plainSrv := httptest.NewServer(server.New(plain))
+	defer plainSrv.Close()
+	for _, path := range []string{repl.WALPath, repl.SnapshotPath, repl.StatusPath} {
+		resp, err := http.Get(plainSrv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drainClose(t, resp); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s on plain server = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

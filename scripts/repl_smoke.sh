@@ -1,0 +1,125 @@
+#!/bin/sh
+# Replication smoke: boot a durable primary, two replicas tailing its
+# WAL, and the health-checked read router; run a short loadgen mix whose
+# reads spread across the fleet while the update stream hits the
+# primary; kill one replica mid-run; assert zero failed reads (the
+# router fails the dead replica's requests over) and that the surviving
+# replica converges to zero lag. Run from the repo root. Requires jq.
+set -eu
+
+BASE="${REPL_SMOKE_PORT:-18100}"
+PPORT=$BASE
+R1PORT=$((BASE + 1))
+R2PORT=$((BASE + 2))
+RTPORT=$((BASE + 3))
+TMP="$(mktemp -d)"
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    for p in $PIDS; do wait "$p" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+command -v jq >/dev/null || { echo "repl smoke: jq is required" >&2; exit 1; }
+
+echo "== build server + loadgen =="
+go build -o "$TMP/server" ./cmd/server
+go build -o "$TMP/loadgen" ./cmd/loadgen
+
+wait_url() {
+    i=0
+    until curl -fsS "$1" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 150 ]; then
+            echo "repl smoke: $1 never answered" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+echo "== start durable primary (lubm scale 1) =="
+"$TMP/server" -dataset lubm -scale 1 -data-dir "$TMP/primary-data" \
+    -addr "localhost:$PPORT" -query-timeout 5s >"$TMP/primary.log" 2>&1 &
+PIDS="$PIDS $!"
+wait_url "http://localhost:$PPORT/readyz"
+
+echo "== start two replicas tailing the primary =="
+"$TMP/server" -replica-of "http://localhost:$PPORT" -replica-poll 50ms \
+    -addr "localhost:$R1PORT" -query-timeout 5s >"$TMP/replica1.log" 2>&1 &
+R1_PID=$!
+PIDS="$PIDS $R1_PID"
+"$TMP/server" -replica-of "http://localhost:$PPORT" -replica-poll 50ms \
+    -addr "localhost:$R2PORT" -query-timeout 5s >"$TMP/replica2.log" 2>&1 &
+PIDS="$PIDS $!"
+wait_url "http://localhost:$R1PORT/readyz"
+wait_url "http://localhost:$R2PORT/readyz"
+
+echo "== start health-checked read router over the fleet =="
+"$TMP/server" -router-primary "http://localhost:$PPORT" \
+    -router-replicas "http://localhost:$R1PORT,http://localhost:$R2PORT" \
+    -max-staleness 5s -check-interval 100ms \
+    -addr "localhost:$RTPORT" >"$TMP/router.log" 2>&1 &
+PIDS="$PIDS $!"
+wait_url "http://localhost:$RTPORT/router/metrics"
+
+echo "== loadgen against the fleet, killing replica 1 mid-run =="
+# Writes and the post-run scrape go to the first URL (the primary);
+# reads round-robin across primary and router, and the router spreads
+# its share over the replicas and fails over when one dies.
+"$TMP/loadgen" -url "http://localhost:$PPORT,http://localhost:$RTPORT" \
+    -mix lubm -scale 1 -qps 100 -warmup 500ms -duration 4s -concurrency 8 \
+    -update-interval 100ms -update-batch 20 \
+    -seed 1 -wait 15s -max-5xx 0 -out "$TMP/BENCH_repl.json" >"$TMP/loadgen.log" 2>&1 &
+LOADGEN_PID=$!
+sleep 2
+echo "== killing replica 1 =="
+kill -TERM "$R1_PID"
+if ! wait "$LOADGEN_PID"; then
+    cat "$TMP/loadgen.log" >&2
+    echo "repl smoke: loadgen failed" >&2
+    exit 1
+fi
+cat "$TMP/loadgen.log"
+
+echo "== zero failed reads across the replica kill =="
+FAILED=$(jq '.counts.rejected + .counts.timeouts + .counts.clientErrors
+    + .counts.serverErrors + .counts.transportErrors' "$TMP/BENCH_repl.json")
+OK=$(jq '.counts.ok' "$TMP/BENCH_repl.json")
+UPDATE_ERRS=$(jq '.updates.errors' "$TMP/BENCH_repl.json")
+echo "reads ok=$OK failed=$FAILED updateErrors=$UPDATE_ERRS"
+if [ "$FAILED" != "0" ] || [ "$OK" = "0" ]; then
+    echo "repl smoke: reads failed during the replica kill" >&2
+    jq .counts "$TMP/BENCH_repl.json" >&2
+    exit 1
+fi
+if [ "$UPDATE_ERRS" != "0" ]; then
+    echo "repl smoke: update stream saw errors" >&2
+    exit 1
+fi
+
+echo "== surviving replica converges to zero lag =="
+i=0
+while :; do
+    STATUS=$(curl -fsS "http://localhost:$R2PORT/repl/status")
+    LAG=$(printf '%s' "$STATUS" | jq '.lagRecords')
+    CONNECTED=$(printf '%s' "$STATUS" | jq '.connected')
+    if [ "$LAG" = "0" ] && [ "$CONNECTED" = "true" ]; then
+        break
+    fi
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "repl smoke: replica 2 never caught up: $STATUS" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+printf '%s' "$STATUS" | jq -c .
+APPLIED=$(printf '%s' "$STATUS" | jq '.recordsApplied')
+if [ "$APPLIED" = "0" ]; then
+    echo "repl smoke: replica 2 applied no records despite the update stream" >&2
+    exit 1
+fi
+
+echo "repl smoke: passed"

@@ -41,6 +41,12 @@ go test -race -run 'TestShardedDifferentialWorkloads' ./internal/integration
 echo "== go test -race (durability: WAL crash matrix, fault injection) =="
 go test -race ./internal/wal
 
+echo "== go test -race (replication: log shipping, follower fault matrix, router) =="
+go test -race ./internal/repl
+
+echo "== go test -race (facade replication: bootstrap, re-bootstrap, stats oracle) =="
+go test -race -run 'TestReplica|TestServerWALPoisoned|TestServerReplication' .
+
 echo "== go test -race (facade durability: recovery, stats oracle, crash matrix) =="
 go test -race -run 'TestDurability|TestOpen|TestWithDurability|TestCheckpoint|TestWALFailure|TestFacadeCrashMatrix' .
 
@@ -60,5 +66,8 @@ fi
 
 echo "== loadgen smoke (live server, ~2s run, zero 5xx) =="
 sh scripts/loadgen_smoke.sh
+
+echo "== replication smoke (primary + 2 replicas + router, replica kill mid-run) =="
+sh scripts/repl_smoke.sh
 
 echo "verify: all checks passed"
