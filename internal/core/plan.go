@@ -39,6 +39,10 @@ type Step struct {
 	// Cartesian is true when the step shares no variable with any
 	// processed pattern and had to be combined as a Cartesian product.
 	Cartesian bool
+	// Algo names the join algorithm chosen for this step by
+	// AnnotatePhysical: AlgoMerge for steps of the sort-merge prefix,
+	// empty for the default index nested-loop join.
+	Algo string
 }
 
 // Plan is a complete join order with cost bookkeeping.
@@ -50,6 +54,12 @@ type Plan struct {
 	// Cost is the sum of the steps' join estimates, the objective of
 	// Problem 2 (and the Σ row of Table 2).
 	Cost float64
+	// MergeVar and MergeWidth describe the sort-merge prefix chosen by
+	// AnnotatePhysical: the leading MergeWidth steps execute as one
+	// multi-way merge join keyed on MergeVar. MergeWidth 0 (the default)
+	// means an all-nested-loop plan.
+	MergeVar   string
+	MergeWidth int
 }
 
 // Order returns the planned triple patterns in execution order.
@@ -80,6 +90,9 @@ func (p *Plan) String() string {
 		marker := ""
 		if s.Cartesian {
 			marker = " [cartesian]"
+		}
+		if s.Algo != "" {
+			marker += " algo=" + s.Algo
 		}
 		fmt.Fprintf(&b, "%2d. %-60s card=%.0f join=%.0f%s\n",
 			i+1, s.Pattern.String(), s.TP.Card, s.JoinEstimate, marker)

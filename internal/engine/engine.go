@@ -32,6 +32,13 @@ var ErrCanceled = errors.New("engine: query canceled")
 // ErrDeadline aborts a Run whose Options.Ctx deadline passed.
 var ErrDeadline = errors.New("engine: query deadline exceeded")
 
+// ErrUnsortedRun aborts a Run whose OrderedSource handed the merge join
+// a run that violates the lead-order sort contract. This is a defect in
+// the source, not in the query: merge joins silently drop or duplicate
+// rows on unsorted input, so the engine verifies order on every row it
+// consumes and fails loudly instead.
+var ErrUnsortedRun = errors.New("engine: OrderedSource returned an unsorted run")
+
 // cancelCheckMask amortizes context checks: the context is consulted
 // once every 1024 index rows visited, so a mis-planned join notices
 // cancellation within microseconds while the no-context fast path pays
@@ -104,6 +111,21 @@ type Options struct {
 	// the group, or kept once with the group's variables unbound (ID 0)
 	// when the group has no match.
 	Optionals [][]sparql.TriplePattern
+	// OptionalFilters[g] are the filters scoped to Optionals[g]: they
+	// evaluate inside the group, so a failing filter rejects that group
+	// match (leaving the solution with the group unbound) rather than
+	// rejecting the whole solution. Must be nil or len(Optionals).
+	OptionalFilters [][]sparql.Filter
+	// MergeWidth, when >= 2, asks the engine to execute the first
+	// MergeWidth patterns as a multi-way sort-merge join on MergeVar
+	// instead of nested-loop scans. The request is validated against the
+	// Source's ordering capability (OrderedSource) and the patterns'
+	// shape; if any check fails the engine silently falls back to the
+	// nested-loop path and Result.MergeWidth reports 0. Merge execution
+	// is serial — Parallelism applies only to nested-loop plans.
+	MergeWidth int
+	// MergeVar is the shared join variable the merge prefix is keyed on.
+	MergeVar string
 	// Observer, when non-nil, receives an ExecReport after the run
 	// completes (the observability hook of internal/obsv). A nil
 	// Observer is the fast path: Run then performs no clock reads and
@@ -147,7 +169,13 @@ type Result struct {
 	Count int64
 	// Intermediate[i] is the number of partial bindings after joining
 	// patterns 0..i in the executed order — the "true join cardinality"
-	// column of the paper's Table 2.
+	// column of the paper's Table 2. On a merge-join run the leapfrog
+	// alignment semi-join-reduces the prefix: for i < MergeWidth-1,
+	// Intermediate[i] counts only bindings whose merge key survives every
+	// merge leg (a lower bound of the nested-loop value — that reduction
+	// is the algorithm's win); from i = MergeWidth-1 onward the values
+	// are identical to a nested-loop run, so the final-step cardinality
+	// feeding q-error stays exact.
 	Intermediate []int64
 	// Ops is the number of index rows visited, a deterministic measure
 	// of plan work independent of wall-clock noise.
@@ -164,6 +192,11 @@ type Result struct {
 	// and Intermediate are lower bounds. This is the partial-result
 	// contract — the run did not fail, it degraded.
 	Truncated bool
+	// MergeWidth is the number of leading patterns actually executed as
+	// a sort-merge join (0 when the run used nested-loop joins only —
+	// including when Options.MergeWidth was requested but validation
+	// fell back).
+	MergeWidth int
 }
 
 // compiledPattern precomputes, for one pattern, the constant IDs and the
@@ -234,23 +267,54 @@ func Run(st Source, patterns []sparql.TriplePattern, opts Options) (*Result, err
 	}
 	groups := make([][]compiledPattern, 0, len(opts.Optionals))
 	groupEmpty := make([]bool, 0, len(opts.Optionals))
-	for _, g := range opts.Optionals {
+	groupFilters := make([][][]compiledFilter, 0, len(opts.Optionals))
+	for gi, g := range opts.Optionals {
 		cg, gEmpty := compilePatterns(st, g, slots)
 		groups = append(groups, cg)
 		groupEmpty = append(groupEmpty, gEmpty)
+		var gfs []sparql.Filter
+		if gi < len(opts.OptionalFilters) {
+			gfs = opts.OptionalFilters[gi]
+		}
+		gf, err := compileGroupFilters(st, patterns, g, gfs, slots)
+		if err != nil {
+			return nil, err
+		}
+		groupFilters = append(groupFilters, gf)
 	}
 
 	row := make([]store.ID, len(slots))
 	exec := &executor{
-		st:         st,
-		compiled:   compiled,
-		groups:     groups,
-		groupEmpty: groupEmpty,
-		filters:    filters,
-		row:        row,
-		res:        res,
-		opts:       opts,
-		ctx:        opts.Ctx,
+		st:           st,
+		compiled:     compiled,
+		groups:       groups,
+		groupEmpty:   groupEmpty,
+		groupFilters: groupFilters,
+		filters:      filters,
+		row:          row,
+		res:          res,
+		opts:         opts,
+		ctx:          opts.Ctx,
+	}
+	if opts.MergeWidth >= 2 {
+		if ms, ok := slots[opts.MergeVar]; ok {
+			if mj, ok := newMergeJoin(exec, opts.MergeWidth, ms); ok {
+				res.MergeWidth = opts.MergeWidth
+				if err := mj.run(); err != nil {
+					return nil, err
+				}
+				if exec.ctxErr != nil {
+					return nil, CtxError(exec.ctxErr)
+				}
+				if exec.stopped && exec.budgetHit {
+					res.TimedOut = true
+				}
+				res.LimitHit = exec.limitHit
+				res.Truncated = exec.truncated
+				report(res)
+				return res, nil
+			}
+		}
 	}
 	if cs, ok := st.(ChunkedSource); ok && opts.Parallelism > 1 && (opts.Limit == 0 || opts.CountOnly) {
 		if err := runParallel(cs, exec, res); err != nil {
@@ -302,9 +366,10 @@ func compilePatterns(st Source, patterns []sparql.TriplePattern, slots map[strin
 type executor struct {
 	st           Source
 	compiled     []compiledPattern
-	groups       [][]compiledPattern // OPTIONAL groups
-	groupEmpty   []bool              // group references a term absent from the data
-	filters      [][]compiledFilter  // per required level, applied once bound
+	groups       [][]compiledPattern  // OPTIONAL groups
+	groupEmpty   []bool               // group references a term absent from the data
+	groupFilters [][][]compiledFilter // per group, per group level: group-scoped filters
+	filters      [][]compiledFilter   // per required level, applied once bound
 	row          []store.ID
 	res          *Result
 	opts         Options
@@ -374,26 +439,77 @@ func (e *executor) level(i int) {
 		return
 	}
 	e.scan(e.compiled[i], e.filters[i], func() {
-		e.res.Intermediate[i]++
-		if e.opts.MaxIntermediate > 0 {
-			if e.sh != nil {
-				if e.sh.inter.Add(1) > e.opts.MaxIntermediate {
-					e.stopped = true
-					e.truncated = true
-					e.sh.stop.Store(true)
-					return
-				}
-			} else {
-				e.intermediate++
-				if e.intermediate > e.opts.MaxIntermediate {
-					e.stopped = true
-					e.truncated = true
-					return
-				}
-			}
+		if !e.countIntermediate(i) {
+			return
 		}
 		e.level(i + 1)
 	})
+}
+
+// countIntermediate charges one binding to required level i and reports
+// whether execution may continue; a MaxIntermediate trip stops the run
+// and marks it truncated. Shared by the nested-loop and merge paths so
+// their intermediate accounting is identical by construction.
+func (e *executor) countIntermediate(i int) bool {
+	e.res.Intermediate[i]++
+	if e.opts.MaxIntermediate > 0 {
+		if e.sh != nil {
+			if e.sh.inter.Add(1) > e.opts.MaxIntermediate {
+				e.stopped = true
+				e.truncated = true
+				e.sh.stop.Store(true)
+				return false
+			}
+		} else {
+			e.intermediate++
+			if e.intermediate > e.opts.MaxIntermediate {
+				e.stopped = true
+				e.truncated = true
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// visit charges one index row against the Ops budget and the amortized
+// cancellation cadence; false means the enumeration must stop. Shared by
+// the nested-loop scan body and the merge join's cursor pops so both
+// paths observe budgets and cancellation with the same semantics.
+func (e *executor) visit() bool {
+	e.res.Ops++
+	e.nops++
+	if e.nops&cancelCheckMask == 0 && (e.ctx != nil || e.sh != nil) {
+		if e.sh != nil && e.sh.stop.Load() {
+			e.stopped = true
+			return false
+		}
+		if e.ctx != nil {
+			if err := e.ctx.Err(); err != nil {
+				e.stopped = true
+				e.ctxErr = err
+				if e.sh != nil {
+					e.sh.fail(err)
+				}
+				return false
+			}
+		}
+	}
+	if e.opts.MaxOps > 0 {
+		if e.sh != nil {
+			if e.sh.ops.Add(1) > e.opts.MaxOps {
+				e.stopped = true
+				e.budgetHit = true
+				e.sh.stop.Store(true)
+				return false
+			}
+		} else if e.res.Ops > e.opts.MaxOps {
+			e.stopped = true
+			e.budgetHit = true
+			return false
+		}
+	}
+	return true
 }
 
 // optional left-outer-joins OPTIONAL group g onto the current solution.
@@ -407,7 +523,7 @@ func (e *executor) optional(g int) {
 	}
 	matched := false
 	if !e.groupEmpty[g] {
-		e.groupLevel(e.groups[g], 0, func() {
+		e.groupLevel(g, 0, func() {
 			matched = true
 			e.optional(g + 1)
 		})
@@ -418,18 +534,21 @@ func (e *executor) optional(g int) {
 	}
 }
 
-// groupLevel evaluates pattern i of an OPTIONAL group, calling cont for
-// every complete group match.
-func (e *executor) groupLevel(group []compiledPattern, i int, cont func()) {
+// groupLevel evaluates pattern i of OPTIONAL group g, calling cont for
+// every complete group match. Group-scoped filters are applied at their
+// level: a failing filter rejects this group match only, so the
+// enclosing solution survives with the group unbound.
+func (e *executor) groupLevel(g, i int, cont func()) {
 	if e.stopped {
 		return
 	}
+	group := e.groups[g]
 	if i == len(group) {
 		cont()
 		return
 	}
-	e.scan(group[i], nil, func() {
-		e.groupLevel(group, i+1, cont)
+	e.scan(group[i], e.groupFilters[g][i], func() {
+		e.groupLevel(g, i+1, cont)
 	})
 }
 
@@ -462,37 +581,8 @@ func (e *executor) scan(cp compiledPattern, filters []compiledFilter, cont func(
 		}
 	}
 	body := func(t store.IDTriple) bool {
-		e.res.Ops++
-		e.nops++
-		if e.nops&cancelCheckMask == 0 && (e.ctx != nil || e.sh != nil) {
-			if e.sh != nil && e.sh.stop.Load() {
-				e.stopped = true
-				return false
-			}
-			if e.ctx != nil {
-				if err := e.ctx.Err(); err != nil {
-					e.stopped = true
-					e.ctxErr = err
-					if e.sh != nil {
-						e.sh.fail(err)
-					}
-					return false
-				}
-			}
-		}
-		if e.opts.MaxOps > 0 {
-			if e.sh != nil {
-				if e.sh.ops.Add(1) > e.opts.MaxOps {
-					e.stopped = true
-					e.budgetHit = true
-					e.sh.stop.Store(true)
-					return false
-				}
-			} else if e.res.Ops > e.opts.MaxOps {
-				e.stopped = true
-				e.budgetHit = true
-				return false
-			}
+		if !e.visit() {
+			return false
 		}
 		// Bind the new positions, checking intra-pattern repeats such as
 		// <?x p ?x>: the same slot may be "new" in two positions, in

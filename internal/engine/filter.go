@@ -50,6 +50,51 @@ func compileFilters(st Source, patterns []sparql.TriplePattern, filters []sparql
 	return perLevel, nil
 }
 
+// compileGroupFilters compiles the filters scoped to one OPTIONAL group,
+// indexed by group pattern level. Required-BGP variables are bound
+// before the group starts, so they count as bound at group level 0; a
+// group variable is bound at the first group level that produces it. A
+// group-scoped filter that fails rejects the group match only — the
+// solution survives with the group's variables unbound (the left-outer-
+// join semantics of FILTER inside OPTIONAL).
+func compileGroupFilters(st Source, required, group []sparql.TriplePattern, filters []sparql.Filter, slots map[string]int) ([][]compiledFilter, error) {
+	perLevel := make([][]compiledFilter, len(group))
+	if len(filters) == 0 || len(group) == 0 {
+		return perLevel, nil
+	}
+	firstBound := map[string]int{}
+	for _, tp := range required {
+		for _, v := range tp.Vars() {
+			firstBound[v] = 0
+		}
+	}
+	for i, tp := range group {
+		for _, v := range tp.Vars() {
+			if _, ok := firstBound[v]; !ok {
+				firstBound[v] = i
+			}
+		}
+	}
+	for _, f := range filters {
+		level := 0
+		for _, v := range f.Vars() {
+			lv, ok := firstBound[v]
+			if !ok {
+				return nil, fmt.Errorf("engine: OPTIONAL filter %s references variable ?%s not bound by the group or the required patterns", f, v)
+			}
+			if lv > level {
+				level = lv
+			}
+		}
+		cf, err := compileFilter(st, f, slots)
+		if err != nil {
+			return nil, err
+		}
+		perLevel[level] = append(perLevel[level], cf)
+	}
+	return perLevel, nil
+}
+
 func compileFilter(st Source, f sparql.Filter, slots map[string]int) (compiledFilter, error) {
 	resolve, err := operandResolver(st, f.Left, slots)
 	if err != nil {

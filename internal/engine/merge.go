@@ -1,0 +1,321 @@
+package engine
+
+import (
+	"rdfshapes/internal/store"
+)
+
+// Sort-merge join over the plan's leading patterns.
+//
+// When the first k patterns all share exactly one variable — the merge
+// variable — and the source can enumerate each of them in an ordering
+// keyed on that variable (store.LeadOrderAvailable), the engine aligns k
+// lead-ordered cursors leapfrog-style instead of nested-loop probing:
+// every input row is consumed exactly once, so the work is the sum of
+// the k input cardinalities rather than the sum of intermediate join
+// sizes. Rows stay raw []store.ID triples end to end; blocks of rows
+// sharing a lead key are gathered per leg and cross-producted without
+// decoding a single term — materialization happens only in Materialize,
+// as everywhere else.
+//
+// Governor contracts are shared with the nested-loop path by
+// construction: cursor pops charge executor.visit (Ops budget + ctx
+// cadence) and accepted bindings charge executor.countIntermediate, the
+// exact helpers the scan path uses. Merge execution is serial; parallel
+// morsel execution applies to nested-loop plans only.
+
+// OrderedSource is the capability the merge join consumes: a Source that
+// can enumerate a pattern's matches as disjoint sorted runs keyed on a
+// chosen lead position. Implemented by *store.Store, *live.Snapshot, and
+// *shard.View. The contract LeadRuns must honor:
+//
+//   - every run is sorted by store.LeadOrder(pat, lead), strictly
+//     (runs contain no duplicate rows);
+//   - runs are pairwise disjoint, so merging them by that comparator is
+//     deterministic and reproduces one globally lead-ordered stream;
+//   - rows masked by a run's Del fragment are hidden from the view.
+//
+// The engine verifies the sort order of every row it consumes and fails
+// the run with ErrUnsortedRun on a violation rather than returning
+// silently wrong results.
+type OrderedSource interface {
+	Source
+	LeadRuns(pat store.IDTriple, lead int) ([]store.SortedRun, bool)
+}
+
+// legCursor merges one leg's disjoint sorted runs into a single ordered
+// stream with a peekable head. Deletion-masked rows are skipped without
+// charging the Ops budget, matching the nested-loop path where
+// Snapshot.Scan hides them before the executor sees them.
+type legCursor struct {
+	runs []store.SortedRun
+	pos  []int
+	less func(a, b store.IDTriple) bool
+
+	head    store.IDTriple
+	headRun int
+	ok      bool
+
+	prev    store.IDTriple // last popped row, for the sort-order guard
+	hasPrev bool
+}
+
+// findHead locates the minimum visible row across runs.
+func (c *legCursor) findHead() {
+	c.ok = false
+	for j := range c.runs {
+		r := &c.runs[j]
+		if r.Del != nil {
+			for c.pos[j] < len(r.Rows) && r.Del.Contains(r.Rows[c.pos[j]]) {
+				c.pos[j]++
+			}
+		}
+		if c.pos[j] < len(r.Rows) {
+			row := r.Rows[c.pos[j]]
+			if !c.ok || c.less(row, c.head) {
+				c.head, c.headRun, c.ok = row, j, true
+			}
+		}
+	}
+}
+
+// pop consumes the current head and finds the next one, verifying the
+// merged stream never steps backwards. sorted is false when a run
+// violated its order contract.
+func (c *legCursor) pop() (sorted bool) {
+	if c.hasPrev && c.less(c.head, c.prev) {
+		return false
+	}
+	c.prev, c.hasPrev = c.head, true
+	c.pos[c.headRun]++
+	c.findHead()
+	return true
+}
+
+// mergeLeg is one input of the merge join: its compiled pattern, the
+// cursor over its lead-ordered runs, and the slots this leg binds.
+type mergeLeg struct {
+	cp   compiledPattern
+	lead int // position of the merge variable in this pattern
+	cur  legCursor
+	// bind[p] is true when position p (S/P/O) binds a slot during the
+	// block cross-product. The merge variable's slot is bound by leg 0
+	// only; alignment guarantees later legs agree on it.
+	bindS, bindP, bindO bool
+	// block collects this leg's rows at the current merge key.
+	block []store.IDTriple
+}
+
+type mergeJoin struct {
+	e         *executor
+	legs      []mergeLeg
+	mergeSlot int
+	err       error
+}
+
+// newMergeJoin validates a requested merge prefix against the compiled
+// patterns and the source's ordering capability. ok is false when any
+// check fails, in which case the caller falls back to nested-loop
+// execution; the checks are defense in depth, so a planner bug can cost
+// performance but never correctness:
+//
+//   - the source implements OrderedSource and serves every leg's
+//     (pattern, lead) combination;
+//   - 2 <= width <= number of required patterns;
+//   - every leg contains the merge variable exactly once and no other
+//     repeated variable (intra-pattern repeats carry an equality
+//     constraint the block cross-product does not evaluate);
+//   - prefix legs pairwise share no variable besides the merge variable
+//     (a second shared variable would need an equality check the merge
+//     alignment does not perform).
+func newMergeJoin(e *executor, width, mergeSlot int) (*mergeJoin, bool) {
+	os, ok := e.st.(OrderedSource)
+	if !ok || width < 2 || width > len(e.compiled) {
+		return nil, false
+	}
+	legs := make([]mergeLeg, width)
+	for l := 0; l < width; l++ {
+		cp := e.compiled[l]
+		slots := [3]int{cp.slotS, cp.slotP, cp.slotO}
+		lead := -1
+		for i, s := range slots {
+			if s < 0 {
+				continue
+			}
+			for j := i + 1; j < 3; j++ {
+				if slots[j] == s {
+					return nil, false
+				}
+			}
+			if s == mergeSlot {
+				lead = i
+			}
+		}
+		if lead < 0 {
+			return nil, false
+		}
+		for p := 0; p < l; p++ {
+			pcp := e.compiled[p]
+			for _, s := range slots {
+				if s < 0 || s == mergeSlot {
+					continue
+				}
+				if s == pcp.slotS || s == pcp.slotP || s == pcp.slotO {
+					return nil, false
+				}
+			}
+		}
+		pat := store.IDTriple{S: cp.constS, P: cp.constP, O: cp.constO}
+		less, lok := store.LeadOrder(pat, lead)
+		if !lok {
+			return nil, false
+		}
+		runs, rok := os.LeadRuns(pat, lead)
+		if !rok {
+			return nil, false
+		}
+		legs[l] = mergeLeg{
+			cp:    cp,
+			lead:  lead,
+			cur:   legCursor{runs: runs, pos: make([]int, len(runs)), less: less},
+			bindS: cp.slotS >= 0 && (cp.slotS != mergeSlot || l == 0),
+			bindP: cp.slotP >= 0 && (cp.slotP != mergeSlot || l == 0),
+			bindO: cp.slotO >= 0 && (cp.slotO != mergeSlot || l == 0),
+		}
+	}
+	return &mergeJoin{e: e, legs: legs, mergeSlot: mergeSlot}, true
+}
+
+// advance pops leg l's head, charging the row to the Ops budget. It
+// reports whether the merge may keep running: false on a budget or
+// cancellation stop, or on a sort-order violation (m.err set).
+func (m *mergeJoin) advance(l int) bool {
+	if !m.e.visit() {
+		return false
+	}
+	if !m.legs[l].cur.pop() {
+		m.err = ErrUnsortedRun
+		return false
+	}
+	return true
+}
+
+// run executes the merge prefix and feeds every cross-product binding
+// into the ordinary executor pipeline (remaining nested-loop levels,
+// OPTIONAL groups, emit).
+func (m *mergeJoin) run() error {
+	e := m.e
+	for i := range m.legs {
+		m.legs[i].cur.findHead()
+		if !m.legs[i].cur.ok {
+			return nil // an empty leg means no results at all
+		}
+	}
+	for !e.stopped {
+		// Leapfrog alignment: raise every leg to the maximum head key.
+		// A leg overshooting the target restarts the pass with the new
+		// maximum; a leg running out of rows ends the join.
+		target := store.ID(0)
+		for i := range m.legs {
+			if k := store.LeadKey(m.legs[i].cur.head, m.legs[i].lead); k > target {
+				target = k
+			}
+		}
+		aligned := true
+		for i := range m.legs {
+			for store.LeadKey(m.legs[i].cur.head, m.legs[i].lead) < target {
+				if !m.advance(i) {
+					return m.err
+				}
+				if !m.legs[i].cur.ok {
+					return nil
+				}
+			}
+			if store.LeadKey(m.legs[i].cur.head, m.legs[i].lead) > target {
+				aligned = false
+				break
+			}
+		}
+		if !aligned {
+			continue
+		}
+		// All heads agree on the merge key: gather each leg's block of
+		// rows at that key, then cross-product the blocks.
+		exhausted := false
+		for i := range m.legs {
+			leg := &m.legs[i]
+			leg.block = leg.block[:0]
+			for leg.cur.ok && store.LeadKey(leg.cur.head, leg.lead) == target {
+				leg.block = append(leg.block, leg.cur.head)
+				if !m.advance(i) {
+					return m.err
+				}
+			}
+			if !leg.cur.ok {
+				exhausted = true
+			}
+		}
+		m.cross(0)
+		if exhausted || e.stopped {
+			return m.err
+		}
+	}
+	return m.err
+}
+
+// cross binds leg l's block rows one at a time — applying the level's
+// pushed-down filters and intermediate accounting exactly as the
+// nested-loop scan would — and recurses; past the last leg it hands the
+// completed prefix binding to executor.level for the remaining patterns.
+func (m *mergeJoin) cross(l int) {
+	e := m.e
+	if e.stopped {
+		return
+	}
+	if l == len(m.legs) {
+		e.level(len(m.legs))
+		return
+	}
+	leg := &m.legs[l]
+	cp := leg.cp
+	for _, t := range leg.block {
+		if e.stopped {
+			return
+		}
+		if leg.bindS {
+			e.row[cp.slotS] = t.S
+		}
+		if leg.bindP {
+			e.row[cp.slotP] = t.P
+		}
+		if leg.bindO {
+			e.row[cp.slotO] = t.O
+		}
+		keep := true
+		for _, f := range e.filters[l] {
+			if !f.eval(e.row) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			if !e.countIntermediate(l) {
+				m.unbind(leg)
+				return
+			}
+			m.cross(l + 1)
+		}
+		m.unbind(leg)
+	}
+}
+
+func (m *mergeJoin) unbind(leg *mergeLeg) {
+	if leg.bindS {
+		m.e.row[leg.cp.slotS] = 0
+	}
+	if leg.bindP {
+		m.e.row[leg.cp.slotP] = 0
+	}
+	if leg.bindO {
+		m.e.row[leg.cp.slotO] = 0
+	}
+}

@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+// sortRows orders result rows lexicographically so runs whose
+// enumeration order legitimately differs compare as multisets.
+func sortRows(rows [][]store.ID) [][]store.ID {
+	out := append([][]store.ID(nil), rows...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+const starQuery = `SELECT * WHERE {
+	?x a <http://x/Person> .
+	?x <http://x/name> ?n .
+	?x <http://x/parentOf> ?c .
+}`
+
+func TestMergeStarJoin(t *testing.T) {
+	st := family()
+	q := sparql.MustParse(starQuery)
+	oracle, err := Run(st, q.Patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(st, q.Patterns, Options{MergeWidth: 3, MergeVar: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MergeWidth != 3 {
+		t.Fatalf("MergeWidth = %d, want 3", got.MergeWidth)
+	}
+	if got.Count != oracle.Count {
+		t.Fatalf("Count = %d, want %d", got.Count, oracle.Count)
+	}
+	// Alignment semi-join-reduces prefix levels; the last merge level is
+	// the exact join cardinality either way.
+	for i := range got.Intermediate {
+		switch {
+		case i < 2 && got.Intermediate[i] > oracle.Intermediate[i]:
+			t.Errorf("Intermediate[%d] = %d > nested-loop %d", i, got.Intermediate[i], oracle.Intermediate[i])
+		case i >= 2 && got.Intermediate[i] != oracle.Intermediate[i]:
+			t.Errorf("Intermediate[%d] = %d, want %d", i, got.Intermediate[i], oracle.Intermediate[i])
+		}
+	}
+	if !reflect.DeepEqual(sortRows(got.Rows), sortRows(oracle.Rows)) {
+		t.Errorf("row sets differ:\n merge: %v\n oracle: %v", got.Rows, oracle.Rows)
+	}
+	if got.Ops > oracle.Ops {
+		t.Errorf("merge Ops = %d > nested-loop Ops = %d", got.Ops, oracle.Ops)
+	}
+}
+
+func TestMergePartialPrefix(t *testing.T) {
+	// Width 2: the third pattern runs as an ordinary nested-loop level
+	// on top of the merged prefix.
+	st := family()
+	q := sparql.MustParse(starQuery)
+	oracle, err := Run(st, q.Patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(st, q.Patterns, Options{MergeWidth: 2, MergeVar: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MergeWidth != 2 {
+		t.Fatalf("MergeWidth = %d, want 2", got.MergeWidth)
+	}
+	if got.Count != oracle.Count {
+		t.Fatalf("Count = %d, want %d", got.Count, oracle.Count)
+	}
+	// From the last merge level (index 1) on, accounting is identical.
+	if !reflect.DeepEqual(got.Intermediate[1:], oracle.Intermediate[1:]) {
+		t.Fatalf("Intermediate[1:] = %v, want %v", got.Intermediate[1:], oracle.Intermediate[1:])
+	}
+	if !reflect.DeepEqual(sortRows(got.Rows), sortRows(oracle.Rows)) {
+		t.Errorf("row sets differ")
+	}
+}
+
+func TestMergeObjectObjectJoin(t *testing.T) {
+	// parentOf/knows joined on the shared *object* ?d: both legs are
+	// enumerated object-first (POS prefix ranges).
+	st := family()
+	q := sparql.MustParse(`SELECT * WHERE {
+		?p <http://x/parentOf> ?d .
+		?k <http://x/knows> ?d .
+	}`)
+	oracle, err := Run(st, q.Patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(st, q.Patterns, Options{MergeWidth: 2, MergeVar: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MergeWidth != 2 {
+		t.Fatalf("MergeWidth = %d, want 2", got.MergeWidth)
+	}
+	if got.Count != oracle.Count || got.Count == 0 {
+		t.Fatalf("Count = %d, want %d (nonzero)", got.Count, oracle.Count)
+	}
+	if !reflect.DeepEqual(sortRows(got.Rows), sortRows(oracle.Rows)) {
+		t.Errorf("row sets differ:\n merge: %v\n oracle: %v", got.Rows, oracle.Rows)
+	}
+}
+
+func TestMergeWithFilterAndLimits(t *testing.T) {
+	st := family()
+	q := sparql.MustParse(`SELECT * WHERE {
+		?x a <http://x/Person> .
+		?x <http://x/name> ?n .
+		?x <http://x/parentOf> ?c .
+		FILTER(?n != "ann")
+	}`)
+	oracle, err := Run(st, q.Patterns, Options{Filters: q.Filters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(st, q.Patterns, Options{Filters: q.Filters, MergeWidth: 3, MergeVar: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MergeWidth != 3 {
+		t.Fatalf("MergeWidth = %d, want 3", got.MergeWidth)
+	}
+	if got.Count != oracle.Count {
+		t.Fatalf("Count = %d, want %d", got.Count, oracle.Count)
+	}
+	if got.Intermediate[2] != oracle.Intermediate[2] {
+		t.Fatalf("final Intermediate = %d, want %d", got.Intermediate[2], oracle.Intermediate[2])
+	}
+
+	// MaxRows trips at the same exact row count on both paths.
+	oracleCap, err := Run(st, q.Patterns, Options{MaxRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCap, err := Run(st, q.Patterns, Options{MaxRows: 1, MergeWidth: 3, MergeVar: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCap.Count != 1 || oracleCap.Count != 1 || !gotCap.Truncated || !oracleCap.Truncated {
+		t.Fatalf("MaxRows trip: merge %d/%v oracle %d/%v",
+			gotCap.Count, gotCap.Truncated, oracleCap.Count, oracleCap.Truncated)
+	}
+}
+
+func TestMergeFallbacks(t *testing.T) {
+	st := family()
+	cases := []struct {
+		name  string
+		src   string
+		width int
+		v     string
+	}{
+		{"var not shared by second leg", starQuery, 3, "n"},
+		{"unknown merge var", starQuery, 2, "zzz"},
+		{"width beyond patterns", `SELECT * WHERE { ?x a <http://x/Person> . ?x <http://x/name> ?n }`, 3, "x"},
+		{"legs share a second var", `SELECT * WHERE { ?x <http://x/parentOf> ?y . ?x <http://x/knows> ?y }`, 2, "x"},
+		{"repeated var inside a leg", `SELECT * WHERE { ?x <http://x/parentOf> ?x . ?x <http://x/name> ?n }`, 2, "x"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := sparql.MustParse(tc.src)
+			oracle, err := Run(st, q.Patterns, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(st, q.Patterns, Options{MergeWidth: tc.width, MergeVar: tc.v})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.MergeWidth != 0 {
+				t.Fatalf("MergeWidth = %d, want 0 (fallback)", got.MergeWidth)
+			}
+			if got.Count != oracle.Count {
+				t.Fatalf("Count = %d, want %d", got.Count, oracle.Count)
+			}
+		})
+	}
+}
+
+// unsortedSource violates the OrderedSource contract on purpose: it
+// reverses the rows of every run. The merge join must detect this and
+// fail the run rather than return silently wrong results — the
+// regression pin for the ScanChunks/ordering-contract bug class.
+type unsortedSource struct {
+	*store.Store
+}
+
+func (u unsortedSource) LeadRuns(pat store.IDTriple, lead int) ([]store.SortedRun, bool) {
+	runs, ok := u.Store.LeadRuns(pat, lead)
+	if !ok {
+		return nil, false
+	}
+	out := make([]store.SortedRun, len(runs))
+	for i, r := range runs {
+		rows := append([]store.IDTriple(nil), r.Rows...)
+		for a, b := 0, len(rows)-1; a < b; a, b = a+1, b-1 {
+			rows[a], rows[b] = rows[b], rows[a]
+		}
+		out[i] = store.SortedRun{Rows: rows, Del: r.Del}
+	}
+	return out, true
+}
+
+func TestMergeRejectsUnsortedRun(t *testing.T) {
+	st := family()
+	q := sparql.MustParse(starQuery)
+	_, err := Run(unsortedSource{st}, q.Patterns, Options{MergeWidth: 3, MergeVar: "x"})
+	if !errors.Is(err, ErrUnsortedRun) {
+		t.Fatalf("err = %v, want ErrUnsortedRun", err)
+	}
+}

@@ -1,0 +1,310 @@
+package engine
+
+// FILTER scoping across OPTIONAL groups, pinned against a naive
+// reference evaluator. Per the SPARQL group-scoping semantics a filter
+// that references a variable bound only inside an OPTIONAL group
+// constrains the group match, not the whole solution: when it fails,
+// the solution survives with the group's variables unbound. The engine
+// used to have no way to express this (the parser rejected FILTER
+// inside OPTIONAL and any top-level filter over optional-only
+// variables), so these tests pin the fixed behavior end to end.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+// naiveBGP extends each start binding by every match of the pattern
+// list, by brute-force scanning the whole store per pattern. No
+// indexes, no join ordering, no push-down: the simplest evaluator that
+// can be trusted as an oracle.
+func naiveBGP(st Source, pats []sparql.TriplePattern, start map[string]store.ID) []map[string]store.ID {
+	out := []map[string]store.ID{start}
+	for _, tp := range pats {
+		var next []map[string]store.ID
+		for _, b := range out {
+			st.Scan(store.IDTriple{}, func(t store.IDTriple) bool {
+				nb := map[string]store.ID{}
+				for k, v := range b {
+					nb[k] = v
+				}
+				ok := true
+				match := func(pt sparql.PatternTerm, id store.ID) {
+					if !ok {
+						return
+					}
+					if !pt.IsVar() {
+						want, found := st.Dict().Lookup(pt.Term)
+						if !found || want != id {
+							ok = false
+						}
+						return
+					}
+					if prev, bound := nb[pt.Var]; bound {
+						if prev != id {
+							ok = false
+						}
+						return
+					}
+					nb[pt.Var] = id
+				}
+				match(tp.S, t.S)
+				match(tp.P, t.P)
+				match(tp.O, t.O)
+				if ok {
+					next = append(next, nb)
+				}
+				return true
+			})
+		}
+		out = next
+	}
+	return out
+}
+
+// naiveFilter evaluates one filter under a binding. Every referenced
+// variable must be bound — the callers only apply filters in scopes
+// that guarantee it.
+func naiveFilter(st Source, f sparql.Filter, b map[string]store.ID) bool {
+	term := func(pt sparql.PatternTerm) rdf.Term {
+		if !pt.IsVar() {
+			return pt.Term
+		}
+		return st.Dict().Term(b[pt.Var])
+	}
+	return sparql.EvalCompare(f.Op, term(f.Left), term(f.Right))
+}
+
+// naiveSolve evaluates q with the reference semantics: required BGP,
+// top-level filters, then each OPTIONAL group as a left outer join
+// whose group-scoped filters apply inside the group (a failing filter
+// rejects the group match, keeping the solution with the group
+// unbound).
+func naiveSolve(st Source, q *sparql.Query) []map[string]store.ID {
+	sols := naiveBGP(st, q.Patterns, map[string]store.ID{})
+	var kept []map[string]store.ID
+	for _, b := range sols {
+		ok := true
+		for _, f := range q.Filters {
+			if !naiveFilter(st, f, b) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, b)
+		}
+	}
+	sols = kept
+	for gi, g := range q.Optionals {
+		var fs []sparql.Filter
+		if gi < len(q.OptionalFilters) {
+			fs = q.OptionalFilters[gi]
+		}
+		var next []map[string]store.ID
+		for _, b := range sols {
+			matches := naiveBGP(st, g, b)
+			var surviving []map[string]store.ID
+			for _, m := range matches {
+				ok := true
+				for _, f := range fs {
+					if !naiveFilter(st, f, m) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					surviving = append(surviving, m)
+				}
+			}
+			if len(surviving) == 0 {
+				next = append(next, b)
+			} else {
+				next = append(next, surviving...)
+			}
+		}
+		sols = next
+	}
+	return sols
+}
+
+// canonical renders a solution multiset as a sorted list of var=id
+// strings over vars, with 0 for unbound, so engine and naive results
+// compare structurally.
+func canonical(vars []string, rows []map[string]store.ID) []string {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		parts := make([]string, len(vars))
+		for i, v := range vars {
+			parts[i] = fmt.Sprintf("%s=%d", v, r[v])
+		}
+		out = append(out, strings.Join(parts, " "))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runAgainstNaive executes src with the engine and the reference
+// evaluator and fails on any difference in the solution multiset.
+func runAgainstNaive(t *testing.T, st *store.Store, src string) *Result {
+	t.Helper()
+	q := sparql.MustParse(src)
+	res, err := Run(st, q.Patterns, Options{
+		Filters:         q.Filters,
+		Optionals:       q.Optionals,
+		OptionalFilters: q.OptionalFilters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveSolve(st, q)
+	if int(res.Count) != len(want) {
+		t.Fatalf("Count = %d, naive = %d", res.Count, len(want))
+	}
+	engineRows := make([]map[string]store.ID, len(res.Rows))
+	for i, row := range res.Rows {
+		m := map[string]store.ID{}
+		for j, v := range res.Vars {
+			m[v] = row[j]
+		}
+		engineRows[i] = m
+	}
+	got := canonical(res.Vars, engineRows)
+	exp := canonical(res.Vars, want)
+	for i := range exp {
+		if got[i] != exp[i] {
+			t.Fatalf("row %d: engine %q, naive %q", i, got[i], exp[i])
+		}
+	}
+	return res
+}
+
+// TestFilterInsideOptionalScopesToGroup: a FILTER written inside the
+// OPTIONAL group must reject only the group match. b1's sole author is
+// a1, so the filter kills that match and b1 must be KEPT with ?a
+// unbound — the naive-but-wrong reading (filter applied to the joined
+// solution) would drop b1 entirely.
+func TestFilterInsideOptionalScopesToGroup(t *testing.T) {
+	st := library()
+	res := runAgainstNaive(t, st, `SELECT * WHERE {
+		?b a <http://x/Book> .
+		OPTIONAL { ?b <http://x/author> ?a . FILTER(?a != <http://x/a1>) }
+	}`)
+	// b1: author filtered → unbound; b2: a2, a3 survive; b3: unbound.
+	if res.Count != 4 {
+		t.Fatalf("Count = %d, want 4", res.Count)
+	}
+	aSlot := -1
+	for i, v := range res.Vars {
+		if v == "a" {
+			aSlot = i
+		}
+	}
+	unbound := 0
+	for _, r := range res.Rows {
+		if r[aSlot] == 0 {
+			unbound++
+		}
+	}
+	if unbound != 2 {
+		t.Errorf("unbound ?a rows = %d, want 2 (b1 filtered + b3 no author)", unbound)
+	}
+}
+
+// TestFilterAfterOptionalRescopedIntoGroup: the same filter written at
+// the top level, after the OPTIONAL group. Its variable is bound only
+// inside the group, so the parser rescopes it into the group and the
+// result must be identical to writing it inside.
+func TestFilterAfterOptionalRescopedIntoGroup(t *testing.T) {
+	st := library()
+	inside := runAgainstNaive(t, st, `SELECT * WHERE {
+		?b a <http://x/Book> .
+		OPTIONAL { ?b <http://x/author> ?a . FILTER(?a != <http://x/a1>) }
+	}`)
+	outside := runAgainstNaive(t, st, `SELECT * WHERE {
+		?b a <http://x/Book> .
+		OPTIONAL { ?b <http://x/author> ?a }
+		FILTER(?a != <http://x/a1>)
+	}`)
+	if inside.Count != outside.Count {
+		t.Fatalf("inside Count %d != rescoped Count %d", inside.Count, outside.Count)
+	}
+	q := sparql.MustParse(`SELECT * WHERE {
+		?b a <http://x/Book> .
+		OPTIONAL { ?b <http://x/author> ?a }
+		FILTER(?a != <http://x/a1>)
+	}`)
+	if len(q.Filters) != 0 {
+		t.Errorf("rescoped filter still in q.Filters: %v", q.Filters)
+	}
+	if len(q.OptionalFilters) != 1 || len(q.OptionalFilters[0]) != 1 {
+		t.Errorf("OptionalFilters = %v, want one filter in group 0", q.OptionalFilters)
+	}
+}
+
+// TestFilterMixingRequiredAndGroupVars: a group-scoped filter may also
+// reference required variables; it still evaluates inside the group.
+func TestFilterMixingRequiredAndGroupVars(t *testing.T) {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+	var g rdf.Graph
+	for _, p := range []struct{ who, age string }{{"p1", "10"}, {"p2", "30"}} {
+		g.Append(iri(p.who), iri("age"), rdf.NewTypedLiteral(p.age, rdf.XSDInteger))
+	}
+	g.Append(iri("p1"), iri("cap"), rdf.NewTypedLiteral("20", rdf.XSDInteger))
+	g.Append(iri("p2"), iri("cap"), rdf.NewTypedLiteral("20", rdf.XSDInteger))
+	st := store.Load(g)
+	res := runAgainstNaive(t, st, `SELECT * WHERE {
+		?p <http://x/age> ?age .
+		OPTIONAL { ?p <http://x/cap> ?c . FILTER(?age < ?c) }
+	}`)
+	// p1 (10 < 20): cap bound; p2 (30 < 20 fails): kept, cap unbound.
+	if res.Count != 2 {
+		t.Fatalf("Count = %d, want 2", res.Count)
+	}
+}
+
+// TestFilterStraddlingOptionalGroups: a top-level filter whose
+// variables span two different OPTIONAL groups has no single group
+// scope; the parser must reject it rather than guess.
+func TestFilterStraddlingOptionalGroups(t *testing.T) {
+	_, err := sparql.Parse(`SELECT * WHERE {
+		?b a <http://x/Book> .
+		OPTIONAL { ?b <http://x/author> ?a }
+		OPTIONAL { ?b <http://x/editor> ?e }
+		FILTER(?a != ?e)
+	}`)
+	if err == nil || !strings.Contains(err.Error(), "straddles") {
+		t.Fatalf("want straddling-groups error, got %v", err)
+	}
+}
+
+// TestFilterOnSecondOptionalGroup: rescoping picks the right group when
+// several exist, and chained-group evaluation still agrees with the
+// reference evaluator.
+func TestFilterOnSecondOptionalGroup(t *testing.T) {
+	st := library()
+	res := runAgainstNaive(t, st, `SELECT * WHERE {
+		?b a <http://x/Book> .
+		OPTIONAL { ?b <http://x/author> ?a }
+		OPTIONAL { ?a <http://x/email> ?m }
+		FILTER(?m != "nope@x")
+	}`)
+	q := sparql.MustParse(`SELECT * WHERE {
+		?b a <http://x/Book> .
+		OPTIONAL { ?b <http://x/author> ?a }
+		OPTIONAL { ?a <http://x/email> ?m }
+		FILTER(?m != "nope@x")
+	}`)
+	if len(q.OptionalFilters) != 2 || len(q.OptionalFilters[1]) != 1 {
+		t.Fatalf("OptionalFilters = %v, want the filter in group 1", q.OptionalFilters)
+	}
+	if res.Count == 0 {
+		t.Fatal("no solutions")
+	}
+}

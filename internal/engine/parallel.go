@@ -123,15 +123,16 @@ func runParallel(st ChunkedSource, tmpl *executor, res *Result) error {
 			defer wg.Done()
 			defer activeWorkers.Add(-1)
 			e := &executor{
-				st:         tmpl.st,
-				compiled:   tmpl.compiled,
-				groups:     tmpl.groups,
-				groupEmpty: tmpl.groupEmpty,
-				filters:    tmpl.filters,
-				row:        make([]store.ID, len(tmpl.row)),
-				opts:       opts,
-				ctx:        tmpl.ctx,
-				sh:         sh,
+				st:           tmpl.st,
+				compiled:     tmpl.compiled,
+				groups:       tmpl.groups,
+				groupEmpty:   tmpl.groupEmpty,
+				groupFilters: tmpl.groupFilters,
+				filters:      tmpl.filters,
+				row:          make([]store.ID, len(tmpl.row)),
+				opts:         opts,
+				ctx:          tmpl.ctx,
+				sh:           sh,
 			}
 			for !sh.stop.Load() {
 				i := int(next.Add(1)) - 1

@@ -1,0 +1,107 @@
+package engine
+
+// Repeated-variable triple patterns (<?x p ?x>, <?s ?x ?x>, <?x ?x ?x>)
+// bind the same slot from two or three positions of one triple; the
+// scan body enforces agreement between occurrences. These tests pin
+// that behavior against the naive reference evaluator on a store built
+// to exercise every repeat shape — self-loops, predicate-as-object
+// triples, and a triple whose three terms are all the same IRI — on
+// both the nested-loop path and the merge path (where a repeated-var
+// pattern in the prefix must cause a validated fallback, never a wrong
+// answer).
+
+import (
+	"reflect"
+	"testing"
+
+	"rdfshapes/internal/rdf"
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+// loops builds a store with every repeated-term shape: a self-loop
+// (n1 knows n1), a predicate that also appears as an object
+// (knows likes knows), and a fully reflexive triple (r r r).
+func loops() *store.Store {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+	var g rdf.Graph
+	g.Append(iri("n1"), iri("knows"), iri("n1")) // self-loop
+	g.Append(iri("n1"), iri("knows"), iri("n2"))
+	g.Append(iri("n2"), iri("knows"), iri("n1"))
+	g.Append(iri("n2"), iri("likes"), iri("n2"))       // second self-loop, other predicate
+	g.Append(iri("knows"), iri("likes"), iri("knows")) // predicate as subject and object
+	g.Append(iri("r"), iri("r"), iri("r"))             // all three positions equal
+	g.Append(iri("n1"), iri("likes"), iri("n2"))
+	return store.Load(g)
+}
+
+func repeatedVarQueries() []string {
+	return []string{
+		// subject == object under a fixed predicate
+		`SELECT * WHERE { ?x <http://x/knows> ?x }`,
+		// subject == object, predicate free
+		`SELECT * WHERE { ?x ?p ?x }`,
+		// predicate == object
+		`SELECT * WHERE { ?s ?x ?x }`,
+		// subject == predicate
+		`SELECT * WHERE { ?x ?x ?o }`,
+		// all three equal
+		`SELECT * WHERE { ?x ?x ?x }`,
+		// repeated var joined with a normal pattern
+		`SELECT * WHERE { ?x <http://x/knows> ?x . ?x <http://x/likes> ?y }`,
+		// repeated var in the second pattern of a join
+		`SELECT * WHERE { ?x <http://x/likes> ?y . ?y <http://x/knows> ?y }`,
+	}
+}
+
+func TestRepeatedVarPatternsAgainstNaive(t *testing.T) {
+	st := loops()
+	for _, src := range repeatedVarQueries() {
+		q := sparql.MustParse(src)
+		res, err := Run(st, q.Patterns, Options{Filters: q.Filters})
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		want := naiveSolve(st, q)
+		if int(res.Count) != len(want) {
+			t.Errorf("%s: Count = %d, naive = %d", src, res.Count, len(want))
+			continue
+		}
+		engineRows := make([]map[string]store.ID, len(res.Rows))
+		for i, row := range res.Rows {
+			m := map[string]store.ID{}
+			for j, v := range res.Vars {
+				m[v] = row[j]
+			}
+			engineRows[i] = m
+		}
+		got := canonical(res.Vars, engineRows)
+		exp := canonical(res.Vars, want)
+		if !reflect.DeepEqual(got, exp) {
+			t.Errorf("%s: engine rows %v, naive rows %v", src, got, exp)
+		}
+	}
+}
+
+// TestRepeatedVarMergeRequestFallsBack: asking for a merge prefix over
+// patterns with a repeated variable must fall back to nested loop
+// (Result.MergeWidth 0) and still produce the oracle answer — the
+// repeat makes block cross-products unsound, so validation excludes it.
+func TestRepeatedVarMergeRequestFallsBack(t *testing.T) {
+	st := loops()
+	q := sparql.MustParse(`SELECT * WHERE { ?x <http://x/knows> ?x . ?x <http://x/likes> ?y }`)
+	oracle, err := Run(st, q.Patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Run(st, q.Patterns, Options{MergeWidth: 2, MergeVar: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.MergeWidth != 0 {
+		t.Fatalf("MergeWidth = %d, want 0 (fallback)", merged.MergeWidth)
+	}
+	if !reflect.DeepEqual(oracle, merged) {
+		t.Errorf("fallback result differs from oracle")
+	}
+}

@@ -1,0 +1,317 @@
+package integration
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"rdfshapes/internal/bench"
+	"rdfshapes/internal/core"
+	"rdfshapes/internal/engine"
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+// sortRows orders a row set lexicographically so the merge path's
+// merge-key-ordered output can be compared to the nested-loop path's
+// index-ordered output as multisets.
+func sortRows(rows [][]store.ID) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+// mergeDatasets builds the three benchmark datasets once per test.
+func mergeDatasets(t *testing.T) []*bench.Dataset {
+	t.Helper()
+	builders := []func() (*bench.Dataset, error){
+		func() (*bench.Dataset, error) { return bench.LUBMDataset(bench.Small) },
+		func() (*bench.Dataset, error) { return bench.WatDivDataset(bench.Small) },
+		func() (*bench.Dataset, error) { return bench.YAGODataset(bench.Small) },
+	}
+	out := make([]*bench.Dataset, 0, len(builders))
+	for _, build := range builders {
+		d, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// TestMergeDifferentialWorkloads is the equivalence proof for the
+// sort-merge join: for every workload query of every dataset whose SS
+// plan has an eligible merge prefix, a merge-forced run and the serial
+// nested-loop oracle produce identical Count, identical rows as sorted
+// multisets, identical Truncated flags, and the documented Intermediate
+// relationship — identical from level width-1 on (so the final-step
+// q-error feeding adaptive replanning is unchanged), less-or-equal on
+// the strict prefix (the leapfrog's semi-join reduction).
+// scripts/verify.sh runs this under -race.
+func TestMergeDifferentialWorkloads(t *testing.T) {
+	for _, d := range mergeDatasets(t) {
+		pl, err := d.Planner("SS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(d.Name, func(t *testing.T) {
+			eligible := 0
+			for _, wq := range d.Queries {
+				q, err := wq.Parse()
+				if err != nil {
+					t.Fatalf("%s: %v", wq.Name, err)
+				}
+				plan := pl.Plan(q)
+				mv, mw := core.MergePrefix(plan.Steps, core.LeadAvailableProbe)
+				if mw < 2 {
+					continue
+				}
+				eligible++
+				order := plan.Order()
+				base := engine.Options{Filters: q.Filters, Optionals: q.Optionals, OptionalFilters: q.OptionalFilters}
+
+				countOpts := base
+				countOpts.CountOnly = true
+				oracle, err := engine.Run(d.Store, order, countOpts)
+				if err != nil {
+					t.Fatalf("%s oracle: %v", wq.Name, err)
+				}
+				mergeOpts := countOpts
+				mergeOpts.MergeWidth = mw
+				mergeOpts.MergeVar = mv
+				merged, err := engine.Run(d.Store, order, mergeOpts)
+				if err != nil {
+					t.Fatalf("%s merge: %v", wq.Name, err)
+				}
+				if merged.MergeWidth != mw {
+					t.Errorf("%s: engine fell back (MergeWidth %d, planner said %d on ?%s)",
+						wq.Name, merged.MergeWidth, mw, mv)
+					continue
+				}
+				if oracle.Count != merged.Count {
+					t.Errorf("%s: Count %d (oracle) != %d (merge w=%d ?%s)",
+						wq.Name, oracle.Count, merged.Count, mw, mv)
+				}
+				if oracle.Truncated != merged.Truncated || oracle.TimedOut != merged.TimedOut {
+					t.Errorf("%s: flags differ: oracle trunc=%v timeout=%v, merge trunc=%v timeout=%v",
+						wq.Name, oracle.Truncated, oracle.TimedOut, merged.Truncated, merged.TimedOut)
+				}
+				for i := range oracle.Intermediate {
+					switch {
+					case i >= mw-1:
+						if merged.Intermediate[i] != oracle.Intermediate[i] {
+							t.Errorf("%s: Intermediate[%d] = %d (merge) != %d (oracle); levels >= width-1 must match exactly",
+								wq.Name, i, merged.Intermediate[i], oracle.Intermediate[i])
+						}
+					default:
+						if merged.Intermediate[i] > oracle.Intermediate[i] {
+							t.Errorf("%s: Intermediate[%d] = %d (merge) > %d (oracle); prefix levels are semi-join-reduced",
+								wq.Name, i, merged.Intermediate[i], oracle.Intermediate[i])
+						}
+					}
+				}
+
+				if oracle.Count > maxDiffRows {
+					continue
+				}
+				serial, err := engine.Run(d.Store, order, base)
+				if err != nil {
+					t.Fatalf("%s oracle rows: %v", wq.Name, err)
+				}
+				rowOpts := base
+				rowOpts.MergeWidth = mw
+				rowOpts.MergeVar = mv
+				mrows, err := engine.Run(d.Store, order, rowOpts)
+				if err != nil {
+					t.Fatalf("%s merge rows: %v", wq.Name, err)
+				}
+				sortRows(serial.Rows)
+				sortRows(mrows.Rows)
+				if !reflect.DeepEqual(serial.Rows, mrows.Rows) {
+					t.Errorf("%s: merge row multiset differs from oracle (%d vs %d rows)",
+						wq.Name, len(mrows.Rows), len(serial.Rows))
+				}
+			}
+			if eligible == 0 {
+				t.Errorf("%s: no workload query has an eligible merge prefix; the differential proved nothing", d.Name)
+			} else {
+				t.Logf("%s: %d/%d workload queries merge-eligible", d.Name, eligible, len(d.Queries))
+			}
+		})
+	}
+}
+
+// TestMergeGovernorEquivalence pins the governor contracts on the
+// batch-at-a-time merge path: a MaxRows budget that trips mid-run (and
+// mid-block, since budgets are checked per emitted row inside the block
+// cross-product) must stop both paths at exactly the same row count
+// with Truncated set, and a MaxIntermediate trip must mark both
+// Truncated. scripts/verify.sh runs this under -race.
+func TestMergeGovernorEquivalence(t *testing.T) {
+	for _, d := range mergeDatasets(t) {
+		pl, err := d.Planner("SS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(d.Name, func(t *testing.T) {
+			for _, wq := range d.Queries {
+				q, err := wq.Parse()
+				if err != nil {
+					t.Fatalf("%s: %v", wq.Name, err)
+				}
+				plan := pl.Plan(q)
+				mv, mw := core.MergePrefix(plan.Steps, core.LeadAvailableProbe)
+				if mw < 2 {
+					continue
+				}
+				order := plan.Order()
+				base := engine.Options{Filters: q.Filters, Optionals: q.Optionals, OptionalFilters: q.OptionalFilters, CountOnly: true}
+				full, err := engine.Run(d.Store, order, base)
+				if err != nil {
+					t.Fatalf("%s: %v", wq.Name, err)
+				}
+				if full.Count < 2 {
+					continue
+				}
+
+				// Trip MaxRows halfway through the enumeration: on merge
+				// plans that is mid-block whenever a merge key's block
+				// cross-product spans the boundary.
+				budget := base
+				budget.MaxRows = full.Count / 2
+				nl, err := engine.Run(d.Store, order, budget)
+				if err != nil {
+					t.Fatalf("%s nl budget: %v", wq.Name, err)
+				}
+				budget.MergeWidth = mw
+				budget.MergeVar = mv
+				mg, err := engine.Run(d.Store, order, budget)
+				if err != nil {
+					t.Fatalf("%s merge budget: %v", wq.Name, err)
+				}
+				if nl.Count != budget.MaxRows || mg.Count != budget.MaxRows {
+					t.Errorf("%s: MaxRows=%d produced %d (nl) / %d (merge) rows",
+						wq.Name, budget.MaxRows, nl.Count, mg.Count)
+				}
+				if !nl.Truncated || !mg.Truncated {
+					t.Errorf("%s: Truncated = %v (nl) / %v (merge), want true/true",
+						wq.Name, nl.Truncated, mg.Truncated)
+				}
+
+				// A tiny MaxIntermediate must stop both paths as Truncated.
+				tiny := base
+				tiny.MaxIntermediate = 1
+				nlT, err := engine.Run(d.Store, order, tiny)
+				if err != nil {
+					t.Fatalf("%s nl tiny: %v", wq.Name, err)
+				}
+				tiny.MergeWidth = mw
+				tiny.MergeVar = mv
+				mgT, err := engine.Run(d.Store, order, tiny)
+				if err != nil {
+					t.Fatalf("%s merge tiny: %v", wq.Name, err)
+				}
+				if !nlT.Truncated || !mgT.Truncated {
+					t.Errorf("%s: MaxIntermediate=1 Truncated = %v (nl) / %v (merge)",
+						wq.Name, nlT.Truncated, mgT.Truncated)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeSelectedOnWorkload is the acceptance pin: the cost-based
+// annotation (not a test-only forcing) must select merge on at least
+// one LUBM and one WatDiv workload query, and the decision must be
+// visible in the plan string.
+func TestMergeSelectedOnWorkload(t *testing.T) {
+	for _, d := range mergeDatasets(t) {
+		name := strings.ToLower(d.Name)
+		if name != "lubm" && name != "watdiv" {
+			continue
+		}
+		pl, err := d.Planner("SS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		selected := 0
+		for _, wq := range d.Queries {
+			q, err := wq.Parse()
+			if err != nil {
+				t.Fatalf("%s: %v", wq.Name, err)
+			}
+			plan := pl.Plan(q)
+			core.AnnotatePhysical(plan, core.LeadAvailableProbe, core.SourceLegRows(d.Store))
+			if plan.MergeWidth >= 2 {
+				selected++
+				if !strings.Contains(plan.String(), " algo=merge") {
+					t.Errorf("%s/%s: MergeWidth=%d but plan string lacks algo=merge: %s",
+						d.Name, wq.Name, plan.MergeWidth, plan.String())
+				}
+			}
+		}
+		if selected == 0 {
+			t.Errorf("%s: cost model selected merge on no workload query", d.Name)
+		} else {
+			t.Logf("%s: merge selected on %d/%d workload queries", d.Name, selected, len(d.Queries))
+		}
+	}
+}
+
+// TestRepeatedVarDifferentialWorkloads pins repeated-variable patterns
+// on every dataset across all three execution paths: serial nested
+// loop (oracle), parallel, and a merge request — which must fall back
+// (repeated variables make block cross-products unsound) and still
+// return the oracle answer.
+func TestRepeatedVarDifferentialWorkloads(t *testing.T) {
+	queries := []string{
+		`SELECT * WHERE { ?x ?p ?x }`,
+		`SELECT * WHERE { ?s ?x ?x }`,
+		`SELECT * WHERE { ?x ?x ?o }`,
+		`SELECT * WHERE { ?x ?p ?x . ?x ?q ?y }`,
+	}
+	for _, d := range mergeDatasets(t) {
+		t.Run(d.Name, func(t *testing.T) {
+			for _, src := range queries {
+				q := sparql.MustParse(src)
+				base := engine.Options{CountOnly: true}
+				oracle, err := engine.Run(d.Store, q.Patterns, base)
+				if err != nil {
+					t.Fatalf("%s: %v", src, err)
+				}
+				par := base
+				par.Parallelism = 4
+				pres, err := engine.Run(d.Store, q.Patterns, par)
+				if err != nil {
+					t.Fatalf("%s parallel: %v", src, err)
+				}
+				if pres.Count != oracle.Count {
+					t.Errorf("%s: parallel Count %d != %d", src, pres.Count, oracle.Count)
+				}
+				if len(q.Patterns) >= 2 {
+					mg := base
+					mg.MergeWidth = 2
+					mg.MergeVar = "x"
+					mres, err := engine.Run(d.Store, q.Patterns, mg)
+					if err != nil {
+						t.Fatalf("%s merge: %v", src, err)
+					}
+					if mres.MergeWidth != 0 {
+						t.Errorf("%s: merge accepted a repeated-var prefix (width %d)", src, mres.MergeWidth)
+					}
+					if mres.Count != oracle.Count {
+						t.Errorf("%s: merge-fallback Count %d != %d", src, mres.Count, oracle.Count)
+					}
+				}
+			}
+		})
+	}
+}

@@ -100,6 +100,16 @@ func (s *Snapshot) Scan(pat store.IDTriple, fn func(store.IDTriple) bool) {
 // additions. Running the closures in slice order enumerates exactly the
 // triples Scan(pat) would, in the same order. With an empty overlay this
 // delegates directly to the base store.
+//
+// Ordering contract (weaker than the frozen store's): each chunk is
+// internally key-sorted, but the trailing overlay-additions chunk
+// restarts the key sequence, so the concatenation of all chunks is NOT
+// globally key-sorted whenever additions exist. Consumers that need one
+// globally sorted stream must not use Scan/ScanChunks on a snapshot with
+// a live overlay — they must take the per-run view (Ranges or LeadRuns)
+// and merge the disjoint sorted runs themselves. The engine's merge-join
+// path does exactly that, and additionally verifies sortedness of every
+// run it consumes at execution time.
 func (s *Snapshot) ScanChunks(pat store.IDTriple, n int) []func(fn func(store.IDTriple) bool) {
 	chunks := s.base.ScanChunks(pat, n)
 	if s.deleted != nil {
@@ -135,6 +145,31 @@ func (s *Snapshot) ScanChunks(pat store.IDTriple, n int) []func(fn func(store.ID
 // here is.
 func (s *Snapshot) Ranges(pat store.IDTriple) (base, added []store.IDTriple, deleted *store.Fragment) {
 	return s.base.Range(pat), s.added.Range(pat), s.deleted
+}
+
+// LeadRuns returns the merged view's matches of pat as lead-ordered
+// sorted runs for the engine's merge-join path: the base rows (with the
+// deletion mask attached) and the overlay-added rows, each a subslice of
+// the serving index ordered by store.LeadOrder(pat, lead). The runs are
+// disjoint by the snapshot invariants, so merging them with that
+// comparator yields one globally lead-ordered stream — unlike
+// Scan/ScanChunks, whose base-then-additions order is not globally
+// sorted. ok is false when no stored ordering serves (pat, lead); see
+// store.LeadOrderAvailable.
+func (s *Snapshot) LeadRuns(pat store.IDTriple, lead int) ([]store.SortedRun, bool) {
+	base, bok := s.base.LeadRange(pat, lead)
+	added, aok := s.added.LeadRange(pat, lead)
+	if !bok || !aok {
+		return nil, false
+	}
+	runs := make([]store.SortedRun, 0, 2)
+	if len(base) > 0 {
+		runs = append(runs, store.SortedRun{Rows: base, Del: s.deleted})
+	}
+	if len(added) > 0 {
+		runs = append(runs, store.SortedRun{Rows: added})
+	}
+	return runs, true
 }
 
 // Count returns the number of merged-view triples matching pat. Exact by

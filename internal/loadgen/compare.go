@@ -17,6 +17,15 @@ import (
 // relative size, so it never counts as a regression.
 const MinCompareMS = 0.5
 
+// MinGateSamples is the per-template sample floor for gating: a p95
+// estimated from fewer OK requests is an extreme order statistic whose
+// run-to-run spread dwarfs any honest noise threshold (tail templates
+// of a Zipf mix flip ±50% between identical runs), so such rows are
+// reported but never marked Regressed. The aggregate row gates
+// regardless — it pools every template's samples and is the number the
+// perf trajectory is judged on.
+const MinGateSamples = 100
+
 // Delta is one row of a report comparison: the latency movement of a
 // template (or the "aggregate" pseudo-template) between the baseline
 // and candidate reports.
@@ -82,7 +91,11 @@ func Compare(base, cand *Report, noise float64) ([]Delta, error) {
 			BaseSamples: b.Count,
 			CandSamples: c.Count,
 		}
-		if b.Count > 0 && c.Count > 0 {
+		gate := b.Count >= MinGateSamples && c.Count >= MinGateSamples
+		if name == "aggregate" {
+			gate = b.Count > 0 && c.Count > 0
+		}
+		if gate {
 			d.Regressed = exceeds(b.P50MS, c.P50MS, noise) || exceeds(b.P95MS, c.P95MS, noise)
 		}
 		return d

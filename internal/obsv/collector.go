@@ -25,6 +25,13 @@ const (
 	MetricTemplateQError  = "rdfshapes_template_qerror"
 )
 
+// Join-algorithm selection metric name: join steps executed, labeled by
+// the physical algorithm the optimizer chose ({algo="merge"} vs
+// {algo="nl"}). Counted by the facade from the engine's report of the
+// actually executed merge width, so planner annotations that fall back
+// at execution time are counted as nested-loop.
+const MetricJoinAlgo = "rdfshapes_join_algo_total"
+
 // Sharded-execution metric names (maintained as atomics by the shard
 // coordinator, exported at scrape time by the server).
 const (

@@ -21,6 +21,10 @@ type PatternTrace struct {
 	Actual int64 `json:"actual"`
 	// QError is QError(Estimated, Actual), filled by Finish.
 	QError float64 `json:"qerror"`
+	// Algo names the join algorithm this step actually executed with:
+	// "merge" for steps of a sort-merge prefix, "nl" for nested-loop
+	// join steps, empty for the leading scan of a nested-loop plan.
+	Algo string `json:"algo,omitempty"`
 }
 
 // QueryTrace records one query execution end to end.

@@ -156,6 +156,30 @@ func (v *View) cursors(pat store.IDTriple) []cursor {
 	return cs
 }
 
+// LeadRuns returns the view's matches of pat as lead-ordered sorted runs
+// for the engine's merge-join path: each relevant shard contributes its
+// snapshot's runs (base with deletion mask, overlay additions). Shards
+// partition triples, so the runs are pairwise disjoint and merging them
+// by store.LeadOrder(pat, lead) yields the same globally ordered stream
+// an unsharded snapshot would. Ownership/stats pruning applies as in
+// Scan; rows consumed on this path are charged to the engine's Ops
+// budget rather than the per-shard scanned-rows counters (the engine
+// owns the cursoring, so the view never sees individual rows).
+func (v *View) LeadRuns(pat store.IDTriple, lead int) ([]store.SortedRun, bool) {
+	if !store.LeadOrderAvailable(pat, lead) {
+		return nil, false
+	}
+	var runs []store.SortedRun
+	for _, i := range v.relevant(pat) {
+		rs, ok := v.snaps[i].LeadRuns(pat, lead)
+		if !ok {
+			return nil, false
+		}
+		runs = append(runs, rs...)
+	}
+	return runs, true
+}
+
 // merge streams the union of the cursors' visible rows to fn in
 // less-order. Runs are disjoint (shards partition triples; base and
 // additions within a shard are disjoint by the snapshot invariants), so

@@ -172,8 +172,18 @@ type Query struct {
 	// Optionals lists OPTIONAL groups, each a small BGP evaluated as a
 	// left outer join against the required part, in textual order.
 	Optionals [][]TriplePattern
-	// Filters lists the FILTER constraints of the group. Filters may
-	// only reference variables bound by the required BGP.
+	// OptionalFilters[g], when non-nil, holds the FILTER constraints
+	// scoped to Optionals[g]: they constrain whether the group matches,
+	// not whether the solution survives — a solution whose group match
+	// fails only its filter is kept with the group's variables unbound.
+	// Either empty or index-aligned with Optionals.
+	OptionalFilters [][]Filter
+	// Filters lists the FILTER constraints of the required group.
+	// Filters may only reference variables bound by the required BGP
+	// (or by every UNION branch); a filter whose variables are only
+	// bound inside one OPTIONAL group is rescoped into that group's
+	// OptionalFilters by validateFilters, per the SPARQL semantics that
+	// a filter inside a group pattern scopes to the group.
 	Filters []Filter
 	// OrderBy lists the ORDER BY sort keys.
 	OrderBy []OrderKey
@@ -299,12 +309,19 @@ func (q *Query) String() string {
 		b.WriteString(tp.String())
 		b.WriteByte('\n')
 	}
-	for _, group := range q.Optionals {
+	for gi, group := range q.Optionals {
 		b.WriteString("  OPTIONAL {\n")
 		for _, tp := range group {
 			b.WriteString("    ")
 			b.WriteString(tp.String())
 			b.WriteByte('\n')
+		}
+		if gi < len(q.OptionalFilters) {
+			for _, f := range q.OptionalFilters[gi] {
+				b.WriteString("    ")
+				b.WriteString(f.String())
+				b.WriteByte('\n')
+			}
 		}
 		b.WriteString("  }\n")
 	}
@@ -341,6 +358,12 @@ func (q *Query) Clone() *Query {
 	cp.Optionals = make([][]TriplePattern, len(q.Optionals))
 	for i, g := range q.Optionals {
 		cp.Optionals[i] = append([]TriplePattern(nil), g...)
+	}
+	if q.OptionalFilters != nil {
+		cp.OptionalFilters = make([][]Filter, len(q.OptionalFilters))
+		for i, fs := range q.OptionalFilters {
+			cp.OptionalFilters[i] = append([]Filter(nil), fs...)
+		}
 	}
 	cp.UnionGroups = make([][]TriplePattern, len(q.UnionGroups))
 	for i, g := range q.UnionGroups {

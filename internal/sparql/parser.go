@@ -186,11 +186,15 @@ func (p *parser) query() (*Query, error) {
 		}
 		if t := p.cur(); t.kind == tokKeyword && t.text == "OPTIONAL" {
 			p.next()
-			group, err := p.optionalGroup()
+			group, groupFilters, err := p.optionalGroup()
 			if err != nil {
 				return nil, err
 			}
 			q.Optionals = append(q.Optionals, group)
+			for len(q.OptionalFilters) < len(q.Optionals)-1 {
+				q.OptionalFilters = append(q.OptionalFilters, nil)
+			}
+			q.OptionalFilters = append(q.OptionalFilters, groupFilters)
 			if p.cur().kind == tokDot {
 				p.next()
 			}
@@ -365,31 +369,46 @@ func validateAggregate(q *Query) error {
 	return fmt.Errorf("sparql: COUNT references unbound variable ?%s", q.Aggregate.Var)
 }
 
-// optionalGroup parses "{ tp . tp . }" after the OPTIONAL keyword.
-// Nested OPTIONAL and FILTER inside the group are outside the supported
+// optionalGroup parses "{ tp . tp . FILTER(...) }" after the OPTIONAL
+// keyword. FILTER clauses inside the group scope to the group: they
+// constrain whether the group matches, never whether the enclosing
+// solution survives. Nested OPTIONAL remains outside the supported
 // subset.
-func (p *parser) optionalGroup() ([]TriplePattern, error) {
+func (p *parser) optionalGroup() ([]TriplePattern, []Filter, error) {
 	if _, err := p.expect(tokLBrace, "'{' after OPTIONAL"); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var group []TriplePattern
+	var filters []Filter
 	for p.cur().kind != tokRBrace {
+		if t := p.cur(); t.kind == tokKeyword && t.text == "FILTER" {
+			p.next()
+			f, err := p.filter()
+			if err != nil {
+				return nil, nil, err
+			}
+			filters = append(filters, f)
+			if p.cur().kind == tokDot {
+				p.next()
+			}
+			continue
+		}
 		tps, err := p.triplePattern()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		group = append(group, tps...)
 		if p.cur().kind == tokDot {
 			p.next()
-		} else if p.cur().kind != tokRBrace {
-			return nil, fmt.Errorf("sparql: expected '.' or '}' in OPTIONAL at offset %d", p.cur().pos)
+		} else if t := p.cur(); t.kind != tokRBrace && !(t.kind == tokKeyword && t.text == "FILTER") {
+			return nil, nil, fmt.Errorf("sparql: expected '.', FILTER, or '}' in OPTIONAL at offset %d", p.cur().pos)
 		}
 	}
 	p.next() // consume '}'
 	if len(group) == 0 {
-		return nil, fmt.Errorf("sparql: empty OPTIONAL group")
+		return nil, nil, fmt.Errorf("sparql: empty OPTIONAL group")
 	}
-	return group, nil
+	return group, filters, nil
 }
 
 // filter parses "( operand op operand )" after the FILTER keyword.
@@ -500,8 +519,65 @@ func (p *parser) solutionModifiers(q *Query) error {
 
 // validateFilters ensures every filter variable is bound by the required
 // BGP — or, for a UNION query, by every branch (so each branch can apply
-// the filter independently).
+// the filter independently). A top-level filter whose variables are only
+// bound inside one OPTIONAL group is rescoped into that group
+// (OptionalFilters): per the SPARQL group-scoping semantics, such a
+// filter constrains the group match, not the whole solution — an absent
+// binding must leave the solution intact with the group unbound, never
+// reject the row. Filters scoped to a group (written inside it or
+// rescoped) may reference that group's variables plus required ones.
 func validateFilters(q *Query) error {
+	required := map[string]bool{}
+	for _, tp := range q.Patterns {
+		for _, v := range tp.Vars() {
+			required[v] = true
+		}
+	}
+	groupBound := make([]map[string]bool, len(q.Optionals))
+	for gi, g := range q.Optionals {
+		groupBound[gi] = map[string]bool{}
+		for _, tp := range g {
+			for _, v := range tp.Vars() {
+				groupBound[gi][v] = true
+			}
+		}
+	}
+
+	if len(q.UnionGroups) == 0 && len(q.Optionals) > 0 {
+		var kept []Filter
+		for _, f := range q.Filters {
+			target := -1
+			for _, v := range f.Vars() {
+				if required[v] {
+					continue
+				}
+				found := -1
+				for gi := range groupBound {
+					if groupBound[gi][v] {
+						found = gi
+						break
+					}
+				}
+				if found < 0 {
+					return fmt.Errorf("sparql: filter references variable ?%s not bound by every branch", v)
+				}
+				if target >= 0 && target != found {
+					return fmt.Errorf("sparql: filter %s straddles two OPTIONAL groups; no single group scope", f)
+				}
+				target = found
+			}
+			if target < 0 {
+				kept = append(kept, f)
+				continue
+			}
+			for len(q.OptionalFilters) < len(q.Optionals) {
+				q.OptionalFilters = append(q.OptionalFilters, nil)
+			}
+			q.OptionalFilters[target] = append(q.OptionalFilters[target], f)
+		}
+		q.Filters = kept
+	}
+
 	boundSets := [][]TriplePattern{q.Patterns}
 	if len(q.UnionGroups) > 0 {
 		boundSets = q.UnionGroups
@@ -517,6 +593,15 @@ func validateFilters(q *Query) error {
 			for _, v := range f.Vars() {
 				if !bound[v] {
 					return fmt.Errorf("sparql: filter references variable ?%s not bound by every branch", v)
+				}
+			}
+		}
+	}
+	for gi, fs := range q.OptionalFilters {
+		for _, f := range fs {
+			for _, v := range f.Vars() {
+				if !required[v] && !groupBound[gi][v] {
+					return fmt.Errorf("sparql: OPTIONAL filter references variable ?%s not bound by the group or the required patterns", v)
 				}
 			}
 		}

@@ -1,0 +1,163 @@
+package store
+
+// Lead-ordered range scans: the capability a sort-merge join consumes.
+//
+// A merge join over a shared variable v needs every input enumerated with
+// v's position as the *leading* sort component, after the pattern's
+// constant positions are fixed. Because the store keeps four orderings
+// (SPO/PSO/POS/OSP), most (bound-positions, lead) combinations are served
+// by a prefix range of one of them — no sorting, no post-filtering:
+//
+//	lead=S: (? p o)→POS, (? p ?)→PSO, (? ? o)→OSP, (? ? ?)→SPO
+//	lead=P: (s ? o)→OSP, (s ? ?)→SPO, (? ? ?)→PSO; (? ? o) unavailable
+//	lead=O: (s p ?)→SPO, (? p ?)→POS, (? ? ?)→OSP; (s ? ?) unavailable
+//
+// The two unavailable shapes would need SOP/OPS orderings the store does
+// not keep; LeadOrderAvailable reports them so the optimizer simply keeps
+// the nested-loop plan there.
+
+// Lead positions of a lead-ordered scan.
+const (
+	LeadS = 0
+	LeadP = 1
+	LeadO = 2
+)
+
+// LeadKey returns the component of t at the lead position.
+func LeadKey(t IDTriple, lead int) ID {
+	switch lead {
+	case LeadS:
+		return t.S
+	case LeadP:
+		return t.P
+	default:
+		return t.O
+	}
+}
+
+// SortedRun is one key-sorted run of a lead-ordered enumeration: rows in
+// the serving index's full key order, with an optional deletion mask
+// (rows in Del are hidden from the merged view). Runs returned by one
+// LeadRuns call are pairwise disjoint, so merging them by the full key
+// comparison (LeadOrder) is deterministic.
+type SortedRun struct {
+	Rows []IDTriple
+	Del  *Fragment
+}
+
+// LeadOrderAvailable reports whether matches of pat (nonzero positions
+// are bound) can be enumerated with lead as the leading sort component
+// using one of the four stored orderings. The lead position itself must
+// be unbound.
+func LeadOrderAvailable(pat IDTriple, lead int) bool {
+	if LeadKey(pat, lead) != 0 {
+		return false
+	}
+	switch lead {
+	case LeadS, LeadO:
+		// lead=S misses nothing; lead=O only misses (s ? o-lead), i.e.
+		// subject bound, predicate free — that would need an SOP index.
+		return lead == LeadS || !(pat.S != 0 && pat.P == 0)
+	case LeadP:
+		// (? ? o) with the predicate leading would need OPS.
+		return !(pat.O != 0 && pat.S == 0)
+	default:
+		return false
+	}
+}
+
+// leadMatch selects the serving index, row range, and full-key comparator
+// for a lead-ordered scan over the four orderings. ok is false when
+// LeadOrderAvailable(pat, lead) is false.
+func leadMatch(spo, pso, pos, osp []IDTriple, pat IDTriple, lead int) (rows []IDTriple, cmp cmpFunc, ok bool) {
+	if !LeadOrderAvailable(pat, lead) {
+		return nil, nil, false
+	}
+	var (
+		idx  []IDTriple
+		key  func(IDTriple) key3
+		want key3
+		n    int
+		less cmpFunc
+	)
+	switch lead {
+	case LeadS:
+		switch {
+		case pat.P != 0 && pat.O != 0:
+			idx, key, want, n, less = pos, keyPOS, key3{pat.P, pat.O, 0}, 2, cmpPOS
+		case pat.P != 0:
+			idx, key, want, n, less = pso, keyPSO, key3{pat.P, 0, 0}, 1, cmpPSO
+		case pat.O != 0:
+			idx, key, want, n, less = osp, keyOSP, key3{pat.O, 0, 0}, 1, cmpOSP
+		default:
+			return spo, cmpSPO, true
+		}
+	case LeadP:
+		switch {
+		case pat.S != 0 && pat.O != 0:
+			idx, key, want, n, less = osp, keyOSP, key3{pat.O, pat.S, 0}, 2, cmpOSP
+		case pat.S != 0:
+			idx, key, want, n, less = spo, keySPO, key3{pat.S, 0, 0}, 1, cmpSPO
+		default:
+			return pso, cmpPSO, true
+		}
+	default: // LeadO
+		switch {
+		case pat.S != 0 && pat.P != 0:
+			idx, key, want, n, less = spo, keySPO, key3{pat.S, pat.P, 0}, 2, cmpSPO
+		case pat.P != 0:
+			idx, key, want, n, less = pos, keyPOS, key3{pat.P, 0, 0}, 1, cmpPOS
+		default:
+			return osp, cmpOSP, true
+		}
+	}
+	lo, hi := rangeOf(idx, key, want, n)
+	return idx[lo:hi], less, true
+}
+
+// LeadOrder returns the strict total order in which LeadRange(pat, lead)
+// enumerates rows — the full three-component key comparison of the
+// serving index, with the lead component first among the unbound
+// positions. ok is false when the combination is unavailable. Merging
+// disjoint sorted runs with this comparator reproduces one globally
+// lead-ordered stream.
+func LeadOrder(pat IDTriple, lead int) (less func(a, b IDTriple) bool, ok bool) {
+	_, cmp, ok := leadMatch(nil, nil, nil, nil, pat, lead)
+	return cmp, ok
+}
+
+// LeadRange returns the rows matching pat sorted with lead as the leading
+// unbound component, as a subslice of the serving index (shared storage —
+// do not modify). ok is false when LeadOrderAvailable(pat, lead) is
+// false; an available combination with no matches returns (nil, true).
+func (s *Store) LeadRange(pat IDTriple, lead int) (rows []IDTriple, ok bool) {
+	s.mustBeFrozen()
+	rows, _, ok = leadMatch(s.spo, s.pso, s.pos, s.osp, pat, lead)
+	return rows, ok
+}
+
+// LeadRuns returns the store's matches of pat as a single lead-ordered
+// run — the frozen store is one sorted index, so there is nothing to
+// merge. It makes *Store satisfy the engine's ordered-source capability
+// directly.
+func (s *Store) LeadRuns(pat IDTriple, lead int) ([]SortedRun, bool) {
+	rows, ok := s.LeadRange(pat, lead)
+	if !ok {
+		return nil, false
+	}
+	if len(rows) == 0 {
+		return nil, true
+	}
+	return []SortedRun{{Rows: rows}}, true
+}
+
+// LeadRange is the fragment counterpart of Store.LeadRange; a nil
+// receiver is the empty fragment and reports every available combination
+// as an empty range.
+func (f *Fragment) LeadRange(pat IDTriple, lead int) (rows []IDTriple, ok bool) {
+	if f == nil {
+		return nil, LeadOrderAvailable(pat, lead)
+	}
+	rows, _, ok = leadMatch(f.spo, f.pso, f.pos, f.osp, pat, lead)
+	return rows, ok
+}

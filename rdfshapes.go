@@ -702,7 +702,7 @@ func (db *DB) QueryCtx(ctx context.Context, src string) (*Result, error) {
 		return v.queryUnion(src, q)
 	}
 	plan := v.plan(q)
-	opts := engine.Options{Filters: q.Filters, Optionals: q.Optionals}
+	opts := engine.Options{Filters: q.Filters, Optionals: q.Optionals, OptionalFilters: q.OptionalFilters}
 	if q.Ask {
 		opts.Limit = 1
 	}
@@ -812,7 +812,7 @@ func (v view) queryParsed(src string, q *sparql.Query) (*Result, error) {
 		return v.queryUnion(src, q)
 	}
 	plan := v.plan(q)
-	er, err := v.exec(src, plan, engine.Options{Filters: q.Filters, Optionals: q.Optionals})
+	er, err := v.exec(src, plan, engine.Options{Filters: q.Filters, Optionals: q.Optionals, OptionalFilters: q.OptionalFilters})
 	if err != nil {
 		return nil, err
 	}
@@ -833,7 +833,7 @@ func (v view) queryParsed(src string, q *sparql.Query) (*Result, error) {
 func (v view) countSolutions(src string, q *sparql.Query) (n int64, truncated bool, err error) {
 	if len(q.UnionGroups) == 0 {
 		plan := v.plan(q)
-		er, err := v.exec(src, plan, engine.Options{CountOnly: true, Filters: q.Filters, Optionals: q.Optionals})
+		er, err := v.exec(src, plan, engine.Options{CountOnly: true, Filters: q.Filters, Optionals: q.Optionals, OptionalFilters: q.OptionalFilters})
 		if err != nil {
 			return 0, false, err
 		}
@@ -958,7 +958,7 @@ func (db *DB) AskCtx(ctx context.Context, src string) (bool, error) {
 		return n > 0, err
 	}
 	plan := v.plan(q)
-	er, err := v.exec(src, plan, engine.Options{Filters: q.Filters, Optionals: q.Optionals, Limit: 1})
+	er, err := v.exec(src, plan, engine.Options{Filters: q.Filters, Optionals: q.Optionals, OptionalFilters: q.OptionalFilters, Limit: 1})
 	if err != nil {
 		return false, err
 	}
@@ -1000,7 +1000,9 @@ func (db *DB) Explain(src, approach string) (string, error) {
 	case "", "SS":
 		return v.plan(q).String(), nil
 	case "GS":
-		return core.Optimize(q, v.ps.gs).String(), nil
+		p := core.Optimize(q, v.ps.gs)
+		v.annotate(p)
+		return p.String(), nil
 	default:
 		return "", fmt.Errorf("rdfshapes: unknown approach %q (want SS or GS)", approach)
 	}
@@ -1056,8 +1058,8 @@ func (db *DB) QueryEach(src string, fn func(row map[string]string) bool) error {
 	// limited run is enough; budget still applies.
 	er, err := v.exec(src, plan, engine.Options{
 		Filters:   q.Filters,
-		Optionals: q.Optionals,
-		Limit:     q.Limit,
+		Optionals: q.Optionals, OptionalFilters: q.OptionalFilters,
+		Limit: q.Limit,
 	})
 	if err != nil {
 		return err
@@ -1228,12 +1230,16 @@ func (db *DB) WriteShapesTurtle(w io.Writer) error {
 // engine's intermediate sizes) cardinalities, q-error, ops, wall time,
 // and the termination reason. Without a collector it is exactly the old
 // fast path.
+const joinAlgoHelp = "Join steps executed, labeled by the physical join algorithm the optimizer selected (merge vs nested loop)."
+
 func (v view) exec(src string, plan *core.Plan, opts engine.Options) (*engine.Result, error) {
 	db := v.db
 	opts.MaxOps = db.maxOps
 	opts.MaxIntermediate = db.limits.MaxIntermediate
 	opts.MaxRows = db.limits.MaxRows
 	opts.Parallelism = db.parallelism
+	opts.MergeWidth = plan.MergeWidth
+	opts.MergeVar = plan.MergeVar
 	if v.ctx != nil && v.ctx != context.Background() {
 		opts.Ctx = v.ctx
 	}
@@ -1305,11 +1311,35 @@ func (v view) exec(src string, plan *core.Plan, opts engine.Options) (*engine.Re
 			if i >= len(plan.Steps) {
 				break
 			}
+			// Label with the algorithm that actually executed (the engine
+			// falls back to nested loop when validation fails, reported
+			// via er.MergeWidth), not the planner's request.
+			algo := ""
+			switch {
+			case er != nil && i < er.MergeWidth:
+				algo = "merge"
+			case i > 0:
+				algo = "nl"
+			}
 			t.Patterns = append(t.Patterns, obsv.PatternTrace{
 				Pattern:   plan.Steps[i].Pattern.String(),
 				Estimated: plan.Steps[i].JoinEstimate,
 				Actual:    actual,
+				Algo:      algo,
 			})
+		}
+		if joins := len(plan.Steps) - 1; joins > 0 {
+			mergeJoins := 0
+			if er != nil && er.MergeWidth > 1 {
+				mergeJoins = er.MergeWidth - 1
+			}
+			cv := c.Counter(obsv.MetricJoinAlgo, joinAlgoHelp, "algo")
+			if mergeJoins > 0 {
+				cv.Add(float64(mergeJoins), "merge")
+			}
+			if nl := joins - mergeJoins; nl > 0 {
+				cv.Add(float64(nl), "nl")
+			}
 		}
 	}
 	t.Finish()
@@ -1325,10 +1355,26 @@ func (v view) exec(src string, plan *core.Plan, opts engine.Options) (*engine.Re
 }
 
 func (v view) plan(q *sparql.Query) *core.Plan {
+	var p *core.Plan
 	if a := v.db.adaptive; a != nil && len(q.Patterns) > 0 {
-		return a.plan(q, v.estimatorFor(q))
+		p = a.plan(q, v.estimatorFor(q))
+	} else {
+		p = core.Optimize(q, v.estimatorFor(q))
 	}
-	return core.Optimize(q, v.estimatorFor(q))
+	v.annotate(p)
+	return p
+}
+
+// annotate runs the physical join-algorithm selection against the
+// view's snapshot, gated on the snapshot actually implementing the
+// ordered-runs capability the merge join consumes. Adaptive plan-cache
+// hits return a fresh Plan with copied steps, so per-call annotation
+// never leaks into the cache.
+func (v view) annotate(p *core.Plan) {
+	if _, ok := v.snap.(engine.OrderedSource); !ok {
+		return
+	}
+	core.AnnotatePhysical(p, core.LeadAvailableProbe, core.SourceLegRows(v.snap))
 }
 
 // estimatorFor applies the paper's Section 6.1 rule: shape statistics

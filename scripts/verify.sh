@@ -32,6 +32,9 @@ go test -race -run 'TestQueryCtx|TestWithDefault|TestWithLimits|TestClose|TestUp
 echo "== go test -race (parallel-vs-serial differential over all workloads) =="
 go test -race -run 'TestParallelDifferentialWorkloads' ./internal/integration
 
+echo "== go test -race (merge-vs-nested-loop differential, governor equivalence) =="
+go test -race -run 'TestMergeDifferentialWorkloads|TestMergeGovernorEquivalence|TestMergeSelectedOnWorkload|TestRepeatedVarDifferentialWorkloads' ./internal/integration
+
 echo "== go test -race (shard coordinator: merge, pruning, per-shard stats) =="
 go test -race ./internal/shard
 
@@ -62,6 +65,13 @@ if [ -e "$1" ]; then
     go run ./cmd/loadgen -check "$@"
 else
     echo "(none committed yet)"
+fi
+
+echo "== BENCH trajectory regression gate (BENCH_2 -> BENCH_3) =="
+if [ -e BENCH_2.json ] && [ -e BENCH_3.json ]; then
+    go run ./cmd/loadgen -compare -noise 0.15 BENCH_2.json BENCH_3.json
+else
+    echo "(trajectory incomplete; skipping)"
 fi
 
 echo "== loadgen smoke (live server, ~2s run, zero 5xx) =="
