@@ -1,0 +1,77 @@
+// Command chaosproxy fronts a TCP backend with a deterministic
+// fault-injection proxy. Each accepted connection draws the next fault
+// from a script — added latency, a mid-stream RST, a clean truncation,
+// a flipped byte, a stall, or a blackhole — applied to the response
+// direction only, so the backend always sees well-formed requests.
+//
+// Scripts are either explicit:
+//
+//	chaosproxy -listen :9000 -target localhost:8080 \
+//	    -script 'none,reset@4096,corrupt@1024^0x80,latency:50ms' -loop
+//
+// or derived from a seed, which makes any failing chaos run replayable
+// by seed alone:
+//
+//	chaosproxy -listen :9000 -target localhost:8080 -random 32 -seed 7 -loop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"rdfshapes/internal/chaos"
+)
+
+func main() {
+	listen := flag.String("listen", "localhost:0", "address to accept client connections on")
+	target := flag.String("target", "", "backend address (host:port) to proxy to")
+	script := flag.String("script", "", "comma-separated fault script, e.g. 'none,reset@4096,latency:50ms'")
+	random := flag.Int("random", 0, "generate a random script of this many faults instead of -script")
+	seed := flag.Int64("seed", 1, "seed for -random scripts")
+	maxOffset := flag.Int64("max-offset", 64<<10, "offset bound for -random faults")
+	loop := flag.Bool("loop", false, "repeat the script forever instead of passing through when exhausted")
+	flag.Parse()
+
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "chaosproxy: -target is required")
+		os.Exit(2)
+	}
+	var sc *chaos.Script
+	switch {
+	case *random > 0 && *script != "":
+		fmt.Fprintln(os.Stderr, "chaosproxy: -script and -random are mutually exclusive")
+		os.Exit(2)
+	case *random > 0:
+		sc = chaos.RandomScript(*seed, *random, *maxOffset, *loop)
+		log.Printf("chaosproxy: random script seed=%d len=%d loop=%v", *seed, *random, *loop)
+	case *script != "":
+		var err error
+		sc, err = chaos.ParseScript(*script, *loop)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaosproxy: %v\n", err)
+			os.Exit(2)
+		}
+		log.Printf("chaosproxy: script len=%d loop=%v: %s", sc.Len(), *loop, *script)
+	default:
+		sc = chaos.NewScript(false) // pure pass-through
+		log.Printf("chaosproxy: no script, passing through")
+	}
+
+	p, err := chaos.NewProxy(*listen, *target, sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaosproxy: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("chaosproxy: %s -> %s", p.Addr(), *target)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	p.Close()
+	log.Printf("chaosproxy: done: conns=%d faulted=%d scriptServed=%d",
+		p.Conns.Load(), p.Injected.Load(), sc.Served())
+}

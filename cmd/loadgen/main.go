@@ -149,9 +149,10 @@ func main() {
 	}
 
 	c := report.Counts
-	log.Printf("wrote %s: %d requests at %.1f qps (target %.0f), ok %d (truncated %d), rejected %d, timeouts %d, 4xx %d, 5xx %d, transport %d, skipped %d",
+	log.Printf("wrote %s: %d requests at %.1f qps (target %.0f), ok %d (truncated %d), rejected %d, timeouts %d, 4xx %d, 5xx %d, transport %d (resets %d, timeouts %d, body %d), skipped %d",
 		path, c.Requests, report.AchievedQPS, report.TargetQPS,
-		c.OK, c.Truncated, c.Rejected, c.Timeouts, c.ClientErrors, c.ServerErrors, c.TransportErrors, c.Skipped)
+		c.OK, c.Truncated, c.Rejected, c.Timeouts, c.ClientErrors, c.ServerErrors,
+		c.TransportErrors, c.TransportResets, c.TransportTimeouts, c.TransportBody, c.Skipped)
 	log.Printf("latency ms: p50 %.2f p95 %.2f p99 %.2f max %.2f; trace q-error: p50 %.2f p95 %.2f over %d samples; adaptive replans %g",
 		report.Latency.P50MS, report.Latency.P95MS, report.Latency.P99MS, report.Latency.MaxMS,
 		report.QError.TraceP50, report.QError.TraceP95, report.QError.TraceSamples, report.AdaptiveReplans)

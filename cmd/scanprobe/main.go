@@ -1,0 +1,187 @@
+// Command scanprobe is the acceptance gate for chaos runs: it scans a
+// set of shard peers (typically behind a chaosproxy) repeatedly and
+// differentially checks every successful scan against an unfaulted
+// oracle fleet. Its exit code encodes the one invariant that matters:
+//
+//   - a scan that reports no error must be bit-identical to the oracle;
+//   - a scan that lost anything must say so with a typed error.
+//
+// Any silent divergence — short, reordered beyond set equality, or
+// corrupted — exits 1. So does a run where no scan ever succeeds, or
+// (under -expect-faults) one where the chaos layer never bit at all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"rdfshapes/internal/shard"
+	"rdfshapes/internal/store"
+)
+
+func main() {
+	peersFlag := flag.String("peers", "", "comma-separated base URLs of the peers under chaos")
+	oracleFlag := flag.String("oracle", "", "comma-separated base URLs of the unfaulted oracle fleet")
+	scans := flag.Int("scans", 20, "number of probe scans to run")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
+	retries := flag.Int("retries", 2, "retries per scan attempt")
+	degraded := flag.Bool("degraded", false, "probe in degraded mode (skip failed peers, flag the result)")
+	expectFaults := flag.Bool("expect-faults", false, "fail unless at least one probe scan observed a fault")
+	flag.Parse()
+
+	if *peersFlag == "" || *oracleFlag == "" {
+		fmt.Fprintln(os.Stderr, "scanprobe: -peers and -oracle are required")
+		os.Exit(2)
+	}
+
+	oracleRows, _, err := scanOnce(splitURLs(*oracleFlag), *timeout, *retries, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scanprobe: oracle fleet is unhealthy: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scanprobe: oracle holds %d distinct triples\n", len(oracleRows))
+
+	peers := splitURLs(*peersFlag)
+	var successes, failedScans, degradedResults int
+	var events faultEvents
+	for i := 0; i < *scans; i++ {
+		rows, ev, err := scanOnce(peers, *timeout, *retries, *degraded)
+		events.add(ev)
+		switch {
+		case err == nil:
+			successes++
+			if !equal(rows, oracleRows) {
+				fmt.Fprintf(os.Stderr,
+					"scanprobe: SILENT DIVERGENCE on scan %d: %d distinct triples, oracle %d\n",
+					i, len(rows), len(oracleRows))
+				os.Exit(1)
+			}
+		case *degraded && isDegraded(err):
+			failedScans++
+			degradedResults++
+			fmt.Printf("scanprobe: scan %d degraded: %v\n", i, err)
+		default:
+			failedScans++
+			fmt.Printf("scanprobe: scan %d failed (typed): %v\n", i, err)
+		}
+	}
+
+	// A fault was observed whenever a scan failed outright OR a retry
+	// absorbed one mid-run — recovered faults count: they prove the
+	// chaos layer bit and the client survived it.
+	faults := failedScans + int(events.retries)
+	fmt.Printf("scanprobe: %d/%d scans clean, %d failed (%d degraded); faults absorbed: retries=%d corrupt=%d truncated=%d\n",
+		successes, *scans, failedScans, degradedResults,
+		events.retries, events.corrupt, events.truncated)
+	if successes == 0 && degradedResults == 0 {
+		fmt.Fprintln(os.Stderr, "scanprobe: no scan ever succeeded")
+		os.Exit(1)
+	}
+	if *expectFaults && faults == 0 {
+		fmt.Fprintln(os.Stderr, "scanprobe: chaos never bit — nothing was actually tested")
+		os.Exit(1)
+	}
+}
+
+// degradedErr marks a scan that completed with skipped peers.
+type degradedErr struct{ err error }
+
+func (d degradedErr) Error() string { return "degraded: " + d.err.Error() }
+
+func isDegraded(err error) bool {
+	_, ok := err.(degradedErr)
+	return ok
+}
+
+// faultEvents aggregates per-peer fault observations across scans.
+type faultEvents struct {
+	retries, corrupt, truncated int64
+}
+
+func (f *faultEvents) add(o faultEvents) {
+	f.retries += o.retries
+	f.corrupt += o.corrupt
+	f.truncated += o.truncated
+}
+
+// scanOnce unions one wildcard scan across peers and returns the
+// sorted distinct rendered triples, the fault events the peers
+// absorbed, and the group's terminal fault if any.
+func scanOnce(urls []string, timeout time.Duration, retries int, allowDegraded bool) ([]string, faultEvents, error) {
+	dict := store.NewDict()
+	client := &http.Client{
+		// One request per connection: each scan attempt draws exactly one
+		// scripted fault from a connection-level chaos proxy.
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	if retries == 0 {
+		retries = -1 // RemoteConfig reads 0 as "default"; the flag means none
+	}
+	remotes := make([]*shard.Remote, len(urls))
+	for i, u := range urls {
+		remotes[i] = shard.NewRemoteConfig(u, client, dict, shard.RemoteConfig{
+			Timeout:    timeout,
+			MaxRetries: retries,
+			// The probe wants to observe every fault, not mask repeats.
+			BreakerThreshold: -1,
+		})
+	}
+	grp, err := shard.NewRemoteGroup(dict, remotes, allowDegraded)
+	if err != nil {
+		return nil, faultEvents{}, err
+	}
+
+	seen := make(map[string]struct{})
+	grp.Scan(store.IDTriple{}, func(t store.IDTriple) bool {
+		key := dict.Term(t.S).String() + " " + dict.Term(t.P).String() + " " + dict.Term(t.O).String()
+		seen[key] = struct{}{}
+		return true
+	})
+	var ev faultEvents
+	for _, r := range remotes {
+		st := r.Stats()
+		ev.retries += st.Retries
+		ev.corrupt += st.CorruptFrames
+		ev.truncated += st.Truncations
+	}
+	if ferr, deg := grp.TakeFault(); ferr != nil {
+		if deg {
+			return nil, ev, degradedErr{ferr}
+		}
+		return nil, ev, ferr
+	}
+	rows := make([]string, 0, len(seen))
+	for k := range seen {
+		rows = append(rows, k)
+	}
+	sort.Strings(rows)
+	return rows, ev, nil
+}
+
+func splitURLs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

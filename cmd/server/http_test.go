@@ -1,0 +1,24 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestHTTPServerTimeouts pins the slow-loris protections on the one
+// http.Server constructor every serving mode uses: a client that never
+// finishes its headers must be cut off, idle keep-alive connections
+// must be reclaimed, and streaming responses must not be write-capped.
+func TestHTTPServerTimeouts(t *testing.T) {
+	srv := newHTTPServer(http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadHeaderTimeout > 30*time.Second {
+		t.Errorf("ReadHeaderTimeout = %v, want a bound in (0, 30s]", srv.ReadHeaderTimeout)
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Errorf("IdleTimeout = %v, want > 0", srv.IdleTimeout)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v, want 0 (streaming responses outlive any constant)", srv.WriteTimeout)
+	}
+}

@@ -89,6 +89,7 @@ type options struct {
 	drainGrace        time.Duration
 	parallelism       int
 	shards            int
+	scanFrameBytes    int
 	dataDir           string
 	fsyncMode         string
 
@@ -134,6 +135,8 @@ func registerFlags(fs *flag.FlagSet) *options {
 		"workers per query BGP (1 = serial execution; see docs/PERFORMANCE.md)")
 	fs.IntVar(&o.shards, "shards", 0,
 		"partition the dataset into N subject-hash shards with per-shard statistics and statistics-driven shard pruning (<= 1 = unsharded; see docs/SHARDING.md)")
+	fs.IntVar(&o.scanFrameBytes, "scan-frame-bytes", 0,
+		"target frame payload size for the checksummed /shard/scan protocol (0 = default)")
 	fs.StringVar(&o.dataDir, "data-dir", "",
 		"durability directory: WAL + snapshots; recovered on start, seeded from -data/-dataset when empty (see docs/DURABILITY.md)")
 	fs.StringVar(&o.fsyncMode, "fsync", "always",
@@ -185,18 +188,12 @@ func run(ctx context.Context, opts *options, started chan<- string) error {
 	}
 
 	handler := server.NewWithConfig(db, server.Config{
-		MaxConcurrent: opts.maxConcurrent,
-		QueueWait:     opts.queueWait,
-		QueryTimeout:  opts.queryTimeout,
+		MaxConcurrent:  opts.maxConcurrent,
+		QueueWait:      opts.queueWait,
+		QueryTimeout:   opts.queryTimeout,
+		ScanFrameBytes: opts.scanFrameBytes,
 	})
-	srv := &http.Server{
-		Handler:           handler,
-		ReadHeaderTimeout: 10 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-		// No WriteTimeout: large CONSTRUCT/stats exports stream for longer
-		// than any sensible constant; query execution itself is already
-		// bounded by -query-timeout.
-	}
+	srv := newHTTPServer(handler)
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		db.Close()
@@ -251,6 +248,21 @@ func run(ctx context.Context, opts *options, started chan<- string) error {
 	return nil
 }
 
+// newHTTPServer is the single place this binary constructs an
+// http.Server, so every listener — SPARQL server, replica, router —
+// carries the same slow-loris protections: ReadHeaderTimeout bounds how
+// long a client may dribble request headers, IdleTimeout reclaims
+// keep-alive connections. No WriteTimeout: large CONSTRUCT/stats
+// exports stream for longer than any sensible constant; query execution
+// itself is already bounded by -query-timeout.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // runRouter serves the health-checked read router: no local dataset,
 // just repl.Router in front of the primary and its replicas, plus the
 // router's own metrics at /router/metrics (plain /metrics is a read and
@@ -296,7 +308,7 @@ func runRouter(ctx context.Context, opts *options, started chan<- string) error 
 	defer stopChecks()
 	go func() { _ = rt.Run(checkCtx) }()
 
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second, IdleTimeout: 2 * time.Minute}
+	srv := newHTTPServer(mux)
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err

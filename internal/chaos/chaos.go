@@ -1,0 +1,244 @@
+// Package chaos is a deterministic network fault-injection layer used
+// to harden the remote shard seam. It wraps the three places a byte
+// stream can be attacked — a net.Listener (server side), a TCP proxy
+// (between processes), and an http.RoundTripper (client side) — and
+// applies a seeded script of faults to the response direction: added
+// latency, connection resets at byte offset N, mid-body truncation,
+// single-bit corruption, stalls (slow-loris), and blackholes.
+//
+// Faults are scripted, not random-at-runtime: a Script is an ordered
+// list consumed one fault per connection (or per request for the
+// RoundTripper), so a test or smoke run replays the exact same fault
+// sequence for a given seed. The same offsets can therefore be aimed at
+// protocol landmarks — a frame header, a CRC trailer, the EOS marker —
+// which is what makes the shard chaos matrix exhaustive rather than
+// probabilistic.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// None passes the connection through untouched.
+	None Kind = iota
+	// Latency delays the first response byte by Delay, then passes
+	// through.
+	Latency
+	// Reset aborts the connection after Offset response bytes. On a TCP
+	// connection the abort is a hard RST (SO_LINGER 0), so the client
+	// sees "connection reset by peer" rather than a clean EOF.
+	Reset
+	// Truncate closes the connection cleanly after Offset response
+	// bytes: the client sees a premature but orderly EOF.
+	Truncate
+	// Corrupt XORs the response byte at Offset with Mask (default
+	// 0x01: a single bit flip) and passes everything else through.
+	Corrupt
+	// Stall pauses the response for Delay once Offset bytes have been
+	// sent, then resumes — a mid-body slow-loris.
+	Stall
+	// Blackhole accepts the connection and discards the response
+	// without ever sending a byte; the client hangs until its own
+	// deadline fires.
+	Blackhole
+)
+
+var kindNames = map[Kind]string{
+	None: "none", Latency: "latency", Reset: "reset", Truncate: "truncate",
+	Corrupt: "corrupt", Stall: "stall", Blackhole: "blackhole",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("chaos.Kind(%d)", int(k))
+}
+
+// ErrInjected is the sentinel wrapped by every error a chaos wrapper
+// manufactures, so tests can distinguish injected faults from real ones.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Fault is one scripted fault. Offset counts response-direction bytes
+// and is meaningful for Reset, Truncate, Corrupt, and Stall; Delay is
+// meaningful for Latency and Stall; Mask for Corrupt (zero means 0x01).
+type Fault struct {
+	Kind   Kind
+	Offset int64
+	Delay  time.Duration
+	Mask   byte
+}
+
+func (f Fault) String() string {
+	switch f.Kind {
+	case Latency:
+		return fmt.Sprintf("latency:%s", f.Delay)
+	case Reset, Truncate:
+		return fmt.Sprintf("%s@%d", f.Kind, f.Offset)
+	case Corrupt:
+		return fmt.Sprintf("corrupt@%d^%#02x", f.Offset, f.mask())
+	case Stall:
+		return fmt.Sprintf("stall@%d:%s", f.Offset, f.Delay)
+	default:
+		return f.Kind.String()
+	}
+}
+
+func (f Fault) mask() byte {
+	if f.Mask == 0 {
+		return 0x01
+	}
+	return f.Mask
+}
+
+// Script is a deterministic ordered fault list. Each Next call consumes
+// the next fault; a non-looping script answers None once exhausted, a
+// looping script wraps around forever. Scripts are safe for concurrent
+// use.
+type Script struct {
+	mu     sync.Mutex
+	faults []Fault
+	next   int
+	loop   bool
+	served int64
+}
+
+// NewScript builds a script from an explicit fault list.
+func NewScript(loop bool, faults ...Fault) *Script {
+	return &Script{faults: faults, loop: loop}
+}
+
+// Next consumes and returns the next scripted fault.
+func (s *Script) Next() Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.faults) == 0 || (!s.loop && s.next >= len(s.faults)) {
+		return Fault{}
+	}
+	f := s.faults[s.next%len(s.faults)]
+	s.next++
+	s.served++
+	return f
+}
+
+// Served reports how many faults (including None entries) have been
+// consumed.
+func (s *Script) Served() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Len returns the script length.
+func (s *Script) Len() int { return len(s.faults) }
+
+// RandomScript derives a deterministic script of n faults from seed,
+// mixing every kind with offsets in [0, maxOffset). The same seed
+// always yields the same script, so a failing chaos run is replayable
+// by seed alone.
+func RandomScript(seed int64, n int, maxOffset int64, loop bool) *Script {
+	if maxOffset < 1 {
+		maxOffset = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []Kind{None, Latency, Reset, Truncate, Corrupt, Stall}
+	faults := make([]Fault, 0, n)
+	for i := 0; i < n; i++ {
+		f := Fault{Kind: kinds[rng.Intn(len(kinds))]}
+		switch f.Kind {
+		case Latency:
+			f.Delay = time.Duration(1+rng.Intn(20)) * time.Millisecond
+		case Reset, Truncate, Corrupt:
+			f.Offset = rng.Int63n(maxOffset)
+		case Stall:
+			f.Offset = rng.Int63n(maxOffset)
+			f.Delay = time.Duration(1+rng.Intn(20)) * time.Millisecond
+		}
+		faults = append(faults, f)
+	}
+	return &Script{faults: faults, loop: loop}
+}
+
+// ParseScript parses a comma-separated fault spec, e.g.
+//
+//	none,latency:50ms,reset@1024,truncate@16,corrupt@9,stall@64:200ms,blackhole
+//
+// Offsets follow '@', durations follow ':', and a corrupt mask may
+// follow '^' as hex (default 0x01).
+func ParseScript(spec string, loop bool) (*Script, error) {
+	var faults []Fault
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := parseFault(part)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: bad fault %q: %w", part, err)
+		}
+		faults = append(faults, f)
+	}
+	if len(faults) == 0 {
+		return nil, errors.New("chaos: empty script")
+	}
+	return &Script{faults: faults, loop: loop}, nil
+}
+
+func parseFault(part string) (Fault, error) {
+	var f Fault
+	name := part
+	if i := strings.IndexAny(part, "@:"); i >= 0 {
+		name = part[:i]
+	}
+	found := false
+	for k, n := range kindNames {
+		if n == name {
+			f.Kind, found = k, true
+			break
+		}
+	}
+	if !found {
+		return f, fmt.Errorf("unknown kind %q", name)
+	}
+	rest := part[len(name):]
+	if at := strings.Index(rest, "@"); at >= 0 {
+		num := rest[at+1:]
+		if c := strings.IndexAny(num, ":^"); c >= 0 {
+			num = num[:c]
+		}
+		off, err := strconv.ParseInt(num, 10, 64)
+		if err != nil {
+			return f, fmt.Errorf("offset: %w", err)
+		}
+		f.Offset = off
+	}
+	if colon := strings.Index(rest, ":"); colon >= 0 {
+		num := rest[colon+1:]
+		if c := strings.Index(num, "^"); c >= 0 {
+			num = num[:c]
+		}
+		d, err := time.ParseDuration(num)
+		if err != nil {
+			return f, fmt.Errorf("delay: %w", err)
+		}
+		f.Delay = d
+	}
+	if caret := strings.Index(rest, "^"); caret >= 0 {
+		m, err := strconv.ParseUint(strings.TrimPrefix(rest[caret+1:], "0x"), 16, 8)
+		if err != nil {
+			return f, fmt.Errorf("mask: %w", err)
+		}
+		f.Mask = byte(m)
+	}
+	return f, nil
+}

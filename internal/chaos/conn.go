@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// faultConn wraps a net.Conn and applies one Fault to the bytes written
+// through it (the response direction). Reads pass through untouched.
+type faultConn struct {
+	net.Conn
+	f       Fault
+	written int64
+	stalled bool
+	dead    bool
+}
+
+// abort tears the connection down. For Reset on TCP, SO_LINGER 0 turns
+// the close into a hard RST so the peer sees ECONNRESET instead of EOF.
+func (c *faultConn) abort(rst bool) {
+	if rst {
+		if tc, ok := c.Conn.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+	}
+	c.Conn.Close()
+	c.dead = true
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.dead {
+		return 0, fmt.Errorf("%w: %s", ErrInjected, c.f)
+	}
+	switch c.f.Kind {
+	case None:
+		return c.Conn.Write(p)
+	case Latency:
+		if c.written == 0 && len(p) > 0 {
+			sleep(c.f.Delay)
+		}
+		n, err := c.Conn.Write(p)
+		c.written += int64(n)
+		return n, err
+	case Blackhole:
+		// Swallow the bytes: the writer believes it made progress, the
+		// peer never hears a thing and must rely on its own deadline.
+		return len(p), nil
+	case Reset, Truncate:
+		keep := c.f.Offset - c.written
+		if keep < 0 {
+			keep = 0
+		}
+		if int64(len(p)) <= keep {
+			n, err := c.Conn.Write(p)
+			c.written += int64(n)
+			return n, err
+		}
+		n := 0
+		if keep > 0 {
+			var err error
+			n, err = c.Conn.Write(p[:keep])
+			c.written += int64(n)
+			if err != nil {
+				return n, err
+			}
+		}
+		c.abort(c.f.Kind == Reset)
+		return n, fmt.Errorf("%w: %s", ErrInjected, c.f)
+	case Corrupt:
+		if c.f.Offset >= c.written && c.f.Offset < c.written+int64(len(p)) {
+			q := make([]byte, len(p))
+			copy(q, p)
+			q[c.f.Offset-c.written] ^= c.f.mask()
+			p = q
+		}
+		n, err := c.Conn.Write(p)
+		c.written += int64(n)
+		return n, err
+	case Stall:
+		if !c.stalled && c.written+int64(len(p)) > c.f.Offset {
+			keep := c.f.Offset - c.written
+			if keep > 0 {
+				n, err := c.Conn.Write(p[:keep])
+				c.written += int64(n)
+				if err != nil {
+					return n, err
+				}
+				p = p[keep:]
+				sleep(c.f.Delay)
+				c.stalled = true
+				m, err := c.Conn.Write(p)
+				c.written += int64(m)
+				return n + m, err
+			}
+			sleep(c.f.Delay)
+			c.stalled = true
+		}
+		n, err := c.Conn.Write(p)
+		c.written += int64(n)
+		return n, err
+	default:
+		return c.Conn.Write(p)
+	}
+}
+
+// sleep is a test seam so unit tests can keep fault delays honest but
+// fast.
+var sleep = time.Sleep
+
+// Listener wraps an accepting listener so every accepted connection
+// carries the next scripted fault on its write (response) path.
+type Listener struct {
+	net.Listener
+	Script *Script
+
+	// Injected counts accepted connections that drew a non-None fault.
+	Injected atomic.Int64
+}
+
+// WrapListener wraps ln with script.
+func WrapListener(ln net.Listener, script *Script) *Listener {
+	return &Listener{Listener: ln, Script: script}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	f := l.Script.Next()
+	if f.Kind != None {
+		l.Injected.Add(1)
+	}
+	return &faultConn{Conn: c, f: f}, nil
+}

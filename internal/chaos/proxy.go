@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Proxy is a TCP forwarder that applies one scripted fault per accepted
+// connection to the server→client byte stream. It sits in front of a
+// real process (a cmd/server shard peer, say) so faults hit genuine
+// kernel sockets rather than in-process pipes — the shape of fault a
+// production coordinator actually sees.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	script *Script
+
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+	Conns    atomic.Int64 // connections accepted
+	Injected atomic.Int64 // connections that drew a non-None fault
+}
+
+// NewProxy listens on listenAddr (e.g. "127.0.0.1:0") and forwards to
+// target, faulting per script. It serves until Close.
+func NewProxy(listenAddr, target string, script *Script) (*Proxy, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, script: script}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address, for client configuration.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (p *Proxy) Close() error {
+	p.closed.Store(true)
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) serve() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.Conns.Add(1)
+		f := p.script.Next()
+		if f.Kind != None {
+			p.Injected.Add(1)
+		}
+		p.wg.Add(1)
+		go p.handle(client, f)
+	}
+}
+
+func (p *Proxy) handle(client net.Conn, f Fault) {
+	defer p.wg.Done()
+	defer client.Close()
+	server, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	defer server.Close()
+
+	// The response direction flows through the fault wrapper; the
+	// request direction passes through untouched so the server always
+	// sees a well-formed request (the attack is on the answer).
+	faulted := &faultConn{Conn: client, f: f}
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(server, client)
+		// Client finished sending (or died): half-close toward the
+		// server so a streaming handler sees EOF on the request.
+		if tc, ok := server.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(faulted, server)
+		done <- struct{}{}
+	}()
+	// One direction ending is enough: response faults abort the copy,
+	// and a finished response means the exchange is over.
+	<-done
+}

@@ -1,0 +1,111 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+)
+
+// RoundTripper applies one scripted fault per request to the response
+// body the client reads. Unlike the Listener/Proxy wrappers it faults
+// *above* the HTTP layer: a Truncate here is invisible to the transport
+// (no short Content-Length, no connection error) and reaches the caller
+// as a bare io.EOF mid-body — precisely the silent-truncation attack a
+// framed protocol must detect by itself.
+type RoundTripper struct {
+	Base   http.RoundTripper // nil selects http.DefaultTransport
+	Script *Script
+
+	Requests atomic.Int64
+	Injected atomic.Int64
+}
+
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := rt.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	f := rt.Script.Next()
+	rt.Requests.Add(1)
+	if f.Kind != None {
+		rt.Injected.Add(1)
+	}
+	switch f.Kind {
+	case Latency:
+		sleep(f.Delay)
+	case Blackhole:
+		// Never answer: park until the request's own deadline fires.
+		<-req.Context().Done()
+		return nil, fmt.Errorf("%w: %s: %v", ErrInjected, f, req.Context().Err())
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	switch f.Kind {
+	case Reset, Truncate, Corrupt, Stall:
+		resp.Body = &faultBody{rc: resp.Body, f: f}
+	}
+	return resp, nil
+}
+
+// faultBody applies an offset-addressed fault to a response body read
+// stream.
+type faultBody struct {
+	rc      io.ReadCloser
+	f       Fault
+	read    int64
+	done    bool
+	stalled bool
+}
+
+func (b *faultBody) Read(p []byte) (int, error) {
+	if b.done {
+		switch b.f.Kind {
+		case Truncate:
+			return 0, io.EOF
+		default:
+			return 0, fmt.Errorf("%w: %s", ErrInjected, b.f)
+		}
+	}
+	switch b.f.Kind {
+	case Reset, Truncate:
+		keep := b.f.Offset - b.read
+		if keep <= 0 {
+			b.done = true
+			b.rc.Close()
+			if b.f.Kind == Truncate {
+				return 0, io.EOF
+			}
+			return 0, fmt.Errorf("%w: %s", ErrInjected, b.f)
+		}
+		if int64(len(p)) > keep {
+			p = p[:keep]
+		}
+		n, err := b.rc.Read(p)
+		b.read += int64(n)
+		return n, err
+	case Corrupt:
+		n, err := b.rc.Read(p)
+		if off := b.f.Offset - b.read; off >= 0 && off < int64(n) {
+			p[off] ^= b.f.mask()
+		}
+		b.read += int64(n)
+		return n, err
+	case Stall:
+		if !b.stalled && b.read >= b.f.Offset {
+			b.stalled = true
+			sleep(b.f.Delay)
+		}
+		n, err := b.rc.Read(p)
+		b.read += int64(n)
+		return n, err
+	default:
+		n, err := b.rc.Read(p)
+		b.read += int64(n)
+		return n, err
+	}
+}
+
+func (b *faultBody) Close() error { return b.rc.Close() }

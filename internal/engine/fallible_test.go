@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rdfshapes/internal/sparql"
+	"rdfshapes/internal/store"
+)
+
+// fallibleSource wraps a store and plays back a scripted scan fault,
+// imitating a remote-backed source: Scan cannot return an error, so the
+// fault is retained for TakeFault. When degraded is false the fault is
+// fail-fast; when partial is true the scan also stops early, modeling a
+// member dropping out mid-stream.
+type fallibleSource struct {
+	*store.Store
+	fault    error
+	degraded bool
+	partial  bool
+	taken    int
+}
+
+func (f *fallibleSource) Scan(pat store.IDTriple, fn func(store.IDTriple) bool) {
+	if f.fault != nil && f.partial {
+		n := 0
+		f.Store.Scan(pat, func(t store.IDTriple) bool {
+			if n++; n > 1 {
+				return false // member died after one triple
+			}
+			return fn(t)
+		})
+		return
+	}
+	f.Store.Scan(pat, fn)
+}
+
+func (f *fallibleSource) TakeFault() (error, bool) {
+	f.taken++
+	err := f.fault
+	f.fault = nil
+	return err, f.degraded
+}
+
+func TestFallibleFailFastFailsTheRun(t *testing.T) {
+	src := &fallibleSource{
+		Store:   family(),
+		fault:   fmt.Errorf("peer 2: connection reset"),
+		partial: true,
+	}
+	q := sparql.MustParse(`SELECT * WHERE { ?p <http://x/parentOf> ?c }`)
+	res, err := Run(src, q.Patterns, Options{})
+	if err == nil {
+		t.Fatalf("Run succeeded with a fail-fast source fault: %+v", res)
+	}
+	if !errors.Is(err, ErrSourceFailed) {
+		t.Fatalf("err = %v, want ErrSourceFailed", err)
+	}
+	if src.taken == 0 {
+		t.Fatal("TakeFault never consulted")
+	}
+}
+
+func TestFallibleDegradedFlagsTheResult(t *testing.T) {
+	var reported []ExecReport
+	src := &fallibleSource{
+		Store:    family(),
+		fault:    fmt.Errorf("peer 2: breaker open"),
+		degraded: true,
+		partial:  true,
+	}
+	q := sparql.MustParse(`SELECT * WHERE { ?p <http://x/parentOf> ?c }`)
+	res, err := Run(src, q.Patterns, Options{
+		Observer: func(r ExecReport) { reported = append(reported, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("Result.Degraded false after a degraded source fault")
+	}
+	if res.Count >= 3 {
+		t.Fatalf("Count = %d; the partial scan should have lost rows", res.Count)
+	}
+	if len(reported) != 1 || !reported[0].Degraded {
+		t.Fatalf("observer report = %+v, want Degraded", reported)
+	}
+}
+
+func TestFallibleCleanScanStaysClean(t *testing.T) {
+	src := &fallibleSource{Store: family()}
+	q := sparql.MustParse(`SELECT * WHERE { ?p <http://x/parentOf> ?c }`)
+	res, err := Run(src, q.Patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Fatal("Result.Degraded true without a fault")
+	}
+	if res.Count != 3 {
+		t.Fatalf("Count = %d, want 3", res.Count)
+	}
+	if src.taken == 0 {
+		t.Fatal("TakeFault never consulted on the clean path")
+	}
+}

@@ -80,6 +80,15 @@ type Counts struct {
 	ClientErrors    int64 `json:"clientErrors"`
 	ServerErrors    int64 `json:"serverErrors"`
 	TransportErrors int64 `json:"transportErrors"`
+	// TransportResets, TransportTimeouts, and TransportBody subclass
+	// TransportErrors (each transport failure lands in at most one;
+	// unclassifiable ones only in the total): connection resets / torn
+	// streams, client-side deadline expiry below HTTP, and bodies that
+	// died mid-read after a 200 — three distinct server pathologies that
+	// a single lump total kept indistinguishable.
+	TransportResets   int64 `json:"transportResets"`
+	TransportTimeouts int64 `json:"transportTimeouts"`
+	TransportBody     int64 `json:"transportBodyErrors"`
 	// Skipped counts ticks dropped because all Concurrency slots were
 	// busy — the open-loop rig refuses to queue unboundedly, so a
 	// saturated server shows up here instead of as coordinated omission.
@@ -226,7 +235,8 @@ func (r *Report) Validate() error {
 
 func validateCounts(name string, c Counts) error {
 	for _, v := range []int64{c.Requests, c.OK, c.Truncated, c.Rejected, c.Timeouts,
-		c.ClientErrors, c.ServerErrors, c.TransportErrors, c.Skipped} {
+		c.ClientErrors, c.ServerErrors, c.TransportErrors, c.Skipped,
+		c.TransportResets, c.TransportTimeouts, c.TransportBody} {
 		if v < 0 {
 			return fmt.Errorf("loadgen: %s: negative count", name)
 		}
@@ -236,6 +246,10 @@ func validateCounts(name string, c Counts) error {
 	}
 	if c.Truncated > c.OK {
 		return fmt.Errorf("loadgen: %s: truncated %d exceeds ok %d", name, c.Truncated, c.OK)
+	}
+	if sub := c.TransportResets + c.TransportTimeouts + c.TransportBody; sub > c.TransportErrors {
+		return fmt.Errorf("loadgen: %s: transport subclasses sum to %d, exceeding transportErrors %d",
+			name, sub, c.TransportErrors)
 	}
 	return nil
 }

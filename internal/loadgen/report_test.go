@@ -81,6 +81,10 @@ func TestReportValidateRejects(t *testing.T) {
 			r.Templates[0].Counts.Truncated = r.Templates[0].Counts.OK + 1
 		},
 		"update errors exceed requests": func(r *Report) { r.Updates.Errors = 1 },
+		"transport subclasses exceed total": func(r *Report) {
+			r.Counts.TransportResets = 1 // TransportErrors stays 0
+		},
+		"negative transport subclass": func(r *Report) { r.Counts.TransportBody = -1 },
 	}
 	for name, mutate := range cases {
 		r := validReport()

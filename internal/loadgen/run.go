@@ -3,14 +3,17 @@ package loadgen
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -208,6 +211,15 @@ dispatch:
 					st.counts.ServerErrors++
 				case outcomeTransport:
 					st.counts.TransportErrors++
+				case outcomeTransportReset:
+					st.counts.TransportErrors++
+					st.counts.TransportResets++
+				case outcomeTransportTimeout:
+					st.counts.TransportErrors++
+					st.counts.TransportTimeouts++
+				case outcomeTransportBody:
+					st.counts.TransportErrors++
+					st.counts.TransportBody++
 				}
 				mu.Unlock()
 			}()
@@ -254,6 +266,9 @@ dispatch:
 		r.Counts.ClientErrors += st.counts.ClientErrors
 		r.Counts.ServerErrors += st.counts.ServerErrors
 		r.Counts.TransportErrors += st.counts.TransportErrors
+		r.Counts.TransportResets += st.counts.TransportResets
+		r.Counts.TransportTimeouts += st.counts.TransportTimeouts
+		r.Counts.TransportBody += st.counts.TransportBody
 		r.Counts.Skipped += st.counts.Skipped
 		allLat = append(allLat, st.latencies...)
 	}
@@ -277,8 +292,35 @@ const (
 	outcomeTimeout
 	outcomeClientError
 	outcomeServerError
+	// Transport outcomes subclass "failed below HTTP": a reset or torn
+	// connection, a client-side deadline, a response body that died
+	// mid-read, and the unclassifiable remainder.
 	outcomeTransport
+	outcomeTransportReset
+	outcomeTransportTimeout
+	outcomeTransportBody
 )
+
+// classifyTransport splits a client.Do failure into the reset/timeout/
+// generic subclasses by inspecting the wrapped error chain.
+func classifyTransport(err error) outcome {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return outcomeTransportTimeout
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return outcomeTransportTimeout
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return outcomeTransportReset
+	}
+	if s := err.Error(); strings.Contains(s, "connection reset") ||
+		strings.Contains(s, "broken pipe") {
+		return outcomeTransportReset
+	}
+	return outcomeTransport
+}
 
 // doQuery issues one query against base and classifies the result. The
 // body is read fully even on error status so connections are reused.
@@ -292,11 +334,17 @@ func doQuery(ctx context.Context, client *http.Client, opts Options, base, query
 	begin := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		return outcomeTransport, false, 0
+		return classifyTransport(err), false, 0
 	}
-	body, _ := io.ReadAll(resp.Body)
+	body, rerr := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	latency := time.Since(begin)
+	// A 200 whose body dies mid-read delivered nothing trustworthy: that
+	// is a transport failure, not a success — and before subclassing it
+	// was silently miscounted as OK.
+	if rerr != nil && resp.StatusCode == http.StatusOK {
+		return outcomeTransportBody, false, latency
+	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
 		var res struct {

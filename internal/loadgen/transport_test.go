@@ -1,0 +1,78 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+type fakeNetErr struct{ timeout bool }
+
+func (e fakeNetErr) Error() string   { return "fake net error" }
+func (e fakeNetErr) Timeout() bool   { return e.timeout }
+func (e fakeNetErr) Temporary() bool { return false }
+
+var _ net.Error = fakeNetErr{}
+
+func TestClassifyTransport(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want outcome
+	}{
+		{"deadline", context.DeadlineExceeded, outcomeTransportTimeout},
+		{"net timeout", fakeNetErr{timeout: true}, outcomeTransportTimeout},
+		{"econnreset", &net.OpError{Op: "read", Err: os.NewSyscallError("read", syscall.ECONNRESET)}, outcomeTransportReset},
+		{"epipe", &net.OpError{Op: "write", Err: os.NewSyscallError("write", syscall.EPIPE)}, outcomeTransportReset},
+		{"unexpected eof", io.ErrUnexpectedEOF, outcomeTransportReset},
+		{"eof", io.EOF, outcomeTransportReset},
+		{"reset by message", errors.New(`Get "http://x": read tcp 1.2.3.4: connection reset by peer`), outcomeTransportReset},
+		{"unclassifiable", errors.New("something odd"), outcomeTransport},
+	}
+	for _, tc := range cases {
+		if got := classifyTransport(tc.err); got != tc.want {
+			t.Errorf("%s: classifyTransport = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestDoQueryBodyReadError pins the body subclass: a 200 whose body is
+// cut short of its Content-Length is a transport failure, not an OK —
+// the old accounting counted it as a success.
+func TestDoQueryBodyReadError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", "1000")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"truncated":`))
+	}))
+	defer srv.Close()
+
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	got, _, _ := doQuery(context.Background(), client, Options{Timeout: time.Second}, srv.URL, "SELECT * WHERE { ?s ?p ?o }")
+	if got != outcomeTransportBody {
+		t.Fatalf("outcome = %v, want outcomeTransportBody", got)
+	}
+}
+
+// TestDoQueryAbortedResponse pins the reset subclass end to end: a
+// handler that aborts mid-response surfaces as a reset-class transport
+// outcome, not the unclassified lump.
+func TestDoQueryAbortedResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer srv.Close()
+
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	got, _, _ := doQuery(context.Background(), client, Options{Timeout: time.Second}, srv.URL, "SELECT * WHERE { ?s ?p ?o }")
+	if got != outcomeTransportReset {
+		t.Fatalf("outcome = %v, want outcomeTransportReset", got)
+	}
+}

@@ -65,6 +65,28 @@ const (
 	MetricRouterReadsRepl  = "rdfshapes_router_replica_reads_total"
 )
 
+// Remote-shard scan metric names (maintained as atomics by the
+// chaos-hardened client in internal/shard, exported at scrape time by
+// RemoteGroup.RegisterMetrics; the scan-endpoint counters come from
+// shard.HandlerStats, registered by the server).
+const (
+	MetricRemoteScans         = "rdfshapes_remote_scans_total"
+	MetricRemoteScanFailures  = "rdfshapes_remote_scan_failures_total"
+	MetricRemoteScanRetries   = "rdfshapes_remote_scan_retries_total"
+	MetricRemoteHedges        = "rdfshapes_remote_scan_hedges_total"
+	MetricRemoteHedgeWins     = "rdfshapes_remote_scan_hedge_wins_total"
+	MetricRemoteCorruptFrames = "rdfshapes_remote_scan_corrupt_total"
+	MetricRemoteTruncations   = "rdfshapes_remote_scan_truncated_total"
+	MetricRemoteBreakerOpens  = "rdfshapes_remote_breaker_opens_total"
+	MetricRemoteBreakerState  = "rdfshapes_remote_breaker_state"
+	MetricRemoteDegradedScans = "rdfshapes_remote_degraded_scans_total"
+
+	MetricScanServed = "rdfshapes_shard_scans_served_total"
+	MetricScanFrames = "rdfshapes_shard_scan_frames_total"
+	MetricScanRows   = "rdfshapes_shard_scan_rows_total"
+	MetricScanAborts = "rdfshapes_shard_scan_aborts_total"
+)
+
 // CheckpointDurationBuckets are the checkpoint-latency histogram upper
 // bounds in seconds: checkpoints write a full snapshot, so the range
 // sits well above query latencies.
@@ -99,12 +121,13 @@ type Collector struct {
 	intermediate *CounterVec
 	resultRows   *CounterVec
 
-	mu          sync.Mutex
-	gauges      map[string]GaugeFunc
-	gaugeVecs   map[string]GaugeVecFunc   // labeled scrape-time gauges, by name
-	counterVecs map[string]CounterVecFunc // labeled scrape-time counters, by name
-	extra       map[string]*CounterVec    // auxiliary counters (Counter), by name
-	extraH      map[string]*HistogramVec  // auxiliary histograms (Histogram), by name
+	mu           sync.Mutex
+	gauges       map[string]GaugeFunc
+	gaugeVecs    map[string]GaugeVecFunc   // labeled scrape-time gauges, by name
+	counterVecs  map[string]CounterVecFunc // labeled scrape-time counters, by name
+	counterFuncs map[string]CounterFunc    // unlabeled scrape-time counters, by name
+	extra        map[string]*CounterVec    // auxiliary counters (Counter), by name
+	extraH       map[string]*HistogramVec  // auxiliary histograms (Histogram), by name
 }
 
 // NewCollector returns a collector whose trace ring holds the last
@@ -222,6 +245,22 @@ func (c *Collector) RegisterCounterVec(name, help, label string, fn func() map[s
 	c.counterVecs[name] = CounterVecFunc{name: name, help: help, label: label, fn: fn}
 }
 
+// RegisterCounter installs (or replaces) an unlabeled scrape-time
+// counter: fn is read once per scrape and must be monotonically
+// non-decreasing. Used for single-series cumulative counts kept in
+// hot-path atomics (the scan endpoint's frame and abort counters).
+func (c *Collector) RegisterCounter(name, help string, fn func() float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.counterFuncs == nil {
+		c.counterFuncs = map[string]CounterFunc{}
+	}
+	c.counterFuncs[name] = CounterFunc{name: name, help: help, fn: fn}
+}
+
 // Record finalizes t (via Finish, when the caller has not already),
 // stamps its time, stores it in the trace ring, and folds it into every
 // cumulative metric. Safe on a nil receiver.
@@ -309,6 +348,11 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	for _, n := range cvNames {
 		counterVecs = append(counterVecs, c.counterVecs[n])
 	}
+	cfNames := sortedKeys(c.counterFuncs)
+	counterFuncs := make([]CounterFunc, 0, len(cfNames))
+	for _, n := range cfNames {
+		counterFuncs = append(counterFuncs, c.counterFuncs[n])
+	}
 	extraNames := sortedKeys(c.extra)
 	extras := make([]*CounterVec, 0, len(extraNames))
 	for _, n := range extraNames {
@@ -332,6 +376,11 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 	}
 	for _, cv := range counterVecs {
 		if err := cv.write(w); err != nil {
+			return err
+		}
+	}
+	for _, cf := range counterFuncs {
+		if err := cf.write(w); err != nil {
 			return err
 		}
 	}

@@ -264,6 +264,21 @@ func (g GaugeFunc) write(w io.Writer) error {
 	return err
 }
 
+// CounterFunc is an unlabeled counter whose value is read at scrape
+// time; fn must be monotonically non-decreasing.
+type CounterFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+func (c CounterFunc) write(w io.Writer) error {
+	if err := writeHeader(w, c.name, c.help, "counter"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", c.name, formatValue(c.fn()))
+	return err
+}
+
 // CounterVecFunc is a labeled counter family whose series are read at
 // scrape time: the underlying values live in hot-path-friendly state
 // (e.g. atomics in the shard coordinator) and are only sampled when

@@ -365,6 +365,12 @@ func (f *Follower) backoffDelay(n int) time.Duration {
 	f.rngMu.Lock()
 	jittered := d/2 + time.Duration(f.rng.Int63n(int64(d/2)+1))
 	f.rngMu.Unlock()
+	// A sub-2ns base truncates d/2 to zero, which would turn the retry
+	// loop into a hot spin against a down primary. Hold a 1ms floor
+	// (never above the configured cap).
+	if floor := min(time.Millisecond, f.cfg.BackoffMax); jittered < floor {
+		jittered = floor
+	}
 	return jittered
 }
 

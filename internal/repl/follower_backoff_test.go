@@ -1,0 +1,94 @@
+package repl
+
+import (
+	"testing"
+	"time"
+)
+
+func backoffFollower(base, max time.Duration, seed int64) *Follower {
+	return NewFollower(FollowerConfig{
+		Primary:     "http://unused.invalid",
+		BackoffBase: base,
+		BackoffMax:  max,
+		Seed:        seed,
+	})
+}
+
+// TestBackoffNeverZero pins the hot-spin guard: no failure count and no
+// configured base — however degenerate — may produce a zero (or
+// negative) delay, or a fleet of followers would hammer a down primary
+// in a busy loop.
+func TestBackoffNeverZero(t *testing.T) {
+	for _, base := range []time.Duration{1, 2, 10, time.Microsecond, time.Millisecond, 50 * time.Millisecond} {
+		f := backoffFollower(base, 5*time.Second, 7)
+		for n := 0; n <= 20; n++ {
+			for i := 0; i < 50; i++ {
+				if d := f.backoffDelay(n); d <= 0 {
+					t.Fatalf("base=%v n=%d: backoffDelay = %v, want > 0", base, n, d)
+				}
+			}
+		}
+	}
+}
+
+// TestBackoffGrowsAndCaps pins the exponential shape: delays grow with
+// the failure count, stay within [cap/2, cap] once saturated, and never
+// exceed the cap no matter how long the divergence lasts.
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	base, cap := 10*time.Millisecond, 160*time.Millisecond
+	f := backoffFollower(base, cap, 1)
+
+	// n=1 draws from [base/2, base].
+	for i := 0; i < 100; i++ {
+		d := f.backoffDelay(1)
+		if d < base/2 || d > base {
+			t.Fatalf("n=1: delay %v outside [%v, %v]", d, base/2, base)
+		}
+	}
+	// Far past saturation the cap must hold — this is the "cap holds
+	// across repeated divergence cycles" pin: a follower that has been
+	// cut off for hours still wakes at the cap cadence, not beyond.
+	for _, n := range []int{5, 6, 10, 100, 10000} {
+		for i := 0; i < 100; i++ {
+			d := f.backoffDelay(n)
+			if d < cap/2 || d > cap {
+				t.Fatalf("n=%d: delay %v outside [%v, %v]", n, d, cap/2, cap)
+			}
+		}
+	}
+}
+
+// TestBackoffJitterSpreads pins the desynchronization property: two
+// followers with different seeds must not draw identical delay
+// sequences, or a fleet reconnects in lockstep after a primary outage.
+func TestBackoffJitterSpreads(t *testing.T) {
+	a := backoffFollower(50*time.Millisecond, 5*time.Second, 1)
+	b := backoffFollower(50*time.Millisecond, 5*time.Second, 2)
+	same := 0
+	const draws = 50
+	for i := 0; i < draws; i++ {
+		if a.backoffDelay(4) == b.backoffDelay(4) {
+			same++
+		}
+	}
+	if same == draws {
+		t.Fatal("two differently-seeded followers drew identical backoff sequences")
+	}
+}
+
+// TestBackoffTinyCapStillBounded pins the floor/cap interaction: when
+// the configured cap is below the 1ms hot-spin floor, the floor yields
+// to the cap — the never-zero guarantee must not overshoot an
+// explicitly tiny cap.
+func TestBackoffTinyCapStillBounded(t *testing.T) {
+	f := backoffFollower(2, 10, 3) // 2ns base, 10ns cap
+	for n := 0; n <= 8; n++ {
+		d := f.backoffDelay(n)
+		if d <= 0 {
+			t.Fatalf("n=%d: delay %v, want > 0", n, d)
+		}
+		if d > 10 {
+			t.Fatalf("n=%d: delay %v exceeds the 10ns cap", n, d)
+		}
+	}
+}

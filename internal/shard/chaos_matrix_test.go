@@ -1,0 +1,288 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"rdfshapes/internal/chaos"
+	"rdfshapes/internal/store"
+)
+
+// chaosBackend builds a sharded group over the seed graph, serves it
+// framed with the given frame target, and returns the server plus the
+// oracle rows (sorted rendered terms) for the wildcard pattern.
+func chaosBackend(t *testing.T, frameBytes int) (*httptest.Server, *store.Store, []string) {
+	t.Helper()
+	st := store.Load(seedGraph())
+	g, err := New(st, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(HandlerWithConfig(func() Source { return g.Snapshot() },
+		HandlerConfig{FrameBytes: frameBytes}))
+	t.Cleanup(srv.Close)
+	return srv, st, renderRows(st.Dict(), collect(st.Scan, store.IDTriple{}))
+}
+
+// renderRows decodes ID triples through d into sorted, comparable
+// strings — the bit-identity yardstick across dictionaries.
+func renderRows(d *store.Dict, ts []store.IDTriple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = d.Term(t.S).String() + " " + d.Term(t.P).String() + " " + d.Term(t.O).String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// captureFramedBody fetches the wildcard scan once, unfaulted, and
+// returns the raw framed body — the byte string whose landmarks the
+// matrix aims at.
+func captureFramedBody(t *testing.T, base string) []byte {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/shard/scan", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", ScanContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("Content-Type"); got != ScanContentType {
+		t.Fatalf("Content-Type = %q, want %q", got, ScanContentType)
+	}
+	return raw
+}
+
+// frameLandmarks walks the framed stream structure and returns every
+// protocol-significant byte offset: the magic, each frame's type byte,
+// length field, payload start, payload middle, CRC trailer, and the EOS
+// region.
+func frameLandmarks(t *testing.T, raw []byte) []int64 {
+	t.Helper()
+	if string(raw[:len(scanMagic)]) != scanMagic {
+		t.Fatalf("capture is not a framed stream: %q", raw[:8])
+	}
+	offs := []int64{0, 4, int64(len(scanMagic)) - 1}
+	p := int64(len(scanMagic))
+	for p < int64(len(raw)) {
+		n := int64(binary.BigEndian.Uint32(raw[p+1 : p+5]))
+		offs = append(offs, p, p+1, p+5) // type, length, payload start
+		if n > 1 {
+			offs = append(offs, p+5+n/2) // mid payload
+		}
+		offs = append(offs, p+5+n, p+5+n+3) // CRC first and last byte
+		p += 5 + n + 4
+	}
+	if p != int64(len(raw)) {
+		t.Fatalf("stream walk ended at %d of %d bytes", p, len(raw))
+	}
+	return offs
+}
+
+// TestRemoteChaosMatrix is the tentpole acceptance suite: every fault
+// kind at every frame-protocol landmark, through both the transient
+// path (fault once, then clean — the retry must win) and the persistent
+// path (fault forever — a typed error must surface). The invariant that
+// must hold everywhere: a scan that reports no error is bit-identical
+// to the unfaulted oracle; a scan that lost anything reports a typed
+// *Error. Silence and shortness never coincide.
+func TestRemoteChaosMatrix(t *testing.T) {
+	for _, frameBytes := range []int{0, 64} { // one big frame; many small frames
+		t.Run(fmt.Sprintf("frame=%d", frameBytes), func(t *testing.T) {
+			srv, _, oracle := chaosBackend(t, frameBytes)
+			raw := captureFramedBody(t, srv.URL)
+			landmarks := frameLandmarks(t, raw)
+			kinds := []chaos.Kind{chaos.Reset, chaos.Truncate, chaos.Corrupt}
+
+			var sawTypedError, sawRetriedSuccess bool
+			for _, kind := range kinds {
+				for _, off := range landmarks {
+					fault := chaos.Fault{Kind: kind, Offset: off}
+					for _, persistent := range []bool{false, true} {
+						name := fmt.Sprintf("%v/persistent=%v", fault, persistent)
+						script := chaos.NewScript(persistent, fault)
+						rd := store.NewDict()
+						rt := &chaos.RoundTripper{Base: srv.Client().Transport, Script: script}
+						client := &http.Client{Transport: rt}
+						remote := NewRemoteConfig(srv.URL, client, rd, RemoteConfig{
+							MaxRetries:  1,
+							BackoffBase: time.Millisecond,
+							BackoffMax:  2 * time.Millisecond,
+							Seed:        42,
+						})
+						got := collect(remote.Scan, store.IDTriple{})
+						err := remote.Err()
+						if err == nil {
+							if !equalRows(renderRows(rd, got), oracle) {
+								t.Fatalf("%s: SILENT divergence: %d rows, oracle %d",
+									name, len(got), len(oracle))
+							}
+							if rt.Requests.Load() > 1 {
+								sawRetriedSuccess = true
+							}
+						} else {
+							re, ok := err.(*Error)
+							if !ok {
+								t.Fatalf("%s: untyped error %T %v", name, err, err)
+							}
+							if re.Kind == KindStatus || re.Kind == KindBreakerOpen {
+								t.Fatalf("%s: implausible kind %v", name, re.Kind)
+							}
+							sawTypedError = true
+						}
+					}
+				}
+			}
+			if !sawTypedError {
+				t.Error("matrix never produced a typed error — faults not biting")
+			}
+			if !sawRetriedSuccess {
+				t.Error("matrix never recovered via retry — transient path untested")
+			}
+		})
+	}
+}
+
+// TestRemoteChaosStallAndBlackhole covers the time-domain faults: a
+// short stall is survived transparently, a stall past the request
+// deadline and a blackhole both become typed stalled errors, and added
+// latency is just latency.
+func TestRemoteChaosStallAndBlackhole(t *testing.T) {
+	srv, _, oracle := chaosBackend(t, 64)
+
+	cases := []struct {
+		name    string
+		fault   chaos.Fault
+		timeout time.Duration
+		wantOK  bool
+	}{
+		{"short-stall", chaos.Fault{Kind: chaos.Stall, Offset: 40, Delay: 5 * time.Millisecond}, time.Second, true},
+		{"latency", chaos.Fault{Kind: chaos.Latency, Delay: 5 * time.Millisecond}, time.Second, true},
+		{"long-stall", chaos.Fault{Kind: chaos.Stall, Offset: 40, Delay: 400 * time.Millisecond}, 50 * time.Millisecond, false},
+		{"blackhole", chaos.Fault{Kind: chaos.Blackhole}, 50 * time.Millisecond, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			script := chaos.NewScript(true, tc.fault)
+			rd := store.NewDict()
+			client := &http.Client{Transport: &chaos.RoundTripper{
+				Base: srv.Client().Transport, Script: script}}
+			remote := NewRemoteConfig(srv.URL, client, rd, RemoteConfig{
+				Timeout:     tc.timeout,
+				MaxRetries:  1,
+				BackoffBase: time.Millisecond,
+				BackoffMax:  2 * time.Millisecond,
+				Seed:        42,
+			})
+			got := collect(remote.Scan, store.IDTriple{})
+			err := remote.Err()
+			if tc.wantOK {
+				if err != nil {
+					t.Fatalf("err = %v, want clean scan", err)
+				}
+				if !equalRows(renderRows(rd, got), oracle) {
+					t.Fatalf("scan diverged: %d rows, oracle %d", len(got), len(oracle))
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("deadline-class fault produced no error")
+			}
+			re, ok := err.(*Error)
+			if !ok {
+				t.Fatalf("untyped error %T %v", err, err)
+			}
+			if re.Kind != KindStalled && re.Kind != KindTransport {
+				t.Fatalf("kind = %v, want stalled/transport", re.Kind)
+			}
+		})
+	}
+}
+
+// TestRemoteChaosOverTCPProxy runs coarse faults through a real TCP
+// proxy — kernel sockets, genuine RSTs — rather than an in-process
+// RoundTripper, and holds the same invariant: no error means oracle-
+// identical rows.
+func TestRemoteChaosOverTCPProxy(t *testing.T) {
+	srv, _, oracle := chaosBackend(t, 256)
+	target := strings.TrimPrefix(srv.URL, "http://")
+
+	script := chaos.NewScript(true,
+		chaos.Fault{Kind: chaos.None},
+		chaos.Fault{Kind: chaos.Reset, Offset: 200},
+		chaos.Fault{Kind: chaos.Truncate, Offset: 300},
+		chaos.Fault{Kind: chaos.Corrupt, Offset: 250},
+		chaos.Fault{Kind: chaos.Latency, Delay: 3 * time.Millisecond},
+		chaos.Fault{Kind: chaos.Reset, Offset: 0},
+	)
+	proxy, err := chaos.NewProxy("127.0.0.1:0", target, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	rd := store.NewDict()
+	// One request per connection so each scan attempt draws exactly one
+	// scripted fault.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	remote := NewRemoteConfig("http://"+proxy.Addr(), client, rd, RemoteConfig{
+		Timeout:          time.Second,
+		MaxRetries:       2,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       4 * time.Millisecond,
+		Seed:             42,
+		BreakerThreshold: -1, // scripted faults shouldn't trip fast-fails here
+	})
+
+	var successes, typedErrors int
+	for i := 0; i < 24; i++ {
+		got := collect(remote.Scan, store.IDTriple{})
+		err := remote.Err()
+		if err == nil {
+			successes++
+			if !equalRows(renderRows(rd, got), oracle) {
+				t.Fatalf("scan %d: SILENT divergence over TCP: %d rows, oracle %d",
+					i, len(got), len(oracle))
+			}
+			continue
+		}
+		typedErrors++
+		if _, ok := err.(*Error); !ok {
+			t.Fatalf("scan %d: untyped error %T %v", i, err, err)
+		}
+	}
+	if successes == 0 {
+		t.Error("no scan ever succeeded through the chaos proxy")
+	}
+	if proxy.Injected.Load() == 0 {
+		t.Error("proxy injected nothing — script misrouted")
+	}
+	t.Logf("proxy matrix: %d successes, %d typed errors, %d conns (%d faulted)",
+		successes, typedErrors, proxy.Conns.Load(), proxy.Injected.Load())
+}

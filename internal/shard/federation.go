@@ -1,0 +1,176 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"rdfshapes/internal/obsv"
+	"rdfshapes/internal/store"
+)
+
+// RemoteGroup is an engine.Source over a set of remote shard peers: the
+// union of their scans, interned into one coordinator dictionary. It
+// carries the seam's partial-failure semantics:
+//
+//   - Fail-fast (default): the first peer failure ends the scan; the
+//     fault is retained and the engine turns it into a query error.
+//     Nothing partial ever masquerades as an answer.
+//   - Degraded (AllowDegraded): a failed peer is skipped, the remaining
+//     peers still contribute, and the fault is retained *flagged
+//     degraded* — the engine surfaces it as Result.Degraded, the same
+//     way budget-truncated results carry Truncated. A shard is never
+//     dropped silently.
+//
+// The retained fault is read (and cleared) through TakeFault, the
+// engine.Fallible contract.
+type RemoteGroup struct {
+	dict  *store.Dict
+	peers []*Remote
+
+	// allowDegraded selects the degraded mode above.
+	allowDegraded bool
+
+	mu            sync.Mutex
+	fault         error
+	faultDegraded bool
+
+	degradedScans atomic.Int64
+	failedPeers   atomic.Int64
+}
+
+// NewRemoteGroup builds a federated source over peers, which must all
+// intern into dict. allowDegraded selects degraded mode; leave it false
+// for fail-fast.
+func NewRemoteGroup(dict *store.Dict, peers []*Remote, allowDegraded bool) (*RemoteGroup, error) {
+	if len(peers) == 0 {
+		return nil, errors.New("shard: remote group needs at least one peer")
+	}
+	for _, p := range peers {
+		if p.Dict() != dict {
+			return nil, fmt.Errorf("shard: peer %s interns into a different dictionary", p.Peer())
+		}
+	}
+	return &RemoteGroup{dict: dict, peers: peers, allowDegraded: allowDegraded}, nil
+}
+
+// Dict returns the coordinator dictionary.
+func (g *RemoteGroup) Dict() *store.Dict { return g.dict }
+
+// Peers returns the wrapped remotes, for stats and metrics.
+func (g *RemoteGroup) Peers() []*Remote { return g.peers }
+
+// Scan unions pat's matches across all peers, in peer order. On a peer
+// failure it either stops (fail-fast) or records the fault and
+// continues with the remaining peers (degraded).
+func (g *RemoteGroup) Scan(pat store.IDTriple, fn func(store.IDTriple) bool) {
+	stopped := false
+	wrapped := func(t store.IDTriple) bool {
+		if !fn(t) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	sawFault := false
+	for _, p := range g.peers {
+		p.Scan(pat, wrapped)
+		if stopped {
+			return
+		}
+		if err := p.Err(); err != nil {
+			g.failedPeers.Add(1)
+			g.recordFault(err)
+			sawFault = true
+			if !g.allowDegraded {
+				return
+			}
+		}
+	}
+	if sawFault && g.allowDegraded {
+		g.degradedScans.Add(1)
+	}
+}
+
+func (g *RemoteGroup) recordFault(err error) {
+	g.mu.Lock()
+	if g.fault == nil {
+		g.fault = err
+		g.faultDegraded = g.allowDegraded
+	}
+	g.mu.Unlock()
+}
+
+// TakeFault returns the first peer failure since the last call and
+// whether the group continued past it in degraded mode, clearing it.
+// This is the engine.Fallible contract: the engine checks it before
+// declaring a result complete.
+func (g *RemoteGroup) TakeFault() (error, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	err, degraded := g.fault, g.faultDegraded
+	g.fault, g.faultDegraded = nil, false
+	return err, degraded
+}
+
+// DegradedScans counts scans that completed with at least one peer
+// skipped in degraded mode.
+func (g *RemoteGroup) DegradedScans() int64 { return g.degradedScans.Load() }
+
+// RegisterMetrics exports the group's per-peer counters and breaker
+// state on c at scrape time, labeled by peer base URL.
+func (g *RemoteGroup) RegisterMetrics(c *obsv.Collector) {
+	perPeer := func(pick func(RemoteStats) int64) func() map[string]float64 {
+		return func() map[string]float64 {
+			out := make(map[string]float64, len(g.peers))
+			for _, p := range g.peers {
+				out[p.Peer()] = float64(pick(p.Stats()))
+			}
+			return out
+		}
+	}
+	c.RegisterCounterVec(obsv.MetricRemoteScans,
+		"Remote shard scans attempted, by peer.", "peer",
+		perPeer(func(s RemoteStats) int64 { return s.Scans }))
+	c.RegisterCounterVec(obsv.MetricRemoteScanFailures,
+		"Remote shard scans that ended in a typed error, by peer.", "peer",
+		perPeer(func(s RemoteStats) int64 { return s.Failures }))
+	c.RegisterCounterVec(obsv.MetricRemoteScanRetries,
+		"Remote shard scan retry attempts, by peer.", "peer",
+		perPeer(func(s RemoteStats) int64 { return s.Retries }))
+	c.RegisterCounterVec(obsv.MetricRemoteHedges,
+		"Hedge requests launched after the latency quantile, by peer.", "peer",
+		perPeer(func(s RemoteStats) int64 { return s.Hedges }))
+	c.RegisterCounterVec(obsv.MetricRemoteHedgeWins,
+		"Remote scans won by the hedge request, by peer.", "peer",
+		perPeer(func(s RemoteStats) int64 { return s.HedgeWins }))
+	c.RegisterCounterVec(obsv.MetricRemoteCorruptFrames,
+		"Remote scan streams rejected as corrupt (CRC/protocol), by peer.", "peer",
+		perPeer(func(s RemoteStats) int64 { return s.CorruptFrames }))
+	c.RegisterCounterVec(obsv.MetricRemoteTruncations,
+		"Remote scan streams cut before their EOS trailer, by peer.", "peer",
+		perPeer(func(s RemoteStats) int64 { return s.Truncations }))
+	c.RegisterCounterVec(obsv.MetricRemoteBreakerOpens,
+		"Circuit breaker closed-to-open transitions, by peer.", "peer",
+		perPeer(func(s RemoteStats) int64 { return s.BreakerOpens }))
+	c.RegisterGaugeVec(obsv.MetricRemoteBreakerState,
+		"Circuit breaker state by peer: 0 closed, 0.5 half-open, 1 open.", "peer",
+		func() map[string]float64 {
+			out := make(map[string]float64, len(g.peers))
+			for _, p := range g.peers {
+				switch p.Stats().BreakerState {
+				case "open":
+					out[p.Peer()] = 1
+				case "half-open":
+					out[p.Peer()] = 0.5
+				default:
+					out[p.Peer()] = 0
+				}
+			}
+			return out
+		})
+	c.RegisterCounter(obsv.MetricRemoteDegradedScans,
+		"Scans completed with at least one peer skipped in degraded mode.",
+		func() float64 { return float64(g.degradedScans.Load()) })
+}

@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// encodeFramed renders lines into a complete framed stream with the
+// given target frame size.
+func encodeFramed(t *testing.T, target int, lines ...string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf, target)
+	if err := fw.writeHeader(); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range lines {
+		if _, err := fw.addLine([]byte(l + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// decodeFramed drains a framed stream, returning the concatenated
+// payloads and the terminal error (nil on a valid EOS).
+func decodeFramed(raw []byte, rowsPerPayload func([]byte) int) (string, error) {
+	fr := newFrameReader(bytes.NewReader(raw))
+	if err := fr.readHeader(); err != nil {
+		return "", err
+	}
+	var out bytes.Buffer
+	for {
+		payload, eos, err := fr.next()
+		if eos {
+			return out.String(), err
+		}
+		if err != nil {
+			return out.String(), err
+		}
+		out.Write(payload)
+		fr.countRows(rowsPerPayload(payload))
+	}
+}
+
+func countLines(p []byte) int { return bytes.Count(p, []byte("\n")) }
+
+func TestFrameRoundTrip(t *testing.T) {
+	lines := make([]string, 100)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("<http://x/s%d> <http://x/p> <http://x/o%d> .", i, i)
+	}
+	for _, target := range []int{1, 64, 1 << 20} {
+		raw := encodeFramed(t, target, lines...)
+		got, err := decodeFramed(raw, countLines)
+		if err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		var want bytes.Buffer
+		for _, l := range lines {
+			want.WriteString(l + "\n")
+		}
+		if got != want.String() {
+			t.Fatalf("target %d: payload mismatch (%d vs %d bytes)", target, len(got), want.Len())
+		}
+	}
+}
+
+func TestFrameEmptyStream(t *testing.T) {
+	raw := encodeFramed(t, 0)
+	got, err := decodeFramed(raw, countLines)
+	if err != nil || got != "" {
+		t.Fatalf("empty stream: %q, %v", got, err)
+	}
+}
+
+func TestFrameDetectsEveryByteFlip(t *testing.T) {
+	raw := encodeFramed(t, 32,
+		"<http://x/a> <http://x/p> <http://x/b> .",
+		"<http://x/c> <http://x/p> <http://x/d> .")
+	want, err := decodeFramed(raw, countLines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(raw); off++ {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0x01
+		got, err := decodeFramed(mut, countLines)
+		if err == nil && got == want {
+			t.Fatalf("bit flip at offset %d went undetected", off)
+		}
+		if err != nil && !errors.Is(err, ErrFrameCorrupt) && !errors.Is(err, ErrScanTruncated) {
+			t.Fatalf("flip at %d: untyped error %v", off, err)
+		}
+	}
+}
+
+func TestFrameDetectsEveryTruncation(t *testing.T) {
+	raw := encodeFramed(t, 32,
+		"<http://x/a> <http://x/p> <http://x/b> .",
+		"<http://x/c> <http://x/p> <http://x/d> .")
+	for cut := 0; cut < len(raw); cut++ {
+		_, err := decodeFramed(raw[:cut], countLines)
+		if err == nil {
+			t.Fatalf("truncation at %d of %d went undetected", cut, len(raw))
+		}
+		if !errors.Is(err, ErrScanTruncated) && !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("truncation at %d: untyped error %v", cut, err)
+		}
+	}
+}
+
+func TestFrameEOSCountMismatch(t *testing.T) {
+	raw := encodeFramed(t, 1<<20, "<http://x/a> <http://x/p> <http://x/b> .")
+	// Decode but "lose" the row: report zero rows to the reader.
+	_, err := decodeFramed(raw, func([]byte) int { return 0 })
+	if !errors.Is(err, ErrScanTruncated) {
+		t.Fatalf("EOS count mismatch: err = %v, want ErrScanTruncated", err)
+	}
+}
+
+func TestFrameRejectsOversizedLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(scanMagic)
+	// Hand-craft a frame header claiming a payload far past the bound.
+	hdr := []byte{frameData, 0xFF, 0xFF, 0xFF, 0xFF}
+	buf.Write(hdr)
+	fr := newFrameReader(&buf)
+	if err := fr.readHeader(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := fr.next()
+	if !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("oversized frame: err = %v, want ErrFrameCorrupt", err)
+	}
+}
+
+func TestFrameBadMagic(t *testing.T) {
+	raw := encodeFramed(t, 0)
+	mut := append([]byte(nil), raw...)
+	mut[0] = 'X'
+	_, err := decodeFramed(mut, countLines)
+	if !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrFrameCorrupt", err)
+	}
+}

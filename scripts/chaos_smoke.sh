@@ -1,0 +1,88 @@
+#!/bin/sh
+# Chaos smoke: boot two sharded servers over the same LUBM dataset, put
+# a fault-injecting TCP proxy (resets, truncations, bit flips, stalls,
+# latency) in front of one, and drive scanprobe through the chaos leg.
+# scanprobe exits non-zero if any scan that claimed success differs from
+# the unfaulted oracle fleet in any byte — the invariant this repo's
+# framed scan protocol exists to enforce. A second leg blackholes one
+# peer entirely and proves degraded mode still serves the survivor's
+# rows while flagging the result. Run from the repo root.
+set -eu
+
+BASE="${CHAOS_SMOKE_PORT:-18110}"
+APORT=$BASE
+BPORT=$((BASE + 1))
+PROXYPORT=$((BASE + 2))
+HOLEPORT=$((BASE + 3))
+TMP="$(mktemp -d)"
+PIDS=""
+cleanup() {
+    for p in $PIDS; do kill "$p" 2>/dev/null || true; done
+    for p in $PIDS; do wait "$p" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build server + chaosproxy + scanprobe =="
+go build -o "$TMP/server" ./cmd/server
+go build -o "$TMP/chaosproxy" ./cmd/chaosproxy
+go build -o "$TMP/scanprobe" ./cmd/scanprobe
+
+wait_url() {
+    i=0
+    until curl -fsS "$1" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 150 ]; then
+            echo "chaos smoke: $1 never answered" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+echo "== start two sharded servers (lubm scale 1) =="
+"$TMP/server" -dataset lubm -scale 1 -shards 2 \
+    -addr "localhost:$APORT" -query-timeout 5s >"$TMP/serverA.log" 2>&1 &
+PIDS="$PIDS $!"
+"$TMP/server" -dataset lubm -scale 1 -shards 2 \
+    -addr "localhost:$BPORT" -query-timeout 5s >"$TMP/serverB.log" 2>&1 &
+PIDS="$PIDS $!"
+wait_url "http://localhost:$APORT/readyz"
+wait_url "http://localhost:$BPORT/readyz"
+
+echo "== start chaosproxy in front of server A =="
+# One connection draws one fault; the looped script mixes every kind the
+# layer can inject at offsets inside the framed scan stream.
+"$TMP/chaosproxy" -listen "localhost:$PROXYPORT" -target "localhost:$APORT" -loop \
+    -script 'none,reset@2048,none,truncate@4096,corrupt@1500^0x10,none,latency:20ms,stall@1024:100ms' \
+    >"$TMP/chaosproxy.log" 2>&1 &
+PIDS="$PIDS $!"
+sleep 0.3
+
+echo "== probe the chaos leg against the unfaulted oracle =="
+"$TMP/scanprobe" \
+    -peers "http://localhost:$PROXYPORT,http://localhost:$BPORT" \
+    -oracle "http://localhost:$APORT,http://localhost:$BPORT" \
+    -scans 24 -timeout 5s -retries 2 -expect-faults
+
+echo "== degraded leg: blackhole one peer, survivor must still serve =="
+"$TMP/chaosproxy" -listen "localhost:$HOLEPORT" -target "localhost:$APORT" -loop \
+    -script 'blackhole' >"$TMP/blackhole.log" 2>&1 &
+PIDS="$PIDS $!"
+sleep 0.3
+"$TMP/scanprobe" \
+    -peers "http://localhost:$HOLEPORT,http://localhost:$BPORT" \
+    -oracle "http://localhost:$APORT,http://localhost:$BPORT" \
+    -scans 3 -timeout 2s -retries 0 -degraded -expect-faults
+
+echo "== framed protocol actually exercised =="
+SERVED=$(curl -fsS "http://localhost:$APORT/metrics" \
+    | grep 'rdfshapes_shard_scans_served_total{proto="framed"}' \
+    | awk '{print $2}')
+echo "server A framed scans served: ${SERVED:-0}"
+if [ -z "$SERVED" ] || [ "$SERVED" = "0" ]; then
+    echo "chaos smoke: no framed scan ever reached server A" >&2
+    exit 1
+fi
+
+echo "chaos smoke: passed"

@@ -38,6 +38,9 @@ go test -race -run 'TestMergeDifferentialWorkloads|TestMergeGovernorEquivalence|
 echo "== go test -race (shard coordinator: merge, pruning, per-shard stats) =="
 go test -race ./internal/shard
 
+echo "== go test -race (chaos layer: fault scripts, listener/proxy/roundtripper) =="
+go test -race ./internal/chaos
+
 echo "== go test -race (sharded-vs-unsharded differential over all workloads) =="
 go test -race -run 'TestShardedDifferentialWorkloads' ./internal/integration
 
@@ -79,5 +82,8 @@ sh scripts/loadgen_smoke.sh
 
 echo "== replication smoke (primary + 2 replicas + router, replica kill mid-run) =="
 sh scripts/repl_smoke.sh
+
+echo "== chaos smoke (framed scans through a fault-injecting TCP proxy) =="
+sh scripts/chaos_smoke.sh
 
 echo "verify: all checks passed"
